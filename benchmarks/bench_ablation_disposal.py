@@ -1,0 +1,21 @@
+"""A4 — page disposal (section 4.2.3) under same-instant update bursts.
+
+Expected shape: with many updates sharing an instant, pages created and
+killed within that instant are freed — disposal saves pages and the
+disposal counter is busy; without it the intermediate pages linger.
+"""
+
+from repro.bench.experiments import ablation_disposal
+
+
+def test_disposal_saves_space_under_bursts(benchmark, settings, scale,
+                                           record_table):
+    table = benchmark.pedantic(
+        lambda: ablation_disposal(settings, scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_table("ablation_disposal", table)
+
+    rows = {row["disposal"]: row for row in table.rows}
+    assert rows[True]["disposals"] > 0
+    assert rows[True]["pages"] < rows[False]["pages"]

@@ -1,0 +1,25 @@
+"""A2 — aggregation-in-a-page (section 4.2.1) on/off.
+
+Expected shape: physical mode splits every fully-covered record per
+insertion (Theta(b) record creations), so it creates far more records and
+far more pages than logical mode, at identical query answers (the
+equivalence itself is asserted by the test suite; here we check cost).
+"""
+
+from repro.bench.experiments import ablation_logical_split
+
+
+def test_logical_split_saves_records_and_space(benchmark, settings, scale,
+                                               record_table):
+    table = benchmark.pedantic(
+        lambda: ablation_logical_split(settings, scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_table("ablation_logical_split", table)
+
+    rows = {row["mode"]: row for row in table.rows}
+    logical, physical = rows["logical"], rows["physical"]
+
+    assert logical["records_created"] < physical["records_created"] / 3
+    assert logical["pages"] < physical["pages"]
+    assert logical["update_ios_per_op"] <= physical["update_ios_per_op"]

@@ -1,0 +1,21 @@
+"""A3 — record merging (section 4.2.2) on/off.
+
+Expected shape: merging never *hurts* space; on workloads with cancelling
+or boundary-aligned updates it compacts records.  The effect on the default
+uniform workload is modest (few cancellations arise), so the assertion is
+one-sided.
+"""
+
+from repro.bench.experiments import ablation_merging
+
+
+def test_merging_never_costs_space(benchmark, settings, scale, record_table):
+    table = benchmark.pedantic(
+        lambda: ablation_merging(settings, scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_table("ablation_merging", table)
+
+    rows = {row["merging"]: row for row in table.rows}
+    assert rows[True]["pages"] <= rows[False]["pages"] * 1.02
+    assert rows[True]["records_created"] <= rows[False]["records_created"]

@@ -1,0 +1,38 @@
+"""A1 — strong factor sweep (the paper uses f=0.9; tuning f is open
+problem (i) of section 6).
+
+Measured shape: *smaller* f leaves more free slots after every time split,
+so pages absorb more insertions before the next split — fewer alive-record
+copies, hence less space and fewer update I/Os.  The price is slightly
+slower queries (records spread across more, emptier pages).  The paper's
+f=0.9 sits at the query-optimized end of that trade-off.
+"""
+
+from repro.bench.experiments import ablation_strong_factor
+
+FACTORS = (0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_strong_factor_space_query_tradeoff(benchmark, settings, scale,
+                                            record_table):
+    table = benchmark.pedantic(
+        lambda: ablation_strong_factor(settings, scale=scale,
+                                       factors=FACTORS),
+        rounds=1, iterations=1,
+    )
+    record_table("ablation_strong_factor", table)
+
+    pages = dict(zip(table.column("f"), table.column("pages")))
+    updates = dict(zip(table.column("f"), table.column("update_ios_per_op")))
+    queries = dict(zip(table.column("f"), table.column("query_est_s")))
+
+    # Space and update cost: small f (slack after splits) is cheaper.
+    assert pages[0.3] < pages[0.9]
+    assert updates[0.3] < updates[0.9]
+
+    # Query cost: the paper's f=0.9 is at least as fast as f=0.3.
+    assert queries[0.9] <= queries[0.3]
+
+    # The whole trade-off is bounded: no f choice is catastrophic.
+    assert max(pages.values()) <= 2 * min(pages.values())
+    assert max(queries.values()) <= 3 * min(queries.values())

@@ -1,0 +1,32 @@
+"""E1 — Figure 4a: space of MVBT vs two-MVSBT as the warehouse grows.
+
+Reproduced claim: the two-MVSBT approach uses a small constant factor more
+space than the single MVBT (paper: ~2.5x) and both grow linearly in the
+number of updates.
+"""
+
+from repro.bench.experiments import fig4a_space
+
+
+def test_fig4a_space(benchmark, settings, scale, record_table):
+    table = benchmark.pedantic(
+        lambda: fig4a_space(settings, scale=scale), rounds=1, iterations=1,
+    )
+    record_table("fig4a_space", table)
+
+    ratios = table.column("ratio")
+    mvbt_pages = table.column("mvbt_pages")
+    rta_pages = table.column("two_mvsbt_pages")
+    updates = table.column("updates")
+
+    # Both curves grow monotonically with the update count.
+    assert mvbt_pages == sorted(mvbt_pages)
+    assert rta_pages == sorted(rta_pages)
+
+    # Overhead is a small constant factor (paper: ~2.5x; our record widths
+    # and b differ, so accept a band rather than a point).
+    assert all(1.5 <= ratio <= 6.0 for ratio in ratios), ratios
+
+    # Near-linear growth: pages per update stays flat within 30%.
+    per_update = [pages / n for pages, n in zip(rta_pages, updates)]
+    assert max(per_update) / min(per_update) < 1.3

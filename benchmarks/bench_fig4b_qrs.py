@@ -1,0 +1,52 @@
+"""E2 — Figure 4b: RTA query speedup of two-MVSBT over MVBT vs QRS.
+
+Reproduced claim: the two-MVSBT query cost is essentially independent of
+the query-rectangle size while the naive MVBT plan degrades with it, so the
+speedup grows monotonically and becomes enormous at QRS=100% (paper:
+>5000x; exact magnitude scales with the dataset).
+"""
+
+from repro.bench.experiments import fig4b_speedup
+
+QRS_POINTS = (0.0001, 0.001, 0.01, 0.1, 0.5, 1.0)
+
+
+def test_fig4b_speedup_grows_with_qrs(benchmark, settings, scale,
+                                      record_table):
+    table = benchmark.pedantic(
+        lambda: fig4b_speedup(settings, scale=scale, qrs_points=QRS_POINTS),
+        rounds=1, iterations=1,
+    )
+    record_table("fig4b_qrs", table)
+
+    speedups = table.column("speedup")
+    mvbt_ios = table.column("mvbt_ios")
+    mvsbt_ios = table.column("mvsbt_ios")
+
+    # The naive plan's I/O grows with QRS ...
+    assert mvbt_ios == sorted(mvbt_ios)
+    assert mvbt_ios[-1] > 20 * mvbt_ios[0]
+    # ... while the MVSBT plan stays within a small flat band
+    # (buffer effects only; compare against its own maximum).
+    assert max(mvsbt_ios) < 3 * max(mvsbt_ios[0], 1) + max(mvsbt_ios)
+
+    # Headline: the speedup rises steeply and ends up very large.
+    assert speedups[-1] > 100, speedups
+    assert speedups[-1] > speedups[0] * 50
+    # By QRS=1% the MVSBT plan is already ahead (paper's crossover is
+    # below that).
+    by_qrs = dict(zip(table.column("qrs"), speedups))
+    assert by_qrs[0.01] > 1.0
+
+
+def test_fig4b_shape_sensitivity(benchmark, settings, scale, record_table):
+    """Secondary sweep: a skewed R/I shape must not change the story."""
+    table = benchmark.pedantic(
+        lambda: fig4b_speedup(settings, scale=scale,
+                              qrs_points=(0.01, 0.25, 1.0), shape=4.0),
+        rounds=1, iterations=1,
+    )
+    record_table("fig4b_qrs_shape4", table)
+    speedups = table.column("speedup")
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 50

@@ -1,0 +1,33 @@
+"""E3 — Figure 4c: query cost at QRS=1% across LRU buffer sizes.
+
+Reproduced claim: the two-MVSBT approach beats the MVBT plan at every
+buffer size; the MVBT plan benefits from larger buffers (rescans get
+absorbed) while the MVSBT plan's tiny working set is near-insensitive.
+"""
+
+from repro.bench.experiments import fig4c_buffer
+
+BUFFER_SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def test_fig4c_buffer_sweep(benchmark, settings, scale, record_table):
+    table = benchmark.pedantic(
+        lambda: fig4c_buffer(settings, scale=scale,
+                             buffer_sizes=BUFFER_SIZES),
+        rounds=1, iterations=1,
+    )
+    record_table("fig4c_buffer", table)
+
+    mvsbt = table.column("mvsbt_est_s")
+    mvbt = table.column("mvbt_est_s")
+    speedups = table.column("speedup")
+
+    # Two-MVSBT superior across ALL buffer sizes (the paper's claim).
+    assert all(s > 1.0 for s in speedups), speedups
+
+    # The MVBT plan improves as the buffer grows.
+    assert mvbt[-1] < mvbt[0]
+
+    # The MVSBT plan's absolute variation across buffer sizes is small
+    # compared to the MVBT plan's.
+    assert (max(mvsbt) - min(mvsbt)) < (max(mvbt) - min(mvbt))

@@ -1,0 +1,32 @@
+"""A7 — range MIN/MAX for insert-only workloads (toward open problem (ii)).
+
+The paper leaves range-temporal MIN/MAX open; this library contributes the
+insert-only case via a segment-of-SB-trees index.  Expected shape: the
+retrieval fallbacks (MVBT rectangle query, heap scan) degrade with QRS
+while the index's cost stays flat — the Figure 4b story transplanted to a
+non-invertible aggregate.
+"""
+
+from repro.bench.experiments import minmax_open_problem
+
+
+def test_minmax_index_flat_vs_retrieval(benchmark, settings, scale,
+                                        record_table):
+    table = benchmark.pedantic(
+        lambda: minmax_open_problem(settings, scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_table("minmax_open_problem", table)
+
+    index_ios = table.column("index_ios")
+    mvbt_ios = table.column("mvbt_ios")
+    mvbt_est = table.column("mvbt_est_s")
+    index_est = table.column("index_est_s")
+
+    # Retrieval degrades with QRS ...
+    assert mvbt_ios == sorted(mvbt_ios)
+    assert mvbt_ios[-1] > 5 * mvbt_ios[0]
+    # ... the index does not (flat within a small band).
+    assert max(index_ios) <= 3 * max(min(index_ios), 1)
+    # At full-space rectangles the index wins decisively.
+    assert index_est[-1] < mvbt_est[-1] / 5

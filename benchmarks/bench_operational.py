@@ -1,0 +1,32 @@
+"""A8 — operational mix: interleaved updates and RTA queries.
+
+The deployment-level question the per-phase figures don't answer: given
+that the two-MVSBT approach pays more per update and far less per query,
+at what query rate does it win overall?  Expected shape: the MVSBT's total
+advantage grows with the query rate, winning clearly at realistic
+analytics rates.
+"""
+
+from repro.bench.experiments import operational_mix
+
+RATES = (1, 10, 100)
+
+
+def test_mixed_workload_crossover(benchmark, settings, scale, record_table):
+    table = benchmark.pedantic(
+        lambda: operational_mix(settings, scale=scale,
+                                queries_per_1000_updates=RATES),
+        rounds=1, iterations=1,
+    )
+    record_table("operational_mix", table)
+
+    rows = {row["queries_per_1000_updates"]: row for row in table.rows}
+
+    # At a busy analytics rate the two-MVSBT approach must win overall.
+    assert rows[100]["winner"] == "two-MVSBT"
+
+    # The MVSBT's relative position improves monotonically with the rate.
+    advantages = [
+        rows[rate]["mvbt_s"] / rows[rate]["two_mvsbt_s"] for rate in RATES
+    ]
+    assert advantages == sorted(advantages)

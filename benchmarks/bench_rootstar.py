@@ -1,0 +1,29 @@
+"""A9 — root* representation: paged B+-tree vs the in-memory array.
+
+Theorem 2's query bound is ``O(log_b n)`` because locating the right root
+costs a B+-tree descent; the paper notes a main-memory array of roots
+reduces queries to ``O(log_b K)``.  Expected shape: the paged mode costs
+more logical reads — by a bounded, logarithmic amount — and slightly more
+space (the directory pages).
+"""
+
+from repro.bench.experiments import rootstar_overhead
+
+
+def test_paged_rootstar_costs_a_bounded_log_term(benchmark, settings,
+                                                 scale, record_table):
+    table = benchmark.pedantic(
+        lambda: rootstar_overhead(settings, scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_table("rootstar_overhead", table)
+
+    rows = {row["rootstar"]: row for row in table.rows}
+    memory = rows["in-memory array"]
+    paged = rows["paged B+-tree"]
+
+    # The directory adds reads... but never more than a small multiple.
+    assert paged["query_logical_reads"] >= memory["query_logical_reads"]
+    assert paged["query_logical_reads"] <= 3 * memory["query_logical_reads"]
+    # And a little space for the directory pages.
+    assert paged["pages"] >= memory["pages"]

@@ -1,0 +1,30 @@
+"""A6 — scalar temporal aggregation context (paper section 2).
+
+Reproduced narrative: [KS95]'s aggregation tree degenerates under sorted
+insertions (linear depth); [MLI00]'s balanced tree stays logarithmic;
+the SB-tree matches that balance while living on disk.
+"""
+
+import math
+
+from repro.bench.experiments import scalar_context
+
+
+def test_prior_work_narrative(benchmark, settings, record_table):
+    table = benchmark.pedantic(
+        lambda: scalar_context(settings), rounds=1, iterations=1,
+    )
+    record_table("scalar_context", table)
+
+    rows = {row["method"]: row for row in table.rows}
+    ks95 = rows["aggregation tree [KS95]"]
+    mli00 = rows["balanced tree [MLI00]"]
+    sbtree = rows["SB-tree [YW01]"]
+
+    # [KS95] degenerates on sorted input; [MLI00] stays logarithmic.
+    assert ks95["depth"] > 20 * mli00["depth"]
+    assert mli00["depth"] <= 2 * math.log2(3000 * 2) + 4
+
+    # The SB-tree is the only disk-based method and stays shallow.
+    assert sbtree["disk_based"] and not ks95["disk_based"]
+    assert sbtree["depth"] <= 6

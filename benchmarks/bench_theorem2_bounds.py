@@ -1,0 +1,30 @@
+"""A5 — empirical check of Theorem 2 / Corollary 1.
+
+Query ``O(log_b n)`` I/Os, update ``O(log_b K)`` I/Os, space
+``O((n/b) log_b K)`` pages: the measured-over-bound ratios must stay
+bounded as the dataset grows.
+"""
+
+from repro.bench.experiments import theorem2_bounds
+
+
+def test_measured_costs_track_the_bounds(benchmark, settings, record_table):
+    table = benchmark.pedantic(
+        lambda: theorem2_bounds(settings), rounds=1, iterations=1,
+    )
+    record_table("theorem2_bounds", table)
+
+    for row in table.rows:
+        # An RTA query is ~6 point queries; each O(log_b n) page touches.
+        assert row["query_ios_per_q"] <= 6 * (row["log_b_n"] + 2) * 2, row
+        # An update touches O(log_b K) pages (x2 trees, x constant for
+        # splits and write-backs).
+        assert row["update_ios_per_op"] <= 8 * (row["log_b_K"] + 2), row
+        # Space stays within a constant factor of (n/b) log_b K.
+        assert row["pages"] <= 16 * max(row["space_bound_pages"], 1), row
+
+    # Per-query I/O grows (at most) logarithmically: from the smallest to
+    # the largest n it must not grow anywhere near linearly.
+    per_q = table.column("query_ios_per_q")
+    ns = table.column("n")
+    assert per_q[-1] / per_q[0] < (ns[-1] / ns[0]) ** 0.5

@@ -1,0 +1,28 @@
+"""E4 — amortized update cost (the paper's "similar behavior" remark).
+
+Reproduced claim: per-update cost of the two-MVSBT approach exceeds the
+single MVBT's by a small constant factor (mirroring the space comparison),
+and both stay logarithmic — i.e. a handful of I/Os per operation.
+"""
+
+from repro.bench.experiments import update_cost
+
+
+def test_update_cost(benchmark, settings, scale, record_table):
+    table = benchmark.pedantic(
+        lambda: update_cost(settings, scale=scale), rounds=1, iterations=1,
+    )
+    record_table("update_cost", table)
+
+    rows = {row["method"]: row for row in table.rows}
+    mvsbt = rows["two-MVSBT"]
+    mvbt = rows["MVBT"]
+
+    # The MVSBT maintains two structures: costlier, but by a constant
+    # factor, not asymptotically.
+    assert mvbt["ios_per_op"] < mvsbt["ios_per_op"] <= 10 * max(
+        mvbt["ios_per_op"], 0.01
+    )
+    # Logarithmic structures: a few physical I/Os per update at most.
+    assert mvsbt["ios_per_op"] < 5.0
+    assert mvbt["ios_per_op"] < 5.0

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Scale control: set ``REPRO_BENCH_SCALE`` (fraction of the paper's 1M-record
+dataset, default 0.003) and ``REPRO_BENCH_PAGE_BYTES`` (default 512; the
+paper used 4096) to trade fidelity for runtime.  Each experiment writes its
+rendered table to ``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.003"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return BenchSettings(
+        page_bytes=int(os.environ.get("REPRO_BENCH_PAGE_BYTES", "512")),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture()
+def record_table():
+    """Write a rendered experiment table under benchmarks/results/."""
+    def _record(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.render())
+        print()
+        print(table.render())
+    return _record

@@ -1,0 +1,134 @@
+"""Generate docs/API.md from the library's docstrings.
+
+Run from the repository root::
+
+    python docs/gen_api.py
+
+The output is deterministic (modules and members sorted), so the test
+suite regenerates it in memory and fails if the committed file is stale —
+API docs cannot silently drift from the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import repro
+
+HEADER = """\
+# API reference
+
+Generated from docstrings by `python docs/gen_api.py` — do not edit by
+hand.  Entries show each public module, its public classes (with public
+methods) and functions, and the first paragraph of every docstring.
+"""
+
+
+def public_modules() -> list[str]:
+    """Every public module name under ``repro``, sorted."""
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        leaf = info.name.rsplit(".", 1)[-1]
+        if leaf.startswith("_") and leaf != "__main__":
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+def first_paragraph(obj) -> str:
+    """The docstring's first paragraph, joined to one line."""
+    doc = inspect.getdoc(obj) or ""
+    paragraph = doc.split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+def signature_of(obj) -> str:
+    """Best-effort signature text, scrubbed of memory addresses.
+
+    Default values whose repr embeds ``at 0x...`` (functions, lambdas,
+    rich dataclasses) would make the output non-deterministic; they are
+    collapsed to ``...``.
+    """
+    import re
+
+    try:
+        text = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+    text = re.sub(r"<[^<>]*at 0x[0-9a-f]+>", "...", text)
+    # Collapse long dataclass default reprs to their class name.
+    text = re.sub(r"(\w+)\((?:[^()]|\([^()]*\))*\.\.\.(?:[^()]|\([^()]*\))*\)",
+                  r"\1(...)", text)
+    return text
+
+
+def document_class(name: str, cls: type) -> list[str]:
+    """Markdown lines for one class and its public methods."""
+    lines = [f"### class `{name}`", "", first_paragraph(cls), ""]
+    members = []
+    for attr_name, attr in sorted(vars(cls).items()):
+        if attr_name.startswith("_"):
+            continue
+        if isinstance(attr, property):
+            members.append((attr_name, "property",
+                            first_paragraph(attr.fget) if attr.fget else ""))
+        elif inspect.isfunction(attr):
+            members.append((attr_name, f"`{attr_name}{signature_of(attr)}`",
+                            first_paragraph(attr)))
+        elif isinstance(attr, classmethod):
+            inner = attr.__func__
+            members.append((attr_name,
+                            f"classmethod `{attr_name}{signature_of(inner)}`",
+                            first_paragraph(inner)))
+    for attr_name, heading, doc in members:
+        lines.append(f"- **{attr_name}** — {doc or heading}")
+    if members:
+        lines.append("")
+    return lines
+
+
+def document_module(module_name: str) -> list[str]:
+    """Markdown lines for one module."""
+    module = importlib.import_module(module_name)
+    lines = [f"## `{module_name}`", "", first_paragraph(module), ""]
+    classes = []
+    functions = []
+    for name, obj in sorted(vars(module).items()):
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue
+        if inspect.isclass(obj):
+            classes.append((name, obj))
+        elif inspect.isfunction(obj):
+            functions.append((name, obj))
+    for name, cls in classes:
+        lines.extend(document_class(name, cls))
+    for name, fn in functions:
+        lines.append(f"### `{name}{signature_of(fn)}`")
+        lines.append("")
+        lines.append(first_paragraph(fn))
+        lines.append("")
+    return lines
+
+
+def generate() -> str:
+    """The full API.md content."""
+    lines = [HEADER]
+    for module_name in public_modules():
+        lines.extend(document_module(module_name))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> None:
+    """Write docs/API.md next to this script."""
+    target = Path(__file__).parent / "API.md"
+    target.write_text(generate())
+    print(f"wrote {target} ({len(generate().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-517 editable installs (``bdist_wheel``) are unavailable.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

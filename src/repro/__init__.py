@@ -1,0 +1,70 @@
+"""repro — range-temporal aggregation with the Multiversion SB-Tree.
+
+A from-scratch reproduction of *Efficient Computation of Temporal Aggregates
+with Range Predicates* (Zhang, Markowetz, Tsotras, Gunopulos, Seeger,
+PODS 2001): the MVSBT index, the RTA reduction over two MVSBTs, the SB-tree
+and MVBT substrates, the paper's baselines, workload generators, and a
+benchmark harness regenerating every figure of the evaluation.
+
+Public entry points
+-------------------
+:class:`~repro.core.RTAIndex`
+    The paper's headline structure: SUM/COUNT/AVG over any key range x time
+    interval in logarithmic I/Os.
+:class:`~repro.mvsbt.MVSBT`
+    The underlying dominance-sum index (insert a value over a quadrant,
+    point-query any key/time).
+:class:`~repro.sbtree.SBTree`
+    Scalar temporal aggregation (the [YW01] substrate).
+:class:`~repro.mvbt.MVBT`
+    The multiversion B-tree used as the paper's comparison baseline.
+
+Top-level names are re-exported lazily (PEP 562) so that importing one
+subpackage never drags in the whole library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: name -> submodule providing it; resolved on first attribute access.
+_EXPORTS = {
+    "AVG": "repro.core",
+    "COUNT": "repro.core",
+    "SUM": "repro.core",
+    "Interval": "repro.core",
+    "KeyRange": "repro.core",
+    "Rectangle": "repro.core",
+    "TemporalTuple": "repro.core",
+    "MAX_KEY": "repro.core",
+    "MAX_TIME": "repro.core",
+    "NOW": "repro.core",
+    "RTAIndex": "repro.core",
+    "RTAResult": "repro.core",
+    "MVSBT": "repro.mvsbt",
+    "SBTree": "repro.sbtree",
+    "MVBT": "repro.mvbt",
+    "TemporalWarehouse": "repro.core",
+    "QueryPlan": "repro.core",
+    "RangeMinMaxIndex": "repro.minmax",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__

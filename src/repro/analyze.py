@@ -1,0 +1,149 @@
+"""ANALYZE for the temporal indexes: structural statistics and reports.
+
+``describe(index)`` walks any index of this library and returns a plain
+nested dict — page counts by level, record liveness, fill factors, version
+counts, operation counters — the numbers one reads before tuning ``b``,
+``f`` or the buffer size.  ``render_report`` pretty-prints it.
+
+Supported: :class:`~repro.mvsbt.tree.MVSBT`, :class:`~repro.mvbt.tree.MVBT`,
+:class:`~repro.sbtree.tree.SBTree` (and subclasses),
+:class:`~repro.core.rta.RTAIndex`,
+:class:`~repro.core.warehouse.TemporalWarehouse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict
+
+from repro.core.rta import RTAIndex
+from repro.core.warehouse import TemporalWarehouse
+from repro.mvbt.tree import MVBT
+from repro.mvsbt.tree import MVSBT
+from repro.sbtree.tree import SBTree
+from repro.sbtree.node import is_leaf as sbtree_is_leaf
+
+
+def describe(index: Any) -> Dict[str, Any]:
+    """Structural statistics for any index in the library."""
+    if isinstance(index, MVSBT):
+        return _describe_mvsbt(index)
+    if isinstance(index, MVBT):
+        return _describe_mvbt(index)
+    if isinstance(index, SBTree):
+        return _describe_sbtree(index)
+    if isinstance(index, RTAIndex):
+        return _describe_rta(index)
+    if isinstance(index, TemporalWarehouse):
+        return {
+            "type": "temporal-warehouse",
+            "tuples": _describe_mvbt(index.tuples),
+            "aggregates": _describe_rta(index.aggregates),
+        }
+    raise TypeError(f"describe() does not support {type(index).__name__}")
+
+
+def _page_walk(index) -> Dict[str, Any]:
+    """Shared per-page accounting for the multiversion structures."""
+    pages = 0
+    records = 0
+    alive = 0
+    by_level: Dict[int, int] = {}
+    fill_total = 0.0
+    for page_id in index.page_ids():
+        page = index.pool.fetch(page_id)
+        pages += 1
+        records += len(page.records)
+        alive += sum(1 for rec in page.records if rec.alive)
+        level = page.meta.get("level", 0)
+        by_level[level] = by_level.get(level, 0) + 1
+        fill_total += len(page.records) / page.capacity
+    return {
+        "pages": pages,
+        "records": records,
+        "alive_records": alive,
+        "dead_records": records - alive,
+        "pages_by_level": dict(sorted(by_level.items())),
+        "avg_fill": round(fill_total / pages, 4) if pages else 0.0,
+    }
+
+
+def _describe_mvsbt(tree: MVSBT) -> Dict[str, Any]:
+    report = {
+        "type": "mvsbt",
+        "capacity": tree.config.capacity,
+        "strong_factor": tree.config.strong_factor,
+        "height": tree.height(),
+        "roots": len(tree.roots),
+        "now": tree.now,
+        "counters": asdict(tree.counters),
+    }
+    report.update(_page_walk(tree))
+    return report
+
+
+def _describe_mvbt(tree: MVBT) -> Dict[str, Any]:
+    report = {
+        "type": "mvbt",
+        "capacity": tree.config.capacity,
+        "weak_min": tree.config.weak_min,
+        "roots": len(tree.roots),
+        "now": tree.now,
+        "counters": asdict(tree.counters),
+    }
+    report.update(_page_walk(tree))
+    return report
+
+
+def _describe_sbtree(tree: SBTree) -> Dict[str, Any]:
+    pages = 0
+    records = 0
+    leaf_records = 0
+    fill_total = 0.0
+    for page_id in tree._all_page_ids():
+        page = tree.pool.fetch(page_id)
+        pages += 1
+        records += len(page.records)
+        if sbtree_is_leaf(page):
+            leaf_records += len(page.records)
+        fill_total += len(page.records) / page.capacity
+    return {
+        "type": "sbtree",
+        "capacity": tree.capacity,
+        "height": tree.height,
+        "insertions": tree.insertions,
+        "pages": pages,
+        "records": records,
+        "leaf_records": leaf_records,
+        "avg_fill": round(fill_total / pages, 4) if pages else 0.0,
+    }
+
+
+def _describe_rta(index: RTAIndex) -> Dict[str, Any]:
+    report: Dict[str, Any] = {
+        "type": "rta-index",
+        "aggregates": [a.name for a in index.aggregates],
+        "alive_tuples": index.alive_count() if index.track_values else None,
+        "trees": {},
+    }
+    total_pages = 0
+    for name, (lkst, lklt) in index.trees().items():
+        lkst_report = _describe_mvsbt(lkst)
+        lklt_report = _describe_mvsbt(lklt)
+        report["trees"][name] = {"lkst": lkst_report, "lklt": lklt_report}
+        total_pages += lkst_report["pages"] + lklt_report["pages"]
+    report["pages"] = total_pages
+    return report
+
+
+def render_report(report: Dict[str, Any], indent: int = 0) -> str:
+    """Readable text rendering of a :func:`describe` report."""
+    lines = []
+    pad = "  " * indent
+    for key, value in report.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(render_report(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)

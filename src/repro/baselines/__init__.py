@@ -1,0 +1,28 @@
+"""Baselines: the paper's comparator and the prior-work methods of section 2.
+
+* :class:`~repro.baselines.mvbt_rta.MVBTRTABaseline` — the approach the
+  paper's experiments compare against: keep the warehouse in an MVBT,
+  retrieve every tuple of the query rectangle, aggregate on the fly.
+* :class:`~repro.baselines.naive_scan.HeapFileScanBaseline` — [Tum92]'s
+  two-step full-scan aggregation over a sequential heap file.
+* :class:`~repro.baselines.aggregation_tree.AggregationTree` — [KS95]'s
+  main-memory aggregation tree (segment-tree based, unbalanced).
+* :class:`~repro.baselines.balanced_tree.BalancedTemporalAggregate` —
+  [MLI00]'s balanced (red-black) main-memory temporal aggregation.
+"""
+
+from repro.baselines.aggregation_tree import AggregationTree
+from repro.baselines.balanced_tree import (
+    BalancedTemporalAggregate,
+    RedBlackPrefixTree,
+)
+from repro.baselines.mvbt_rta import MVBTRTABaseline
+from repro.baselines.naive_scan import HeapFileScanBaseline
+
+__all__ = [
+    "AggregationTree",
+    "BalancedTemporalAggregate",
+    "HeapFileScanBaseline",
+    "MVBTRTABaseline",
+    "RedBlackPrefixTree",
+]

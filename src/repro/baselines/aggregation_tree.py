@@ -1,0 +1,136 @@
+"""[KS95]'s aggregation tree: main-memory, segment-tree based, unbalanced.
+
+The aggregation tree incrementally maintains a scalar temporal SUM/COUNT:
+it is a binary tree over the time axis whose nodes carry partial values
+valid for their whole span (segment-tree value placement, like the
+SB-tree), but node boundaries are created in insertion order with *no
+rebalancing* — the paper's criticism is precisely that it "can become
+unbalanced, which implies O(n) worst-case time".  The implementation keeps
+that behaviour faithfully (see :meth:`depth`, exercised by the A6 context
+benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.model import NOW
+from repro.errors import QueryError
+
+
+@dataclass
+class _Node:
+    lo: int
+    hi: int
+    value: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def split_at(self, point: int) -> None:
+        """Turn a leaf into an interior node split at ``point``."""
+        assert self.is_leaf and self.lo < point < self.hi
+        self.left = _Node(self.lo, point)
+        self.right = _Node(point, self.hi)
+
+
+class AggregationTree:
+    """Incremental scalar temporal SUM over a fixed time domain.
+
+    ``insert(start, end, v)`` adds ``v`` to every instant of
+    ``[start, end)``; ``aggregate(t)`` reads the value at ``t``.  COUNT is
+    SUM of ones; deletion is insertion of the negation (both as in the
+    paper's other additive structures).
+    """
+
+    def __init__(self, domain: tuple[int, int] = (1, NOW)) -> None:
+        if domain[0] >= domain[1]:
+            raise ValueError(f"empty time domain {domain}")
+        self.domain = domain
+        self._root = _Node(domain[0], domain[1])
+        self._insertions = 0
+
+    def insert(self, start: int, end: int, value: float) -> None:
+        """Add ``value`` over ``[start, end)`` (clipped to the domain)."""
+        lo = max(start, self.domain[0])
+        hi = min(end, self.domain[1])
+        if lo >= hi:
+            raise QueryError(
+                f"interval [{start},{end}) outside domain {self.domain}"
+            )
+        self._insert(self._root, lo, hi, value)
+        self._insertions += 1
+
+    def aggregate(self, t: int) -> float:
+        """Instantaneous aggregate at ``t`` — sum along the root-leaf path."""
+        if not (self.domain[0] <= t < self.domain[1]):
+            raise QueryError(f"instant {t} outside domain {self.domain}")
+        node = self._root
+        acc = 0.0
+        while node is not None:
+            if node.lo <= t < node.hi:
+                acc += node.value
+                node = None if node.is_leaf else (
+                    node.left if t < node.left.hi else node.right
+                )
+            else:  # pragma: no cover - guarded by domain check
+                break
+        return acc
+
+    def _insert(self, root: _Node, lo: int, hi: int, value: float) -> None:
+        # Iterative (explicit stack): degenerate trees reach O(n) depth —
+        # the very weakness this baseline exists to demonstrate — which
+        # would blow Python's recursion limit.
+        stack = [(root, lo, hi)]
+        while stack:
+            node, node_lo, node_hi = stack.pop()
+            if node_lo <= node.lo and node.hi <= node_hi:
+                node.value += value
+                continue
+            if node.is_leaf:
+                # Create boundaries on demand, one split per endpoint
+                # strictly inside the leaf.  Depth grows with insertion
+                # order — no rebalancing, exactly the [KS95] weakness.
+                point = node_lo if node.lo < node_lo < node.hi else node_hi
+                node.split_at(point)
+            if node_lo < node.left.hi:
+                stack.append((node.left, node_lo,
+                              min(node_hi, node.left.hi)))
+            if node_hi > node.right.lo:
+                stack.append((node.right, max(node_lo, node.right.lo),
+                              node_hi))
+
+    # -- introspection --------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (1 for a single-node tree)."""
+        deepest = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, level = stack.pop()
+            if node.is_leaf:
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
+
+    def node_count(self) -> int:
+        """Total tree nodes (space proxy for the main-memory structure)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
+
+    @property
+    def insertions(self) -> int:
+        return self._insertions

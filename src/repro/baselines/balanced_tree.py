@@ -1,0 +1,255 @@
+"""[MLI00]-style balanced main-memory temporal aggregation.
+
+[MLI00] fixed the aggregation tree's degeneracy with a balanced (red-black)
+tree, keeping insertion and instantaneous-aggregate cost at O(log n) — but
+still main-memory resident, which is the paper's remaining criticism.
+
+The structure here is a red-black tree over interval endpoints augmented
+with subtree sums: inserting a tuple ``[s, e) : v`` contributes ``+v`` at
+``s`` and ``-v`` at ``e``; the instantaneous aggregate at ``t`` is the
+prefix sum of contributions at keys ``<= t``.  Rotations preserve the
+augmented sums, so both operations stay logarithmic regardless of the
+insertion pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import QueryError
+
+RED, BLACK = True, False
+
+
+class _Node:
+    __slots__ = ("key", "delta", "sum", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, delta: float, nil: "_Node") -> None:
+        self.key = key
+        self.delta = delta
+        self.sum = delta
+        self.color = RED
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackPrefixTree:
+    """Red-black tree of ``(key, delta)`` with O(log n) prefix sums.
+
+    ``add(key, delta)`` accumulates a contribution at ``key``;
+    ``prefix_sum(key)`` returns the total of contributions at keys
+    ``<= key``.  This is the order-statistic augmentation of CLRS chapter
+    14 with sums in place of sizes.
+    """
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = 0
+        self._nil.delta = 0.0
+        self._nil.sum = 0.0
+        self._nil.color = BLACK
+        self._nil.left = self._nil.right = self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- queries ---------------------------------------------------------------------
+
+    def prefix_sum(self, key: int) -> float:
+        """Sum of deltas stored at keys ``<= key``."""
+        acc = 0.0
+        node = self._root
+        while node is not self._nil:
+            if key < node.key:
+                node = node.left
+            else:
+                acc += node.left.sum + node.delta
+                node = node.right
+        return acc
+
+    def total(self) -> float:
+        """Sum of every stored delta (the whole-tree aggregate)."""
+        return self._root.sum
+
+    # -- updates ----------------------------------------------------------------------
+
+    def add(self, key: int, delta: float) -> None:
+        """Accumulate ``delta`` at ``key`` (inserting the key if new)."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            if key == node.key:
+                node.delta += delta
+                while node is not self._nil:
+                    node.sum += delta
+                    node = node.parent
+                return
+            parent = node
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, delta, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        walker = parent
+        while walker is not self._nil:
+            walker.sum += delta
+            walker = walker.parent
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    # -- red-black machinery ------------------------------------------------------------
+
+    def _refresh(self, node: _Node) -> None:
+        node.sum = node.left.sum + node.delta + node.right.sum
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+        # y now roots x's old subtree; recompute bottom-up.
+        self._refresh(x)
+        self._refresh(y)
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+        self._refresh(x)
+        self._refresh(y)
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color == RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        self._root.color = BLACK
+
+    # -- introspection ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum root-to-NIL depth; stays O(log n) by the RB rules."""
+        deepest = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
+            if node is self._nil:
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
+
+    def check_invariants(self) -> None:
+        """Red-black properties + augmented-sum consistency."""
+        assert self._root.color == BLACK, "root must be black"
+
+        def walk(node: _Node) -> Tuple[int, float]:
+            if node is self._nil:
+                return 1, 0.0
+            if node.color == RED:
+                assert node.left.color == BLACK \
+                    and node.right.color == BLACK, "red node with red child"
+            if node.left is not self._nil:
+                assert node.left.key < node.key, "BST order violated"
+            if node.right is not self._nil:
+                assert node.right.key > node.key, "BST order violated"
+            left_black, left_sum = walk(node.left)
+            right_black, right_sum = walk(node.right)
+            assert left_black == right_black, "black-height mismatch"
+            expected = left_sum + node.delta + right_sum
+            assert abs(node.sum - expected) < 1e-9, "augmented sum stale"
+            return left_black + (node.color == BLACK), expected
+
+        walk(self._root)
+
+
+class BalancedTemporalAggregate:
+    """Scalar instantaneous SUM/COUNT aggregation on a red-black tree.
+
+    Semantics match :class:`~repro.sbtree.tree.SBTree` and
+    :class:`~repro.baselines.aggregation_tree.AggregationTree`:
+    ``insert(start, end, v)`` adds ``v`` over ``[start, end)``;
+    ``aggregate(t)`` reads the value at ``t``; deletion is insertion of the
+    negation.  All operations are O(log n) worst case.
+    """
+
+    def __init__(self) -> None:
+        self._tree = RedBlackPrefixTree()
+        self._insertions = 0
+
+    def insert(self, start: int, end: int, value: float) -> None:
+        """Add ``value`` over ``[start, end)`` (two endpoint deltas)."""
+        if start >= end:
+            raise QueryError(f"empty interval [{start},{end})")
+        self._tree.add(start, value)
+        self._tree.add(end, -value)
+        self._insertions += 1
+
+    def aggregate(self, t: int) -> float:
+        """Instantaneous aggregate at ``t`` (a prefix sum)."""
+        return self._tree.prefix_sum(t)
+
+    def depth(self) -> int:
+        """Depth of the underlying red-black tree."""
+        return self._tree.depth()
+
+    def check_invariants(self) -> None:
+        """Audit the underlying red-black tree."""
+        self._tree.check_invariants()
+
+    @property
+    def insertions(self) -> int:
+        return self._insertions

@@ -1,0 +1,97 @@
+"""The paper's naive competitor: retrieve from an MVBT, then aggregate.
+
+Section 5 compares the two-MVSBT approach against "a single index that
+first retrieves the tuples of the warehouse which satisfy the RTA key-range
+and time-interval predicates, and then computes the aggregate on the
+retrieved tuples", instantiated with the MVBT.  Updates are as cheap as the
+MVBT's; the problem is the query: its cost is proportional to the number of
+tuples in the rectangle, so it degrades linearly with the query-rectangle
+size while the MVSBT plan stays logarithmic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.aggregates import Aggregate, AVG, COUNT, SUM
+from repro.core.model import Interval, KeyRange, MAX_KEY
+from repro.core.rta import RTAResult
+from repro.errors import QueryError
+from repro.mvbt.config import MVBTConfig
+from repro.mvbt.tree import MVBT
+from repro.storage.buffer import BufferPool
+
+
+class MVBTRTABaseline:
+    """RTA queries by rectangle retrieval over a Multiversion B-Tree.
+
+    The update API mirrors :class:`~repro.core.rta.RTAIndex` so experiments
+    can replay one stream into both competitors.
+    """
+
+    def __init__(self, pool: BufferPool, config: Optional[MVBTConfig] = None,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 start_time: int = 1, paged_roots: bool = False) -> None:
+        self.tree = MVBT(pool, config, key_space=key_space,
+                         start_time=start_time, paged_roots=paged_roots)
+        self.pool = pool
+
+    # -- update API (pass-through) ---------------------------------------------------
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        """Insert a tuple alive from ``t``."""
+        self.tree.insert(key, value, t)
+
+    def delete(self, key: int, t: int) -> float:
+        """Logically delete the alive tuple with ``key`` at ``t``."""
+        return self.tree.delete(key, t)
+
+    def update(self, key: int, value: float, t: int) -> None:
+        """Replace the alive tuple's value at ``t``."""
+        self.tree.update(key, value, t)
+
+    # -- query API ---------------------------------------------------------------------
+
+    def query(self, key_range: KeyRange, interval: Interval,
+              aggregate: Aggregate = SUM) -> Optional[float]:
+        """Retrieve every tuple in the rectangle and fold the aggregate."""
+        if aggregate.name == AVG.name:
+            return self.aggregate_all(key_range, interval).avg
+        tuples = self.tree.rectangle_query(
+            key_range.low, key_range.high, interval.start, interval.end
+        )
+        acc = aggregate.identity
+        for (_key, _start, _end, value) in tuples:
+            acc = aggregate.combine(acc, aggregate.lift(value))
+        return acc
+
+    def sum(self, key_range: KeyRange, interval: Interval) -> float:
+        """RTA SUM via retrieval."""
+        return self.query(key_range, interval, SUM)
+
+    def count(self, key_range: KeyRange, interval: Interval) -> float:
+        """RTA COUNT via retrieval."""
+        return self.query(key_range, interval, COUNT)
+
+    def avg(self, key_range: KeyRange, interval: Interval) -> Optional[float]:
+        """RTA AVG via retrieval (``None`` on an empty rectangle)."""
+        return self.aggregate_all(key_range, interval).avg
+
+    def aggregate_all(self, key_range: KeyRange,
+                      interval: Interval) -> RTAResult:
+        """SUM, COUNT and AVG from a single retrieval pass."""
+        tuples = self.tree.rectangle_query(
+            key_range.low, key_range.high, interval.start, interval.end
+        )
+        total = sum(value for (_k, _s, _e, value) in tuples)
+        return RTAResult(sum=total, count=float(len(tuples)))
+
+    # -- introspection -----------------------------------------------------------------
+
+    def page_count(self) -> int:
+        """Pages of the underlying MVBT (Figure 4a space metric)."""
+        return self.tree.page_count()
+
+    def check_invariants(self) -> None:
+        """Audit the underlying MVBT."""
+        self.tree.check_invariants()

@@ -1,0 +1,150 @@
+"""[Tum92]-style full-scan aggregation over a sequential heap file.
+
+The oldest approach in the paper's related work (section 2.1): tuples live
+in insertion order in heap pages; a temporal aggregate is computed by
+scanning the whole file.  The classic formulation is *two* scans — one to
+find the constant intervals of the result timeline, one to accumulate each
+tuple's value into every result interval it affects — implemented here as
+:meth:`aggregate_timeline`.  A single RTA rectangle needs only one scan
+(:meth:`query`), still ``O(n/b)`` I/Os regardless of selectivity.
+
+Logical deletions update the tuple's record in place; an in-memory
+alive-key directory locates the record without extra I/O (a deliberately
+generous simplification — the baseline's queries, which are what the paper
+measures, are unaffected).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.aggregates import Aggregate, AVG, SUM
+from repro.core.model import Interval, KeyRange, MAX_KEY, NOW
+from repro.core.rta import RTAResult
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.mvbt.entries import LEAF_KIND, LeafEntry
+from repro.storage.buffer import BufferPool
+
+
+class HeapFileScanBaseline:
+    """Append-only heap file of temporal tuples with scan-based aggregation."""
+
+    def __init__(self, pool: BufferPool, capacity: int = 64,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1)) -> None:
+        self.pool = pool
+        self.capacity = capacity
+        self.key_space = key_space
+        self._page_ids: List[int] = []
+        # key -> (page_id, slot) of the alive record; spares deletions a scan.
+        self._alive: Dict[int, Tuple[int, int]] = {}
+        self._count = 0
+
+    # -- update API -----------------------------------------------------------------
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        """Append a tuple alive from ``t``."""
+        if key in self._alive:
+            raise DuplicateKeyError(f"key {key} is alive")
+        if not self._page_ids or len(self._tail()) >= self.capacity:
+            page = self.pool.allocate(self.capacity, LEAF_KIND)
+            self._page_ids.append(page.page_id)
+        page = self._tail()
+        page.add(LeafEntry(key, t, NOW, value))
+        self._alive[key] = (page.page_id, len(page.records) - 1)
+        self._count += 1
+
+    def delete(self, key: int, t: int) -> float:
+        """Close the alive tuple's interval at ``t`` (in-place update)."""
+        try:
+            page_id, slot = self._alive.pop(key)
+        except KeyError:
+            raise KeyNotFoundError(f"no alive tuple with key {key}") from None
+        page = self.pool.fetch(page_id)
+        entry = page.records[slot]
+        entry.end = t
+        page.mark_dirty()
+        return entry.value
+
+    def _tail(self):
+        return self.pool.fetch(self._page_ids[-1])
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- query API --------------------------------------------------------------------
+
+    def query(self, key_range: KeyRange, interval: Interval,
+              aggregate: Aggregate = SUM) -> Optional[float]:
+        """One full scan; fold qualifying tuples into the aggregate."""
+        if aggregate.name == AVG.name:
+            return self.aggregate_all(key_range, interval).avg
+        acc = aggregate.identity
+        for entry in self._scan():
+            if self._qualifies(entry, key_range, interval):
+                acc = aggregate.combine(acc, aggregate.lift(entry.value))
+        return acc
+
+    def sum(self, key_range: KeyRange, interval: Interval) -> float:
+        """RTA SUM by one full scan."""
+        return self.query(key_range, interval, SUM)
+
+    def aggregate_all(self, key_range: KeyRange,
+                      interval: Interval) -> RTAResult:
+        """SUM, COUNT and AVG from one scan."""
+        total = 0.0
+        count = 0
+        for entry in self._scan():
+            if self._qualifies(entry, key_range, interval):
+                total += entry.value
+                count += 1
+        return RTAResult(sum=total, count=float(count))
+
+    def aggregate_timeline(
+            self, key_range: Optional[KeyRange] = None,
+    ) -> List[Tuple[int, int, float]]:
+        """[Tum92]'s two-step scalar aggregation.
+
+        Scan 1 collects every interval endpoint, defining the maximal
+        constant intervals of the result; scan 2 adds each tuple's value to
+        every result interval its lifespan covers.  Returns
+        ``(start, end, sum)`` triples covering all instants where at least
+        one tuple was alive.
+        """
+        boundaries = set()
+        for entry in self._scan():
+            if key_range is not None and not key_range.contains(entry.key):
+                continue
+            boundaries.add(entry.start)
+            boundaries.add(entry.end)
+        if not boundaries:
+            return []
+        ordered = sorted(boundaries)
+        sums = [0.0] * (len(ordered) - 1)
+        for entry in self._scan():
+            if key_range is not None and not key_range.contains(entry.key):
+                continue
+            for i, (lo, hi) in enumerate(zip(ordered, ordered[1:])):
+                if entry.start <= lo and hi <= entry.end:
+                    sums[i] += entry.value
+        return [
+            (lo, hi, total)
+            for (lo, hi), total in zip(zip(ordered, ordered[1:]), sums)
+        ]
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _scan(self):
+        for page_id in self._page_ids:
+            page = self.pool.fetch(page_id)
+            yield from page.records
+
+    @staticmethod
+    def _qualifies(entry: LeafEntry, key_range: KeyRange,
+                   interval: Interval) -> bool:
+        return (key_range.contains(entry.key)
+                and entry.start < interval.end
+                and entry.end > interval.start)
+
+    def page_count(self) -> int:
+        """Heap pages used (the scan cost in pages)."""
+        return len(self._page_ids)

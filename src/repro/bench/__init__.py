@@ -1,0 +1,41 @@
+"""Benchmark harness: the paper's methodology as reusable machinery.
+
+Section 5 measures *estimated running time* — counted I/Os times a 10 ms
+random-access latency plus measured CPU time — over synthetic datasets and
+fixed-size query-rectangle workloads with an LRU buffer (64 pages default).
+This package provides:
+
+* :mod:`~repro.bench.harness` — competitor construction (two-MVSBT vs MVBT
+  vs heap scan, one buffer pool each), measured update replays and query
+  batches;
+* :mod:`~repro.bench.experiments` — one function per paper figure (4a, 4b,
+  4c), the update-cost and dataset-family sweeps, and the ablations
+  (strong factor, logical split, merging, disposal, Theorem 2 bounds,
+  scalar prior-work context);
+* :mod:`~repro.bench.reporting` — plain-text tables matching the series
+  the paper plots.
+
+Every experiment function is pure: config in, result table out.  The
+``benchmarks/`` pytest-benchmark suites call these and assert the *shape*
+of each result (who wins, how trends move).
+"""
+
+from repro.bench.harness import (
+    BenchSettings,
+    MeasuredCost,
+    build_mvbt_baseline,
+    build_rta_index,
+    measure_queries,
+    measure_updates,
+)
+from repro.bench.reporting import Table
+
+__all__ = [
+    "BenchSettings",
+    "MeasuredCost",
+    "Table",
+    "build_mvbt_baseline",
+    "build_rta_index",
+    "measure_queries",
+    "measure_updates",
+]

@@ -1,0 +1,101 @@
+"""Regenerate every paper figure and ablation from the command line.
+
+Usage::
+
+    python -m repro.bench                       # default small scale
+    python -m repro.bench --scale 0.01          # bigger dataset
+    python -m repro.bench --page-bytes 4096     # the paper's page size
+    python -m repro.bench --only fig4a fig4b    # a subset
+    python -m repro.bench --out results/        # where tables are written
+
+Each experiment prints its table (plus a bar chart for the figure sweeps)
+and writes both into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import experiments
+from repro.bench.ascii_chart import bar_chart
+from repro.bench.harness import BenchSettings
+
+#: experiment id -> (function name, chart spec or None)
+EXPERIMENTS = {
+    "fig4a": ("fig4a_space", ("updates", ("mvbt_pages", "two_mvsbt_pages"))),
+    "fig4b": ("fig4b_speedup", ("qrs", ("mvsbt_est_s", "mvbt_est_s"))),
+    "fig4c": ("fig4c_buffer", ("buffer_pages",
+                               ("mvsbt_est_s", "mvbt_est_s"))),
+    "update-cost": ("update_cost", None),
+    "families": ("dataset_families", None),
+    "strong-factor": ("ablation_strong_factor", ("f", ("pages",))),
+    "logical-split": ("ablation_logical_split", None),
+    "merging": ("ablation_merging", None),
+    "disposal": ("ablation_disposal", None),
+    "theorem2": ("theorem2_bounds", None),
+    "scalar-context": ("scalar_context", None),
+    "minmax": ("minmax_open_problem",
+               ("qrs", ("index_est_s", "mvbt_est_s"))),
+    "operational": ("operational_mix",
+                    ("queries_per_1000_updates",
+                     ("two_mvsbt_s", "mvbt_s"))),
+    "rootstar": ("rootstar_overhead", None),
+}
+
+#: experiments whose signature has no ``scale`` parameter.
+_NO_SCALE = {"theorem2", "scalar-context"}
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    """Parse CLI options (see module docstring for usage)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument("--scale", type=float, default=0.003,
+                        help="fraction of the paper's 1M-record dataset")
+    parser.add_argument("--page-bytes", type=int, default=512,
+                        help="page size (paper: 4096)")
+    parser.add_argument("--buffer-pages", type=int, default=64,
+                        help="LRU buffer frames (paper default: 64)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks") / "results",
+                        help="directory for rendered tables")
+    parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
+                        help="run a subset of experiments")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments; returns a process exit code."""
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    settings = BenchSettings(page_bytes=args.page_bytes,
+                             buffer_pages=args.buffer_pages)
+    selected = args.only or list(EXPERIMENTS)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    for exp_id in selected:
+        func_name, chart_spec = EXPERIMENTS[exp_id]
+        func = getattr(experiments, func_name)
+        started = time.perf_counter()
+        if exp_id in _NO_SCALE:
+            table = func(settings)
+        else:
+            table = func(settings, scale=args.scale)
+        elapsed = time.perf_counter() - started
+
+        output = table.render()
+        if chart_spec is not None:
+            label_col, value_cols = chart_spec
+            output += "\n" + bar_chart(table, label_col, value_cols)
+        (args.out / f"{func_name}.txt").write_text(output)
+        print(output)
+        print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Terminal-friendly charts for experiment tables.
+
+The paper's figures are log-scale line plots; in a text-only environment a
+labelled horizontal bar chart per series conveys the same shape.  Bars are
+scaled logarithmically when the series spans more than two decades (as the
+Figure 4b speedups do), linearly otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.reporting import Table
+
+BAR_WIDTH = 46
+
+
+def _scaled(values: Sequence[float], width: int) -> list[int]:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return [0 for _ in values]
+    lo, hi = min(positives), max(values)
+    if hi <= 0:
+        return [0 for _ in values]
+    log_scale = hi / max(lo, 1e-12) > 100
+    lengths = []
+    for value in values:
+        if value <= 0:
+            lengths.append(0)
+        elif log_scale:
+            span = math.log10(hi) - math.log10(max(lo, 1e-12)) or 1.0
+            frac = (math.log10(value) - math.log10(max(lo, 1e-12))) / span
+            lengths.append(max(1, round(frac * (width - 1)) + 1))
+        else:
+            lengths.append(max(1, round(value / hi * width)))
+    return lengths
+
+
+def bar_chart(table: Table, label_column: str, value_columns: Sequence[str],
+              width: int = BAR_WIDTH) -> str:
+    """Render one bar per (row, value column), grouped by row label."""
+    values = [
+        float(row[col]) for row in table.rows for col in value_columns
+    ]
+    lengths = _scaled(values, width)
+    label_width = max(
+        (len(f"{row[label_column]} {col}") for row in table.rows
+         for col in value_columns), default=0,
+    )
+    lines = [table.title, "-" * len(table.title)]
+    idx = 0
+    for row in table.rows:
+        for col in value_columns:
+            label = f"{row[label_column]} {col}"
+            value = values[idx]
+            bar = "#" * lengths[idx]
+            lines.append(f"{label:<{label_width}} |{bar:<{width}}| "
+                         f"{value:.4g}")
+            idx += 1
+        if len(value_columns) > 1:
+            lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""Plain-text result tables in the shape of the paper's plotted series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table: fixed column names, appendable rows.
+
+    Rows are kept as dicts so benchmark assertions can read values by
+    column name; :meth:`render` produces the aligned text block written to
+    ``benchmarks/results/`` and embedded in EXPERIMENTS.md.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **values: Any) -> None:
+        """Append one row; every declared column must be present."""
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns {sorted(missing)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def note(self, text: str) -> None:
+        """Attach a footnote rendered below the table."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The aligned plain-text table (header, rule, rows, notes)."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 0.01:
+                    return f"{value:.3g}"
+                return f"{value:.3f}".rstrip("0").rstrip(".")
+            return str(value)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,70 @@
+"""Aggregate descriptors: SUM, COUNT, AVG (and MIN/MAX for the SB-tree extension).
+
+The paper's RTA structures natively maintain *additive* aggregates: values
+form a commutative group (combine with ``+``, invert with unary ``-``), which
+is what makes the Theorem 1 inclusion–exclusion reduction and the MVSBT's
+negative-value deletions work.  SUM and COUNT are additive; AVG is derived as
+SUM/COUNT at query time.
+
+MIN and MAX are *not* additive (no inverse), so the main MVSBT cannot
+maintain them — the paper lists range MIN/MAX as open problem (ii).  They are
+included here as semigroup descriptors for the scalar min/max SB-tree variant
+(:mod:`repro.sbtree.minmax`), which supports insertions only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Descriptor of an aggregate function over tuple values.
+
+    Attributes
+    ----------
+    name:
+        Human-readable tag used in reports and benchmark tables.
+    identity:
+        Neutral element of ``combine``.
+    combine:
+        Binary associative operation merging two partial aggregates.
+    additive:
+        True when ``combine`` has an inverse (``+``/``-``), i.e. the
+        aggregate can be maintained by the MVSBT/SB-tree machinery with
+        logical deletions expressed as negative insertions.
+    lift:
+        Maps one tuple's value to its contribution (COUNT lifts to 1).
+    """
+
+    name: str
+    identity: float
+    combine: Callable[[float, float], float]
+    additive: bool
+    lift: Callable[[float], float]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _add(a: float, b: float) -> float:
+    return a + b
+
+
+SUM = Aggregate(name="SUM", identity=0, combine=_add, additive=True,
+                lift=lambda v: v)
+COUNT = Aggregate(name="COUNT", identity=0, combine=_add, additive=True,
+                  lift=lambda v: 1)
+MIN = Aggregate(name="MIN", identity=float("inf"), combine=min,
+                additive=False, lift=lambda v: v)
+MAX = Aggregate(name="MAX", identity=float("-inf"), combine=max,
+                additive=False, lift=lambda v: v)
+
+#: AVG is derived: the RTA layer computes SUM and COUNT and divides.
+#: The descriptor exists so callers can *name* the aggregate uniformly.
+AVG = Aggregate(name="AVG", identity=0, combine=_add, additive=True,
+                lift=lambda v: v)
+
+ADDITIVE_AGGREGATES = (SUM, COUNT, AVG)
+ORDER_AGGREGATES = (MIN, MAX)

@@ -1,0 +1,202 @@
+"""Temporal data model: intervals, key ranges, rectangles, temporal tuples.
+
+Conventions (section 2.3 of the paper, adapted to half-open arithmetic):
+
+* Keys and time instants are positive integers.  The key space is
+  ``[1, MAX_KEY]`` and the time space ``[1, MAX_TIME]``.
+* Internally *all* intervals and ranges are half-open: ``Interval(s, e)``
+  covers the instants ``s, s+1, ..., e-1``.  The paper writes closed
+  ``[start, end]`` intervals where ``end = start + 1`` denotes an instant;
+  that is exactly the half-open ``[start, end)`` reading used here, so the
+  mapping is the identity.
+* ``NOW`` is the sentinel for "still alive" interval ends in the
+  transaction-time model (the paper stores ``now`` as ``maxtime``).
+* First temporal normal form (1TNF): no two tuples share a key while their
+  intervals intersect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import QueryError
+
+#: Default bounds of the paper's experimental key/time spaces.
+MAX_KEY = 10**9
+MAX_TIME = 10**8
+
+#: Sentinel meaning "the ever-increasing current time"; strictly larger than
+#: any real timestamp so half-open comparisons need no special cases.
+NOW = 2**62
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Half-open time interval ``[start, end)``.
+
+    ``end == NOW`` marks an alive (not yet logically deleted) record.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise QueryError(f"empty interval [{self.start}, {self.end})")
+
+    def contains(self, t: int) -> bool:
+        """True when instant ``t`` lies inside the interval."""
+        return self.start <= t < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one instant."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The shared sub-interval, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        return Interval(lo, hi) if lo < hi else None
+
+    @property
+    def is_instant(self) -> bool:
+        """True for a single-instant interval (paper: ``end = start + 1``)."""
+        return self.end == self.start + 1
+
+    @property
+    def alive(self) -> bool:
+        """True when the interval extends to ``NOW``."""
+        return self.end == NOW
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def instants(self) -> Iterator[int]:
+        """Iterate the instants covered (small intervals only; test oracles)."""
+        return iter(range(self.start, self.end))
+
+    def __str__(self) -> str:
+        end = "now" if self.end == NOW else str(self.end)
+        return f"[{self.start},{end})"
+
+
+@dataclass(frozen=True, order=True)
+class KeyRange:
+    """Half-open key range ``[low, high)``; a single key is ``[k, k+1)``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise QueryError(f"empty key range [{self.low}, {self.high})")
+
+    @classmethod
+    def single(cls, key: int) -> "KeyRange":
+        """The degenerate range holding exactly ``key``."""
+        return cls(key, key + 1)
+
+    def contains(self, key: int) -> bool:
+        """True when ``key`` lies inside the range."""
+        return self.low <= key < self.high
+
+    def contains_range(self, other: "KeyRange") -> bool:
+        """True when ``other`` lies entirely inside this range."""
+        return self.low <= other.low and other.high <= self.high
+
+    def intersects(self, other: "KeyRange") -> bool:
+        """True when the two ranges share at least one key."""
+        return self.low < other.high and other.low < self.high
+
+    def intersection(self, other: "KeyRange") -> Optional["KeyRange"]:
+        """The shared sub-range, or ``None`` when disjoint."""
+        lo = max(self.low, other.low)
+        hi = min(self.high, other.high)
+        return KeyRange(lo, hi) if lo < hi else None
+
+    def is_lower_than(self, other: "KeyRange") -> bool:
+        """Paper's order on disjoint ranges: ``self.high <= other.low``."""
+        return self.high <= other.low
+
+    @property
+    def is_single_key(self) -> bool:
+        return self.high == self.low + 1
+
+    @property
+    def width(self) -> int:
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        return f"[{self.low},{self.high})"
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A key range crossed with a time interval (query region or record extent)."""
+
+    range: KeyRange
+    interval: Interval
+
+    def contains_point(self, key: int, t: int) -> bool:
+        """True when the key-time point lies inside the rectangle."""
+        return self.range.contains(key) and self.interval.contains(t)
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """True when the rectangles overlap in both dimensions."""
+        return self.range.intersects(other.range) and self.interval.intersects(
+            other.interval
+        )
+
+    @property
+    def area(self) -> int:
+        return self.range.width * self.interval.length
+
+    def __str__(self) -> str:
+        return f"{self.range}x{self.interval}"
+
+
+@dataclass(frozen=True)
+class TemporalTuple:
+    """One warehouse tuple: key, validity interval, and the aggregated value.
+
+    A tuple *is in* rectangle ``R`` when its key lies in ``R.range`` and its
+    interval intersects ``R.interval`` (the paper's membership definition,
+    which drives the RTA semantics).
+    """
+
+    key: int
+    interval: Interval
+    value: float
+
+    @property
+    def alive(self) -> bool:
+        return self.interval.alive
+
+    def in_rectangle(self, rect: Rectangle) -> bool:
+        """The paper's membership test: key inside, interval intersects."""
+        return rect.range.contains(self.key) and self.interval.intersects(
+            rect.interval
+        )
+
+    def __str__(self) -> str:
+        return f"(key={self.key}, {self.interval}, value={self.value})"
+
+
+def validate_query_rectangle(range_: KeyRange, interval: Interval,
+                             max_key: int = MAX_KEY,
+                             max_time: int = MAX_TIME) -> None:
+    """Reject rectangles outside the configured key/time spaces."""
+    if range_.low < 1 or range_.high > max_key + 1:
+        raise QueryError(
+            f"key range {range_} outside key space [1, {max_key}]"
+        )
+    if interval.start < 1 or (interval.end > max_time + 1 and interval.end != NOW):
+        raise QueryError(
+            f"interval {interval} outside time space [1, {max_time}]"
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors are deliberately fine-grained: storage-level
+failures, structural index corruption, and user-input problems are distinct
+conditions with distinct remedies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that the disk manager does not hold."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist")
+        self.page_id = page_id
+
+
+class PageOverflowError(StorageError):
+    """A page's serialized payload exceeded the configured page size."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool protocol violation (e.g. unpinning an unpinned page)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure errors (named to avoid shadowing
+    the builtin :class:`IndexError`)."""
+
+
+class InvariantViolation(IndexError_):
+    """A structural invariant check failed; indicates a bug, not bad input."""
+
+
+class TimeOrderError(IndexError_):
+    """An update arrived with a timestamp lower than an earlier update.
+
+    The paper assumes the transaction-time model (section 2.3): updates are
+    applied in non-decreasing time order.  Violations are rejected eagerly.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """An insertion would violate first temporal normal form (1TNF): two
+    alive records with the same key at the same instant."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A logical deletion referenced a key with no alive record."""
+
+
+class QueryError(ReproError):
+    """A query was malformed (empty range, reversed interval, ...)."""

@@ -1,0 +1,26 @@
+"""Range-temporal MIN/MAX — the paper's open problem (ii), insert-only case.
+
+The paper's MVSBT machinery needs an invertible aggregate (deletions are
+negative insertions), so MIN/MAX over arbitrary key ranges is left open.
+:class:`~repro.minmax.index.RangeMinMaxIndex` solves the **insert-only**
+case (append-only warehouses, or valid-time tuples whose intervals are
+known at insertion): an implicit F-ary segment tree over the key space
+whose materialized nodes each hold an insert-only
+:class:`~repro.sbtree.minmax.MinMaxSBTree` over the time axis.
+
+* ``insert(key, value, start, end)`` feeds the O(log_F K) node trees on
+  the key's root-to-leaf path.
+* ``query(range, interval)`` decomposes the key range into O(F log_F K)
+  canonical nodes and combines their SB-trees' time-window queries —
+  every term is an O(log_b m) page walk, so the whole query is
+  polylogarithmic and independent of how many tuples fall in the
+  rectangle.
+
+For workloads *with* deletions MIN/MAX must fall back to retrieval over
+the tuple store (see :meth:`repro.core.warehouse.TemporalWarehouse.min`),
+which remains the general-case state of the art.
+"""
+
+from repro.minmax.index import RangeMinMaxIndex
+
+__all__ = ["RangeMinMaxIndex"]

@@ -1,0 +1,267 @@
+"""Insert-only range-temporal MIN/MAX over an implicit key segment tree.
+
+Structure.  The key space is padded to ``fanout**depth`` and viewed as an
+implicit F-ary segment tree; node ``(level, i)`` spans
+``[lo + i*w, lo + (i+1)*w)`` with ``w = fanout**(depth-level)`` cells.
+Nodes materialize lazily as insert-only min/max SB-trees over the time
+axis, all sharing one buffer pool.
+
+Insertion walks the key's root-to-leaf path (``depth + 1`` nodes) and
+inserts the tuple's validity interval with its value into each node tree.
+A query covers the key range with canonical nodes — children fully inside
+the range are taken whole, the two boundary children are descended — and
+combines each covered node's SB-tree window query over the time interval.
+
+Invariant tying the two dimensions together: a node's tree holds exactly
+the tuples whose keys lie in the node's span, so a canonical cover of the
+query range partitions the qualifying tuples, and MIN/MAX (idempotent,
+commutative) over the cover equals MIN/MAX over the rectangle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import Interval, KeyRange, MAX_KEY, NOW
+from repro.errors import QueryError, TimeOrderError
+from repro.sbtree.minmax import MinMaxSBTree
+from repro.storage.buffer import BufferPool
+
+
+class RangeMinMaxIndex:
+    """Range-temporal MIN or MAX for insert-only temporal tuples.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool shared by every node tree.
+    mode:
+        ``"min"`` or ``"max"``.
+    key_space:
+        Half-open key domain.
+    fanout:
+        Branching factor of the implicit key tree.  Higher fanout means
+        cheaper updates (shallower paths) but larger query covers;
+        ``8`` balances the two for the paper's 10^9 key space.
+    capacity:
+        Records per SB-tree page.
+    time_domain:
+        Half-open time domain of tuple validity intervals.
+    """
+
+    def __init__(self, pool: BufferPool, mode: str = "min",
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 fanout: int = 8, capacity: int = 32,
+                 time_domain: Tuple[int, int] = (1, NOW)) -> None:
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if key_space[0] >= key_space[1]:
+            raise ValueError(f"empty key space {key_space}")
+        self.pool = pool
+        self.mode = mode
+        self.key_space = key_space
+        self.fanout = fanout
+        self.capacity = capacity
+        self.time_domain = time_domain
+        self.identity = float("inf") if mode == "min" else float("-inf")
+        self._combine = min if mode == "min" else max
+
+        span = key_space[1] - key_space[0]
+        self.depth = 0
+        width = 1
+        while width < span:
+            width *= fanout
+            self.depth += 1
+        self._width = width  # padded span: fanout ** depth
+
+        #: (level, index) -> node SB-tree; materialized on first insert.
+        self._nodes: Dict[Tuple[int, int], MinMaxSBTree] = {}
+        self._insertions = 0
+        self.now = time_domain[0]
+
+    # -- updates -----------------------------------------------------------------------
+
+    def insert(self, key: int, value: float, start: int,
+               end: int = NOW) -> None:
+        """Register a tuple with ``key``, valid over ``[start, end)``.
+
+        ``end`` defaults to forever (append-only transaction-time use).
+        Insertions must arrive in non-decreasing ``start`` order, like the
+        rest of the library; there is no deletion (MIN/MAX lack inverses —
+        the general case is the paper's open problem (ii)).
+        """
+        if not (self.key_space[0] <= key < self.key_space[1]):
+            raise QueryError(f"key {key} outside key space {self.key_space}")
+        if start < self.now:
+            raise TimeOrderError(
+                f"insertion at t={start} after the clock reached {self.now}"
+            )
+        if start >= end:
+            raise QueryError(f"empty validity interval [{start},{end})")
+        self.now = start
+        offset = key - self.key_space[0]
+        for level in range(self.depth + 1):
+            cell = self._width // (self.fanout ** level)
+            node = (level, offset // cell)
+            tree = self._nodes.get(node)
+            if tree is None:
+                tree = MinMaxSBTree(self.pool, self.capacity,
+                                    domain=self.time_domain, mode=self.mode)
+                self._nodes[node] = tree
+            tree.insert(start, min(end, self.time_domain[1]), value)
+        self._insertions += 1
+
+    # -- queries ------------------------------------------------------------------------
+
+    def query(self, key_range: KeyRange, interval: Interval) -> Optional[float]:
+        """MIN/MAX over tuples with key in range intersecting the interval.
+
+        Returns ``None`` when no tuple qualifies.  Cost: O(F log_F K)
+        canonical nodes, each one SB-tree window query of O(log_b m) page
+        reads — independent of the rectangle's tuple count.
+        """
+        if key_range.low < self.key_space[0] \
+                or key_range.high > self.key_space[1]:
+            raise QueryError(
+                f"key range {key_range} outside key space {self.key_space}"
+            )
+        lo = max(interval.start, self.time_domain[0])
+        hi = min(interval.end, self.time_domain[1])
+        if lo >= hi:
+            raise QueryError(
+                f"interval {interval} outside time domain {self.time_domain}"
+            )
+        result = self.identity
+        for node in self._canonical_cover(key_range):
+            tree = self._nodes.get(node)
+            if tree is None:
+                continue
+            result = self._combine(result, tree.window_query(lo, hi))
+        return None if result == self.identity else result
+
+    def query_at(self, key_range: KeyRange, t: int) -> Optional[float]:
+        """MIN/MAX over tuples with key in range alive at instant ``t``."""
+        return self.query(key_range, Interval(t, t + 1))
+
+    def _canonical_cover(self, key_range: KeyRange) -> List[Tuple[int, int]]:
+        """Canonical node cover of ``key_range`` (offsets within the padded
+        span): children fully inside are taken whole, boundary children
+        are descended."""
+        lo = key_range.low - self.key_space[0]
+        hi = key_range.high - self.key_space[0]
+        cover: List[Tuple[int, int]] = []
+        stack = [(0, 0)]
+        while stack:
+            level, index = stack.pop()
+            cell = self._width // (self.fanout ** level)
+            span_lo = index * cell
+            span_hi = span_lo + cell
+            if hi <= span_lo or lo >= span_hi:
+                continue
+            if lo <= span_lo and span_hi <= hi:
+                cover.append((level, index))
+                continue
+            if level == self.depth:
+                # Single-cell node partially covered cannot happen
+                # (cell width 1), but guard against rounding drift.
+                cover.append((level, index))
+                continue
+            for child in range(self.fanout):
+                stack.append((level + 1, index * self.fanout + child))
+        return cover
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Checkpoint the index: every node tree shares this pool, so one
+        checkpoint holds all pages; node identities go in the metadata."""
+        from repro.storage.checkpoint import write_checkpoint
+
+        meta = {
+            "type": "range-minmax",
+            "mode": self.mode,
+            "key_space": list(self.key_space),
+            "fanout": self.fanout,
+            "capacity": self.capacity,
+            "time_domain": [self.time_domain[0],
+                            min(self.time_domain[1], 2**62)],
+            "insertions": self._insertions,
+            "now": self.now,
+            "nodes": {
+                f"{level}:{index}": {
+                    "root_id": tree.root_id,
+                    "height": tree.height,
+                    "tree_insertions": tree.insertions,
+                }
+                for (level, index), tree in self._nodes.items()
+            },
+        }
+        write_checkpoint(self.pool, meta, directory)
+
+    @classmethod
+    def load(cls, directory: str, buffer_pages: int = 64) -> "RangeMinMaxIndex":
+        """Reopen an index from a checkpoint written by :meth:`save`."""
+        from repro.storage.checkpoint import read_checkpoint
+
+        pool, meta = read_checkpoint(directory, buffer_pages)
+        if meta.get("type") != "range-minmax":
+            raise ValueError(
+                f"checkpoint holds a {meta.get('type')!r}, not a "
+                "range-minmax index"
+            )
+        index = cls.__new__(cls)
+        index.pool = pool
+        index.mode = meta["mode"]
+        index.key_space = tuple(meta["key_space"])
+        index.fanout = meta["fanout"]
+        index.capacity = meta["capacity"]
+        index.time_domain = tuple(meta["time_domain"])
+        index.identity = float("inf") if index.mode == "min" \
+            else float("-inf")
+        index._combine = min if index.mode == "min" else max
+        index._insertions = meta["insertions"]
+        index.now = meta["now"]
+        span = index.key_space[1] - index.key_space[0]
+        index.depth = 0
+        width = 1
+        while width < span:
+            width *= index.fanout
+            index.depth += 1
+        index._width = width
+        index._nodes = {}
+        for node_key, node_meta in meta["nodes"].items():
+            level_text, index_text = node_key.split(":")
+            tree = MinMaxSBTree.__new__(MinMaxSBTree)
+            tree.pool = pool
+            tree.capacity = index.capacity
+            tree.domain = index.time_domain
+            tree.combine = index._combine
+            tree.identity = index.identity
+            tree.compact = True
+            tree.mode = index.mode
+            tree._root_id = node_meta["root_id"]
+            tree._height = node_meta["height"]
+            tree._insertions = node_meta["tree_insertions"]
+            index._nodes[(int(level_text), int(index_text))] = tree
+        return index
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def insertions(self) -> int:
+        return self._insertions
+
+    def node_count(self) -> int:
+        """Materialized key-tree nodes (each one SB-tree)."""
+        return len(self._nodes)
+
+    def page_count(self) -> int:
+        """Total pages across all node trees."""
+        return self.pool.disk.live_page_count
+
+    def check_invariants(self) -> None:
+        """Audit every materialized node tree."""
+        for tree in self._nodes.values():
+            tree.check_invariants()

@@ -1,0 +1,21 @@
+"""The Multiversion B-Tree ([BGO+96]) — the paper's comparison baseline.
+
+A partially persistent B+-tree over a transaction-time update stream: every
+insert/delete creates a new logical version while all older versions stay
+queryable.  The structure guarantees a minimum *key density* per page (the
+weak version condition), restructures via version splits followed by key
+splits or sibling merges (the strong version condition), and answers the
+range-snapshot query "keys in ``r`` alive at ``t``" in optimal
+``O(log_b n + s/b)`` I/Os.
+
+The paper's naive RTA competitor retrieves all tuples in a key-time
+rectangle from this tree and aggregates them on the fly; that plan lives in
+:mod:`repro.baselines.mvbt_rta` on top of
+:meth:`~repro.mvbt.tree.MVBT.rectangle_query`.
+"""
+
+from repro.mvbt.config import MVBTConfig
+from repro.mvbt.entries import IndexEntry, LeafEntry
+from repro.mvbt.tree import MVBT
+
+__all__ = ["IndexEntry", "LeafEntry", "MVBT", "MVBTConfig"]

@@ -1,0 +1,82 @@
+"""MVBT tuning parameters and their consistency rules.
+
+[BGO+96] parameterizes the structure by the page capacity ``b``, the weak
+version condition ``d`` (minimum alive entries per non-root page at any
+instant of its lifespan), and a strong condition window
+``[strong_min, strong_max]`` every freshly restructured page must fall into.
+The window is what guarantees a freshly created page absorbs O(b) further
+updates before it can trigger restructuring again, which is the amortization
+argument behind the tree's linear space.
+
+The constraints checked here are the ones the correctness/space proofs need:
+
+* ``d >= 2`` — every non-root index page then keeps at least two alive
+  children, so a page needing a merge always finds an adjacent sibling;
+* ``strong_min <= 2 * d - 1`` — merging two pages that both satisfy the weak
+  condition (one of them just dipped to ``d - 1``) cannot strong-underflow;
+* ``(strong_max + 1) // 2 >= strong_min`` — a key split of a
+  strong-overflowing pool leaves both halves above ``strong_min``;
+* ``b + d - 1 <= 2 * strong_max`` — a merge pool always key-splits into at
+  most two pages;
+* ``strong_max <= b - 1`` — a fresh page accepts at least one insertion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MVBTConfig:
+    """Validated MVBT parameters.
+
+    The defaults follow the fractions used throughout the literature:
+    ``d = 0.2 b``, strong window ``[2d - 1, 0.8 b]``.
+    """
+
+    capacity: int = 32
+    weak_min: int = 0          # 0 -> derive as max(2, ceil(0.2 * capacity))
+    strong_min: int = 0        # 0 -> derive (see __post_init__)
+    strong_max: int = 0        # 0 -> derive as floor(0.8 * capacity)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 4:
+            raise ValueError("MVBT needs page capacity >= 4")
+        if self.weak_min == 0:
+            object.__setattr__(self, "weak_min",
+                               max(2, math.ceil(0.2 * self.capacity)))
+        if self.strong_max == 0:
+            object.__setattr__(self, "strong_max",
+                               min(self.capacity - 1,
+                                   math.floor(0.8 * self.capacity)))
+        if self.strong_min == 0:
+            # As high as the proofs permit: bounded by mergeability
+            # (2d - 1) and by what a key split can leave on each side.
+            derived = min(2 * self.weak_min - 1, (self.strong_max + 1) // 2)
+            object.__setattr__(self, "strong_min",
+                               max(self.weak_min, derived))
+        self._validate()
+
+    def _validate(self) -> None:
+        b, d = self.capacity, self.weak_min
+        if not (2 <= d <= self.strong_min <= self.strong_max <= b - 1):
+            raise ValueError(
+                f"inconsistent MVBT bounds: d={d}, "
+                f"strong=[{self.strong_min},{self.strong_max}], b={b}"
+            )
+        if self.strong_min > 2 * d - 1:
+            raise ValueError(
+                f"strong_min={self.strong_min} > 2d-1={2 * d - 1}: "
+                "a sibling merge could strong-underflow"
+            )
+        if (self.strong_max + 1) // 2 < self.strong_min:
+            raise ValueError(
+                f"key split of a strong-overflowing pool would "
+                f"underflow: strong=[{self.strong_min},{self.strong_max}]"
+            )
+        if b + d - 1 > 2 * self.strong_max:
+            raise ValueError(
+                f"merge pool may exceed two pages: b+d-1={b + d - 1} > "
+                f"2*strong_max={2 * self.strong_max}"
+            )

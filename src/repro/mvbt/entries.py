@@ -1,0 +1,105 @@
+"""MVBT page entries and their on-disk codecs.
+
+Leaf entries carry the *logical* tuple: key, lifespan ``[start, end)``
+(``end == NOW`` while alive) and the aggregated value.  Version splits copy
+alive entries verbatim — the copy keeps the logical start — so one logical
+tuple may exist in several pages; the pair ``(key, start)`` identifies the
+tuple globally, which is what rectangle queries deduplicate on.
+
+Index entries describe a child page: its key range, the time slice during
+which the child is the authoritative subtree under this parent, and the
+child page id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import NOW
+from repro.storage.serialization import RecordCodec, register_codec
+
+LEAF_KIND = "mvbt-leaf"
+INDEX_KIND = "mvbt-index"
+
+
+@dataclass(slots=True)
+class LeafEntry:
+    """One physical copy of a logical tuple."""
+
+    key: int
+    start: int
+    end: int
+    value: float
+
+    @property
+    def alive(self) -> bool:
+        """Alive in the current version (never logically deleted)."""
+        return self.end == NOW
+
+    def alive_at(self, t: int) -> bool:
+        """True when the tuple was alive at instant ``t``."""
+        return self.start <= t < self.end
+
+    @property
+    def tuple_id(self) -> tuple[int, int]:
+        """Global identity of the logical tuple this copy belongs to."""
+        return (self.key, self.start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "now" if self.end == NOW else self.end
+        return f"Leaf(key={self.key}, [{self.start},{end}), v={self.value})"
+
+
+@dataclass(slots=True)
+class IndexEntry:
+    """Router to a child page authoritative for ``[low, high)`` x ``[start, end)``."""
+
+    low: int
+    high: int
+    start: int
+    end: int
+    child: int
+
+    @property
+    def alive(self) -> bool:
+        return self.end == NOW
+
+    def alive_at(self, t: int) -> bool:
+        """True when the child is authoritative at instant ``t``."""
+        return self.start <= t < self.end
+
+    def covers_key(self, key: int) -> bool:
+        """True when ``key`` falls in the child's key range."""
+        return self.low <= key < self.high
+
+    def intersects(self, low: int, high: int, t_start: int, t_end: int) -> bool:
+        """True when the child's rectangle meets the query rectangle."""
+        return (self.low < high and low < self.high
+                and self.start < t_end and t_start < self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "now" if self.end == NOW else self.end
+        return (
+            f"Index([{self.low},{self.high}) x [{self.start},{end}) "
+            f"-> {self.child})"
+        )
+
+
+register_codec(LEAF_KIND, RecordCodec(
+    fmt="<qqqd",
+    to_tuple=lambda e: (e.key, e.start, e.end, e.value),
+    from_tuple=lambda t: LeafEntry(*t),
+))
+register_codec(INDEX_KIND, RecordCodec(
+    fmt="<qqqqq",
+    to_tuple=lambda e: (e.low, e.high, e.start, e.end, e.child),
+    from_tuple=lambda t: IndexEntry(*t),
+))
+
+#: Serialized entry widths (capacity computations in benchmarks).
+LEAF_ENTRY_BYTES = 32
+INDEX_ENTRY_BYTES = 40
+
+#: The paper's 4-byte-field layout: key/start/end/value at 4 bytes each.
+PAPER_LEAF_ENTRY_BYTES = 16
+PAPER_INDEX_ENTRY_BYTES = 20

@@ -1,0 +1,242 @@
+"""Page-level operations of the MVSBT insertion algorithm.
+
+The vocabulary comes straight from section 4.1 of the paper.  For a page
+``p`` and insertion key ``k``, among the records *alive* in ``p``:
+
+* the **partly-covered** record is the unique one whose key range contains
+  ``k`` strictly inside (``low < k < high``) — its range intersects the
+  quadrant ``[k, maxkey]`` without being contained in it;
+* a **fully-covered** record has ``low >= k``;
+* the **first fully-covered** record is the fully-covered record with the
+  lowest range.
+
+Vertical (time) splits are the persistence primitive: a record alive since
+``start < t`` is closed at ``t`` and a copy alive from ``t`` carries the new
+value.  A record already born at ``t`` is updated in place — the paper's
+page-disposal philosophy applied at record granularity (an empty-lifespan
+record can never be observed by any version).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.model import NOW
+from repro.storage.page import Page
+from repro.mvsbt.records import (
+    INDEX_KIND,
+    LEAF_KIND,
+    MVSBTIndexRecord,
+    MVSBTLeafRecord,
+)
+
+Record = Union[MVSBTLeafRecord, MVSBTIndexRecord]
+
+
+def is_leaf(page: Page) -> bool:
+    """True for MVSBT leaf pages."""
+    return page.kind == LEAF_KIND
+
+
+def alive_records(page: Page) -> List[Record]:
+    """Alive records sorted by key range (they tile the page's range)."""
+    alive = [rec for rec in page.records if rec.alive]
+    alive.sort(key=lambda rec: rec.low)
+    return alive
+
+
+def find_partly_covered(page: Page, key: int) -> Optional[Record]:
+    """The alive record with ``low < key < high``, if any."""
+    for rec in page.records:
+        if rec.alive and rec.low < key < rec.high:
+            return rec
+    return None
+
+
+def find_first_fully_covered(page: Page, key: int) -> Optional[Record]:
+    """The alive record with the smallest ``low >= key``, if any."""
+    best: Optional[Record] = None
+    for rec in page.records:
+        if rec.alive and rec.low >= key and (best is None or rec.low < best.low):
+            best = rec
+    return best
+
+
+def find_successor(page: Page, boundary: int) -> Optional[Record]:
+    """The alive record starting exactly at key ``boundary``, if any."""
+    for rec in page.records:
+        if rec.alive and rec.low == boundary:
+            return rec
+    return None
+
+
+def find_alive_by_child(page: Page, child_id: int) -> Optional[MVSBTIndexRecord]:
+    """The alive router pointing at ``child_id``, if any."""
+    for rec in page.records:
+        if rec.alive and rec.child == child_id:
+            return rec
+    return None
+
+
+def append_record(page: Page, record: Record) -> None:
+    """Append without the transient-overflow guard of :meth:`Page.add`.
+
+    MVSBT insertions may legitimately push a page several records past
+    capacity before the time split runs.
+    """
+    page.records.append(record)
+    page.mark_dirty()
+
+
+def clone(record: Record, start: int) -> Record:
+    """An alive copy of ``record`` starting at ``start`` (time-split copy)."""
+    if isinstance(record, MVSBTIndexRecord):
+        return MVSBTIndexRecord(record.low, record.high, start, NOW,
+                                record.value, record.child)
+    return MVSBTLeafRecord(record.low, record.high, start, NOW, record.value)
+
+
+def vertical_split(page: Page, record: Record, t: int,
+                   new_value: float) -> Record:
+    """Close ``record`` at ``t`` and create its successor carrying ``new_value``.
+
+    A record born at ``t`` is updated in place instead (its old state was
+    never observable).  Returns the record that is alive after the call.
+    """
+    if record.start == t:
+        record.value = new_value
+        page.mark_dirty()
+        return record
+    record.end = t
+    fresh = clone(record, t)
+    fresh.value = new_value
+    append_record(page, fresh)
+    return fresh
+
+
+def horizontal_split_leaf(page: Page, record: MVSBTLeafRecord, key: int,
+                          t: int, upper_value: float) -> MVSBTLeafRecord:
+    """Split a leaf record at ``t`` (vertically) and ``key`` (horizontally).
+
+    The lower piece ``[low, key)`` keeps the record's value; the upper piece
+    ``[key, high)`` carries ``upper_value`` (the insertion delta in logical
+    mode, the full updated value in physical mode).  Returns the upper piece.
+    """
+    assert record.low < key < record.high, "not a partly-covered record"
+    if record.start == t:
+        upper = MVSBTLeafRecord(key, record.high, t, NOW, upper_value)
+        record.high = key
+        append_record(page, upper)
+        return upper
+    record.end = t
+    lower = MVSBTLeafRecord(record.low, key, t, NOW, record.value)
+    upper = MVSBTLeafRecord(key, record.high, t, NOW, upper_value)
+    append_record(page, lower)
+    append_record(page, upper)
+    return upper
+
+
+def prune_born_at(page: Page, t: int) -> None:
+    """Drop records born at ``t`` from a page dying at ``t``.
+
+    Such records have an empty responsibility window in this page — their
+    authoritative copies live in the page's successors — and pruning them
+    restores the page to within physical capacity.
+    """
+    page.records = [rec for rec in page.records if rec.start != t]
+    page.mark_dirty()
+
+
+def try_time_merge(page: Page, record: Record) -> Optional[Record]:
+    """Undo a vertical split whose effect cancelled out (section 4.2.2).
+
+    If a dead record in the page has the same range (and child), ends
+    exactly where ``record`` begins, and carries the same value, the split
+    carried no information: ``record`` is removed and the dead record is
+    resurrected.  Returns the surviving record on success.
+    """
+    if not record.alive:
+        return None
+    for dead in page.records:
+        if dead is record or dead.alive:
+            continue
+        if (dead.low == record.low and dead.high == record.high
+                and dead.end == record.start
+                and dead.value == record.value
+                and _same_child(dead, record)):
+            page.records.remove(record)
+            dead.end = NOW
+            page.mark_dirty()
+            return dead
+    return None
+
+
+def try_key_merge(page: Page, record: Record) -> Optional[Record]:
+    """Merge a zero-delta leaf record into its lower neighbour (section 4.2.2).
+
+    Requires equal intervals (both alive, equal start) and range adjacency;
+    only meaningful under logical (delta) value semantics, where a zero
+    delta means "same aggregate as the record below".  Returns the widened
+    survivor on success.
+    """
+    if not isinstance(record, MVSBTLeafRecord) or not record.alive:
+        return None
+    survivor: Optional[Record] = None
+    if record.value == 0:
+        for lower in page.records:
+            if (lower is not record and lower.alive
+                    and isinstance(lower, MVSBTLeafRecord)
+                    and lower.high == record.low
+                    and lower.start == record.start):
+                lower.high = record.high
+                page.records.remove(record)
+                page.mark_dirty()
+                survivor = lower
+                break
+    target = survivor if survivor is not None else record
+    # The upper neighbour may itself hold a zero delta: absorb it too.
+    for upper in list(page.records):
+        if (upper is not target and upper.alive
+                and isinstance(upper, MVSBTLeafRecord)
+                and upper.value == 0
+                and upper.low == target.high
+                and upper.start == target.start):
+            target.high = upper.high
+            page.records.remove(upper)
+            page.mark_dirty()
+            survivor = target
+            break
+    return survivor
+
+
+def _same_child(a: Record, b: Record) -> bool:
+    a_child = getattr(a, "child", None)
+    b_child = getattr(b, "child", None)
+    return a_child == b_child
+
+
+def check_tiling_at(page: Page, t: int) -> Optional[str]:
+    """Property 1 at one instant: alive-at-t records tile the page range."""
+    alive = sorted(
+        (rec for rec in page.records if rec.alive_at(t)),
+        key=lambda rec: rec.low,
+    )
+    if not alive:
+        return f"page {page.page_id}: no alive records at t={t}"
+    if alive[0].low != page.meta["low"]:
+        return (
+            f"page {page.page_id} at t={t}: coverage starts at "
+            f"{alive[0].low}, page range starts at {page.meta['low']}"
+        )
+    if alive[-1].high != page.meta["high"]:
+        return (
+            f"page {page.page_id} at t={t}: coverage ends at "
+            f"{alive[-1].high}, page range ends at {page.meta['high']}"
+        )
+    for left, right in zip(alive, alive[1:]):
+        if left.high != right.low:
+            return (
+                f"page {page.page_id} at t={t}: gap/overlap at "
+                f"[{left.high}, {right.low})"
+            )
+    return None

@@ -1,0 +1,526 @@
+"""The Multiversion SB-Tree (paper section 4, algorithms of Appendix A).
+
+The MVSBT maintains a value surface ``V(key, time)`` under quadrant updates
+``insert(k, t, v)`` (add ``v`` over ``[k, maxkey] x [t, maxtime]``, ``t``
+non-decreasing) and point queries ``query(k, t)``, both in logarithmic I/Os.
+It is an SB-tree over the key axis made partially persistent over time:
+records are rectangles in key-time space, each page's records tile the
+page's rectangle (Property 1), and the roots of the embedded SB-trees
+partition the time axis through ``root*``.
+
+Two write modes:
+
+* **logical** (default; section 4.2.1 "aggregation in a page") — a record's
+  value is a delta over the next-lower alive record of its page; a point
+  query sums, per page on the descent path, the values of records alive at
+  ``t`` with ``low <= k`` (Appendix A's ``PagePointQuery``).  An insertion
+  physically splits at most one record per page.
+* **physical** — every record carries the full contribution of its
+  rectangle at its level, a query reads one record per page, and an
+  insertion must split *every* fully-covered record (Theta(b) per page).
+  Kept for the A2 ablation; answers are identical.
+
+Overflow handling (section 4.1): a page with more than ``b`` records is
+*time split* — alive records are copied, restarted at ``t``, into a fresh
+page; if the copy *strong overflows* (more than ``f*b`` records, ``f`` the
+strong factor) it is *key split* into evenly loaded pages.  In logical mode
+a key split folds the running prefix of lower pages into the first record
+of each higher page, and of the index records replacing the dead page's
+router the lowest inherits the router's value while the rest carry 0 —
+together these preserve the path-sum invariant:
+
+    for every (k, t):  V(k, t) = sum over pages p on the root(t)-to-leaf
+    path of  sum { rec.value : rec in p alive at t, rec.low <= k }.
+
+Record merging (4.2.2) and page disposal (4.2.3) are space optimizations,
+both on by default and individually toggleable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.model import MAX_KEY, NOW
+from repro.errors import InvariantViolation, QueryError, TimeOrderError
+from repro.mvsbt import pageops as ops
+from repro.mvsbt.records import (
+    INDEX_KIND,
+    LEAF_KIND,
+    MVSBTIndexRecord,
+    MVSBTLeafRecord,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
+from repro.storage.rootstar import RootDirectory
+
+
+@dataclass(frozen=True)
+class MVSBTConfig:
+    """MVSBT parameters: page capacity ``b``, strong factor ``f``, toggles.
+
+    The paper requires ``f`` large enough that a time-split copy still
+    allows a fan-out of at least two (section 4.4); concretely we require
+    ``floor(f * b) >= 2``.  The paper's experiments use ``f = 0.9``.
+    """
+
+    capacity: int = 32
+    strong_factor: float = 0.9
+    logical_split: bool = True
+    record_merging: bool = True
+    page_disposal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity < 4:
+            raise ValueError("MVSBT needs page capacity >= 4")
+        if not (0.0 < self.strong_factor <= 1.0):
+            raise ValueError(
+                f"strong factor must be in (0, 1], got {self.strong_factor}"
+            )
+        if self.strong_bound < 2:
+            raise ValueError(
+                f"floor(f*b) = {self.strong_bound} < 2: key splits could "
+                "not guarantee fan-out 2"
+            )
+        if self.record_merging and not self.logical_split:
+            raise ValueError(
+                "record merging is defined for the logical (delta) value "
+                "semantics of section 4.2.1; disable it in physical mode"
+            )
+
+    @property
+    def strong_bound(self) -> int:
+        """Maximum records in a freshly time-split page (``floor(f*b)``)."""
+        return int(self.strong_factor * self.capacity)
+
+
+@dataclass
+class MVSBTCounters:
+    """Operation counters for experiments and ablations."""
+
+    insertions: int = 0
+    noop_insertions: int = 0
+    time_splits: int = 0
+    key_splits: int = 0
+    new_pages: int = 0
+    disposals: int = 0
+    time_merges: int = 0
+    key_merges: int = 0
+    records_created: int = 0
+
+
+class MVSBT:
+    """Partially persistent SB-tree over ``key_space`` x time.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool supplying pages.
+    config:
+        Capacity, strong factor and optimization toggles.
+    key_space:
+        Half-open key domain ``[lo, hi)``; inserts with ``k >= hi`` are
+        empty quadrants (accepted as no-ops), ``k < lo`` covers everything.
+    start_time:
+        Birth instant of the initial (empty) root.
+    paged_roots:
+        Store root* as directory pages, charging the Theorem 2
+        ``O(log_b n)`` root-lookup I/Os; default keeps the paper's
+        "main-memory array" remark.
+    """
+
+    def __init__(self, pool: BufferPool, config: Optional[MVSBTConfig] = None,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 start_time: int = 1, paged_roots: bool = False) -> None:
+        self.pool = pool
+        self.config = config or MVSBTConfig()
+        self.key_space = key_space
+        self.counters = MVSBTCounters()
+        self.roots = RootDirectory(pool=pool, paged=paged_roots)
+        self.now = start_time
+        self.start_time = start_time
+        root = self._new_page(LEAF_KIND, key_space[0], key_space[1],
+                              start_time, level=0)
+        root.add(MVSBTLeafRecord(key_space[0], key_space[1], start_time,
+                                 NOW, 0.0))
+        self.roots.append(start_time, root.page_id)
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def root_id(self) -> int:
+        return self.roots.latest.root_id
+
+    def insert(self, key: int, t: int, value: float) -> None:
+        """Add ``value`` to every point of ``[key, maxkey] x [t, maxtime]``.
+
+        ``t`` must be non-decreasing across calls (transaction-time model).
+        ``key`` at or above the key-space top is an empty quadrant (no-op);
+        below the bottom it covers the whole key space.  Zero values are
+        accepted and skipped (they change no point).
+        """
+        if t < self.now:
+            raise TimeOrderError(
+                f"insertion at t={t} after the clock reached {self.now}"
+            )
+        self.now = t
+        if key >= self.key_space[1] or value == 0:
+            self.counters.noop_insertions += 1
+            return
+        key = max(key, self.key_space[0])
+        self.counters.insertions += 1
+
+        # Phase 1 (Appendix A lines 1-8): follow partly-covered routers down.
+        path: List[Page] = []
+        routers: List[MVSBTIndexRecord] = []
+        page = self.pool.fetch(self.root_id)
+        while page.kind == INDEX_KIND:
+            router = ops.find_partly_covered(page, key)
+            if router is None:
+                break
+            path.append(page)
+            routers.append(router)
+            page = self.pool.fetch(router.child)
+
+        # Phase 2 (lines 9-29): apply the insertion at the lowest page.
+        new_children = self._apply_at_lowest(page, key, t, value)
+
+        # Phase 3 (lines 30-43): walk back up through the router pages.
+        for parent, router in zip(reversed(path), reversed(routers)):
+            new_children = self._apply_at_parent(parent, router,
+                                                 new_children, t, value)
+
+        # Phase 4 (lines 44-47): install a new root if the old one split.
+        if new_children:
+            self._install_new_root(new_children, t)
+
+    def query(self, key: int, t: int) -> float:
+        """``V(key, t)`` — Appendix A's ``PointQuery``/``PagePointQuery``."""
+        if not (self.key_space[0] <= key < self.key_space[1]):
+            raise QueryError(f"key {key} outside key space {self.key_space}")
+        if t < self.start_time:
+            return 0.0
+        page = self.pool.fetch(self.roots.find(t).root_id)
+        acc = 0.0
+        logical = self.config.logical_split
+        while True:
+            containing = None
+            for rec in page.records:
+                if not rec.alive_at(t):
+                    continue
+                if logical:
+                    if rec.low <= key:
+                        acc += rec.value
+                if rec.low <= key < rec.high:
+                    containing = rec
+            if containing is None:
+                raise InvariantViolation(
+                    f"page {page.page_id} does not cover key {key} at t={t}"
+                )
+            if not logical:
+                acc += containing.value
+            if page.kind == LEAF_KIND:
+                return acc
+            page = self.pool.fetch(containing.child)
+
+    # -- insertion internals ------------------------------------------------------------
+
+    def _apply_at_lowest(self, page: Page, key: int, t: int,
+                         value: float) -> List[Page]:
+        """Insert into the lowest page of the router path.
+
+        The page is a leaf, or an index page where ``key`` falls on a record
+        boundary (no partly-covered record).  Returns replacement pages if
+        the page overflowed, else an empty list.
+        """
+        logical = self.config.logical_split
+        partly = ops.find_partly_covered(page, key) \
+            if page.kind == LEAF_KIND else None
+        if partly is not None:
+            boundary = partly.high  # before the split may shrink it in place
+            upper_value = value if logical else partly.value + value
+            upper = ops.horizontal_split_leaf(page, partly, key, t,
+                                              upper_value)
+            self.counters.records_created += 2
+            self._merge_around(page, upper)
+            if not logical:
+                self._split_fully_covered(page, boundary, t, value)
+        else:
+            first = ops.find_first_fully_covered(page, key)
+            assert first is not None, (
+                f"page {page.page_id} has neither partly- nor fully-covered "
+                f"record for key {key}"
+            )
+            fresh = ops.vertical_split(page, first, t, first.value + value)
+            self.counters.records_created += 1
+            self._merge_around(page, fresh)
+            if not logical:
+                self._split_fully_covered(page, fresh.high, t, value)
+        if page.overflowed:
+            return self._time_split(page, t)
+        return []
+
+    def _apply_at_parent(self, parent: Page, router: MVSBTIndexRecord,
+                         new_children: List[Page], t: int,
+                         value: float) -> List[Page]:
+        """Bottom-up step at a page whose router was partly covered."""
+        logical = self.config.logical_split
+        boundary = router.high
+        if new_children:
+            # The routed child was time-split: retire the router and install
+            # records for its replacements.  In logical mode the lowest new
+            # router inherits the old router's value (the others carry 0) so
+            # the page's prefix sums are unchanged; in physical mode each
+            # carries the old router's full value.
+            if router.start == t:
+                parent.records.remove(router)
+                parent.mark_dirty()
+            else:
+                router.end = t
+                parent.mark_dirty()
+            for position, child in enumerate(new_children):
+                if logical:
+                    inherited = router.value if position == 0 else 0.0
+                else:
+                    inherited = router.value
+                rec = MVSBTIndexRecord(child.meta["low"], child.meta["high"],
+                                       t, NOW, inherited, child.page_id)
+                ops.append_record(parent, rec)
+                self.counters.records_created += 1
+                self._merge_around(parent, rec)
+        if logical:
+            successor = ops.find_successor(parent, boundary)
+            if successor is not None:
+                fresh = ops.vertical_split(parent, successor, t,
+                                           successor.value + value)
+                self.counters.records_created += 1
+                self._merge_around(parent, fresh)
+        else:
+            self._split_fully_covered(parent, boundary, t, value)
+        if parent.overflowed:
+            return self._time_split(parent, t)
+        return []
+
+    def _split_fully_covered(self, page: Page, from_key: int, t: int,
+                             value: float) -> None:
+        """Physical mode: vertically split every alive record with
+        ``low >= from_key``, adding ``value`` to each copy."""
+        for rec in [r for r in page.records if r.alive and r.low >= from_key]:
+            ops.vertical_split(page, rec, t, rec.value + value)
+            self.counters.records_created += 1
+
+    def _time_split(self, page: Page, t: int) -> List[Page]:
+        """Copy alive records to fresh page(s); key split on strong overflow.
+
+        Returns the replacement pages.  The dead page keeps only records
+        born before ``t`` (records born at ``t`` have an empty window here)
+        and is disposed of entirely when its own lifespan is empty.
+        """
+        cfg = self.config
+        self.counters.time_splits += 1
+        buffer = [ops.clone(rec, t) for rec in ops.alive_records(page)]
+        page.meta["death"] = t
+        ops.prune_born_at(page, t)
+
+        chunks: List[List] = []
+        if len(buffer) > cfg.strong_bound:
+            self.counters.key_splits += 1
+            pieces = -(-len(buffer) // cfg.strong_bound)  # ceil division
+            base, extra = divmod(len(buffer), pieces)
+            cursor = 0
+            for i in range(pieces):
+                size = base + (1 if i < extra else 0)
+                chunks.append(buffer[cursor:cursor + size])
+                cursor += size
+            if cfg.logical_split:
+                # Section 4.2.1: each higher page's lowest record absorbs
+                # the prefix sum of all lower pages' original values.
+                originals = [sum(rec.value for rec in chunk)
+                             for chunk in chunks]
+                cumulative = 0.0
+                for i, chunk in enumerate(chunks):
+                    if i > 0:
+                        chunk[0].value += cumulative
+                    cumulative += originals[i]
+        else:
+            chunks.append(buffer)
+
+        level = page.meta["level"]
+        new_pages: List[Page] = []
+        for chunk in chunks:
+            fresh = self._new_page(page.kind, chunk[0].low, chunk[-1].high,
+                                   t, level)
+            fresh.records = chunk
+            fresh.meta["born_count"] = len(chunk)
+            fresh.dirty = True
+            new_pages.append(fresh)
+            self.counters.records_created += len(chunk)
+
+        if cfg.page_disposal and page.meta["birth"] == t:
+            self.pool.free(page.page_id)
+            self.counters.disposals += 1
+        return new_pages
+
+    def _install_new_root(self, new_children: List[Page], t: int) -> None:
+        if len(new_children) == 1:
+            self.roots.append(t, new_children[0].page_id)
+            return
+        level = new_children[0].meta["level"] + 1
+        root = self._new_page(INDEX_KIND, self.key_space[0],
+                              self.key_space[1], t, level)
+        for child in new_children:
+            root.add(MVSBTIndexRecord(child.meta["low"], child.meta["high"],
+                                      t, NOW, 0.0, child.page_id))
+            self.counters.records_created += 1
+        self.roots.append(t, root.page_id)
+
+    def _merge_around(self, page: Page, record) -> None:
+        """Apply section 4.2.2 record merging around a fresh/updated record."""
+        if not self.config.record_merging:
+            return
+        survivor = ops.try_time_merge(page, record)
+        if survivor is not None:
+            self.counters.time_merges += 1
+            record = survivor
+        if page.kind == LEAF_KIND:
+            if ops.try_key_merge(page, record) is not None:
+                self.counters.key_merges += 1
+
+    def _new_page(self, kind: str, low: int, high: int, birth: int,
+                  level: int) -> Page:
+        page = self.pool.allocate(self.config.capacity, kind)
+        page.meta.update(low=low, high=high, birth=birth, death=NOW,
+                         level=level)
+        self.counters.new_pages += 1
+        return page
+
+    # -- persistence -------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe structural state (pages live in the pool's disk)."""
+        from dataclasses import asdict
+
+        return {
+            "type": "mvsbt",
+            "config": asdict(self.config),
+            "key_space": list(self.key_space),
+            "start_time": self.start_time,
+            "now": self.now,
+            "roots": [[e.start, e.root_id] for e in self.roots.entries()],
+            "counters": asdict(self.counters),
+        }
+
+    @classmethod
+    def restore(cls, pool: BufferPool, state: dict) -> "MVSBT":
+        """Rebuild a tree over a pool restored from a checkpoint.
+
+        root* is restored in its in-memory form (paged mode is a query-cost
+        accounting device, not extra state).
+        """
+        tree = cls.__new__(cls)
+        tree.pool = pool
+        tree.config = MVSBTConfig(**state["config"])
+        tree.key_space = tuple(state["key_space"])
+        tree.start_time = state["start_time"]
+        tree.now = state["now"]
+        tree.counters = MVSBTCounters(**state["counters"])
+        tree.roots = RootDirectory()
+        for start, root_id in state["roots"]:
+            tree.roots.append(start, root_id)
+        return tree
+
+    def save(self, directory: str) -> None:
+        """Checkpoint the tree (pages + structure) into ``directory``."""
+        from repro.storage.checkpoint import write_checkpoint
+
+        write_checkpoint(self.pool, self.state(), directory)
+
+    @classmethod
+    def load(cls, directory: str, buffer_pages: int = 64) -> "MVSBT":
+        """Reopen a tree from a checkpoint written by :meth:`save`."""
+        from repro.storage.checkpoint import read_checkpoint
+
+        pool, state = read_checkpoint(directory, buffer_pages)
+        if state.get("type") != "mvsbt":
+            raise ValueError(
+                f"checkpoint holds a {state.get('type')!r}, not an MVSBT"
+            )
+        return cls.restore(pool, state)
+
+    # -- introspection & invariants ----------------------------------------------------
+
+    def page_ids(self) -> set[int]:
+        """Every page reachable from any registered root."""
+        seen: set[int] = set()
+        for entry in self.roots.entries():
+            stack = [entry.root_id]
+            while stack:
+                pid = stack.pop()
+                if pid in seen:
+                    continue
+                seen.add(pid)
+                page = self.pool.fetch(pid)
+                if page.kind == INDEX_KIND:
+                    stack.extend(rec.child for rec in page.records)
+        return seen
+
+    def page_count(self) -> int:
+        """Reachable pages plus paged-root* pages — the space metric."""
+        return len(self.page_ids()) + self.roots.page_count
+
+    def height(self) -> int:
+        """Levels of the latest version's tree (1 = root is a leaf)."""
+        return self.pool.fetch(self.root_id).meta["level"] + 1
+
+    def check_invariants(self) -> None:
+        """Structural audit; raises ``AssertionError`` on the first failure.
+
+        Checks physical capacity, Property 1 tiling at every critical
+        instant, the strong condition at page birth, router/child metadata
+        agreement, and (when record merging never fired) the Lemma 3
+        alive-count lower bound for non-root pages.
+        """
+        cfg = self.config
+        ever_roots = {entry.root_id for entry in self.roots.entries()}
+        check_lemma3 = (self.counters.time_merges == 0
+                        and self.counters.key_merges == 0)
+        lemma3_bound = -(-cfg.strong_bound // 2)  # ceil(f*b / 2)
+        for pid in self.page_ids():
+            page = self.pool.fetch(pid)
+            assert len(page.records) <= cfg.capacity, (
+                f"page {pid} holds {len(page.records)} > b={cfg.capacity}"
+            )
+            birth, death = page.meta["birth"], page.meta["death"]
+            # Records appended later at the birth instant are legitimate;
+            # the strong condition constrains the time-split copy itself.
+            born_here = page.meta.get("born_count", 1)
+            if pid not in ever_roots:
+                assert born_here <= cfg.strong_bound, (
+                    f"page {pid} born with {born_here} records > "
+                    f"f*b={cfg.strong_bound}"
+                )
+            instants = {birth}
+            for rec in page.records:
+                if birth <= rec.start < death:
+                    instants.add(rec.start)
+                if birth < rec.end < death:
+                    instants.add(rec.end)
+            for t in instants:
+                problem = ops.check_tiling_at(page, t)
+                assert problem is None, problem
+                if check_lemma3 and pid not in ever_roots:
+                    alive = sum(1 for r in page.records if r.alive_at(t))
+                    assert alive >= min(lemma3_bound, born_here), (
+                        f"page {pid} at t={t}: {alive} alive records "
+                        f"below the Lemma 3 bound"
+                    )
+            if page.kind == INDEX_KIND:
+                for rec in page.records:
+                    child = self.pool.fetch(rec.child)
+                    assert child.meta["low"] == rec.low \
+                        and child.meta["high"] == rec.high, (
+                            f"router range mismatch {pid} -> {rec.child}"
+                        )
+                    assert child.meta["level"] == page.meta["level"] - 1, (
+                        f"level mismatch {pid} -> {rec.child}"
+                    )

@@ -1,0 +1,21 @@
+"""The SB-tree family: disk-based scalar temporal aggregation ([YW01]).
+
+The SB-tree combines segment-tree value placement (an inserted interval's
+contribution is parked at the O(log) nodes whose spans it fully covers) with
+B-tree balance and disk residency.  It is the structure the paper's MVSBT
+generalizes — here over the *time* axis for scalar aggregates, inside the
+MVSBT over the *key* axis, made partially persistent.
+
+* :class:`~repro.sbtree.tree.SBTree` — insert ``(interval, value)``, query the
+  instantaneous aggregate at any instant, both in ``O(log_b m)`` I/Os.
+* :class:`~repro.sbtree.cumulative.CumulativeSBTree` — cumulative aggregates
+  with arbitrary window offset ``w`` via two SB-trees (paper section 2.2).
+* :class:`~repro.sbtree.minmax.MinMaxSBTree` — the insert-only MIN/MAX
+  variant (paper section 2.2; open problem (ii) concerns its *range* form).
+"""
+
+from repro.sbtree.cumulative import CumulativeSBTree
+from repro.sbtree.minmax import MinMaxSBTree
+from repro.sbtree.tree import SBTree
+
+__all__ = ["CumulativeSBTree", "MinMaxSBTree", "SBTree"]

@@ -1,0 +1,92 @@
+"""The min/max SB-tree variant (paper §2.2).
+
+MIN and MAX form a semigroup without inverses, so logical deletion by
+negative insertion is impossible — the variant supports *insertions only*
+(append-only warehouses, which is also the transaction-time setting of the
+paper minus deletions).  Everything else carries over: an interval's value is
+parked at covering records with ``min``/``max`` as the combine, and a point
+query combines one record per level.
+
+Extending this structure to *range* MIN/MAX temporal aggregates is the
+paper's open problem (ii); this class reproduces the scalar tool the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.model import NOW
+from repro.errors import QueryError
+from repro.storage.buffer import BufferPool
+from repro.sbtree.tree import SBTree
+
+
+class MinMaxSBTree(SBTree):
+    """Insert-only SB-tree maintaining MIN or MAX instantaneous aggregates.
+
+    Parameters mirror :class:`~repro.sbtree.tree.SBTree`; ``mode`` selects
+    ``"min"`` or ``"max"``.  The identity is the corresponding infinity, so
+    instants no interval ever covered report ``inf`` / ``-inf`` — callers
+    that prefer a sentinel should test with :meth:`covered`.
+    """
+
+    def __init__(self, pool: BufferPool, capacity: int = 32,
+                 domain: Tuple[int, int] = (1, NOW),
+                 mode: str = "min", compact: bool = True) -> None:
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        combine = min if mode == "min" else max
+        identity = float("inf") if mode == "min" else float("-inf")
+        super().__init__(pool, capacity, domain, combine=combine,
+                         identity=identity, compact=compact)
+        self.mode = mode
+
+    def covered(self, t: int) -> bool:
+        """True when at least one inserted interval covers instant ``t``."""
+        result = self.query(t)
+        return result not in (float("inf"), float("-inf"))
+
+    def window_query(self, start: int, end: int) -> float:
+        """MIN/MAX of ``V(t)`` over every instant ``t`` in ``[start, end)``.
+
+        Equivalently: the best value among all inserted intervals that
+        intersect the window — for min this is
+        ``min { v : [s, e) inserted with v, [s, e) overlaps [start, end) }``
+        because an interval's value is a candidate at exactly the instants
+        it covers.
+
+        Segment-tree range query over the time axis: a record whose
+        interval intersects the window contributes its parked value; a
+        child fully inside the window contributes the subtree aggregate
+        stored *in the parent record* (no fetch); only the two boundary
+        children are descended — ``O(log_b m)`` page reads.
+        """
+        lo = max(start, self.domain[0])
+        hi = min(end, self.domain[1])
+        if lo >= hi:
+            raise QueryError(
+                f"window [{start},{end}) lies outside domain {self.domain}"
+            )
+        result = self.identity
+        stack = [self.root_id]
+        while stack:
+            page = self.pool.fetch(stack.pop())
+            for record in page.records:
+                if record.end <= lo or record.start >= hi:
+                    continue
+                # The parked value covers an instant inside the window.
+                result = self.combine(result, record.value)
+                if record.has_child:
+                    if lo <= record.start and record.end <= hi:
+                        result = self.combine(result, record.child_agg)
+                    else:
+                        stack.append(record.child)
+        return result
+
+    @classmethod
+    def load(cls, directory: str, buffer_pages: int = 64) -> "MinMaxSBTree":
+        """Reopen from a checkpoint, restoring the min/max mode."""
+        tree = super().load(directory, buffer_pages)
+        tree.mode = "min" if tree.combine is min else "max"
+        return tree

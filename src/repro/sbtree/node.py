@@ -1,0 +1,112 @@
+"""SB-tree records and page-level helpers.
+
+An SB-tree page holds between ``b/2`` and ``b`` records, each owning one
+contiguous time interval; the records tile the page's span, and an index
+record's child subtree covers exactly the record's interval.  The record
+``value`` is the partial aggregate parked at this level: a query for instant
+``t`` combines the values of the record containing ``t`` in every page along
+one root-to-leaf path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.storage.page import INVALID_PAGE_ID, Page
+from repro.storage.serialization import RecordCodec, register_codec
+
+LEAF_KIND = "sbtree-leaf"
+INDEX_KIND = "sbtree-index"
+
+
+@dataclass(slots=True)
+class SBRecord:
+    """One SB-tree record: interval ``[start, end)``, value, optional child.
+
+    ``child_agg`` is the segment-tree augmentation: the combine of every
+    value parked anywhere in the child's subtree.  It lets range queries
+    absorb a fully-covered child without fetching it (see
+    :meth:`repro.sbtree.minmax.MinMaxSBTree.window_query`).  Leaf records
+    never read it; SUM trees maintain it as a plain subtree sum.
+    """
+
+    start: int
+    end: int
+    value: float
+    child: int = INVALID_PAGE_ID
+    child_agg: float = 0.0
+
+    @property
+    def has_child(self) -> bool:
+        return self.child != INVALID_PAGE_ID
+
+    def contains(self, t: int) -> bool:
+        """True when instant ``t`` lies in the record's interval."""
+        return self.start <= t < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tail = f", child={self.child}" if self.has_child else ""
+        return f"SBRecord([{self.start},{self.end}), v={self.value}{tail})"
+
+
+_SB_CODEC = RecordCodec(
+    fmt="<qqdqd",
+    to_tuple=lambda rec: (rec.start, rec.end, rec.value, rec.child,
+                          rec.child_agg),
+    from_tuple=lambda tup: SBRecord(*tup),
+)
+register_codec(LEAF_KIND, _SB_CODEC)
+register_codec(INDEX_KIND, _SB_CODEC)
+
+#: Serialized width of an SBRecord; used for records-per-page computations.
+SB_RECORD_BYTES = _SB_CODEC.record_bytes
+
+
+def is_leaf(page: Page) -> bool:
+    """True for SB-tree leaf pages."""
+    return page.kind == LEAF_KIND
+
+
+def span(page: Page) -> tuple[int, int]:
+    """The contiguous interval covered by the page's (sorted) records."""
+    records: List[SBRecord] = page.records
+    return records[0].start, records[-1].end
+
+
+def find_record(page: Page, t: int) -> SBRecord:
+    """The unique record whose interval contains ``t`` (binary search)."""
+    records: List[SBRecord] = page.records
+    idx = bisect_right(records, t, key=lambda rec: rec.start) - 1
+    record = records[idx]
+    assert record.contains(t), f"page {page.page_id} does not cover t={t}"
+    return record
+
+
+def record_index(page: Page, t: int) -> int:
+    """Index of the record containing ``t`` within the page's record list."""
+    records: List[SBRecord] = page.records
+    idx = bisect_right(records, t, key=lambda rec: rec.start) - 1
+    return idx
+
+
+def check_page_tiling(page: Page) -> Optional[str]:
+    """Return an error string if the page's records do not tile its span."""
+    records: List[SBRecord] = page.records
+    if not records:
+        return f"page {page.page_id} is empty"
+    for left, right in zip(records, records[1:]):
+        if left.end != right.start:
+            return (
+                f"page {page.page_id}: gap or overlap between "
+                f"[{left.start},{left.end}) and [{right.start},{right.end})"
+            )
+        if left.start >= left.end:
+            return f"page {page.page_id}: empty record [{left.start},{left.end})"
+    if records[-1].start >= records[-1].end:
+        return (
+            f"page {page.page_id}: empty record "
+            f"[{records[-1].start},{records[-1].end})"
+        )
+    return None

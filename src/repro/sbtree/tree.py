@@ -1,0 +1,394 @@
+"""The SB-tree: disk-based incremental scalar temporal aggregation ([YW01]).
+
+Semantics.  The tree maintains a function ``V(t)`` over a fixed time domain,
+initially the aggregate identity everywhere.  ``insert(start, end, v)``
+combines ``v`` into ``V(t)`` for every instant ``t`` in ``[start, end)``;
+``query(t)`` returns ``V(t)``.  With the additive SUM/COUNT combine this is
+exactly instantaneous temporal aggregation: insert each tuple's interval with
+its (lifted) value, delete by inserting the negated value.
+
+Mechanics.  Like a segment tree, an inserted interval's contribution is
+*parked* at the O(log) records whose intervals it fully covers — never pushed
+to the leaves — so insertion cost is independent of the interval's length and
+position.  Like a B-tree, pages hold up to ``b`` records and split evenly on
+overflow, keeping the structure balanced and disk-resident.  A query combines
+the values of the one record containing ``t`` in each page along a single
+root-to-leaf path: ``O(log_b m)`` I/Os for ``m`` leaf records.
+
+The optional *compaction* of [YW01] merges adjacent leaf records holding
+equal values (enabled by default); it can shrink the tree when many inserted
+intervals share boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.model import NOW
+from repro.errors import QueryError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
+from repro.sbtree.node import (
+    INDEX_KIND,
+    LEAF_KIND,
+    SBRecord,
+    check_page_tiling,
+    find_record,
+    is_leaf,
+    record_index,
+    span,
+)
+
+Combine = Callable[[float, float], float]
+
+
+def _add(a: float, b: float) -> float:
+    return a + b
+
+
+class SBTree:
+    """Scalar temporal aggregation index over a fixed time domain.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool supplying pages (and counting the I/Os).
+    capacity:
+        Records per page, the paper's ``b``.  Must be at least 4 so a page
+        split always yields two legal pages even after boundary splits.
+    domain:
+        Half-open time domain ``[lo, hi)``; defaults to ``[1, NOW)`` so
+        transaction-time streams with alive tuples (``end = NOW``) fit.
+    combine:
+        Associative combine of partial aggregates (default ``+``; pass
+        ``min``/``max`` via :class:`~repro.sbtree.minmax.MinMaxSBTree`).
+    identity:
+        Neutral element of ``combine``.
+    compact:
+        Merge equal-valued adjacent leaf records after each insertion
+        (the [YW01] compaction).
+    """
+
+    def __init__(self, pool: BufferPool, capacity: int = 32,
+                 domain: Tuple[int, int] = (1, NOW),
+                 combine: Combine = _add, identity: float = 0.0,
+                 compact: bool = True) -> None:
+        if capacity < 4:
+            raise ValueError("SB-tree needs page capacity >= 4")
+        if domain[0] >= domain[1]:
+            raise ValueError(f"empty time domain {domain}")
+        self.pool = pool
+        self.capacity = capacity
+        self.domain = domain
+        self.combine = combine
+        self.identity = identity
+        self.compact = compact
+        root = pool.allocate(capacity, LEAF_KIND)
+        root.add(SBRecord(domain[0], domain[1], identity))
+        self._root_id = root.page_id
+        self._height = 1
+        self._insertions = 0
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = the root is a leaf)."""
+        return self._height
+
+    @property
+    def root_id(self) -> int:
+        return self._root_id
+
+    @property
+    def insertions(self) -> int:
+        """Number of ``insert`` calls accepted so far."""
+        return self._insertions
+
+    def insert(self, start: int, end: int, value: float) -> None:
+        """Combine ``value`` into every instant of ``[start, end)``.
+
+        The interval is clipped to the tree's domain; an interval entirely
+        outside the domain is rejected (clipping to nothing is almost always
+        a caller bug).
+        """
+        lo = max(start, self.domain[0])
+        hi = min(end, self.domain[1])
+        if lo >= hi:
+            raise QueryError(
+                f"interval [{start},{end}) lies outside domain {self.domain}"
+            )
+        root = self.pool.fetch(self._root_id)
+        split = self._insert_into(root, lo, hi, value)
+        if split is not None:
+            self._grow_root(split)
+        self._insertions += 1
+
+    def query(self, t: int) -> float:
+        """Instantaneous aggregate ``V(t)``; ``O(height)`` page reads."""
+        if not (self.domain[0] <= t < self.domain[1]):
+            raise QueryError(f"instant {t} outside domain {self.domain}")
+        acc = self.identity
+        page = self.pool.fetch(self._root_id)
+        while True:
+            record = find_record(page, t)
+            acc = self.combine(acc, record.value)
+            if is_leaf(page):
+                return acc
+            page = self.pool.fetch(record.child)
+
+    def query_many(self, instants: List[int]) -> List[float]:
+        """Batch point queries (convenience; no special optimization)."""
+        return [self.query(t) for t in instants]
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Walk the whole tree verifying tiling, spans, and occupancy.
+
+        Raises ``AssertionError`` on the first violation.  Intended for
+        tests; cost is linear in the tree size.
+        """
+        self._check_page(self._root_id, self.domain[0], self.domain[1],
+                         is_root=True, depth=1)
+
+    def _check_page(self, page_id: int, lo: int, hi: int, is_root: bool,
+                    depth: int) -> None:
+        page = self.pool.fetch(page_id)
+        problem = check_page_tiling(page)
+        assert problem is None, problem
+        records: List[SBRecord] = page.records
+        assert span(page) == (lo, hi), (
+            f"page {page_id} spans {span(page)}, expected ({lo}, {hi})"
+        )
+        assert len(records) <= page.capacity, f"page {page_id} overflowed"
+        if not is_root:
+            # Compaction may merge a page's records down to one (the
+            # paper's compaction shrinks record counts without page
+            # merging); without it the B-tree split discipline keeps
+            # every non-root page at two or more records.
+            minimum = 1 if self.compact else 2
+            assert len(records) >= minimum, (
+                f"non-root page {page_id} holds {len(records)} record(s)"
+            )
+        if is_leaf(page):
+            assert depth == self._height, (
+                f"leaf {page_id} at depth {depth}, height {self._height}"
+            )
+            return
+        for record in records:
+            assert record.has_child, f"index record without child in {page_id}"
+            self._check_page(record.child, record.start, record.end,
+                             is_root=False, depth=depth + 1)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _insert_into(self, page: Page, lo: int, hi: int,
+                     value: float) -> Optional[List[SBRecord]]:
+        """Apply the insertion to ``page``; return replacement records if it split."""
+        with self.pool.pinned(page):
+            if is_leaf(page):
+                self._insert_into_leaf(page, lo, hi, value)
+            else:
+                self._insert_into_index(page, lo, hi, value)
+        if page.overflowed:
+            return self._split_page(page)
+        return None
+
+    def _insert_into_leaf(self, page: Page, lo: int, hi: int,
+                          value: float) -> None:
+        records: List[SBRecord] = page.records
+        first = record_index(page, lo)
+        idx = first
+        while idx < len(records) and records[idx].start < hi:
+            rec = records[idx]
+            inner_lo = max(lo, rec.start)
+            inner_hi = min(hi, rec.end)
+            if inner_lo == rec.start and inner_hi == rec.end:
+                rec.value = self.combine(rec.value, value)
+                idx += 1
+            else:
+                pieces: List[SBRecord] = []
+                if rec.start < inner_lo:
+                    pieces.append(SBRecord(rec.start, inner_lo, rec.value))
+                pieces.append(
+                    SBRecord(inner_lo, inner_hi, self.combine(rec.value, value))
+                )
+                if inner_hi < rec.end:
+                    pieces.append(SBRecord(inner_hi, rec.end, rec.value))
+                records[idx:idx + 1] = pieces
+                idx += len(pieces)
+        page.mark_dirty()
+        if self.compact:
+            self._compact_leaf(page, max(first - 1, 0), idx)
+
+    def _insert_into_index(self, page: Page, lo: int, hi: int,
+                           value: float) -> None:
+        records: List[SBRecord] = page.records
+        idx = record_index(page, lo)
+        while idx < len(records) and records[idx].start < hi:
+            rec = records[idx]
+            if lo <= rec.start and rec.end <= hi:
+                # Fully covered: park the value here, never descend.
+                rec.value = self.combine(rec.value, value)
+                page.mark_dirty()
+                idx += 1
+                continue
+            # Partial overlap (at most two such records): push down.  The
+            # value lands somewhere in the child's subtree, so it joins
+            # the record's subtree aggregate.
+            child = self.pool.fetch(rec.child)
+            clipped_lo = max(lo, rec.start)
+            clipped_hi = min(hi, rec.end)
+            rec.child_agg = self.combine(rec.child_agg, value)
+            with self.pool.pinned(page):
+                replacement = self._insert_into(child, clipped_lo, clipped_hi,
+                                                value)
+            if replacement is None:
+                idx += 1
+            else:
+                # Child split: its parent record fans out, one copy per new
+                # child, each inheriting this record's parked value (the
+                # split already computed each half's subtree aggregate).
+                fan_out = [
+                    SBRecord(sub.start, sub.end, rec.value, sub.child,
+                             sub.child_agg)
+                    for sub in replacement
+                ]
+                records[idx:idx + 1] = fan_out
+                page.mark_dirty()
+                idx += len(fan_out)
+
+    def _split_page(self, page: Page) -> List[SBRecord]:
+        """Split an overflowing page in half; return parent replacement records.
+
+        The original page object is reused for the left half (its id stays
+        valid in the parent's other structures); a sibling is allocated for
+        the right half.
+        """
+        records: List[SBRecord] = page.records
+        mid = len(records) // 2
+        right = self.pool.allocate(self.capacity, page.kind)
+        right.records = records[mid:]
+        right.dirty = True
+        page.records = records[:mid]
+        page.mark_dirty()
+        left_lo, left_hi = span(page)
+        right_lo, right_hi = span(right)
+        return [
+            SBRecord(left_lo, left_hi, self.identity, page.page_id,
+                     self._subtree_agg(page)),
+            SBRecord(right_lo, right_hi, self.identity, right.page_id,
+                     self._subtree_agg(right)),
+        ]
+
+    def _grow_root(self, replacement: List[SBRecord]) -> None:
+        root = self.pool.allocate(self.capacity, INDEX_KIND)
+        root.records = list(replacement)
+        root.dirty = True
+        self._root_id = root.page_id
+        self._height += 1
+
+    def _subtree_agg(self, page: Page) -> float:
+        """Combine of every value parked in ``page``'s subtree.
+
+        Needs only the page itself: each index record carries its child's
+        aggregate, so no descent happens.
+        """
+        acc = self.identity
+        for record in page.records:
+            acc = self.combine(acc, record.value)
+            if record.has_child:
+                acc = self.combine(acc, record.child_agg)
+        return acc
+
+    def _compact_leaf(self, page: Page, start_idx: int, end_idx: int) -> None:
+        """Merge adjacent equal-valued leaf records touched by an insertion."""
+        records: List[SBRecord] = page.records
+        idx = max(start_idx, 0)
+        stop = min(end_idx + 1, len(records))
+        while idx + 1 < min(stop, len(records)):
+            left, right_rec = records[idx], records[idx + 1]
+            if left.value == right_rec.value:
+                left.end = right_rec.end
+                del records[idx + 1]
+                stop -= 1
+                page.mark_dirty()
+            else:
+                idx += 1
+
+    # -- persistence -------------------------------------------------------------
+
+    #: combine functions the checkpoint format can name.
+    _NAMED_COMBINES = {"add": _add, "min": min, "max": max}
+
+    def save(self, directory: str) -> None:
+        """Checkpoint the tree.  Only the named combine functions (add,
+        min, max) survive a round trip; custom callables are rejected."""
+        from repro.storage.checkpoint import write_checkpoint
+
+        names = {fn: name for name, fn in self._NAMED_COMBINES.items()}
+        if self.combine not in names:
+            raise ValueError(
+                "only add/min/max combines are checkpointable; "
+                "custom combine functions cannot be serialized"
+            )
+        meta = {
+            "type": "sbtree",
+            "capacity": self.capacity,
+            "domain": list(self.domain),
+            "combine": names[self.combine],
+            "identity": self.identity,
+            "compact": self.compact,
+            "root_id": self._root_id,
+            "height": self._height,
+            "insertions": self._insertions,
+        }
+        write_checkpoint(self.pool, meta, directory)
+
+    @classmethod
+    def load(cls, directory: str, buffer_pages: int = 64) -> "SBTree":
+        """Reopen a tree from a checkpoint written by :meth:`save`."""
+        from repro.storage.checkpoint import read_checkpoint
+
+        pool, meta = read_checkpoint(directory, buffer_pages)
+        if meta.get("type") != "sbtree":
+            raise ValueError(
+                f"checkpoint holds a {meta.get('type')!r}, not an SB-tree"
+            )
+        tree = cls.__new__(cls)
+        tree.pool = pool
+        tree.capacity = meta["capacity"]
+        tree.domain = tuple(meta["domain"])
+        tree.combine = cls._NAMED_COMBINES[meta["combine"]]
+        tree.identity = meta["identity"]
+        tree.compact = meta["compact"]
+        tree._root_id = meta["root_id"]
+        tree._height = meta["height"]
+        tree._insertions = meta["insertions"]
+        return tree
+
+    # -- introspection ------------------------------------------------------------
+
+    def leaf_record_count(self) -> int:
+        """Total records across leaf pages (the paper's ``m``)."""
+        return sum(
+            len(self.pool.fetch(pid))
+            for pid in self._all_page_ids()
+            if is_leaf(self.pool.fetch(pid))
+        )
+
+    def page_count(self) -> int:
+        """Total pages in the tree (space metric)."""
+        return len(self._all_page_ids())
+
+    def _all_page_ids(self) -> List[int]:
+        ids: List[int] = []
+        stack = [self._root_id]
+        while stack:
+            pid = stack.pop()
+            ids.append(pid)
+            page = self.pool.fetch(pid)
+            if not is_leaf(page):
+                stack.extend(rec.child for rec in page.records)
+        return ids

@@ -1,0 +1,102 @@
+"""The page abstraction shared by every index in the library.
+
+A :class:`Page` models one fixed-size disk block.  Indexes store *records*
+(small tuples or dataclass instances) in a page; the page enforces a record
+capacity derived from the page size in bytes and the per-record byte width of
+the owning index (the paper uses 4 KB pages and 16--24 byte records).
+
+Pages are deliberately dumb containers: all structural logic (splits, record
+classification, tiling invariants) lives in the index packages.  What the
+page *does* own is its identity, its dirty flag, and its capacity check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.errors import PageOverflowError
+
+#: Page id used to mean "no page" (e.g. a leaf record's child pointer).
+INVALID_PAGE_ID = -1
+
+
+class Page:
+    """One fixed-capacity disk block holding a list of records.
+
+    Parameters
+    ----------
+    page_id:
+        Identity assigned by the disk manager.  Stable for the page's life.
+    capacity:
+        Maximum number of records the page may hold.  ``capacity`` is the
+        paper's ``b``; it is computed by the owning index from the page size
+        and record width (see :func:`repro.storage.serialization.records_per_page`).
+    kind:
+        Free-form tag set by the owning index (e.g. ``"mvsbt-leaf"``).  Used
+        by serializers and debug dumps; the storage layer never interprets it.
+    """
+
+    __slots__ = ("page_id", "capacity", "kind", "records", "dirty", "meta")
+
+    def __init__(self, page_id: int, capacity: int, kind: str = "raw") -> None:
+        if capacity < 2:
+            raise ValueError(f"page capacity must be >= 2, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.kind = kind
+        self.records: List[Any] = []
+        self.dirty = False
+        #: Small per-page metadata dict (e.g. a tree level or lifespan);
+        #: serialized into the page header by the codecs.
+        self.meta: dict[str, Any] = {}
+
+    # -- record manipulation -------------------------------------------------
+
+    def add(self, record: Any) -> None:
+        """Append ``record`` and mark the page dirty.
+
+        Appending is allowed to *transiently* exceed ``capacity`` by one
+        record: index insertion algorithms detect overflow after the fact
+        (the paper's overflow condition is "more than ``b`` records").
+        Exceeding ``capacity + 1`` indicates a bug in the caller.
+        """
+        if len(self.records) > self.capacity:
+            raise PageOverflowError(
+                f"page {self.page_id} already overflowed "
+                f"({len(self.records)}/{self.capacity} records)"
+            )
+        self.records.append(record)
+        self.dirty = True
+
+    def remove(self, record: Any) -> None:
+        """Physically remove ``record`` (identity/equality match)."""
+        self.records.remove(record)
+        self.dirty = True
+
+    def mark_dirty(self) -> None:
+        """Flag the page as modified in place (record mutation)."""
+        self.dirty = True
+
+    # -- state queries --------------------------------------------------------
+
+    @property
+    def overflowed(self) -> bool:
+        """True when the page holds more than ``capacity`` records."""
+        return len(self.records) > self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        """Number of records that can still be added without overflow."""
+        return self.capacity - len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Page(id={self.page_id}, kind={self.kind!r}, "
+            f"{len(self.records)}/{self.capacity} records)"
+        )

@@ -1,0 +1,189 @@
+"""root* — the directory mapping time instants to root pages.
+
+Both multiversion structures in this library (the MVBT and the MVSBT) keep a
+forest of roots, each responsible for a disjoint slice of the time axis
+(paper section 4.1).  ``root*`` resolves "which root was current at time t".
+
+Two operating modes, matching the paper's discussion of Theorem 2:
+
+* **in-memory** (default) — a sorted array searched with ``bisect``; zero
+  I/Os per lookup.  This is the paper's practical remark that keeping the
+  roots in a main-memory array reduces query cost to ``O(log_b K)``.
+* **paged** — entries additionally live in an append-only B+-tree of
+  directory pages fetched through the buffer pool, so lookups pay the
+  ``O(log_b n)`` I/O term of Theorem 2.  Appends only ever touch the
+  rightmost spine (time is monotone), which keeps maintenance trivial.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.buffer import BufferPool
+from repro.storage.serialization import RecordCodec, register_codec
+
+DIRECTORY_KIND = "rootstar"
+
+register_codec(DIRECTORY_KIND, RecordCodec(
+    fmt="<qq",
+    to_tuple=lambda rec: rec,
+    from_tuple=lambda tup: tup,
+))
+
+
+@dataclass(frozen=True)
+class RootEntry:
+    """One directory entry: the root current from ``start`` (inclusive)
+    until the next entry's start."""
+
+    start: int
+    root_id: int
+
+
+class RootDirectory:
+    """Append-only time-to-root directory (the paper's ``root*``).
+
+    Entries are appended with strictly increasing ``start``; entry *i* is
+    authoritative for ``[entries[i].start, entries[i+1].start)`` and the last
+    entry is authoritative up to forever.
+    """
+
+    def __init__(self, pool: Optional[BufferPool] = None,
+                 page_capacity: int = 64, paged: bool = False) -> None:
+        if paged and pool is None:
+            raise ValueError("paged root* requires a buffer pool")
+        self._entries: List[RootEntry] = []
+        self._starts: List[int] = []
+        self.paged = paged
+        self.pool = pool
+        self.page_capacity = page_capacity
+        # Paged representation: levels[0] is the leaf level; each level is a
+        # list of page ids.  Leaf pages hold (start, root_id) pairs; upper
+        # pages hold (first_start_of_child, child_page_id) pairs.
+        self._levels: List[List[int]] = []
+
+    # -- writes -------------------------------------------------------------------
+
+    def append(self, start: int, root_id: int) -> None:
+        """Register ``root_id`` as current from ``start`` on.
+
+        Re-registering at the *same* instant replaces the previous root for
+        that instant (the paper allows many updates per instant; only the
+        final root of an instant is ever queried for it).
+        """
+        if self._entries and start < self._entries[-1].start:
+            raise ValueError(
+                f"root* appends must be time-ordered: {start} after "
+                f"{self._entries[-1].start}"
+            )
+        if self._entries and start == self._entries[-1].start:
+            self._entries[-1] = RootEntry(start, root_id)
+            if self.paged:
+                self._replace_last_paged(start, root_id)
+            return
+        self._entries.append(RootEntry(start, root_id))
+        self._starts.append(start)
+        if self.paged:
+            self._append_paged(start, root_id)
+
+    # -- lookups --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def latest(self) -> RootEntry:
+        if not self._entries:
+            raise LookupError("root* is empty")
+        return self._entries[-1]
+
+    def find(self, t: int) -> RootEntry:
+        """The root authoritative at instant ``t``.
+
+        In paged mode the equivalent B+-tree descent is also performed so
+        the buffer pool charges the I/Os the paper's Theorem 2 accounts for.
+        """
+        if not self._entries:
+            raise LookupError("root* is empty")
+        idx = bisect_right(self._starts, t) - 1
+        if idx < 0:
+            raise LookupError(f"no root registered at or before t={t}")
+        if self.paged:
+            self._charge_paged_lookup(t)
+        return self._entries[idx]
+
+    def roots_intersecting(self, t_start: int, t_end: int) -> Iterator[RootEntry]:
+        """Roots whose authority interval intersects ``[t_start, t_end)``."""
+        if not self._entries or t_start >= t_end:
+            return
+        first = max(bisect_right(self._starts, t_start) - 1, 0)
+        for idx in range(first, len(self._entries)):
+            if self._starts[idx] >= t_end:
+                break
+            yield self._entries[idx]
+
+    def entries(self) -> Tuple[RootEntry, ...]:
+        """Every registered (start, root) entry in time order."""
+        return tuple(self._entries)
+
+    @property
+    def page_count(self) -> int:
+        """Directory pages in paged mode (0 otherwise) — a space term."""
+        return sum(len(level) for level in self._levels)
+
+    # -- paged backing ----------------------------------------------------------------
+
+    def _append_paged(self, start: int, root_id: int) -> None:
+        assert self.pool is not None
+        if not self._levels:
+            leaf = self.pool.allocate(self.page_capacity, DIRECTORY_KIND)
+            leaf.add((start, root_id))
+            self._levels.append([leaf.page_id])
+            return
+        self._append_at_level(0, (start, root_id))
+
+    def _replace_last_paged(self, start: int, root_id: int) -> None:
+        assert self.pool is not None
+        leaf = self.pool.fetch(self._levels[0][-1])
+        leaf.records[-1] = (start, root_id)
+        leaf.mark_dirty()
+
+    def _append_at_level(self, level: int, record: Tuple[int, int]) -> None:
+        assert self.pool is not None
+        page = self.pool.fetch(self._levels[level][-1])
+        if len(page) < page.capacity:
+            page.add(record)
+            return
+        fresh = self.pool.allocate(self.page_capacity, DIRECTORY_KIND)
+        fresh.add(record)
+        self._levels[level].append(fresh.page_id)
+        parent_record = (record[0], fresh.page_id)
+        if level + 1 < len(self._levels):
+            self._append_at_level(level + 1, parent_record)
+        else:
+            # The topmost level split: grow a new top page indexing every
+            # page of this level (at most two exist at this moment, so the
+            # new top always fits).
+            top = self.pool.allocate(self.page_capacity, DIRECTORY_KIND)
+            for page_id in self._levels[level]:
+                first_start = self.pool.fetch(page_id).records[0][0]
+                top.add((first_start, page_id))
+            self._levels.append([top.page_id])
+
+    def _charge_paged_lookup(self, t: int) -> None:
+        """Descend the paged directory so its I/Os hit the buffer pool.
+
+        The topmost level always holds exactly one page (a split there
+        immediately grows a new top), so the descent starts unambiguously.
+        """
+        assert self.pool is not None
+        if not self._levels:
+            return
+        page_id = self._levels[-1][0]
+        for _ in range(len(self._levels) - 1):
+            page = self.pool.fetch(page_id)
+            idx = bisect_right(page.records, t, key=lambda rec: rec[0]) - 1
+            page_id = page.records[max(idx, 0)][1]
+        self.pool.fetch(page_id)

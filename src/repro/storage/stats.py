@@ -1,0 +1,125 @@
+"""I/O accounting and the paper's estimated-time cost model.
+
+The paper compares methods by *estimated running time*: the number of disk
+I/Os multiplied by an average random-access latency (10 ms), plus measured
+CPU time (their section 5, following [APR+00]).  :class:`IOStats` counts the
+I/Os; :class:`CostModel` turns counts into the estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable physical-I/O counters, owned by a :class:`~repro.storage.buffer.BufferPool`.
+
+    ``reads``/``writes`` count *physical* page transfers (buffer misses and
+    evictions of dirty pages), matching what a real DBMS would issue to disk.
+    ``logical_reads`` counts every page access, hit or miss, which is useful
+    for buffer-sensitivity experiments (Figure 4c).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    logical_reads: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Physical I/Os: reads plus writes."""
+        return self.reads + self.writes
+
+    @property
+    def hit_rate(self) -> float:
+        """Buffer hit rate over logical reads (1.0 when everything was cached)."""
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.reads / self.logical_reads
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measured phase)."""
+        self.reads = 0
+        self.writes = 0
+        self.logical_reads = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an immutable-by-convention copy of the current counters."""
+        return IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            logical_reads=self.logical_reads,
+            allocations=self.allocations,
+            frees=self.frees,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            logical_reads=self.logical_reads - earlier.logical_reads,
+            allocations=self.allocations - earlier.allocations,
+            frees=self.frees - earlier.frees,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            logical_reads=self.logical_reads + other.logical_reads,
+            allocations=self.allocations + other.allocations,
+            frees=self.frees + other.frees,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The paper's estimated-running-time metric.
+
+    ``estimated_time = (reads + writes) * io_latency_s + cpu_s``
+
+    The default latency is the paper's 10 ms average random disk access.
+    """
+
+    io_latency_s: float = 0.010
+
+    def estimate(self, stats: IOStats, cpu_s: float = 0.0) -> float:
+        """Estimated wall time in seconds for ``stats`` plus ``cpu_s`` of CPU."""
+        return stats.total_ios * self.io_latency_s + cpu_s
+
+
+class CpuTimer:
+    """Context manager measuring process CPU time (user + system).
+
+    The paper measures CPU cost as user+system time from ``getrusage``;
+    :func:`time.process_time` reports the same quantity portably.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "CpuTimer":
+        self._start = time.process_time()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.process_time() - self._start
+
+
+@dataclass
+class OperationCost:
+    """One measured operation (or batch): I/O delta plus CPU seconds."""
+
+    stats: IOStats = field(default_factory=IOStats)
+    cpu_s: float = 0.0
+
+    def estimated_time(self, model: CostModel | None = None) -> float:
+        """Apply ``model`` (default: the paper's 10 ms model) to this cost."""
+        return (model or CostModel()).estimate(self.stats, self.cpu_s)

@@ -1,0 +1,49 @@
+"""TQL — a small temporal query language over the warehouse.
+
+The paper's introduction motivates RTA queries as the warehouse manager's
+tool: "focus the aggregation to any time-interval and/or key-range".  TQL
+is that interface as text, so the examples and ad-hoc exploration read
+like the sentences in the paper::
+
+    SELECT SUM(value)  WHERE key IN [1000, 2000) AND time DURING [50, 100)
+    SELECT AVG(value)  WHERE key = 1042
+    SELECT COUNT(*)    WHERE time AT 75
+    SELECT TIMELINE(SUM, 4) WHERE key IN [1, 500) AND time DURING [1, 101)
+    SNAPSHOT AT 75     WHERE key IN [1000, 2000)
+    HISTORY OF 1042
+
+Semantics are exactly the library's: half-open ranges and intervals,
+``time AT t`` is the instant ``[t, t+1)``, a missing key predicate means
+the whole key space and a missing time predicate means everything up to
+``now``.  ``MIN``/``MAX`` route through the warehouse's retrieval plan
+(open problem (ii)); everything else uses the cost-based planner.
+
+Entry points: :func:`parse` (text -> statement AST),
+:func:`execute` (text or AST + warehouse -> result), and
+:func:`explain` (text + warehouse -> the planner's decision).
+"""
+
+from repro.tql.executor import execute, explain
+from repro.tql.parser import (
+    DeleteStatement,
+    HistoryStatement,
+    InsertStatement,
+    SelectStatement,
+    SnapshotStatement,
+    TQLSyntaxError,
+    parse,
+)
+from repro.tql.render import render
+
+__all__ = [
+    "DeleteStatement",
+    "HistoryStatement",
+    "InsertStatement",
+    "SelectStatement",
+    "SnapshotStatement",
+    "TQLSyntaxError",
+    "execute",
+    "explain",
+    "parse",
+    "render",
+]

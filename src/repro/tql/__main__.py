@@ -1,0 +1,114 @@
+"""Interactive TQL shell over a demo (or durable) warehouse.
+
+Usage::
+
+    python -m repro.tql                     # demo warehouse, generated data
+    python -m repro.tql --scale 0.005       # bigger demo
+    python -m repro.tql --dir ./mywh        # open/create a durable warehouse
+
+Reads one statement per line; ``EXPLAIN <select>`` shows the plan,
+``\\describe`` prints index statistics, ``\\help`` lists commands, and
+``\\q`` (or end-of-input) exits.  Statements are plain TQL (see
+:mod:`repro.tql`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analyze import describe, render_report
+from repro.core.warehouse import TemporalWarehouse
+from repro.errors import ReproError
+from repro.tql import execute, explain
+from repro.workloads.datasets import paper_config
+from repro.workloads.generator import generate_dataset
+
+HELP = """\
+TQL statements:
+  SELECT SUM(value) WHERE key IN [a, b) AND time DURING [t1, t2)
+  SELECT COUNT(*) WHERE time AT t
+  SELECT AVG(value) WHERE key = k
+  SELECT MIN(value) / MAX(value) ...
+  SELECT TIMELINE(SUM, n) WHERE ...
+  SNAPSHOT AT t [WHERE key IN [a, b)]
+  HISTORY OF k
+  INSERT KEY k VALUE v AT t
+  DELETE KEY k AT t
+  EXPLAIN <select>
+Shell commands:
+  \\describe   index statistics      \\help   this text      \\q   quit
+"""
+
+
+def build_demo_warehouse(scale: float) -> TemporalWarehouse:
+    """A warehouse pre-loaded with a generated paper-style dataset."""
+    config = paper_config("uniform-long", scale=scale)
+    dataset = generate_dataset(config)
+    warehouse = TemporalWarehouse(key_space=config.key_space,
+                                  page_capacity=24)
+    dataset.replay_into(warehouse)
+    print(f"demo warehouse: {len(dataset)} tuples over "
+          f"{dataset.unique_keys} keys, time horizon {warehouse.now}")
+    return warehouse
+
+
+def run_line(warehouse: TemporalWarehouse, line: str) -> Optional[str]:
+    """Execute one shell line; returns the text to print (None = quit)."""
+    line = line.strip()
+    if not line:
+        return ""
+    if line in ("\\q", "\\quit", "exit", "quit"):
+        return None
+    if line == "\\help":
+        return HELP
+    if line == "\\describe":
+        return render_report(describe(warehouse))
+    try:
+        if line.upper().startswith("EXPLAIN"):
+            return str(explain(warehouse, line[len("EXPLAIN"):]))
+        result = execute(warehouse, line)
+    except ReproError as exc:
+        return f"error: {exc}"
+    if isinstance(result, list):
+        if not result:
+            return "(empty)"
+        return "\n".join(f"  {item}" for item in result)
+    return str(result)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run the shell until end-of-input or ``\\q``."""
+    parser = argparse.ArgumentParser(prog="python -m repro.tql")
+    parser.add_argument("--scale", type=float, default=0.001,
+                        help="demo dataset scale")
+    parser.add_argument("--dir", default=None,
+                        help="open/create a durable warehouse here instead")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    if args.dir:
+        warehouse = TemporalWarehouse.open_durable(args.dir)
+        print(f"durable warehouse at {args.dir} (now={warehouse.now})")
+    else:
+        warehouse = build_demo_warehouse(args.scale)
+    print('type \\help for the grammar, \\q to quit')
+
+    try:
+        while True:
+            try:
+                line = input("tql> ")
+            except EOFError:
+                break
+            output = run_line(warehouse, line)
+            if output is None:
+                break
+            if output:
+                print(output)
+    finally:
+        warehouse.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""TQL execution over a :class:`~repro.core.warehouse.TemporalWarehouse`.
+
+``execute(warehouse, text_or_statement)`` parses (if needed), fills the
+defaults — whole key space, everything up to ``now`` — and dispatches:
+plain SELECTs go through the warehouse's cost-based planner, TIMELINE uses
+the RTA rollup, SNAPSHOT/HISTORY use the tuple store.  ``explain`` returns
+the planner's decision for a SELECT without running it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.warehouse import QueryPlan, TemporalWarehouse
+from repro.errors import QueryError
+from repro.tql.parser import (
+    DeleteStatement,
+    HistoryStatement,
+    InsertStatement,
+    SelectStatement,
+    SnapshotStatement,
+    parse,
+)
+
+_AGGREGATES = {a.name: a for a in (SUM, COUNT, AVG, MIN, MAX)}
+
+StatementLike = Union[str, SelectStatement, SnapshotStatement,
+                      HistoryStatement]
+
+
+def _resolve_rectangle(warehouse: TemporalWarehouse,
+                       statement: SelectStatement):
+    lo, hi = warehouse.key_space
+    key_range = KeyRange(*(statement.key_range or (lo, hi)))
+    if statement.interval is not None:
+        interval = Interval(*statement.interval)
+    else:
+        interval = Interval(1, max(warehouse.now + 1, 2))
+    return key_range, interval
+
+
+def execute(warehouse: TemporalWarehouse,
+            statement: StatementLike) -> Any:
+    """Run one TQL statement; the result type depends on the statement.
+
+    * plain ``SELECT`` — a float (``None`` for AVG/MIN/MAX of nothing);
+    * ``SELECT TIMELINE(...)`` — a list of ``(Interval, value)`` buckets;
+    * ``SNAPSHOT`` — a list of ``(key, value)`` pairs;
+    * ``HISTORY`` — a list of :class:`~repro.core.model.TemporalTuple`.
+    """
+    if isinstance(statement, str):
+        statement = parse(statement)
+    if isinstance(statement, SelectStatement):
+        key_range, interval = _resolve_rectangle(warehouse, statement)
+        aggregate = _AGGREGATES[statement.agg.name]
+        if statement.agg.timeline_buckets is not None:
+            return warehouse.aggregates.timeline(
+                key_range, interval, statement.agg.timeline_buckets,
+                aggregate,
+            )
+        return warehouse.aggregate(key_range, interval, aggregate)
+    if isinstance(statement, SnapshotStatement):
+        lo, hi = warehouse.key_space
+        key_range = KeyRange(*(statement.key_range or (lo, hi)))
+        return warehouse.snapshot(key_range, statement.at)
+    if isinstance(statement, HistoryStatement):
+        return warehouse.history(statement.key)
+    if isinstance(statement, InsertStatement):
+        warehouse.insert(statement.key, statement.value, statement.at)
+        return f"inserted key {statement.key} at t={statement.at}"
+    if isinstance(statement, DeleteStatement):
+        value = warehouse.delete(statement.key, statement.at)
+        return (f"deleted key {statement.key} at t={statement.at} "
+                f"(value was {value})")
+    raise QueryError(f"cannot execute {type(statement).__name__}")
+
+
+def explain(warehouse: TemporalWarehouse,
+            statement: StatementLike) -> QueryPlan:
+    """The planner's decision for a SELECT, without executing it."""
+    if isinstance(statement, str):
+        statement = parse(statement)
+    if not isinstance(statement, SelectStatement):
+        raise QueryError("only SELECT statements have query plans")
+    key_range, interval = _resolve_rectangle(warehouse, statement)
+    return warehouse.explain(key_range, interval,
+                             _AGGREGATES[statement.agg.name])

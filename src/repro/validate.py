@@ -1,0 +1,201 @@
+"""Randomized self-validation: fuzz every structure against brute force.
+
+``python -m repro.validate --events 5000 --seed 7`` replays a random
+transaction-time stream into the RTA index, the MVBT baseline and the heap
+scan simultaneously, cross-checks hundreds of random rectangles against a
+brute-force oracle, audits every structural invariant, and round-trips a
+checkpoint — a release-gate smoke screen that needs no test harness.
+
+Programmatic use: :func:`run_validation` returns a
+:class:`ValidationReport`; it raises nothing and reports failures as data,
+so operational tooling can act on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.baselines.mvbt_rta import MVBTRTABaseline
+from repro.baselines.naive_scan import HeapFileScanBaseline
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.mvbt.config import MVBTConfig
+from repro.mvsbt.tree import MVSBTConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 100_001)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    events: int = 0
+    rectangles_checked: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    invariant_errors: List[str] = field(default_factory=list)
+    checkpoint_ok: Optional[bool] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (not self.mismatches and not self.invariant_errors
+                and self.checkpoint_ok is not False)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict (PASS/FAIL + details)."""
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"validation {status}: {self.events} events, "
+            f"{self.rectangles_checked} rectangles, "
+            f"checkpoint={'ok' if self.checkpoint_ok else 'FAILED'}, "
+            f"{self.elapsed_s:.1f}s",
+        ]
+        lines.extend(f"  mismatch: {m}" for m in self.mismatches[:10])
+        lines.extend(f"  invariant: {e}" for e in self.invariant_errors[:10])
+        return "\n".join(lines)
+
+
+class _BruteForce:
+    """Self-contained oracle: explicit tuples, direct aggregation."""
+
+    def __init__(self) -> None:
+        self.rows: List[Tuple[int, int, int, float]] = []
+        self._alive: dict[int, int] = {}
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        self._alive[key] = len(self.rows)
+        self.rows.append((key, t, 2**62, value))
+
+    def delete(self, key: int, t: int) -> None:
+        idx = self._alive.pop(key)
+        k, s, _e, v = self.rows[idx]
+        self.rows[idx] = (k, s, t, v)
+
+    def sum_count(self, k1: int, k2: int, t1: int,
+                  t2: int) -> Tuple[float, int]:
+        total, count = 0.0, 0
+        for (k, s, e, v) in self.rows:
+            if k1 <= k < k2 and s < t2 and e > t1:
+                total += v
+                count += 1
+        return total, count
+
+
+def _lcg(state: int) -> int:
+    return (state * 48271) % (2**31 - 1)
+
+
+def run_validation(events: int = 5000, seed: int = 1, rectangles: int = 200,
+                   capacity: int = 16,
+                   checkpoint_dir: Optional[str] = None) -> ValidationReport:
+    """Run the full cross-check; see the module docstring."""
+    started = time.perf_counter()
+    report = ValidationReport()
+
+    def pool() -> BufferPool:
+        return BufferPool(InMemoryDiskManager(), capacity=4096)
+
+    rta = RTAIndex(pool(), MVSBTConfig(capacity=capacity),
+                   key_space=KEY_SPACE)
+    mvbt = MVBTRTABaseline(pool(), MVBTConfig(capacity=capacity),
+                           key_space=KEY_SPACE)
+    heap = HeapFileScanBaseline(pool(), capacity=capacity,
+                                key_space=KEY_SPACE)
+    oracle = _BruteForce()
+    competitors = (rta, mvbt, heap)
+
+    state = seed
+    t = 1
+    alive: List[int] = []
+    for _ in range(events):
+        state = _lcg(state)
+        t += state % 2
+        if alive and state % 3 == 0:
+            key = alive.pop(state % len(alive))
+            for competitor in competitors:
+                competitor.delete(key, t)
+            oracle.delete(key, t)
+        else:
+            key = state % (KEY_SPACE[1] - 1) + 1
+            if key in oracle._alive:
+                continue
+            value = float(state % 201 - 100)
+            for competitor in competitors:
+                competitor.insert(key, value, t)
+            oracle.insert(key, value, t)
+        report.events += 1
+
+    state = _lcg(seed + 99)
+    for _ in range(rectangles):
+        state = _lcg(state)
+        k1 = state % (KEY_SPACE[1] - 1) + 1
+        state = _lcg(state)
+        k2 = min(k1 + state % (KEY_SPACE[1] // 2) + 1, KEY_SPACE[1])
+        state = _lcg(state)
+        t1 = state % t + 1
+        state = _lcg(state)
+        t2 = min(t1 + state % max(t // 2, 2) + 1, t + 10)
+        expected_sum, expected_count = oracle.sum_count(k1, k2, t1, t2)
+        r, iv = KeyRange(k1, k2), Interval(t1, t2)
+        for name, competitor in (("rta", rta), ("mvbt", mvbt),
+                                 ("heap", heap)):
+            got = competitor.aggregate_all(r, iv)
+            if abs(got.sum - expected_sum) > 1e-6 \
+                    or got.count != expected_count:
+                report.mismatches.append(
+                    f"{name} on [{k1},{k2})x[{t1},{t2}): "
+                    f"sum {got.sum} vs {expected_sum}, "
+                    f"count {got.count} vs {expected_count}"
+                )
+        report.rectangles_checked += 1
+
+    for name, check in (("rta", rta.check_invariants),
+                        ("mvbt", mvbt.check_invariants)):
+        try:
+            check()
+        except AssertionError as exc:
+            report.invariant_errors.append(f"{name}: {exc}")
+
+    if checkpoint_dir is not None:
+        rta.save(checkpoint_dir)
+        reopened = RTAIndex.load(checkpoint_dir, buffer_pages=4096)
+        probe_r = KeyRange(*KEY_SPACE)
+        probe_iv = Interval(1, t + 2)
+        report.checkpoint_ok = (
+            reopened.sum(probe_r, probe_iv) == rta.sum(probe_r, probe_iv)
+            and reopened.count(probe_r, probe_iv)
+            == rta.count(probe_r, probe_iv)
+        )
+
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit code 0 on PASS, 1 on FAIL."""
+    parser = argparse.ArgumentParser(prog="python -m repro.validate")
+    parser.add_argument("--events", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rectangles", type=int, default=200)
+    parser.add_argument("--capacity", type=int, default=16)
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as directory:
+        report = run_validation(events=args.events, seed=args.seed,
+                                rectangles=args.rectangles,
+                                capacity=args.capacity,
+                                checkpoint_dir=directory)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Workload generation: synthetic warehouses and query rectangles.
+
+The paper's datasets come from the TimeIT generator ([IKS98]) with keys
+added afterwards: 1M records over 10,000 unique keys, key space
+``[1, 10^9]``, time space ``[1, 10^8]``, uniformly or normally distributed
+keys, mainly long- or mainly short-lived intervals.  This package rebuilds
+those knobs as seeded generators:
+
+* :func:`~repro.workloads.generator.generate_dataset` — a transaction-time
+  update stream (insert/delete events in time order, 1TNF per key);
+* :func:`~repro.workloads.queries.generate_query_rectangles` — random query
+  rectangles parameterized by QRS (area fraction) and R/I shape (section 5);
+* :mod:`~repro.workloads.datasets` — the paper's four dataset families at a
+  configurable scale.
+"""
+
+from repro.workloads.generator import (
+    DatasetConfig,
+    UpdateEvent,
+    WorkloadDataset,
+    generate_dataset,
+)
+from repro.workloads.queries import QueryRectangleConfig, generate_query_rectangles
+from repro.workloads.datasets import paper_config, PAPER_FAMILIES
+
+__all__ = [
+    "DatasetConfig",
+    "PAPER_FAMILIES",
+    "QueryRectangleConfig",
+    "UpdateEvent",
+    "WorkloadDataset",
+    "generate_dataset",
+    "generate_query_rectangles",
+    "paper_config",
+]

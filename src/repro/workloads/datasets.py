@@ -1,0 +1,55 @@
+"""The paper's four dataset families (section 5) at a configurable scale.
+
+The paper generates 1M-record datasets with 10,000 unique keys over key
+space ``[1, 10^9]`` and time space ``[1, 10^8]``, crossing two key
+distributions (uniform, normal) with two interval-length regimes (mainly
+long-lived, mainly short-lived).  ``paper_config(family, scale)`` returns
+the corresponding :class:`~repro.workloads.generator.DatasetConfig`;
+``scale=1.0`` is the paper's size, the default ``scale=0.01`` keeps the
+record-per-key density (100) while shrinking the record count to what
+CPython sweeps in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import DatasetConfig
+
+PAPER_RECORDS = 1_000_000
+PAPER_KEYS = 10_000
+PAPER_KEY_SPACE = (1, 10**9 + 1)
+PAPER_TIME_SPACE = (1, 10**8 + 1)
+
+PAPER_FAMILIES = (
+    "uniform-long",
+    "uniform-short",
+    "normal-long",
+    "normal-short",
+)
+
+
+def paper_config(family: str = "uniform-long", scale: float = 0.01,
+                 seed: int = 20010521) -> DatasetConfig:
+    """A section 5 dataset family scaled by ``scale``.
+
+    ``family`` is ``"<distribution>-<interval style>"`` from
+    :data:`PAPER_FAMILIES`.  Scaling multiplies both the record count and
+    the unique-key count, preserving the paper's ~100 records per key.
+    """
+    if family not in PAPER_FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r}; choose from {PAPER_FAMILIES}"
+        )
+    if not (0.0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    distribution, style = family.split("-")
+    n_records = max(100, int(PAPER_RECORDS * scale))
+    n_keys = max(10, int(PAPER_KEYS * scale))
+    return DatasetConfig(
+        n_records=n_records,
+        n_keys=n_keys,
+        key_space=PAPER_KEY_SPACE,
+        time_space=PAPER_TIME_SPACE,
+        key_distribution=distribution,  # type: ignore[arg-type]
+        interval_style=style,           # type: ignore[arg-type]
+        seed=seed,
+    )

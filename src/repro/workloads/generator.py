@@ -1,0 +1,211 @@
+"""Synthetic temporal warehouse generation (TimeIT-like, seeded).
+
+A dataset is a set of temporal tuples respecting first temporal normal form
+— per key, the records' intervals are pairwise disjoint — delivered as a
+transaction-time update stream: ``insert`` and ``delete`` events sorted by
+timestamp, deletes before inserts within one instant so a key can die and be
+reborn at the same tick.
+
+Interval lengths are drawn from an exponential distribution whose mean is a
+fraction of the time space: the paper's "mainly long-lived" and "mainly
+short-lived" datasets differ exactly in that fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Literal, Tuple
+
+import numpy as np
+
+from repro.core.model import NOW
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One warehouse update: ``op`` is ``"insert"`` or ``"delete"``."""
+
+    op: str
+    key: int
+    value: float
+    time: int
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs of the TimeIT-like generator.
+
+    Defaults are the paper's section 5 parameters scaled down 100x
+    (records and unique keys); key and time spaces keep the paper's extents
+    since index behaviour depends on densities, not absolute coordinates.
+    """
+
+    n_records: int = 10_000
+    n_keys: int = 100
+    key_space: Tuple[int, int] = (1, 10**9 + 1)
+    time_space: Tuple[int, int] = (1, 10**8 + 1)
+    key_distribution: Literal["uniform", "normal", "zipf"] = "uniform"
+    interval_style: Literal["long", "short"] = "long"
+    #: Mean interval length as a fraction of the time space.
+    long_fraction: float = 0.02
+    short_fraction: float = 0.0002
+    value_range: Tuple[int, int] = (1, 100)
+    seed: int = 20010521  # PODS 2001
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1 or self.n_records < self.n_keys:
+            raise ValueError(
+                f"need n_records >= n_keys >= 1, got "
+                f"{self.n_records}/{self.n_keys}"
+            )
+        if self.key_distribution not in ("uniform", "normal", "zipf"):
+            raise ValueError(f"unknown key distribution "
+                             f"{self.key_distribution!r}")
+        if self.interval_style not in ("long", "short"):
+            raise ValueError(f"unknown interval style "
+                             f"{self.interval_style!r}")
+
+    @property
+    def mean_interval(self) -> float:
+        span = self.time_space[1] - self.time_space[0]
+        fraction = (self.long_fraction if self.interval_style == "long"
+                    else self.short_fraction)
+        return max(2.0, span * fraction)
+
+
+@dataclass
+class WorkloadDataset:
+    """The generated warehouse: tuples plus the derived update stream."""
+
+    config: DatasetConfig
+    #: (key, start, end, value); ``end == NOW`` for still-alive tuples.
+    tuples: List[Tuple[int, int, int, float]] = field(default_factory=list)
+    events: List[UpdateEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def unique_keys(self) -> int:
+        return len({key for (key, _s, _e, _v) in self.tuples})
+
+    def replay_into(self, index) -> None:
+        """Feed the event stream into anything with insert/delete methods."""
+        for event in self.events:
+            if event.op == "insert":
+                index.insert(event.key, event.value, event.time)
+            else:
+                index.delete(event.key, event.time)
+
+    def iter_batches(self, size: int) -> Iterator[List[UpdateEvent]]:
+        """Yield the event stream in chunks of at most ``size``."""
+        for i in range(0, len(self.events), size):
+            yield self.events[i:i + size]
+
+
+def _draw_keys(config: DatasetConfig, rng: np.random.Generator) -> np.ndarray:
+    lo, hi = config.key_space
+    span = hi - lo
+    wanted = config.n_keys
+    chosen: set[int] = set()
+    while len(chosen) < wanted:
+        need = wanted - len(chosen)
+        if config.key_distribution == "uniform":
+            draws = rng.integers(lo, hi, size=max(need * 2, 8))
+        elif config.key_distribution == "normal":
+            center = lo + span / 2
+            draws = rng.normal(center, span / 8, size=max(need * 2, 8))
+            draws = np.clip(draws.astype(np.int64), lo, hi - 1)
+        else:
+            # Zipf (a=1.5) offsets from the bottom of the key space:
+            # heavy skew toward low keys, the classic hot-range stressor
+            # (not in the paper's section 5, kept for skew experiments).
+            draws = rng.zipf(1.5, size=max(need * 2, 8))
+            draws = lo + np.minimum(draws - 1, span - 1)
+        chosen.update(int(k) for k in draws)
+    ordered = sorted(chosen)
+    if len(ordered) > wanted:
+        # Drop the surplus at random — truncating the sorted list would
+        # bias the distribution toward low keys.
+        picked = rng.choice(len(ordered), size=wanted, replace=False)
+        ordered = sorted(ordered[i] for i in picked)
+    return np.array(ordered, dtype=np.int64)
+
+
+def _distinct_sorted_times(rng: np.random.Generator, lo: int, hi: int,
+                           count: int) -> np.ndarray:
+    """``count`` distinct sorted integers in ``[lo, hi)`` without
+    materializing the range (the paper's time space has 10^8 instants)."""
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        need = count - len(chosen)
+        chosen.update(
+            int(t) for t in rng.integers(lo, hi, size=max(need * 2, 8))
+        )
+    ordered = sorted(chosen)
+    if len(ordered) > count:
+        picked = rng.choice(len(ordered), size=count, replace=False)
+        ordered = sorted(ordered[i] for i in picked)
+    return np.array(ordered, dtype=np.int64)
+
+
+def generate_dataset(config: DatasetConfig) -> WorkloadDataset:
+    """Generate a 1TNF warehouse and its transaction-time update stream.
+
+    Deterministic for a fixed config (numpy ``default_rng`` seeded from
+    ``config.seed``).
+    """
+    rng = np.random.default_rng(config.seed)
+    keys = _draw_keys(config, rng)
+    t_lo, t_hi = config.time_space
+
+    # Distribute the record budget over keys: average n_records/n_keys
+    # records each, +-50% spread, then fix the total by adjustment.
+    per_key = np.maximum(
+        1, rng.integers(
+            max(1, config.n_records // config.n_keys // 2),
+            max(2, (config.n_records // config.n_keys) * 3 // 2 + 1),
+            size=config.n_keys,
+        )
+    )
+    deficit = config.n_records - int(per_key.sum())
+    step = 1 if deficit > 0 else -1
+    idx = 0
+    while deficit != 0:
+        if step > 0 or per_key[idx % config.n_keys] > 1:
+            per_key[idx % config.n_keys] += step
+            deficit -= step
+        idx += 1
+
+    tuples: List[Tuple[int, int, int, float]] = []
+    for key, count in zip(keys, per_key):
+        count = min(int(count), (t_hi - 1 - t_lo) // 2)
+        starts = _distinct_sorted_times(rng, t_lo, t_hi - 1, count)
+        lengths = np.maximum(
+            1, rng.exponential(config.mean_interval, size=len(starts))
+        ).astype(np.int64)
+        values = rng.integers(config.value_range[0],
+                              config.value_range[1] + 1, size=len(starts))
+        for i, (start, length, value) in enumerate(
+                zip(starts, lengths, values)):
+            # Consecutive records never overlap (1TNF): each end is
+            # clipped at the next record's start.
+            limit = int(starts[i + 1]) if i + 1 < len(starts) else t_hi
+            end = min(int(start) + int(length), limit)
+            tuples.append((int(key), int(start), end, float(value)))
+
+    events: List[UpdateEvent] = []
+    for key, start, end, value in tuples:
+        events.append(UpdateEvent("insert", key, value, start))
+        if end < t_hi:
+            events.append(UpdateEvent("delete", key, value, end))
+    # Deletes first within an instant, so a key freed at t can be reused at t.
+    events.sort(key=lambda e: (e.time, 0 if e.op == "delete" else 1, e.key))
+
+    # Tuples still alive at the horizon keep their real end for reference
+    # purposes but are never deleted in the stream.
+    normalized = [
+        (key, start, end if end < t_hi else NOW, value)
+        for (key, start, end, value) in tuples
+    ]
+    return WorkloadDataset(config=config, tuples=normalized, events=events)

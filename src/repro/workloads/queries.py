@@ -1,0 +1,81 @@
+"""Query-rectangle generation (paper section 5).
+
+The paper describes a query workload by two numbers:
+
+* **QRS** (query rectangle size) — the rectangle's area as a fraction of
+  the whole key-time space;
+* **R/I shape** — ``R`` is the key-range extent divided by the key-space
+  extent, ``I`` the time-interval extent divided by the time-space extent.
+
+Given ``QRS = R * I`` and ``shape = R / I``, the relative extents are
+``R = sqrt(QRS * shape)`` and ``I = sqrt(QRS / shape)`` (clamped to 1);
+positions are uniform over the legal placements.  Each experiment point in
+Figure 4b/4c uses 100 rectangles of one fixed size and shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.model import Interval, KeyRange, Rectangle
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class QueryRectangleConfig:
+    """One query-workload point: ``count`` rectangles of fixed size/shape."""
+
+    qrs: float = 0.01            # area fraction of the key-time space
+    shape: float = 1.0           # R / I
+    count: int = 100
+    key_space: Tuple[int, int] = (1, 10**9 + 1)
+    time_space: Tuple[int, int] = (1, 10**8 + 1)
+    seed: int = 4001
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.qrs <= 1.0):
+            raise QueryError(f"QRS must be in (0, 1], got {self.qrs}")
+        if self.shape <= 0:
+            raise QueryError(f"shape must be positive, got {self.shape}")
+        if self.count < 1:
+            raise QueryError("need at least one rectangle")
+
+    @property
+    def relative_extents(self) -> Tuple[float, float]:
+        """(R, I): relative key and time extents, individually clamped to 1.
+
+        When the requested shape would push one extent past the full space
+        the other absorbs the area so the QRS is preserved whenever
+        possible (QRS <= 1 always makes that feasible).
+        """
+        r = math.sqrt(self.qrs * self.shape)
+        i = math.sqrt(self.qrs / self.shape)
+        if r > 1.0:
+            r, i = 1.0, self.qrs
+        elif i > 1.0:
+            r, i = self.qrs, 1.0
+        return r, i
+
+
+def generate_query_rectangles(config: QueryRectangleConfig) -> List[Rectangle]:
+    """``config.count`` uniformly placed rectangles of one size and shape."""
+    rng = np.random.default_rng(config.seed)
+    k_lo, k_hi = config.key_space
+    t_lo, t_hi = config.time_space
+    r, i = config.relative_extents
+    key_extent = max(1, round((k_hi - k_lo) * r))
+    time_extent = max(1, round((t_hi - t_lo) * i))
+
+    rectangles: List[Rectangle] = []
+    for _ in range(config.count):
+        key_start = int(rng.integers(k_lo, max(k_lo + 1, k_hi - key_extent)))
+        time_start = int(rng.integers(t_lo, max(t_lo + 1, t_hi - time_extent)))
+        rectangles.append(Rectangle(
+            KeyRange(key_start, key_start + key_extent),
+            Interval(time_start, time_start + time_extent),
+        ))
+    return rectangles

@@ -1,0 +1,165 @@
+"""Tests for the RTA-capable baselines and three-way cross-checks."""
+
+import pytest
+
+from repro.baselines.mvbt_rta import MVBTRTABaseline
+from repro.baselines.naive_scan import HeapFileScanBaseline
+from repro.core.aggregates import AVG, COUNT, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.mvbt.config import MVBTConfig
+from repro.mvsbt.tree import MVSBTConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 1001)
+
+
+def fresh_pool():
+    return BufferPool(InMemoryDiskManager(), capacity=4096)
+
+
+class TestHeapFileScan:
+    @pytest.fixture()
+    def heap(self):
+        return HeapFileScanBaseline(fresh_pool(), capacity=4,
+                                    key_space=KEY_SPACE)
+
+    def test_insert_query(self, heap):
+        heap.insert(100, 7.0, t=5)
+        assert heap.sum(KeyRange(1, 1000), Interval(1, 100)) == 7.0
+        assert heap.sum(KeyRange(1, 100), Interval(1, 100)) == 0.0
+
+    def test_delete_closes_interval(self, heap):
+        heap.insert(100, 7.0, t=5)
+        heap.delete(100, t=10)
+        assert heap.sum(KeyRange(1, 1000), Interval(10, 20)) == 0.0
+        assert heap.sum(KeyRange(1, 1000), Interval(9, 20)) == 7.0
+
+    def test_duplicate_and_missing_keys(self, heap):
+        heap.insert(100, 1.0, t=5)
+        with pytest.raises(DuplicateKeyError):
+            heap.insert(100, 2.0, t=6)
+        with pytest.raises(KeyNotFoundError):
+            heap.delete(999, t=7)
+
+    def test_aggregates(self, heap):
+        heap.insert(100, 2.0, t=5)
+        heap.insert(200, 4.0, t=5)
+        r, iv = KeyRange(1, 1000), Interval(1, 10)
+        assert heap.query(r, iv, COUNT) == 2.0
+        assert heap.query(r, iv, AVG) == 3.0
+        result = heap.aggregate_all(r, iv)
+        assert (result.sum, result.count) == (6.0, 2.0)
+
+    def test_pages_grow_linearly(self, heap):
+        for i in range(1, 20):
+            heap.insert(i, 1.0, t=i)
+        assert heap.page_count() == 5  # 19 tuples / 4 per page
+        assert len(heap) == 19
+
+    def test_timeline_two_step_aggregation(self, heap):
+        heap.insert(10, 1.0, t=5)
+        heap.insert(20, 2.0, t=8)
+        heap.delete(10, t=12)
+        heap.delete(20, t=15)
+        timeline = heap.aggregate_timeline()
+        assert timeline == [(5, 8, 1.0), (8, 12, 3.0), (12, 15, 2.0)]
+
+    def test_timeline_with_key_range(self, heap):
+        heap.insert(10, 1.0, t=5)
+        heap.insert(500, 9.0, t=6)
+        timeline = heap.aggregate_timeline(KeyRange(1, 100))
+        assert len(timeline) == 1
+        assert timeline[0][2] == 1.0
+
+    def test_timeline_empty(self, heap):
+        assert heap.aggregate_timeline() == []
+
+
+class TestMVBTBaseline:
+    @pytest.fixture()
+    def baseline(self):
+        return MVBTRTABaseline(fresh_pool(), MVBTConfig(capacity=8),
+                               key_space=KEY_SPACE)
+
+    def test_basic_aggregates(self, baseline):
+        baseline.insert(100, 2.0, t=5)
+        baseline.insert(200, 4.0, t=5)
+        baseline.delete(100, t=20)
+        r = KeyRange(1, 1000)
+        assert baseline.sum(r, Interval(1, 100)) == 6.0
+        assert baseline.sum(r, Interval(20, 100)) == 4.0
+        assert baseline.count(r, Interval(1, 100)) == 2.0
+        assert baseline.avg(r, Interval(1, 100)) == 3.0
+        assert baseline.avg(r, Interval(1, 5)) is None
+
+    def test_update(self, baseline):
+        baseline.insert(100, 2.0, t=5)
+        baseline.update(100, 8.0, t=10)
+        assert baseline.sum(KeyRange(1, 1000), Interval(10, 11)) == 8.0
+
+    def test_page_count(self, baseline):
+        for i in range(1, 60):
+            baseline.insert(i * 10, 1.0, t=i)
+        assert baseline.page_count() > 1
+        baseline.check_invariants()
+
+
+class TestThreeWayCrossCheck:
+    """MVSBT-RTA, MVBT baseline, and heap scan must always agree."""
+
+    def _build_all(self, seed=41, steps=250):
+        mvsbt = RTAIndex(fresh_pool(), MVSBTConfig(capacity=8),
+                         key_space=KEY_SPACE)
+        mvbt = MVBTRTABaseline(fresh_pool(), MVBTConfig(capacity=8),
+                               key_space=KEY_SPACE)
+        heap = HeapFileScanBaseline(fresh_pool(), capacity=8,
+                                    key_space=KEY_SPACE)
+        competitors = (mvsbt, mvbt, heap)
+        alive = []
+        state = seed
+        for t in range(1, steps):
+            state = (state * 48271) % (2**31 - 1)
+            if alive and state % 3 == 0:
+                key = alive.pop(state % len(alive))
+                for c in competitors:
+                    c.delete(key, t)
+            else:
+                key = state % 999 + 1
+                if key not in alive:
+                    value = float(state % 21 - 10)
+                    for c in competitors:
+                        c.insert(key, value, t)
+                    alive.append(key)
+        return competitors
+
+    def test_agreement_on_many_rectangles(self):
+        mvsbt, mvbt, heap = self._build_all()
+        rectangles = [
+            (1, 1001, 1, 250), (100, 300, 50, 80), (400, 900, 200, 210),
+            (1, 50, 1, 249), (700, 701, 100, 150), (999, 1001, 1, 250),
+            (1, 1001, 249, 250), (500, 501, 125, 126),
+        ]
+        for (k1, k2, t1, t2) in rectangles:
+            r, iv = KeyRange(k1, k2), Interval(t1, t2)
+            expected = heap.aggregate_all(r, iv)
+            for competitor in (mvsbt, mvbt):
+                got = competitor.aggregate_all(r, iv)
+                assert got.sum == pytest.approx(expected.sum), (k1, k2, t1, t2)
+                assert got.count == expected.count, (k1, k2, t1, t2)
+
+    def test_mvsbt_queries_cost_fewer_ios_on_large_rectangles(self):
+        mvsbt, mvbt, heap = self._build_all(steps=400)
+        r, iv = KeyRange(1, 1001), Interval(1, 400)   # whole space
+
+        def io_cost(competitor):
+            pool = competitor.pool
+            pool.clear()
+            before = pool.stats.snapshot()
+            competitor.sum(r, iv)
+            return pool.stats.delta(before).logical_reads
+
+        assert io_cost(mvsbt) < io_cost(mvbt)
+        assert io_cost(mvsbt) < io_cost(heap)

@@ -1,0 +1,155 @@
+"""Tests for the main-memory scalar baselines ([KS95], [MLI00])."""
+
+import pytest
+
+from repro.baselines.aggregation_tree import AggregationTree
+from repro.baselines.balanced_tree import (
+    BalancedTemporalAggregate,
+    RedBlackPrefixTree,
+)
+from repro.errors import QueryError
+
+from tests.oracles import IntervalFunctionOracle
+
+
+class TestAggregationTree:
+    def test_basic_semantics(self):
+        tree = AggregationTree(domain=(1, 101))
+        tree.insert(10, 20, 5.0)
+        assert tree.aggregate(9) == 0.0
+        assert tree.aggregate(10) == 5.0
+        assert tree.aggregate(19) == 5.0
+        assert tree.aggregate(20) == 0.0
+
+    def test_overlaps_accumulate(self):
+        tree = AggregationTree(domain=(1, 101))
+        tree.insert(10, 50, 1.0)
+        tree.insert(30, 70, 2.0)
+        assert tree.aggregate(40) == 3.0
+
+    def test_matches_oracle(self):
+        tree = AggregationTree(domain=(1, 301))
+        oracle = IntervalFunctionOracle()
+        state = 5
+        for _ in range(250):
+            state = (state * 48271) % (2**31 - 1)
+            start = state % 280 + 1
+            end = min(start + state % 30 + 1, 301)
+            value = float(state % 9 - 4)
+            tree.insert(start, end, value)
+            oracle.insert(start, end, value)
+        for t in range(1, 301, 3):
+            assert tree.aggregate(t) == pytest.approx(oracle.query(t))
+
+    def test_degenerates_on_sorted_insertions(self):
+        """The documented [KS95] weakness: sorted endpoints -> linear depth."""
+        tree = AggregationTree(domain=(1, 10_001))
+        for i in range(1, 2000):
+            tree.insert(i, i + 1, 1.0)
+        assert tree.depth() > 500  # essentially a linked list
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            AggregationTree(domain=(5, 5))
+        tree = AggregationTree(domain=(1, 100))
+        with pytest.raises(QueryError):
+            tree.insert(200, 300, 1.0)
+        with pytest.raises(QueryError):
+            tree.aggregate(100)
+
+    def test_node_count_grows(self):
+        tree = AggregationTree(domain=(1, 1001))
+        assert tree.node_count() == 1
+        tree.insert(10, 20, 1.0)
+        assert tree.node_count() > 1
+
+
+class TestRedBlackPrefixTree:
+    def test_prefix_sums(self):
+        tree = RedBlackPrefixTree()
+        tree.add(10, 1.0)
+        tree.add(20, 2.0)
+        tree.add(5, 4.0)
+        assert tree.prefix_sum(4) == 0.0
+        assert tree.prefix_sum(5) == 4.0
+        assert tree.prefix_sum(10) == 5.0
+        assert tree.prefix_sum(19) == 5.0
+        assert tree.prefix_sum(100) == 7.0
+        assert tree.total() == 7.0
+
+    def test_accumulating_at_existing_key(self):
+        tree = RedBlackPrefixTree()
+        tree.add(10, 1.0)
+        tree.add(10, 2.5)
+        assert len(tree) == 1
+        assert tree.prefix_sum(10) == 3.5
+
+    def test_stays_balanced_under_sorted_insertions(self):
+        tree = RedBlackPrefixTree()
+        for i in range(2000):
+            tree.add(i, 1.0)
+        tree.check_invariants()
+        assert tree.depth() <= 2 * 11 + 2  # ~2 log2(n) + O(1)
+
+    def test_invariants_under_random_order(self):
+        tree = RedBlackPrefixTree()
+        state = 7
+        for _ in range(1500):
+            state = (state * 48271) % (2**31 - 1)
+            tree.add(state % 5000, float(state % 13 - 6))
+        tree.check_invariants()
+
+    def test_prefix_sum_matches_brute_force(self):
+        tree = RedBlackPrefixTree()
+        entries = {}
+        state = 3
+        for _ in range(500):
+            state = (state * 48271) % (2**31 - 1)
+            key = state % 300
+            delta = float(state % 11 - 5)
+            tree.add(key, delta)
+            entries[key] = entries.get(key, 0.0) + delta
+        for probe in range(0, 310, 7):
+            expected = sum(v for k, v in entries.items() if k <= probe)
+            assert tree.prefix_sum(probe) == pytest.approx(expected)
+
+
+class TestBalancedTemporalAggregate:
+    def test_basic_semantics(self):
+        agg = BalancedTemporalAggregate()
+        agg.insert(10, 20, 5.0)
+        assert agg.aggregate(9) == 0.0
+        assert agg.aggregate(10) == 5.0
+        assert agg.aggregate(19) == 5.0
+        assert agg.aggregate(20) == 0.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(QueryError):
+            BalancedTemporalAggregate().insert(5, 5, 1.0)
+
+    def test_matches_oracle(self):
+        agg = BalancedTemporalAggregate()
+        oracle = IntervalFunctionOracle()
+        state = 11
+        for _ in range(300):
+            state = (state * 48271) % (2**31 - 1)
+            start = state % 280 + 1
+            end = start + state % 40 + 1
+            value = float(state % 9 - 4)
+            agg.insert(start, end, value)
+            oracle.insert(start, end, value)
+        agg.check_invariants()
+        for t in range(1, 330, 3):
+            assert agg.aggregate(t) == pytest.approx(oracle.query(t))
+
+    def test_balanced_where_aggregation_tree_degenerates(self):
+        agg = BalancedTemporalAggregate()
+        unbalanced = AggregationTree(domain=(1, 10**6))
+        for i in range(1, 2000):
+            agg.insert(i, i + 1, 1.0)
+            unbalanced.insert(i, i + 1, 1.0)
+        assert agg.depth() < 30
+        assert unbalanced.depth() > 500
+        # Same answers nonetheless.
+        for t in (1, 500, 1500, 1999):
+            assert agg.aggregate(t) == unbalanced.aggregate(t)

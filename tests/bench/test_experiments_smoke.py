@@ -1,0 +1,56 @@
+"""Smoke tests: every experiment function runs at tiny scale and returns a
+well-formed table.  The benchmarks assert shapes at a larger scale; these
+protect plain `pytest tests/` runs against breakage in the experiment
+code paths."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import BenchSettings
+
+TINY = 0.001
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return BenchSettings()
+
+
+SCALED = [
+    ("fig4a_space", dict(points=2)),
+    ("fig4b_speedup", dict(qrs_points=(0.01, 1.0), count=10)),
+    ("fig4c_buffer", dict(buffer_sizes=(8, 16), count=10)),
+    ("update_cost", {}),
+    ("dataset_families", dict(count=10)),
+    ("ablation_strong_factor", dict(factors=(0.5, 0.9))),
+    ("ablation_logical_split", {}),
+    ("ablation_merging", {}),
+    ("ablation_disposal", dict(burst=32)),
+    ("minmax_open_problem", dict(qrs_points=(0.01, 1.0), count=10)),
+    ("operational_mix", dict(queries_per_1000_updates=(10,))),
+    ("rootstar_overhead", dict(count=10)),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", SCALED, ids=[n for n, _ in SCALED])
+def test_experiment_returns_table(settings, name, kwargs):
+    func = getattr(experiments, name)
+    table = func(settings, scale=TINY, **kwargs)
+    assert table.rows, f"{name} produced an empty table"
+    assert table.title
+    for row in table.rows:
+        assert set(table.columns) <= set(row)
+    assert table.render()
+
+
+def test_theorem2_bounds_smoke(settings):
+    table = experiments.theorem2_bounds(settings, scales=(0.001,))
+    assert len(table.rows) == 1
+
+
+def test_scalar_context_smoke(settings):
+    table = experiments.scalar_context(settings, n_intervals=300,
+                                       n_queries=20)
+    assert len(table.rows) == 3
+    methods = {row["method"] for row in table.rows}
+    assert any("SB-tree" in m for m in methods)

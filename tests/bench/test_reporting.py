@@ -1,0 +1,89 @@
+"""Tests for experiment tables and ASCII charts."""
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart
+from repro.bench.reporting import Table
+
+
+@pytest.fixture()
+def table():
+    t = Table(title="Demo", columns=("x", "y", "z"))
+    t.add(x=1, y=10.0, z="a")
+    t.add(x=2, y=0.5, z="b")
+    return t
+
+
+class TestTable:
+    def test_add_and_column(self, table):
+        assert table.column("x") == [1, 2]
+        assert table.column("y") == [10.0, 0.5]
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add(x=3, y=1.0)  # z missing
+
+    def test_render_contains_everything(self, table):
+        table.note("a remark")
+        text = table.render()
+        assert "Demo" in text
+        assert "x" in text and "y" in text and "z" in text
+        assert "10" in text and "0.5" in text
+        assert "note: a remark" in text
+
+    def test_render_alignment_consistent(self, table):
+        lines = table.render().splitlines()
+        header = next(l for l in lines if l.startswith("x"))
+        separator = lines[lines.index(header) + 1]
+        assert len(separator) >= len("x  y  z")
+
+    def test_float_formatting(self):
+        t = Table(title="F", columns=("v",))
+        t.add(v=123456.789)
+        t.add(v=0.000123)
+        t.add(v=0.0)
+        text = t.render()
+        assert "1.23e+05" in text
+        assert "0.000123" in text
+
+    def test_empty_table_renders(self):
+        t = Table(title="Empty", columns=("a", "b"))
+        assert "Empty" in t.render()
+
+
+class TestBarChart:
+    def test_linear_scale(self, table):
+        chart = bar_chart(table, "x", ("y",))
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(lines) == 2
+        # Larger value gets the longer bar.
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_log_scale_for_wide_ranges(self):
+        t = Table(title="Wide", columns=("x", "y"))
+        t.add(x="a", y=1.0)
+        t.add(x="b", y=100000.0)
+        chart = bar_chart(t, "x", ("y",))
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Log scale: the small value still gets a visible bar.
+        assert lines[0].count("#") >= 1
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_zero_values_get_empty_bars(self):
+        t = Table(title="Z", columns=("x", "y"))
+        t.add(x="a", y=0.0)
+        t.add(x="b", y=5.0)
+        chart = bar_chart(t, "x", ("y",))
+        zero_line = next(l for l in chart.splitlines() if l.startswith("a"))
+        assert "#" not in zero_line
+
+    def test_multi_series_grouping(self, table):
+        chart = bar_chart(table, "x", ("y", "y"))
+        # Two series per row -> blank separators between groups.
+        assert "" in chart.splitlines()
+
+    def test_all_zero_table(self):
+        t = Table(title="Z", columns=("x", "y"))
+        t.add(x="a", y=0.0)
+        chart = bar_chart(t, "x", ("y",))
+        assert "a" in chart

@@ -1,0 +1,18 @@
+"""Shared fixtures: a fresh buffer pool per test."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+@pytest.fixture()
+def pool():
+    """Generously sized buffer pool over an in-memory disk."""
+    return BufferPool(InMemoryDiskManager(), capacity=256)
+
+
+@pytest.fixture()
+def tiny_pool():
+    """Deliberately small pool (4 frames) to exercise eviction paths."""
+    return BufferPool(InMemoryDiskManager(), capacity=4)

@@ -1,0 +1,49 @@
+"""Unit tests for aggregate descriptors."""
+
+from repro.core.aggregates import (
+    ADDITIVE_AGGREGATES,
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    ORDER_AGGREGATES,
+    SUM,
+)
+
+
+def test_sum_lifts_identity():
+    assert SUM.lift(7.5) == 7.5
+    assert SUM.combine(3, 4) == 7
+    assert SUM.identity == 0
+    assert SUM.additive
+
+
+def test_count_lifts_to_one():
+    assert COUNT.lift(999.0) == 1
+    assert COUNT.combine(2, 3) == 5
+    assert COUNT.additive
+
+
+def test_min_max_are_order_aggregates():
+    assert MIN.combine(3, 7) == 3
+    assert MAX.combine(3, 7) == 7
+    assert MIN.identity == float("inf")
+    assert MAX.identity == float("-inf")
+    assert not MIN.additive
+    assert not MAX.additive
+
+
+def test_avg_is_declared_additive_derivation():
+    assert AVG.additive  # maintained via SUM and COUNT
+
+
+def test_registries_partition():
+    assert SUM in ADDITIVE_AGGREGATES
+    assert COUNT in ADDITIVE_AGGREGATES
+    assert MIN in ORDER_AGGREGATES
+    assert MAX in ORDER_AGGREGATES
+
+
+def test_str_is_name():
+    assert str(SUM) == "SUM"
+    assert str(AVG) == "AVG"

@@ -1,0 +1,141 @@
+"""Tests for range cumulative aggregates (the section 2.2 generalization).
+
+Cross-checked against the scalar CumulativeSBTree on full-key-space
+windows, and against brute force on restricted key ranges.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import COUNT
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.errors import QueryError
+from repro.mvsbt.tree import MVSBTConfig
+from repro.sbtree.cumulative import CumulativeSBTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 201)
+TIME_DOMAIN = (1, 501)
+
+
+def fresh_pool():
+    return BufferPool(InMemoryDiskManager(), capacity=2048)
+
+
+class TestBasics:
+    @pytest.fixture()
+    def index(self):
+        idx = RTAIndex(fresh_pool(), MVSBTConfig(capacity=8),
+                       key_space=KEY_SPACE)
+        idx.insert(50, 3.0, t=10)
+        idx.delete(50, t=20)      # alive over instants 10..19
+        idx.insert(100, 5.0, t=30)
+        return idx
+
+    def test_window_covers_dead_tuple(self, index):
+        r = KeyRange(1, 200)
+        assert index.cumulative(r, t=25, w=10) == 3.0   # window 15..25
+        assert index.cumulative(r, t=29, w=10) == 3.0   # window 19..29
+        assert index.cumulative(r, t=30, w=10) == 5.0   # window 20..30
+
+    def test_window_zero_is_instantaneous(self, index):
+        r = KeyRange(1, 200)
+        assert index.cumulative(r, t=15, w=0) == 3.0
+        assert index.cumulative(r, t=25, w=0) == 0.0
+
+    def test_key_range_restricts(self, index):
+        assert index.cumulative(KeyRange(60, 200), t=25, w=10) == 0.0
+        assert index.cumulative(KeyRange(1, 60), t=35, w=10) == 0.0
+        assert index.cumulative(KeyRange(60, 200), t=35, w=10) == 5.0
+
+    def test_window_clipped_at_origin(self, index):
+        assert index.cumulative(KeyRange(1, 200), t=12, w=10**6) == 3.0
+
+    def test_negative_window_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.cumulative(KeyRange(1, 200), t=10, w=-1)
+
+
+@st.composite
+def tuple_sets(draw):
+    """(key, start, duration, value) tuples; starts drawn sorted."""
+    raw = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+            st.integers(min_value=1, max_value=TIME_DOMAIN[1] - 3),
+            st.integers(min_value=1, max_value=100),
+            st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+        ),
+        min_size=1, max_size=50,
+    ))
+    return sorted(raw, key=lambda item: item[1])
+
+
+def _normalize(tuples):
+    """One tuple per key, clipped to the domain; returns the tuple list
+    and its time-ordered event stream (deletes before inserts per tick)."""
+    loaded = []
+    seen = set()
+    for key, start, duration, value in tuples:
+        if key in seen:
+            continue
+        end = min(start + duration, TIME_DOMAIN[1] - 1)
+        if end <= start:
+            continue
+        seen.add(key)
+        loaded.append((key, start, end, float(value)))
+    events = []
+    for key, start, end, value in loaded:
+        events.append((start, 1, "insert", key, value))
+        events.append((end, 0, "delete", key, value))
+    events.sort()
+    return loaded, events
+
+
+def _replay(index, events):
+    for _t, _order, op, key, value in events:
+        if op == "insert":
+            index.insert(key, value, _t)
+        else:
+            index.delete(key, _t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuple_sets(),
+       st.integers(min_value=1, max_value=TIME_DOMAIN[1] - 2),
+       st.integers(min_value=0, max_value=200))
+def test_full_range_cumulative_matches_scalar_sbtree(tuples, t, w):
+    """On the whole key space the RTA cumulative must equal the paper's
+    two-SB-tree scalar machinery."""
+    index = RTAIndex(fresh_pool(), MVSBTConfig(capacity=6),
+                     key_space=KEY_SPACE)
+    scalar = CumulativeSBTree(fresh_pool(), capacity=8, domain=TIME_DOMAIN)
+    loaded, events = _normalize(tuples)
+    _replay(index, events)
+    for key, start, end, value in loaded:
+        scalar.insert_interval(start, end, value)
+    result = index.cumulative(KeyRange(*KEY_SPACE), t, w)
+    assert result == pytest.approx(scalar.cumulative(t, w))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuple_sets(),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+       st.integers(min_value=1, max_value=150),
+       st.integers(min_value=1, max_value=TIME_DOMAIN[1] - 2),
+       st.integers(min_value=0, max_value=100))
+def test_restricted_range_cumulative_matches_brute_force(tuples, k1, width,
+                                                         t, w):
+    index = RTAIndex(fresh_pool(), MVSBTConfig(capacity=6),
+                     key_space=KEY_SPACE)
+    loaded, events = _normalize(tuples)
+    _replay(index, events)
+    k2 = min(k1 + width, KEY_SPACE[1])
+    window_start = max(t - w, 1)
+    expected = sum(
+        1 for (key, s, e, _v) in loaded
+        if k1 <= key < k2 and s <= t and e > window_start
+    )
+    assert index.cumulative(KeyRange(k1, k2), t, w, COUNT) == expected

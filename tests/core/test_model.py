@@ -1,0 +1,130 @@
+"""Unit tests for the temporal data model types."""
+
+import pytest
+
+from repro.core.model import (
+    Interval,
+    KeyRange,
+    NOW,
+    Rectangle,
+    TemporalTuple,
+    validate_query_rectangle,
+)
+from repro.errors import QueryError
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        iv = Interval(5, 10)
+        assert iv.contains(5)
+        assert iv.contains(9)
+        assert not iv.contains(10)
+        assert not iv.contains(4)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(QueryError):
+            Interval(5, 5)
+        with pytest.raises(QueryError):
+            Interval(6, 5)
+
+    def test_instant_interval(self):
+        assert Interval(5, 6).is_instant
+        assert not Interval(5, 7).is_instant
+
+    def test_alive_sentinel(self):
+        assert Interval(5, NOW).alive
+        assert not Interval(5, 100).alive
+
+    def test_intersects_and_intersection(self):
+        a, b = Interval(1, 10), Interval(5, 20)
+        assert a.intersects(b) and b.intersects(a)
+        assert a.intersection(b) == Interval(5, 10)
+        c = Interval(10, 12)
+        assert not a.intersects(c)         # half-open: [1,10) + [10,12)
+        assert a.intersection(c) is None
+
+    def test_contains_interval(self):
+        assert Interval(1, 10).contains_interval(Interval(3, 7))
+        assert Interval(1, 10).contains_interval(Interval(1, 10))
+        assert not Interval(1, 10).contains_interval(Interval(3, 11))
+
+    def test_length_and_instants(self):
+        iv = Interval(3, 6)
+        assert iv.length == 3
+        assert list(iv.instants()) == [3, 4, 5]
+
+    def test_str_shows_now(self):
+        assert str(Interval(3, NOW)) == "[3,now)"
+
+
+class TestKeyRange:
+    def test_single_key_constructor(self):
+        r = KeyRange.single(42)
+        assert r.contains(42)
+        assert not r.contains(43)
+        assert r.is_single_key
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            KeyRange(5, 5)
+
+    def test_lower_than_order(self):
+        assert KeyRange(1, 5).is_lower_than(KeyRange(5, 9))
+        assert not KeyRange(1, 6).is_lower_than(KeyRange(5, 9))
+
+    def test_intersection(self):
+        assert KeyRange(1, 10).intersection(KeyRange(5, 20)) == KeyRange(5, 10)
+        assert KeyRange(1, 5).intersection(KeyRange(5, 9)) is None
+
+    def test_contains_range(self):
+        assert KeyRange(1, 10).contains_range(KeyRange(2, 9))
+        assert not KeyRange(1, 10).contains_range(KeyRange(2, 11))
+
+
+class TestRectangleAndTuple:
+    def test_rectangle_point_membership(self):
+        rect = Rectangle(KeyRange(10, 20), Interval(5, 15))
+        assert rect.contains_point(10, 5)
+        assert not rect.contains_point(20, 5)
+        assert not rect.contains_point(10, 15)
+        assert rect.area == 100
+
+    def test_rectangle_intersection(self):
+        a = Rectangle(KeyRange(1, 10), Interval(1, 10))
+        b = Rectangle(KeyRange(5, 20), Interval(5, 20))
+        c = Rectangle(KeyRange(10, 20), Interval(1, 10))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_tuple_in_rectangle_uses_interval_intersection(self):
+        rect = Rectangle(KeyRange(10, 20), Interval(100, 200))
+        inside = TemporalTuple(15, Interval(50, 150), 1.0)
+        before = TemporalTuple(15, Interval(50, 100), 1.0)
+        wrong_key = TemporalTuple(20, Interval(150, 160), 1.0)
+        assert inside.in_rectangle(rect)
+        assert not before.in_rectangle(rect)    # ends as window opens
+        assert not wrong_key.in_rectangle(rect)
+
+    def test_alive_tuple(self):
+        assert TemporalTuple(1, Interval(1, NOW), 0.0).alive
+        assert not TemporalTuple(1, Interval(1, 5), 0.0).alive
+
+
+class TestValidateQueryRectangle:
+    def test_accepts_in_space(self):
+        validate_query_rectangle(KeyRange(1, 100), Interval(1, 50),
+                                 max_key=1000, max_time=1000)
+
+    def test_rejects_out_of_key_space(self):
+        with pytest.raises(QueryError):
+            validate_query_rectangle(KeyRange(1, 2000), Interval(1, 50),
+                                     max_key=1000, max_time=1000)
+
+    def test_rejects_out_of_time_space(self):
+        with pytest.raises(QueryError):
+            validate_query_rectangle(KeyRange(1, 100), Interval(1, 2000),
+                                     max_key=1000, max_time=1000)
+
+    def test_accepts_now_ended_interval(self):
+        validate_query_rectangle(KeyRange(1, 100), Interval(1, NOW),
+                                 max_key=1000, max_time=1000)

@@ -1,0 +1,82 @@
+"""Tests for the timeline and key-histogram rollup APIs."""
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.errors import QueryError
+from repro.mvsbt.tree import MVSBTConfig
+
+KEY_SPACE = (1, 1001)
+
+
+@pytest.fixture()
+def index(pool):
+    idx = RTAIndex(pool, MVSBTConfig(capacity=8), key_space=KEY_SPACE)
+    idx.insert(100, 10.0, t=10)    # alive [10, 35)
+    idx.delete(100, t=35)
+    idx.insert(500, 20.0, t=40)    # alive [40, now)
+    return idx
+
+
+class TestTimeline:
+    def test_bucket_edges_partition_interval(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(1, 101), 4)
+        assert len(series) == 4
+        assert series[0][0].start == 1
+        assert series[-1][0].end == 101
+        for (left, _), (right, _) in zip(series, series[1:]):
+            assert left.end == right.start
+
+    def test_uneven_spans_distributed(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(1, 11), 3)
+        lengths = [bucket.length for bucket, _ in series]
+        assert sum(lengths) == 10
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_values_match_direct_queries(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(1, 101), 5,
+                                SUM)
+        for bucket, value in series:
+            assert value == index.sum(KeyRange(1, 1000), bucket)
+
+    def test_sum_series_shape(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(1, 81), 4, SUM)
+        # Buckets: [1,21) [21,41) [41,61) [61,81).  Tuple 100 (value 10)
+        # lives over [10,35): buckets 1-2.  Tuple 500 (value 20) lives
+        # from t=40: it already intersects bucket 2 ([21,41) covers 40).
+        values = [value for _, value in series]
+        assert values == [10.0, 30.0, 20.0, 20.0]
+
+    def test_straddling_tuple_counted_in_both_buckets(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(20, 40), 2,
+                                COUNT)
+        # Tuple 100 is alive during [20,30) and [30,40)... it dies at 35,
+        # so it intersects both buckets.
+        assert [v for _, v in series] == [1.0, 1.0]
+
+    def test_avg_buckets_can_be_none(self, index):
+        series = index.timeline(KeyRange(1, 1000), Interval(1, 9), 2, AVG)
+        assert [v for _, v in series] == [None, None]
+
+    def test_validation(self, index):
+        with pytest.raises(QueryError):
+            index.timeline(KeyRange(1, 1000), Interval(1, 10), 0)
+        with pytest.raises(QueryError):
+            index.timeline(KeyRange(1, 1000), Interval(1, 3), 5)
+
+
+class TestKeyHistogram:
+    def test_bands_report_independently(self, index):
+        bands = [KeyRange(1, 300), KeyRange(300, 700), KeyRange(700, 1000)]
+        histogram = index.key_histogram(bands, Interval(1, 101), SUM)
+        assert [v for _, v in histogram] == [10.0, 20.0, 0.0]
+
+    def test_histogram_matches_direct_queries(self, index):
+        bands = [KeyRange(1, 500), KeyRange(500, 1001)]
+        for band, value in index.key_histogram(bands, Interval(1, 101)):
+            assert value == index.sum(band, Interval(1, 101))
+
+    def test_empty_band_list(self, index):
+        assert index.key_histogram([], Interval(1, 101)) == []

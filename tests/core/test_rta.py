@@ -1,0 +1,231 @@
+"""Unit tests for the RTA index (Theorem 1 reduction over two MVSBTs)."""
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, MIN, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.errors import DuplicateKeyError, KeyNotFoundError, QueryError
+from repro.mvsbt.tree import MVSBTConfig
+
+from tests.oracles import TupleStoreOracle
+
+KEY_SPACE = (1, 1001)
+
+
+@pytest.fixture()
+def index(pool):
+    return RTAIndex(pool, MVSBTConfig(capacity=8), key_space=KEY_SPACE)
+
+
+class TestBasics:
+    def test_empty_index(self, index):
+        r, iv = KeyRange(1, 1000), Interval(1, 100)
+        assert index.sum(r, iv) == 0.0
+        assert index.count(r, iv) == 0.0
+        assert index.avg(r, iv) is None
+
+    def test_single_tuple_alive(self, index):
+        index.insert(100, 7.0, t=5)
+        r, iv = KeyRange(50, 200), Interval(1, 100)
+        assert index.sum(r, iv) == 7.0
+        assert index.count(r, iv) == 1.0
+        assert index.avg(r, iv) == 7.0
+
+    def test_key_range_excludes(self, index):
+        index.insert(100, 7.0, t=5)
+        assert index.sum(KeyRange(101, 200), Interval(1, 100)) == 0.0
+        assert index.sum(KeyRange(1, 100), Interval(1, 100)) == 0.0
+        assert index.sum(KeyRange(100, 101), Interval(1, 100)) == 7.0
+
+    def test_time_interval_excludes(self, index):
+        index.insert(100, 7.0, t=50)
+        assert index.sum(KeyRange(1, 1000), Interval(1, 50)) == 0.0
+        assert index.sum(KeyRange(1, 1000), Interval(1, 51)) == 7.0
+        assert index.sum(KeyRange(1, 1000), Interval(60, 70)) == 7.0
+
+    def test_deleted_tuple_counts_while_intersecting(self, index):
+        index.insert(100, 7.0, t=10)
+        index.delete(100, t=20)   # alive over [10, 20)
+        r = KeyRange(1, 1000)
+        assert index.sum(r, Interval(15, 30)) == 7.0   # overlaps life
+        assert index.sum(r, Interval(20, 30)) == 0.0   # starts at death
+        assert index.sum(r, Interval(1, 10)) == 0.0    # ends at birth
+        assert index.sum(r, Interval(19, 20)) == 7.0   # last alive instant
+
+    def test_avg_of_mixed_values(self, index):
+        index.insert(100, 2.0, t=5)
+        index.insert(200, 4.0, t=5)
+        index.insert(300, 9.0, t=5)
+        r, iv = KeyRange(1, 250), Interval(1, 10)
+        assert index.count(r, iv) == 2.0
+        assert index.avg(r, iv) == 3.0
+
+    def test_aggregate_all(self, index):
+        index.insert(100, 2.0, t=5)
+        index.insert(200, 4.0, t=5)
+        result = index.aggregate_all(KeyRange(1, 1000), Interval(1, 10))
+        assert result.sum == 6.0
+        assert result.count == 2.0
+        assert result.avg == 3.0
+
+    def test_query_by_aggregate_descriptor(self, index):
+        index.insert(100, 2.0, t=5)
+        r, iv = KeyRange(1, 1000), Interval(1, 10)
+        assert index.query(r, iv, SUM) == 2.0
+        assert index.query(r, iv, COUNT) == 1.0
+        assert index.query(r, iv, AVG) == 2.0
+
+    def test_update_changes_value_from_t(self, index):
+        index.insert(100, 2.0, t=5)
+        index.update(100, 10.0, t=8)
+        r = KeyRange(1, 1000)
+        assert index.sum(r, Interval(5, 8)) == 2.0
+        assert index.sum(r, Interval(8, 9)) == 10.0
+        # A window spanning the update sees both versions of the tuple
+        # (they are distinct tuples in the transaction-time model).
+        assert index.count(r, Interval(5, 9)) == 2.0
+
+
+class TestValidation:
+    def test_1tnf_enforced(self, index):
+        index.insert(100, 1.0, t=5)
+        with pytest.raises(DuplicateKeyError):
+            index.insert(100, 2.0, t=6)
+
+    def test_delete_unknown_key(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.delete(100, t=5)
+
+    def test_non_additive_aggregate_rejected(self, pool):
+        with pytest.raises(ValueError):
+            RTAIndex(pool, aggregates=(MIN,))
+
+    def test_empty_aggregates_rejected(self, pool):
+        with pytest.raises(ValueError):
+            RTAIndex(pool, aggregates=())
+
+    def test_key_outside_space(self, index):
+        with pytest.raises(QueryError):
+            index.insert(0, 1.0, t=5)
+        with pytest.raises(QueryError):
+            index.insert(1001, 1.0, t=5)
+
+    def test_query_rectangle_outside_space(self, index):
+        with pytest.raises(QueryError):
+            index.sum(KeyRange(1, 5000), Interval(1, 10))
+        with pytest.raises(QueryError):
+            index.sum(KeyRange(1, 10), Interval(0, 10))
+
+    def test_unmaintained_aggregate_rejected(self, pool):
+        index = RTAIndex(pool, aggregates=(SUM,))
+        with pytest.raises(QueryError):
+            index.query(KeyRange(1, 10), Interval(1, 5), COUNT)
+        with pytest.raises(QueryError):
+            index.aggregate_all(KeyRange(1, 10), Interval(1, 5))
+
+    def test_delete_without_tracking_needs_value(self, pool):
+        index = RTAIndex(pool, key_space=KEY_SPACE, track_values=False)
+        index.insert(100, 3.0, t=5)
+        with pytest.raises(KeyNotFoundError):
+            index.delete(100, t=8)
+        index.delete(100, t=8, value=3.0)
+        assert index.sum(KeyRange(1, 1000), Interval(8, 9)) == 0.0
+
+
+class TestBoundaries:
+    def test_extreme_keys(self, index):
+        index.insert(1, 1.0, t=5)       # lowest legal key
+        index.insert(1000, 2.0, t=5)    # highest legal key
+        full = KeyRange(1, 1001)
+        assert index.sum(full, Interval(1, 10)) == 3.0
+        assert index.sum(KeyRange(1000, 1001), Interval(1, 10)) == 2.0
+        assert index.sum(KeyRange(1, 2), Interval(1, 10)) == 1.0
+
+    def test_single_instant_window(self, index):
+        index.insert(100, 5.0, t=10)
+        index.delete(100, t=20)
+        assert index.sum(KeyRange(1, 1000), Interval(10, 11)) == 5.0
+        assert index.sum(KeyRange(1, 1000), Interval(9, 10)) == 0.0
+
+    def test_whole_space_query(self, index):
+        for i in range(1, 20):
+            index.insert(i * 50, float(i), t=i)
+        assert index.sum(KeyRange(1, 1001), Interval(1, 10**7)) \
+            == sum(range(1, 20))
+
+    def test_negative_values(self, index):
+        index.insert(100, -5.0, t=5)
+        index.insert(200, 3.0, t=5)
+        assert index.sum(KeyRange(1, 1000), Interval(1, 10)) == -2.0
+        assert index.count(KeyRange(1, 1000), Interval(1, 10)) == 2.0
+
+
+class TestAgainstOracle:
+    def _run_stream(self, index, oracle, n_steps=300, seed=23):
+        alive = []
+        state = seed
+        for t in range(1, n_steps):
+            state = (state * 48271) % (2**31 - 1)
+            if alive and state % 3 == 0:
+                key = alive.pop(state % len(alive))
+                index.delete(key, t)
+                oracle.delete(key, t)
+            else:
+                key = state % 999 + 1
+                if key not in alive:
+                    value = float(state % 17 - 8)
+                    index.insert(key, value, t)
+                    oracle.insert(key, value, t)
+                    alive.append(key)
+
+    def test_sum_count_avg_match_oracle(self, pool):
+        index = RTAIndex(pool, MVSBTConfig(capacity=8), key_space=KEY_SPACE)
+        oracle = TupleStoreOracle()
+        self._run_stream(index, oracle)
+        index.check_invariants()
+        rectangles = [
+            (1, 1000, 1, 300), (100, 300, 50, 80), (400, 900, 200, 210),
+            (1, 50, 1, 299), (700, 701, 100, 150), (500, 600, 299, 300),
+            (1, 1000, 150, 151),
+        ]
+        for (k1, k2, t1, t2) in rectangles:
+            r, iv = KeyRange(k1, k2), Interval(t1, t2)
+            assert index.sum(r, iv) == pytest.approx(
+                oracle.rta_sum(k1, k2, t1, t2)), (k1, k2, t1, t2)
+            assert index.count(r, iv) == oracle.rta_count(k1, k2, t1, t2)
+            expected_avg = oracle.rta_avg(k1, k2, t1, t2)
+            got_avg = index.avg(r, iv)
+            if expected_avg is None:
+                assert got_avg is None
+            else:
+                assert got_avg == pytest.approx(expected_avg)
+
+    def test_additivity_over_rectangle_partition(self, pool):
+        """Metamorphic: SUM over a rectangle equals the sum over any
+        partition of it (both in key and in time)."""
+        index = RTAIndex(pool, MVSBTConfig(capacity=8), key_space=KEY_SPACE)
+        oracle = TupleStoreOracle()
+        self._run_stream(index, oracle, n_steps=150, seed=99)
+        whole = index.sum(KeyRange(1, 1001), Interval(40, 120))
+        by_key = (index.sum(KeyRange(1, 500), Interval(40, 120))
+                  + index.sum(KeyRange(500, 1001), Interval(40, 120)))
+        assert whole == pytest.approx(by_key)
+        # Time partitions only add up for COUNT/SUM if no tuple straddles
+        # the cut; use disjoint single-instant windows over distinct keys
+        # instead: verified via the oracle in the test above.
+
+    def test_count_invariant_under_value_scaling(self, pool):
+        a = RTAIndex(pool, key_space=KEY_SPACE)
+        b = RTAIndex(pool, key_space=KEY_SPACE)
+        for i in range(1, 40):
+            a.insert(i * 20, float(i), t=i)
+            b.insert(i * 20, float(i) * 1000, t=i)
+        r, iv = KeyRange(1, 1000), Interval(1, 50)
+        assert a.count(r, iv) == b.count(r, iv)
+
+    def test_page_count_positive(self, index):
+        for i in range(1, 40):
+            index.insert(i * 20, 1.0, t=i)
+        assert index.page_count() >= 4  # at least one page per MVSBT
+        assert set(index.trees().keys()) == {"SUM", "COUNT"}

@@ -1,0 +1,174 @@
+"""Tests for the TemporalWarehouse facade and its cost-based planner."""
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.warehouse import TemporalWarehouse
+
+from tests.oracles import TupleStoreOracle
+
+KEY_SPACE = (1, 1001)
+
+
+@pytest.fixture()
+def warehouse():
+    return TemporalWarehouse(key_space=KEY_SPACE, page_capacity=8)
+
+
+def loaded_warehouse(steps=200, seed=77):
+    warehouse = TemporalWarehouse(key_space=KEY_SPACE, page_capacity=8)
+    oracle = TupleStoreOracle()
+    alive = []
+    state = seed
+    for t in range(1, steps):
+        state = (state * 48271) % (2**31 - 1)
+        if alive and state % 3 == 0:
+            key = alive.pop(state % len(alive))
+            warehouse.delete(key, t)
+            oracle.delete(key, t)
+        else:
+            key = state % 999 + 1
+            if key not in alive:
+                warehouse.insert(key, float(state % 23 - 11), t)
+                oracle.insert(key, float(state % 23 - 11), t)
+                alive.append(key)
+    return warehouse, oracle
+
+
+class TestUpdatesAndRetrieval:
+    def test_insert_query_delete(self, warehouse):
+        warehouse.insert(100, 5.0, t=10)
+        assert warehouse.sum(KeyRange(1, 1000), Interval(10, 20)) == 5.0
+        warehouse.delete(100, t=15)
+        assert warehouse.sum(KeyRange(1, 1000), Interval(15, 20)) == 0.0
+
+    def test_update(self, warehouse):
+        warehouse.insert(100, 5.0, t=10)
+        warehouse.update(100, 9.0, t=12)
+        assert warehouse.snapshot(KeyRange(1, 1000), 11) == [(100, 5.0)]
+        assert warehouse.snapshot(KeyRange(1, 1000), 12) == [(100, 9.0)]
+
+    def test_history(self, warehouse):
+        warehouse.insert(100, 1.0, t=5)
+        warehouse.update(100, 2.0, t=10)
+        warehouse.delete(100, t=20)
+        versions = warehouse.history(100)
+        assert [(v.interval.start, v.value) for v in versions] \
+            == [(5, 1.0), (10, 2.0)]
+        assert versions[1].interval.end == 20
+
+    def test_tuples_in_rectangle(self, warehouse):
+        warehouse.insert(100, 1.0, t=5)
+        warehouse.insert(500, 2.0, t=8)
+        warehouse.delete(100, t=10)
+        hits = warehouse.tuples_in(KeyRange(1, 1000), Interval(9, 12))
+        assert sorted(t.key for t in hits) == [100, 500]
+        hits = warehouse.tuples_in(KeyRange(1, 200), Interval(10, 12))
+        assert hits == []
+
+    def test_now_advances(self, warehouse):
+        warehouse.insert(1, 1.0, t=7)
+        assert warehouse.now == 7
+
+
+class TestAggregates:
+    def test_additive_aggregates_match_oracle(self):
+        warehouse, oracle = loaded_warehouse()
+        for (k1, k2, t1, t2) in [(1, 1000, 1, 250), (200, 400, 50, 100),
+                                 (1, 50, 100, 150)]:
+            r, iv = KeyRange(k1, k2), Interval(t1, t2)
+            assert warehouse.sum(r, iv) == pytest.approx(
+                oracle.rta_sum(k1, k2, t1, t2))
+            assert warehouse.count(r, iv) == oracle.rta_count(k1, k2, t1, t2)
+            got = warehouse.avg(r, iv)
+            want = oracle.rta_avg(k1, k2, t1, t2)
+            assert (got is None and want is None) \
+                or got == pytest.approx(want)
+
+    def test_min_max_via_retrieval(self):
+        warehouse, oracle = loaded_warehouse()
+        k1, k2, t1, t2 = 1, 1000, 50, 150
+        rows = oracle.rectangle_tuples(k1, k2, t1, t2)
+        r, iv = KeyRange(k1, k2), Interval(t1, t2)
+        assert warehouse.min(r, iv) == min(v for *_x, v in rows)
+        assert warehouse.max(r, iv) == max(v for *_x, v in rows)
+
+    def test_min_max_empty_rectangle(self, warehouse):
+        warehouse.insert(100, 5.0, t=10)
+        assert warehouse.min(KeyRange(500, 600), Interval(1, 5)) is None
+        assert warehouse.max(KeyRange(500, 600), Interval(1, 5)) is None
+
+    def test_aggregate_all(self, warehouse):
+        warehouse.insert(100, 2.0, t=5)
+        warehouse.insert(200, 6.0, t=5)
+        result = warehouse.aggregate_all(KeyRange(1, 1000), Interval(1, 10))
+        assert (result.sum, result.count, result.avg) == (8.0, 2.0, 4.0)
+
+
+class TestPlanner:
+    def test_min_max_always_scan(self, warehouse):
+        warehouse.insert(100, 5.0, t=10)
+        plan = warehouse.explain(KeyRange(1, 1000), Interval(1, 20), MIN)
+        assert plan.plan == "mvbt-scan"
+        assert "open problem" in plan.reason
+        plan = warehouse.explain(KeyRange(1, 1000), Interval(1, 20), MAX)
+        assert plan.plan == "mvbt-scan"
+
+    def test_large_rectangle_takes_mvsbt_plan(self):
+        warehouse, _ = loaded_warehouse(steps=250)
+        plan = warehouse.explain(KeyRange(1, 1000), Interval(1, 300), SUM)
+        assert plan.plan == "mvsbt"
+        assert plan.mvsbt_cost_reads <= plan.mvbt_cost_reads
+
+    def test_empty_rectangle_takes_scan_plan(self):
+        warehouse, _ = loaded_warehouse(steps=250)
+        # Nothing qualifies: retrieval is essentially free.
+        plan = warehouse.explain(KeyRange(1, 2), Interval(999, 1000), SUM)
+        assert plan.plan == "mvbt-scan"
+        assert plan.estimated_tuples == 0
+
+    def test_plans_agree_on_answers(self):
+        """Whatever the planner picks must equal the MVSBT answer."""
+        warehouse, oracle = loaded_warehouse()
+        rect_sets = [(1, 1000, 1, 250),     # mvsbt plan
+                     (1, 3, 240, 245)]      # scan plan (selective)
+        for (k1, k2, t1, t2) in rect_sets:
+            r, iv = KeyRange(k1, k2), Interval(t1, t2)
+            assert warehouse.sum(r, iv) == pytest.approx(
+                oracle.rta_sum(k1, k2, t1, t2))
+
+    def test_explain_is_printable(self):
+        warehouse, _ = loaded_warehouse(steps=50)
+        text = str(warehouse.explain(KeyRange(1, 1000), Interval(1, 50)))
+        assert "reads" in text
+
+    def test_unknown_aggregate_rejected(self, warehouse):
+        from repro.core.aggregates import Aggregate
+        bogus = Aggregate(name="MEDIAN", identity=0, combine=max,
+                          additive=False, lift=lambda v: v)
+        # MEDIAN is in neither the additive nor the order set.
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            warehouse.explain(KeyRange(1, 10), Interval(1, 5), bogus)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        warehouse, oracle = loaded_warehouse(steps=120)
+        warehouse.check_invariants()
+        warehouse.save(str(tmp_path / "wh"))
+        reopened = TemporalWarehouse.load(str(tmp_path / "wh"))
+        r, iv = KeyRange(1, 1000), Interval(1, 200)
+        assert reopened.sum(r, iv) == warehouse.sum(r, iv)
+        assert reopened.count(r, iv) == warehouse.count(r, iv)
+        assert reopened.snapshot(r, 100) == warehouse.snapshot(r, 100)
+        # And it keeps accepting the stream.
+        reopened.insert(1000, 42.0, t=500)
+        assert reopened.sum(KeyRange(1000, 1001), Interval(500, 501)) == 42.0
+
+    def test_page_count_counts_both_structures(self):
+        warehouse, _ = loaded_warehouse(steps=100)
+        assert warehouse.page_count() \
+            == (warehouse.tuples.pool.disk.live_page_count
+                + warehouse.aggregates.pool.disk.live_page_count)

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the range MIN/MAX index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Interval, KeyRange, NOW
+from repro.minmax.index import RangeMinMaxIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 90)
+TIME_DOMAIN = (1, 500)
+
+
+@st.composite
+def insert_streams(draw):
+    """(key, dt, duration-or-None, value) insert-only events."""
+    return draw(st.lists(
+        st.tuples(
+            st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+            st.integers(min_value=0, max_value=4),
+            st.one_of(st.none(), st.integers(min_value=1, max_value=120)),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1, max_size=80,
+    ))
+
+
+def replay(stream, mode, fanout=4):
+    pool = BufferPool(InMemoryDiskManager(), capacity=4096)
+    index = RangeMinMaxIndex(pool, mode=mode, key_space=KEY_SPACE,
+                             fanout=fanout, capacity=5,
+                             time_domain=TIME_DOMAIN)
+    tuples = []
+    t = 1
+    for key, dt, duration, value in stream:
+        t += dt
+        if t >= TIME_DOMAIN[1]:
+            break
+        end = NOW if duration is None else min(t + duration, TIME_DOMAIN[1])
+        if end <= t:
+            continue
+        index.insert(key, float(value), start=t, end=end)
+        tuples.append((key, t, end, float(value)))
+    return index, tuples
+
+
+def brute(tuples, k1, k2, t1, t2, mode):
+    fold = min if mode == "min" else max
+    hits = [v for (k, s, e, v) in tuples
+            if k1 <= k < k2 and s < t2 and e > t1]
+    return fold(hits) if hits else None
+
+
+@st.composite
+def rectangles(draw):
+    k1 = draw(st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1))
+    k2 = draw(st.integers(min_value=k1 + 1, max_value=KEY_SPACE[1]))
+    t1 = draw(st.integers(min_value=1, max_value=TIME_DOMAIN[1] - 2))
+    t2 = draw(st.integers(min_value=t1 + 1, max_value=TIME_DOMAIN[1] - 1))
+    return (k1, k2, t1, t2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(insert_streams(), rectangles(), st.sampled_from(["min", "max"]))
+def test_query_matches_brute_force(stream, rect, mode):
+    index, tuples = replay(stream, mode)
+    k1, k2, t1, t2 = rect
+    assert index.query(KeyRange(k1, k2), Interval(t1, t2)) \
+        == brute(tuples, k1, k2, t1, t2, mode)
+
+
+@settings(max_examples=30, deadline=None)
+@given(insert_streams(), rectangles(), st.sampled_from([2, 3, 8]))
+def test_fanout_is_semantically_invisible(stream, rect, fanout):
+    narrow, tuples = replay(stream, "min", fanout=fanout)
+    k1, k2, t1, t2 = rect
+    assert narrow.query(KeyRange(k1, k2), Interval(t1, t2)) \
+        == brute(tuples, k1, k2, t1, t2, "min")
+
+
+@settings(max_examples=30, deadline=None)
+@given(insert_streams(), rectangles(),
+       st.integers(min_value=KEY_SPACE[0] + 1, max_value=KEY_SPACE[1] - 1))
+def test_min_distributes_over_key_partition(stream, rect, cut):
+    """MIN over a range equals the MIN of the two halves' MINs."""
+    index, _ = replay(stream, "min")
+    k1, k2, t1, t2 = rect
+    if not (k1 < cut < k2):
+        return
+    iv = Interval(t1, t2)
+    whole = index.query(KeyRange(k1, k2), iv)
+    left = index.query(KeyRange(k1, cut), iv)
+    right = index.query(KeyRange(cut, k2), iv)
+    parts = [p for p in (left, right) if p is not None]
+    assert whole == (min(parts) if parts else None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(insert_streams())
+def test_invariants_hold(stream):
+    index, _ = replay(stream, "min")
+    index.check_invariants()

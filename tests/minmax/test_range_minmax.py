@@ -1,0 +1,178 @@
+"""Tests for the insert-only range-temporal MIN/MAX index."""
+
+import pytest
+
+from repro.core.model import Interval, KeyRange, NOW
+from repro.errors import QueryError, TimeOrderError
+from repro.minmax.index import RangeMinMaxIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 1001)
+TIME_DOMAIN = (1, 10_001)
+
+
+def fresh_index(mode="min", **kwargs):
+    pool = BufferPool(InMemoryDiskManager(), capacity=4096)
+    defaults = dict(mode=mode, key_space=KEY_SPACE, fanout=4, capacity=8,
+                    time_domain=TIME_DOMAIN)
+    defaults.update(kwargs)
+    return RangeMinMaxIndex(pool, **defaults)
+
+
+def brute(tuples, k1, k2, t1, t2, mode):
+    fold = min if mode == "min" else max
+    hits = [v for (k, s, e, v) in tuples
+            if k1 <= k < k2 and s < t2 and e > t1]
+    return fold(hits) if hits else None
+
+
+class TestBasics:
+    def test_empty_index(self):
+        index = fresh_index()
+        assert index.query(KeyRange(1, 1000), Interval(1, 100)) is None
+
+    def test_single_tuple(self):
+        index = fresh_index()
+        index.insert(100, 5.0, start=10)
+        assert index.query(KeyRange(1, 1000), Interval(1, 100)) == 5.0
+        assert index.query(KeyRange(1, 100), Interval(1, 100)) is None
+        assert index.query(KeyRange(100, 101), Interval(1, 100)) == 5.0
+        assert index.query(KeyRange(1, 1000), Interval(1, 10)) is None
+
+    def test_min_semantics(self):
+        index = fresh_index("min")
+        index.insert(100, 5.0, start=10)
+        index.insert(200, 2.0, start=20)
+        index.insert(300, 9.0, start=30)
+        r = KeyRange(1, 1000)
+        assert index.query(r, Interval(1, 100)) == 2.0
+        assert index.query(KeyRange(250, 1000), Interval(1, 100)) == 9.0
+        assert index.query(r, Interval(10, 20)) == 5.0
+
+    def test_max_semantics(self):
+        index = fresh_index("max")
+        index.insert(100, 5.0, start=10)
+        index.insert(200, 2.0, start=20)
+        assert index.query(KeyRange(1, 1000), Interval(1, 100)) == 5.0
+        assert index.query(KeyRange(150, 1000), Interval(1, 100)) == 2.0
+
+    def test_finite_intervals_respected(self):
+        index = fresh_index("min")
+        index.insert(100, 1.0, start=10, end=20)
+        index.insert(200, 5.0, start=15)
+        r = KeyRange(1, 1000)
+        assert index.query(r, Interval(12, 14)) == 1.0
+        assert index.query(r, Interval(20, 30)) == 5.0   # 100 expired
+        assert index.query(r, Interval(19, 21)) == 1.0   # overlaps both
+
+    def test_query_at_instant(self):
+        index = fresh_index("min")
+        index.insert(100, 3.0, start=10, end=20)
+        assert index.query_at(KeyRange(1, 1000), 15) == 3.0
+        assert index.query_at(KeyRange(1, 1000), 20) is None
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_index("median")
+
+    def test_bad_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_index(fanout=1)
+
+    def test_key_outside_space(self):
+        index = fresh_index()
+        with pytest.raises(QueryError):
+            index.insert(0, 1.0, start=5)
+        with pytest.raises(QueryError):
+            index.insert(1001, 1.0, start=5)
+        with pytest.raises(QueryError):
+            index.query(KeyRange(1, 5000), Interval(1, 10))
+
+    def test_time_order_enforced(self):
+        index = fresh_index()
+        index.insert(10, 1.0, start=50)
+        with pytest.raises(TimeOrderError):
+            index.insert(20, 1.0, start=49)
+
+    def test_empty_validity_rejected(self):
+        index = fresh_index()
+        with pytest.raises(QueryError):
+            index.insert(10, 1.0, start=10, end=10)
+
+
+class TestStructure:
+    def test_depth_covers_key_space(self):
+        index = fresh_index(fanout=4)
+        # 4^5 = 1024 >= 1000
+        assert index.depth == 5
+
+    def test_nodes_materialize_lazily(self):
+        index = fresh_index()
+        assert index.node_count() == 0
+        index.insert(100, 1.0, start=5)
+        assert index.node_count() == index.depth + 1
+
+    def test_shared_path_nodes_reused(self):
+        index = fresh_index(fanout=4)
+        index.insert(100, 1.0, start=5)
+        first = index.node_count()
+        index.insert(101, 1.0, start=6)   # likely shares most of the path
+        assert index.node_count() <= first + index.depth
+
+    def test_invariants(self):
+        index = fresh_index()
+        for t in range(1, 100):
+            index.insert((t * 37) % 999 + 1, float(t % 50), start=t)
+        index.check_invariants()
+        assert index.insertions == 99
+        assert index.page_count() > 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("mode", ["min", "max"])
+    def test_random_streams(self, mode):
+        index = fresh_index(mode)
+        tuples = []
+        state = 47
+        t = 1
+        for _ in range(200):
+            state = (state * 48271) % (2**31 - 1)
+            key = state % 999 + 1
+            value = float(state % 500)
+            t += state % 3
+            length = state % 300 + 1
+            end = min(t + length, TIME_DOMAIN[1]) if state % 4 else NOW
+            if end <= t:
+                continue
+            index.insert(key, value, start=t, end=end)
+            tuples.append((key, t, end, value))
+        probes = [
+            (1, 1000, 1, 500), (100, 300, 50, 120), (500, 501, 1, 400),
+            (1, 50, 200, 210), (900, 1000, 1, 5000), (1, 1000, 450, 451),
+        ]
+        for (k1, k2, t1, t2) in probes:
+            expected = brute(tuples, k1, k2, t1, t2, mode)
+            got = index.query(KeyRange(k1, k2), Interval(t1, t2))
+            assert got == expected, (k1, k2, t1, t2)
+
+    def test_query_cost_independent_of_hits(self):
+        """The headline property: cost does not scale with qualifying
+        tuples (unlike retrieval)."""
+        index = fresh_index("min", fanout=8)
+        for t in range(1, 2000):
+            index.insert((t * 7) % 999 + 1, float(t % 100), start=t)
+        pool = index.pool
+        pool.clear()
+        before = pool.stats.snapshot()
+        index.query(KeyRange(1, 1000), Interval(1, 10_000))  # everything
+        big = pool.stats.delta(before).logical_reads
+        pool.clear()
+        before = pool.stats.snapshot()
+        index.query(KeyRange(400, 420), Interval(500, 600))  # tiny slice
+        small = pool.stats.delta(before).logical_reads
+        # Both are canonical-cover walks; neither scans 2000 tuples.
+        assert big < 400
+        assert small < 400

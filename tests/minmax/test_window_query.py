@@ -1,0 +1,103 @@
+"""Tests for the MinMaxSBTree window query (subtree-agg augmentation)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sbtree.minmax import MinMaxSBTree
+
+DOMAIN = (1, 501)
+
+
+def brute_window(intervals, lo, hi, mode):
+    """Best value among intervals overlapping [lo, hi)."""
+    best = None
+    fold = min if mode == "min" else max
+    for start, end, value in intervals:
+        if start < hi and end > lo:
+            best = value if best is None else fold(best, value)
+    return best
+
+
+@pytest.fixture()
+def tree(pool):
+    return MinMaxSBTree(pool, capacity=4, domain=DOMAIN, mode="min")
+
+
+class TestWindowQueryBasics:
+    def test_empty_tree_reports_identity(self, tree):
+        assert tree.window_query(10, 20) == float("inf")
+
+    def test_interval_inside_window(self, tree):
+        tree.insert(50, 60, 5.0)
+        assert tree.window_query(40, 70) == 5.0
+
+    def test_interval_overlapping_window_edge(self, tree):
+        tree.insert(50, 60, 5.0)
+        assert tree.window_query(59, 100) == 5.0
+        assert tree.window_query(60, 100) == float("inf")
+        assert tree.window_query(10, 50) == float("inf")
+        assert tree.window_query(10, 51) == 5.0
+
+    def test_window_picks_best_among_overlaps(self, tree):
+        tree.insert(10, 100, 5.0)
+        tree.insert(40, 60, 2.0)
+        tree.insert(200, 300, 1.0)
+        assert tree.window_query(45, 55) == 2.0
+        assert tree.window_query(70, 90) == 5.0
+        assert tree.window_query(45, 250) == 1.0
+
+    def test_instant_window_equals_point_query(self, tree):
+        tree.insert(10, 100, 5.0)
+        tree.insert(40, 60, 2.0)
+        for t in (9, 10, 39, 40, 59, 60, 99, 100):
+            assert tree.window_query(t, t + 1) == tree.query(t)
+
+    def test_empty_window_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.window_query(20, 20)
+        with pytest.raises(QueryError):
+            tree.window_query(600, 700)
+
+    def test_window_clipped_to_domain(self, tree):
+        tree.insert(1, 10, 3.0)
+        assert tree.window_query(0, 10**9) == 3.0
+
+
+class TestWindowQueryAtScale:
+    @pytest.mark.parametrize("mode", ["min", "max"])
+    def test_matches_brute_force_after_splits(self, pool, mode):
+        tree = MinMaxSBTree(pool, capacity=4, domain=DOMAIN, mode=mode)
+        intervals = []
+        state = 29
+        for _ in range(300):
+            state = (state * 48271) % (2**31 - 1)
+            start = state % 480 + 1
+            end = min(start + state % 60 + 1, DOMAIN[1])
+            value = float(state % 1000)
+            tree.insert(start, end, value)
+            intervals.append((start, end, value))
+        tree.check_invariants()
+        for lo in range(1, 500, 17):
+            for width in (1, 5, 40, 200):
+                hi = min(lo + width, DOMAIN[1])
+                if lo >= hi:
+                    continue
+                expected = brute_window(intervals, lo, hi, mode)
+                got = tree.window_query(lo, hi)
+                if expected is None:
+                    assert got in (float("inf"), float("-inf"))
+                else:
+                    assert got == expected, (lo, hi)
+
+    def test_window_query_is_logarithmic(self, pool):
+        tree = MinMaxSBTree(pool, capacity=8, domain=(1, 100_001),
+                            mode="min")
+        for i in range(2000):
+            tree.insert(i * 50 + 1, i * 50 + 30, float(i % 97))
+        pool.clear()
+        before = pool.stats.snapshot()
+        tree.window_query(10_000, 90_000)  # covers most of the data
+        reads = pool.stats.delta(before).logical_reads
+        # Boundary descent only: far fewer pages than the tree holds.
+        assert reads < 3 * tree.height + 3
+        assert tree.page_count() > 50

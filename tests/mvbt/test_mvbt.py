@@ -1,0 +1,249 @@
+"""Unit tests for the Multiversion B-Tree."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    QueryError,
+    TimeOrderError,
+)
+from repro.mvbt.config import MVBTConfig
+from repro.mvbt.tree import MVBT
+
+from tests.oracles import TupleStoreOracle
+
+KEY_SPACE = (1, 1001)
+
+
+@pytest.fixture()
+def tree(pool):
+    return MVBT(pool, MVBTConfig(capacity=4), key_space=KEY_SPACE)
+
+
+class TestBasics:
+    def test_empty_tree_snapshot(self, tree):
+        assert tree.snapshot_point(5, 1) is None
+        assert tree.range_snapshot(1, 1000, 10) == []
+
+    def test_insert_then_point_query(self, tree):
+        tree.insert(42, 7.0, t=5)
+        assert tree.snapshot_point(42, 5) == 7.0
+        assert tree.snapshot_point(42, 100) == 7.0
+        assert tree.snapshot_point(42, 4) is None
+        assert tree.snapshot_point(41, 5) is None
+
+    def test_delete_is_logical(self, tree):
+        tree.insert(42, 7.0, t=5)
+        assert tree.delete(42, t=20) == 7.0
+        assert tree.snapshot_point(42, 19) == 7.0   # past still queryable
+        assert tree.snapshot_point(42, 20) is None
+
+    def test_reinsert_after_delete(self, tree):
+        tree.insert(42, 1.0, t=5)
+        tree.delete(42, t=10)
+        tree.insert(42, 2.0, t=15)
+        assert tree.snapshot_point(42, 7) == 1.0
+        assert tree.snapshot_point(42, 12) is None
+        assert tree.snapshot_point(42, 20) == 2.0
+
+    def test_same_instant_insert_delete_never_existed(self, tree):
+        tree.insert(42, 1.0, t=5)
+        tree.delete(42, t=5)
+        assert tree.snapshot_point(42, 5) is None
+        assert tree.rectangle_query(1, 1000, 1, 100) == []
+
+    def test_update_replaces_value(self, tree):
+        tree.insert(42, 1.0, t=5)
+        tree.update(42, 9.0, t=10)
+        assert tree.snapshot_point(42, 9) == 1.0
+        assert tree.snapshot_point(42, 10) == 9.0
+
+
+class TestValidation:
+    def test_duplicate_alive_key_rejected(self, tree):
+        tree.insert(42, 1.0, t=5)
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(42, 2.0, t=6)
+
+    def test_delete_missing_key_rejected(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(42, t=5)
+
+    def test_time_order_enforced(self, tree):
+        tree.insert(42, 1.0, t=10)
+        with pytest.raises(TimeOrderError):
+            tree.insert(43, 1.0, t=9)
+
+    def test_key_outside_space_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.insert(0, 1.0, t=1)
+        with pytest.raises(QueryError):
+            tree.insert(5000, 1.0, t=1)
+
+    def test_empty_rectangle_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.rectangle_query(10, 10, 1, 5)
+        with pytest.raises(QueryError):
+            tree.rectangle_query(10, 20, 5, 5)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            MVBTConfig(capacity=3)
+        with pytest.raises(ValueError):
+            MVBTConfig(capacity=10, weak_min=4, strong_min=9, strong_max=9)
+
+
+class TestStructure:
+    def test_version_split_preserves_history(self, tree):
+        for i in range(1, 10):
+            tree.insert(i * 10, float(i), t=i)
+        # Early snapshots survive the splits triggered by later inserts.
+        for i in range(1, 10):
+            for j in range(1, i + 1):
+                assert tree.snapshot_point(j * 10, i) == float(j), (i, j)
+
+    def test_invariants_after_insert_heavy_stream(self, tree):
+        for i in range(1, 120):
+            tree.insert(i * 7 % 997 + 1, float(i), t=i)
+        tree.check_invariants()
+        assert tree.counters.key_splits > 0
+
+    def test_invariants_after_mixed_stream(self, pool):
+        tree = MVBT(pool, MVBTConfig(capacity=6), key_space=KEY_SPACE)
+        oracle = TupleStoreOracle()
+        alive = []
+        state = 7
+        for t in range(1, 400):
+            state = (state * 48271) % (2**31 - 1)
+            if alive and state % 3 == 0:
+                key = alive.pop(state % len(alive))
+                tree.delete(key, t)
+                oracle.delete(key, t)
+            else:
+                key = state % 900 + 1
+                if key not in alive:
+                    tree.insert(key, float(key), t)
+                    oracle.insert(key, float(key), t)
+                    alive.append(key)
+        tree.check_invariants()
+        assert tree.counters.merges > 0
+        # Snapshots across the whole history match the oracle.
+        for t in range(1, 400, 13):
+            assert tree.range_snapshot(1, 1000, t) == sorted(oracle.snapshot(t))
+
+    def test_root_shrink_keeps_queries_working(self, pool):
+        tree = MVBT(pool, MVBTConfig(capacity=4), key_space=KEY_SPACE)
+        for i in range(1, 60):
+            tree.insert(i, float(i), t=i)
+        for i in range(1, 55):
+            tree.delete(i, t=100 + i)
+        tree.check_invariants()
+        remaining = tree.range_snapshot(1, 1000, 200)
+        assert [k for k, _ in remaining] == list(range(55, 60))
+
+    def test_disposal_counter_on_same_instant_churn(self, pool):
+        tree = MVBT(pool, MVBTConfig(capacity=4), key_space=KEY_SPACE,
+                    dispose_pages=True)
+        # Many inserts at one instant force splits of pages born at that
+        # same instant -> disposals.
+        for i in range(1, 40):
+            tree.insert(i, float(i), t=5)
+        tree.check_invariants()
+        assert tree.counters.disposals > 0
+        # History at the shared instant is still complete.
+        assert len(tree.range_snapshot(1, 1000, 5)) == 39
+
+
+class TestRangeSnapshot:
+    def test_range_filter(self, tree):
+        for i in range(1, 20):
+            tree.insert(i * 10, float(i), t=i)
+        result = tree.range_snapshot(50, 120, t=19)
+        assert result == [(50, 5.0), (60, 6.0), (70, 7.0), (80, 8.0),
+                          (90, 9.0), (100, 10.0), (110, 11.0)]
+
+    def test_snapshot_respects_time(self, tree):
+        tree.insert(10, 1.0, t=5)
+        tree.insert(20, 2.0, t=10)
+        assert tree.range_snapshot(1, 1000, 7) == [(10, 1.0)]
+
+    def test_empty_range_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.range_snapshot(10, 10, 5)
+
+
+class TestRectangleQuery:
+    def test_finds_tuples_intersecting_rectangle(self, tree):
+        tree.insert(10, 1.0, t=5)    # [5, 20)
+        tree.delete(10, t=20)
+        tree.insert(50, 2.0, t=25)   # [25, now)
+        # Rectangle covering instants [18, 30): both tuples intersect.
+        result = tree.rectangle_query(1, 1000, 18, 30)
+        assert [(k, v) for (k, s, e, v) in result] == [(10, 1.0), (50, 2.0)]
+
+    def test_excludes_dead_before_window(self, tree):
+        tree.insert(10, 1.0, t=5)
+        tree.delete(10, t=8)
+        assert tree.rectangle_query(1, 1000, 8, 30) == []
+
+    def test_excludes_born_after_window(self, tree):
+        tree.insert(10, 1.0, t=50)
+        assert tree.rectangle_query(1, 1000, 1, 50) == []
+
+    def test_key_range_filter(self, tree):
+        tree.insert(10, 1.0, t=5)
+        tree.insert(500, 2.0, t=5)
+        result = tree.rectangle_query(100, 1000, 1, 10)
+        assert [(k, v) for (k, s, e, v) in result] == [(500, 2.0)]
+
+    def test_no_duplicates_across_copies(self, pool):
+        """A long-lived tuple copied through many version splits must be
+        reported exactly once."""
+        tree = MVBT(pool, MVBTConfig(capacity=4), key_space=KEY_SPACE)
+        tree.insert(500, 99.0, t=1)          # long-lived tuple
+        for i in range(1, 150):              # churn forces many splits
+            key = i % 400 + 1
+            tree.insert(key, float(i), t=i + 1)
+            tree.delete(key, t=i + 1)
+        result = tree.rectangle_query(500, 501, 1, 1000)
+        assert len(result) == 1
+        assert result[0][0] == 500
+        assert result[0][3] == 99.0
+
+    def test_matches_oracle_on_mixed_stream(self, pool):
+        tree = MVBT(pool, MVBTConfig(capacity=5), key_space=KEY_SPACE)
+        oracle = TupleStoreOracle()
+        alive = []
+        state = 11
+        for t in range(1, 250):
+            state = (state * 48271) % (2**31 - 1)
+            if alive and state % 4 == 0:
+                key = alive.pop(state % len(alive))
+                tree.delete(key, t)
+                oracle.delete(key, t)
+            else:
+                key = state % 800 + 1
+                if key not in alive:
+                    tree.insert(key, float(key % 13), t)
+                    oracle.insert(key, float(key % 13), t)
+                    alive.append(key)
+        for (low, high, ts, te) in [(1, 1000, 1, 300), (100, 300, 50, 80),
+                                    (400, 900, 200, 210), (1, 50, 1, 249),
+                                    (700, 701, 100, 150)]:
+            got = tree.rectangle_query(low, high, ts, te)
+            expected = oracle.rectangle_tuples(low, high, ts, te)
+            assert sorted((k, v) for (k, s, e, v) in got) \
+                == sorted((k, v) for (k, s, e, v) in expected), \
+                (low, high, ts, te)
+
+
+class TestCounters:
+    def test_counters_track_operations(self, tree):
+        for i in range(1, 30):
+            tree.insert(i, 1.0, t=i)
+        tree.delete(5, t=40)
+        counters = tree.counters
+        assert counters.inserts == 29
+        assert counters.deletes == 1
+        assert counters.version_splits > 0

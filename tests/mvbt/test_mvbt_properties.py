@@ -1,0 +1,105 @@
+"""Hypothesis property tests: MVBT vs the tuple-store oracle.
+
+Streams are generated as abstract operation sequences (insert/delete with
+small key/time deltas) and replayed against both the MVBT and the oracle;
+snapshots and rectangle queries across the whole history must agree and the
+structural invariants must hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mvbt.config import MVBTConfig
+from repro.mvbt.tree import MVBT
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+from tests.oracles import TupleStoreOracle
+
+KEY_SPACE = (1, 200)
+
+
+@st.composite
+def op_streams(draw):
+    """A legal transaction-time stream of (op, key, dt) actions."""
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "insert", "insert", "delete"]),
+            st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+            st.integers(min_value=0, max_value=3),  # time advance
+        ),
+        min_size=1, max_size=150,
+    ))
+
+
+def replay(stream, capacity=5):
+    pool = BufferPool(InMemoryDiskManager(), capacity=1024)
+    tree = MVBT(pool, MVBTConfig(capacity=capacity), key_space=KEY_SPACE)
+    oracle = TupleStoreOracle()
+    alive = set()
+    t = 1
+    for op, key, dt in stream:
+        t += dt
+        if op == "insert":
+            if key in alive:
+                continue
+            tree.insert(key, float(key % 7), t)
+            oracle.insert(key, float(key % 7), t)
+            alive.add(key)
+        else:
+            if key not in alive:
+                continue
+            tree.delete(key, t)
+            oracle.delete(key, t)
+            alive.discard(key)
+    return tree, oracle, t
+
+
+@settings(max_examples=50, deadline=None)
+@given(op_streams())
+def test_invariants_hold(stream):
+    tree, _, _ = replay(stream)
+    tree.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(op_streams(), st.integers(min_value=1, max_value=600))
+def test_full_range_snapshot_matches_oracle(stream, t):
+    tree, oracle, _ = replay(stream)
+    assert tree.range_snapshot(*KEY_SPACE, t) == sorted(oracle.snapshot(t))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    op_streams(),
+    st.integers(min_value=1, max_value=199),
+    st.integers(min_value=1, max_value=80),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=120),
+)
+def test_rectangle_query_matches_oracle(stream, low, key_width, t1, t_width):
+    tree, oracle, _ = replay(stream)
+    high = min(low + key_width, KEY_SPACE[1])
+    t2 = t1 + t_width
+    got = tree.rectangle_query(low, high, t1, t2)
+    expected = oracle.rectangle_tuples(low, high, t1, t2)
+    assert sorted((k, s, v) for (k, s, e, v) in got) \
+        == sorted((k, s, v) for (k, s, e, v) in expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(op_streams(), st.integers(min_value=1, max_value=199),
+       st.integers(min_value=1, max_value=500))
+def test_point_snapshot_matches_oracle(stream, key, t):
+    tree, oracle, _ = replay(stream)
+    expected = dict(oracle.snapshot(t)).get(key)
+    assert tree.snapshot_point(key, t) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(op_streams())
+def test_capacity_choice_is_semantically_invisible(stream):
+    small, _, t_end = replay(stream, capacity=4)
+    large, _, _ = replay(stream, capacity=16)
+    for t in range(1, t_end + 2, max(1, t_end // 7)):
+        assert small.range_snapshot(*KEY_SPACE, t) \
+            == large.range_snapshot(*KEY_SPACE, t)

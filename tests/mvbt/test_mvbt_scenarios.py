@@ -1,0 +1,152 @@
+"""Scenario tests for the MVBT: deletion waves, churn, rebirth patterns,
+paged roots, and I/O bounds of the optimal range-snapshot query."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.mvbt.config import MVBTConfig
+from repro.mvbt.tree import MVBT
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+KEY_SPACE = (1, 2001)
+
+
+def fresh_tree(capacity=6, buffer_pages=1024):
+    pool = BufferPool(InMemoryDiskManager(), capacity=buffer_pages)
+    return MVBT(pool, MVBTConfig(capacity=capacity), key_space=KEY_SPACE)
+
+
+class TestDeletionWaves:
+    def test_delete_everything_then_rebuild(self):
+        tree = fresh_tree()
+        for i in range(1, 200):
+            tree.insert(i * 10, float(i), t=i)
+        for i in range(1, 200):
+            tree.delete(i * 10, t=200 + i)
+        assert tree.range_snapshot(1, 2000, 500) == []
+        # History intact through the teardown:
+        assert len(tree.range_snapshot(1, 2000, 199)) == 199
+        # The warehouse accepts a full rebuild afterwards.
+        for i in range(1, 100):
+            tree.insert(i * 20, float(-i), t=500 + i)
+        tree.check_invariants()
+        assert len(tree.range_snapshot(1, 2000, 700)) == 99
+
+    def test_alternating_birth_death_per_key(self):
+        tree = fresh_tree()
+        t = 1
+        for round_no in range(6):
+            for key in range(100, 150):
+                tree.insert(key, float(round_no), t)
+                t += 1
+            for key in range(100, 150):
+                tree.delete(key, t)
+                t += 1
+        tree.check_invariants()
+        # After the last insert and before the first delete of each round
+        # the full cohort is alive.
+        for round_no in range(6):
+            mid = round_no * 100 + 50
+            assert len(tree.range_snapshot(1, 2000, mid)) == 50
+        # Gaps between rounds see nothing.
+        assert tree.range_snapshot(1, 2000, 100) == []
+
+    def test_delete_after_delete_rejected(self):
+        tree = fresh_tree()
+        tree.insert(5, 1.0, t=1)
+        tree.delete(5, t=2)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(5, t=3)
+
+
+class TestRangeSnapshotEfficiency:
+    def test_snapshot_ios_scale_with_result_not_history(self):
+        """The optimal-query property: a snapshot pays O(log n + s/b), not
+        O(history size)."""
+        tree = fresh_tree(capacity=16)
+        t = 1
+        # Long history: 30 generations of 60 keys.
+        for _ in range(30):
+            for key in range(500, 560):
+                tree.insert(key, 1.0, t)
+                t += 1
+            for key in range(500, 560):
+                tree.delete(key, t)
+                t += 1
+        pool = tree.pool
+        pool.clear()
+        before = pool.stats.snapshot()
+        # t-61: after the last generation's final insert, before its
+        # first delete — the whole generation is alive.
+        result = tree.range_snapshot(1, 2000, t - 61)
+        reads = pool.stats.delta(before).logical_reads
+        assert len(result) == 60
+        total_pages = len(tree.page_ids())
+        assert total_pages > 100
+        assert reads < total_pages / 4  # far below a full sweep
+
+    def test_point_snapshot_bounded_by_height(self):
+        tree = fresh_tree(capacity=8)
+        for i in range(1, 500):
+            tree.insert((i * 13) % 1999 + 1, 1.0, t=i)
+        pool = tree.pool
+        pool.clear()
+        before = pool.stats.snapshot()
+        tree.snapshot_point(1000, 400)
+        reads = pool.stats.delta(before).logical_reads
+        assert reads <= 6  # root + a short path
+
+
+class TestPagedRootsCosts:
+    def test_paged_roots_add_bounded_lookup_cost(self):
+        pool = BufferPool(InMemoryDiskManager(), capacity=1024)
+        tree = MVBT(pool, MVBTConfig(capacity=6), key_space=KEY_SPACE,
+                    paged_roots=True)
+        for i in range(1, 400):
+            tree.insert((i * 13) % 1999 + 1, 1.0, t=i)
+        assert len(tree.roots) > 3
+        pool.clear()
+        before = pool.stats.snapshot()
+        tree.snapshot_point(1000, 200)
+        reads = pool.stats.delta(before).logical_reads
+        assert reads <= 10  # directory descent + tree descent
+
+
+class TestUpdateSemantics:
+    def test_update_preserves_old_version(self):
+        tree = fresh_tree()
+        tree.insert(100, 1.0, t=5)
+        for t in range(6, 30):
+            tree.update(100, float(t), t)
+        tree.check_invariants()
+        assert tree.snapshot_point(100, 5) == 1.0
+        for t in range(6, 30):
+            assert tree.snapshot_point(100, t) == float(t)
+
+    def test_update_missing_key_rejected(self):
+        tree = fresh_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.update(100, 1.0, t=5)
+
+
+class TestCountersAndDisposal:
+    def test_no_disposal_mode_keeps_empty_lifespan_pages(self):
+        pool = BufferPool(InMemoryDiskManager(), capacity=1024)
+        keeping = MVBT(pool, MVBTConfig(capacity=4), key_space=KEY_SPACE,
+                       dispose_pages=False)
+        for i in range(1, 40):
+            keeping.insert(i, float(i), t=5)  # same-instant burst
+        assert keeping.counters.disposals == 0
+        # Answers unaffected.
+        assert len(keeping.range_snapshot(1, 2000, 5)) == 39
+        keeping.check_invariants()
+
+    def test_version_split_counter_monotone(self):
+        tree = fresh_tree(capacity=4)
+        last = 0
+        for i in range(1, 200):
+            tree.insert((i * 7) % 1999 + 1, 1.0, t=i)
+            assert tree.counters.version_splits >= last
+            last = tree.counters.version_splits
+        assert last > 0

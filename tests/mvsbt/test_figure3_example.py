@@ -1,0 +1,142 @@
+"""Step-by-step reproduction of the paper's Figure 3 example (section 4.3).
+
+Setup: ``b = 6``, ``f = 0.5`` (so a freshly split page holds at most 3
+records).  The six insertions of the running example are replayed and the
+resulting structure is asserted at every step — page contents, the time
+split + key split with the 4.2.1 prefix folding ("note how the value of the
+first record in the page with higher range is modified"), and the time merge
+triggered by the final insertion.
+"""
+
+import pytest
+
+from repro.core.model import NOW
+from repro.mvsbt.records import INDEX_KIND, LEAF_KIND
+from repro.mvsbt.tree import MVSBT, MVSBTConfig
+
+MAXKEY = 10**6
+
+
+@pytest.fixture()
+def tree(pool):
+    return MVSBT(pool, MVSBTConfig(capacity=6, strong_factor=0.5),
+                 key_space=(1, MAXKEY))
+
+
+def rects(page):
+    """Sorted (low, high, start, end, value) tuples of a page's records."""
+    return sorted(
+        (r.low, r.high, r.start, r.end, r.value) for r in page.records
+    )
+
+
+def test_figure3a_initial_root(tree):
+    root = tree.pool.fetch(tree.root_id)
+    assert root.kind == LEAF_KIND
+    assert rects(root) == [(1, MAXKEY, 1, NOW, 0.0)]
+
+
+def test_figure3b_first_insertion_splits_the_record(tree):
+    tree.insert(20, 2, 1.0)
+    root = tree.pool.fetch(tree.root_id)
+    assert rects(root) == [
+        (1, 20, 2, NOW, 0.0),        # lower piece keeps the old value
+        (1, MAXKEY, 1, 2, 0.0),      # historical piece closed at t=2
+        (20, MAXKEY, 2, NOW, 1.0),   # upper piece carries the delta
+    ]
+
+
+def test_figure3c_only_partly_covered_record_splits(tree):
+    tree.insert(20, 2, 1.0)
+    tree.insert(10, 3, 1.0)
+    root = tree.pool.fetch(tree.root_id)
+    # The fully-covered record [20, max) is *not* physically split
+    # (aggregation-in-a-page); only the partly-covered [1, 20) splits.
+    assert rects(root) == [
+        (1, 10, 3, NOW, 0.0),
+        (1, 20, 2, 3, 0.0),
+        (1, MAXKEY, 1, 2, 0.0),
+        (10, 20, 3, NOW, 1.0),
+        (20, MAXKEY, 2, NOW, 1.0),
+    ]
+    assert tree.query(25, 3) == 2.0   # deltas 1 + 1 accumulate
+
+
+def test_figure3def_overflow_time_split_key_split(tree):
+    tree.insert(20, 2, 1.0)
+    tree.insert(10, 3, 1.0)
+    tree.insert(80, 4, 1.0)   # 7 records > b: overflow
+    assert tree.counters.time_splits == 1
+    assert tree.counters.key_splits == 1
+
+    root = tree.pool.fetch(tree.root_id)
+    assert root.kind == INDEX_KIND
+    routers = sorted((r.low, r.high, r.value) for r in root.records)
+    assert routers == [(1, 20, 0.0), (20, MAXKEY, 0.0)]
+
+    lower_id = next(r.child for r in root.records if r.low == 1)
+    upper_id = next(r.child for r in root.records if r.low == 20)
+    lower, upper = tree.pool.fetch(lower_id), tree.pool.fetch(upper_id)
+    assert rects(lower) == [(1, 10, 4, NOW, 0.0), (10, 20, 4, NOW, 1.0)]
+    # Figure 3e: the first record of the higher page absorbed the prefix
+    # sum (0 + 1) of the lower page.
+    assert rects(upper) == [(20, 80, 4, NOW, 2.0), (80, MAXKEY, 4, NOW, 1.0)]
+
+    # Semantics across the whole history:
+    assert tree.query(25, 2) == 1.0
+    assert tree.query(15, 3) == 1.0
+    assert tree.query(25, 3) == 2.0
+    assert tree.query(85, 4) == 3.0
+    assert tree.query(25, 4) == 2.0
+    assert tree.query(5, 4) == 0.0
+
+
+def test_figure3g_recursive_insertion(tree):
+    tree.insert(20, 2, 1.0)
+    tree.insert(10, 3, 1.0)
+    tree.insert(80, 4, 1.0)
+    tree.insert(10, 5, -1.0)
+    root = tree.pool.fetch(tree.root_id)
+
+    # In the root, the first fully-covered record ([20, max)) was split
+    # vertically at t=5 with the -1 delta.
+    routers = sorted((r.low, r.high, r.start, r.end, r.value)
+                     for r in root.records)
+    assert (20, MAXKEY, 4, 5, 0.0) in routers
+    assert (20, MAXKEY, 5, NOW, -1.0) in routers
+
+    # The insertion recursed into the partly-covered child A, where the
+    # first fully-covered record [10, 20) split at t=5 (delta 1 + -1 = 0).
+    lower_id = next(r.child for r in root.records if r.low == 1 and r.alive)
+    lower = tree.pool.fetch(lower_id)
+    assert (10, 20, 4, 5, 1.0) in rects(lower)
+    assert (10, 20, 5, NOW, 0.0) in rects(lower)
+
+    assert tree.query(85, 4) == 3.0   # history intact
+    assert tree.query(85, 5) == 2.0   # -1 applied from t=5
+    assert tree.query(15, 5) == 0.0
+
+
+def test_final_insertion_triggers_time_merge(tree):
+    """The paper: inserting (5,5):1 after (10,5):-1 leads to a time merge
+    in the root (the -1 delta at [20, max) is cancelled in place, restoring
+    the record killed at t=5)."""
+    tree.insert(20, 2, 1.0)
+    tree.insert(10, 3, 1.0)
+    tree.insert(80, 4, 1.0)
+    tree.insert(10, 5, -1.0)
+    tree.insert(5, 5, 1.0)
+    assert tree.counters.time_merges >= 1
+
+    root = tree.pool.fetch(tree.root_id)
+    routers = sorted((r.low, r.high, r.start, r.end, r.value)
+                     for r in root.records if r.alive)
+    # The [20, max) router is whole again: one record from t=4.
+    assert (20, MAXKEY, 4, NOW, 0.0) in routers
+
+    assert tree.query(85, 5) == 3.0   # -1 (key 10) + 1 (key 5) cancel
+    assert tree.query(15, 5) == 1.0   # keys in [10, 20): -1 + 1 cancel
+    assert tree.query(7, 5) == 1.0
+    assert tree.query(3, 5) == 0.0
+    assert tree.query(85, 4) == 3.0
+    tree.check_invariants()

@@ -1,0 +1,122 @@
+"""Hypothesis property tests: MVSBT vs the dominance-sum oracle.
+
+The MVSBT's contract is exactly a dominance sum over the update set:
+``query(k, t) = sum { v : (k', t', v) inserted, k' <= k, t' <= t }``.
+Streams of quadrant updates with non-decreasing times are generated and the
+tree must agree with the oracle at every probed point, under every
+combination of optimization toggles, with invariants intact.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mvsbt.tree import MVSBT, MVSBTConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+from tests.oracles import DominanceSumOracle
+
+KEY_SPACE = (1, 120)
+
+
+@st.composite
+def update_streams(draw):
+    """(key, dt, value) updates; dt >= 0 keeps times non-decreasing."""
+    return draw(st.lists(
+        st.tuples(
+            st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+        ),
+        min_size=1, max_size=120,
+    ))
+
+
+def build(stream, **config_kwargs):
+    pool = BufferPool(InMemoryDiskManager(), capacity=2048)
+    defaults = dict(capacity=5, strong_factor=0.8)
+    defaults.update(config_kwargs)
+    tree = MVSBT(pool, MVSBTConfig(**defaults), key_space=KEY_SPACE)
+    oracle = DominanceSumOracle()
+    t = 1
+    for key, dt, value in stream:
+        t += dt
+        tree.insert(key, t, float(value))
+        oracle.insert(key, t, float(value))
+    return tree, oracle, t
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_streams(),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+       st.integers(min_value=1, max_value=600))
+def test_query_matches_oracle(stream, key, t):
+    tree, oracle, _ = build(stream)
+    assert tree.query(key, t) == pytest.approx(oracle.query(key, t))
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_streams())
+def test_invariants_hold(stream):
+    tree, _, _ = build(stream)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_streams(),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+       st.integers(min_value=1, max_value=600))
+def test_physical_mode_matches_oracle(stream, key, t):
+    tree, oracle, _ = build(stream, logical_split=False,
+                            record_merging=False)
+    assert tree.query(key, t) == pytest.approx(oracle.query(key, t))
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(update_streams(),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+       st.integers(min_value=1, max_value=600))
+def test_toggles_do_not_change_answers(stream, key, t):
+    reference, _, _ = build(stream)
+    for kwargs in (
+        dict(record_merging=False),
+        dict(page_disposal=False),
+        dict(record_merging=False, page_disposal=False),
+    ):
+        variant, _, _ = build(stream, **kwargs)
+        assert variant.query(key, t) == pytest.approx(reference.query(key, t))
+
+
+@settings(max_examples=30, deadline=None)
+@given(update_streams(),
+       st.sampled_from([(4, 0.9), (6, 0.5), (8, 0.75), (16, 0.9)]),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+       st.integers(min_value=1, max_value=600))
+def test_capacity_and_strong_factor_invisible(stream, params, key, t):
+    capacity, factor = params
+    tree, oracle, _ = build(stream, capacity=capacity, strong_factor=factor)
+    assert tree.query(key, t) == pytest.approx(oracle.query(key, t))
+
+
+@settings(max_examples=30, deadline=None)
+@given(update_streams())
+def test_latest_version_is_a_full_tiling(stream):
+    """At the current instant the alive leaf records across the latest tree
+    tile the whole key space exactly once (Property 1 globally)."""
+    tree, _, t_end = build(stream)
+    covered = []
+    stack = [tree.root_id]
+    while stack:
+        page = tree.pool.fetch(stack.pop())
+        if page.kind == "mvsbt-index":
+            stack.extend(r.child for r in page.records if r.alive)
+        else:
+            covered.extend(
+                (r.low, r.high) for r in page.records if r.alive
+            )
+    covered.sort()
+    assert covered[0][0] == KEY_SPACE[0]
+    assert covered[-1][1] == KEY_SPACE[1]
+    for (l1, h1), (l2, h2) in zip(covered, covered[1:]):
+        assert h1 == l2

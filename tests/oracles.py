@@ -1,0 +1,115 @@
+"""Brute-force reference implementations the indexes are tested against.
+
+Every oracle works directly over small explicit collections, trading any
+efficiency for obvious correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import NOW
+
+
+@dataclass
+class IntervalFunctionOracle:
+    """Oracle for SB-tree semantics: a function V(t) updated over intervals."""
+
+    identity: float = 0.0
+    combine: object = None  # callable; defaults to addition
+    _updates: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def insert(self, start: int, end: int, value: float) -> None:
+        self._updates.append((start, end, value))
+
+    def query(self, t: int) -> float:
+        combine = self.combine or (lambda a, b: a + b)
+        acc = self.identity
+        for start, end, value in self._updates:
+            if start <= t < end:
+                acc = combine(acc, value)
+        return acc
+
+
+@dataclass
+class DominanceSumOracle:
+    """Oracle for MVSBT semantics.
+
+    ``insert(k, t, v)`` adds ``v`` to every point of the quadrant
+    ``[k, +inf) x [t, +inf)``; ``query(k, t)`` returns the accumulated value
+    at the point — i.e. the sum of v over updates with ``k' <= k`` and
+    ``t' <= t`` (a dominance sum).
+    """
+
+    _updates: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def insert(self, key: int, t: int, value: float) -> None:
+        self._updates.append((key, t, value))
+
+    def query(self, key: int, t: int) -> float:
+        return sum(
+            value for k, s, value in self._updates if k <= key and s <= t
+        )
+
+
+@dataclass
+class TupleStoreOracle:
+    """Oracle over explicit temporal tuples: snapshots and RTA aggregates.
+
+    Mirrors the transaction-time model: ``insert`` opens a tuple alive to
+    ``NOW``; ``delete`` closes the alive tuple with that key.
+    """
+
+    tuples: List[Tuple[int, int, int, float]] = field(default_factory=list)
+    # each entry: (key, start, end, value); end == NOW while alive
+    _alive: Dict[int, int] = field(default_factory=dict)  # key -> index
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        assert key not in self._alive, f"1TNF violation for key {key}"
+        self._alive[key] = len(self.tuples)
+        self.tuples.append((key, t, NOW, value))
+
+    def delete(self, key: int, t: int) -> None:
+        idx = self._alive.pop(key)
+        k, s, _, v = self.tuples[idx]
+        self.tuples[idx] = (k, s, t, v)
+
+    def snapshot(self, t: int) -> List[Tuple[int, float]]:
+        """(key, value) pairs of tuples alive at instant ``t``."""
+        return [
+            (k, v) for (k, s, e, v) in self.tuples if s <= t < e
+        ]
+
+    def range_snapshot(self, low: int, high: int, t: int) -> List[Tuple[int, float]]:
+        return [
+            (k, v) for (k, v) in self.snapshot(t) if low <= k < high
+        ]
+
+    def rta_sum(self, low: int, high: int, t_start: int, t_end: int) -> float:
+        """SUM over tuples with key in [low, high) whose interval intersects
+        the instants [t_start, t_end)."""
+        return sum(
+            v for (k, s, e, v) in self.tuples
+            if low <= k < high and s < t_end and e > t_start
+        )
+
+    def rta_count(self, low: int, high: int, t_start: int, t_end: int) -> int:
+        return sum(
+            1 for (k, s, e, v) in self.tuples
+            if low <= k < high and s < t_end and e > t_start
+        )
+
+    def rta_avg(self, low: int, high: int, t_start: int,
+                t_end: int) -> Optional[float]:
+        count = self.rta_count(low, high, t_start, t_end)
+        if count == 0:
+            return None
+        return self.rta_sum(low, high, t_start, t_end) / count
+
+    def rectangle_tuples(self, low: int, high: int, t_start: int,
+                         t_end: int) -> List[Tuple[int, int, int, float]]:
+        return [
+            (k, s, e, v) for (k, s, e, v) in self.tuples
+            if low <= k < high and s < t_end and e > t_start
+        ]

@@ -1,0 +1,86 @@
+"""Tests for cumulative aggregates via two SB-trees (paper section 2.2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sbtree.cumulative import CumulativeSBTree
+
+
+@pytest.fixture()
+def cum(pool):
+    return CumulativeSBTree(pool, capacity=4, domain=(1, 1001))
+
+
+def brute_cumulative(tuples, t, w):
+    """Aggregate of tuples [s, e) intersecting the window instants [t-w, t]."""
+    window_start = max(t - w, 1)
+    return sum(
+        v for (s, e, v) in tuples if s <= t and e > window_start
+    )
+
+
+class TestInstantaneous:
+    def test_alive_tuple_counted(self, cum):
+        cum.insert(10, 5.0)
+        assert cum.instantaneous(10) == 5.0
+        assert cum.instantaneous(500) == 5.0
+        assert cum.instantaneous(9) == 0.0
+
+    def test_closed_tuple_drops_out(self, cum):
+        cum.insert(10, 5.0)
+        cum.close(10, 50, 5.0)
+        assert cum.instantaneous(49) == 5.0
+        assert cum.instantaneous(50) == 0.0
+
+
+class TestCumulative:
+    def test_window_zero_equals_instantaneous_for_alive(self, cum):
+        cum.insert(10, 3.0)
+        assert cum.cumulative(20, 0) == cum.instantaneous(20)
+
+    def test_dead_tuple_counted_while_in_window(self, cum):
+        cum.insert_interval(10, 20, 4.0)  # alive over instants 10..19
+        # At t=25 with w=10 the window covers 15..25: tuple intersects.
+        assert cum.cumulative(25, 10) == 4.0
+        # At t=40 with w=10 the window covers 30..40: tuple is long gone.
+        assert cum.cumulative(40, 10) == 0.0
+
+    def test_window_boundary_inclusive(self, cum):
+        cum.insert_interval(10, 20, 1.0)  # last alive instant is 19
+        assert cum.cumulative(29, 10) == 1.0   # window starts at 19
+        assert cum.cumulative(30, 10) == 0.0   # window starts at 20
+
+    def test_negative_window_rejected(self, cum):
+        with pytest.raises(QueryError):
+            cum.cumulative(10, -1)
+
+    def test_window_clipped_at_domain_start(self, cum):
+        cum.insert_interval(1, 5, 2.0)
+        assert cum.cumulative(3, 10**6) == 2.0
+
+    def test_matches_brute_force_over_many_windows(self, cum):
+        tuples = [
+            (5, 30, 2.0), (10, 15, 1.0), (20, 900, 3.0), (50, 60, -4.0),
+            (100, 101, 7.0), (200, 450, 1.5), (2, 999, 0.5),
+        ]
+        for s, e, v in tuples:
+            cum.insert_interval(s, e, v)
+        for t in (1, 5, 14, 15, 30, 59, 60, 100, 101, 250, 500, 950):
+            for w in (0, 1, 5, 50, 400):
+                assert cum.cumulative(t, w) == pytest.approx(
+                    brute_cumulative(tuples, t, w)
+                ), (t, w)
+
+    def test_transaction_time_stream(self, cum):
+        # Open/close in time order, query historical windows afterwards.
+        cum.insert(10, 1.0)          # key A
+        cum.insert(20, 2.0)          # key B
+        cum.close(10, 30, 1.0)       # A dies at 30
+        cum.insert(40, 4.0)          # key C
+        cum.close(20, 50, 2.0)       # B dies at 50
+        tuples = [(10, 30, 1.0), (20, 50, 2.0), (40, 1001, 4.0)]
+        for t in (10, 29, 30, 39, 40, 49, 50, 60, 500):
+            for w in (0, 10, 25, 100):
+                assert cum.cumulative(t, w) == pytest.approx(
+                    brute_cumulative(tuples, t, w)
+                ), (t, w)

@@ -1,0 +1,68 @@
+"""Tests for the insert-only MIN/MAX SB-tree variant."""
+
+import pytest
+
+from repro.sbtree.minmax import MinMaxSBTree
+
+from tests.oracles import IntervalFunctionOracle
+
+
+class TestMin:
+    @pytest.fixture()
+    def tree(self, pool):
+        return MinMaxSBTree(pool, capacity=4, domain=(1, 201), mode="min")
+
+    def test_uncovered_instant_reports_identity(self, tree):
+        assert tree.query(50) == float("inf")
+        assert not tree.covered(50)
+
+    def test_min_over_overlapping_intervals(self, tree):
+        tree.insert(10, 100, 5.0)
+        tree.insert(40, 60, 2.0)
+        tree.insert(50, 55, 9.0)
+        assert tree.query(20) == 5.0
+        assert tree.query(45) == 2.0
+        assert tree.query(52) == 2.0
+        assert tree.query(70) == 5.0
+
+    def test_covered_flag(self, tree):
+        tree.insert(10, 20, 1.0)
+        assert tree.covered(10)
+        assert not tree.covered(20)
+
+    def test_matches_oracle(self, tree):
+        oracle = IntervalFunctionOracle(identity=float("inf"), combine=min)
+        state = 99
+        for _ in range(200):
+            state = (state * 48271) % (2**31 - 1)
+            start = state % 180 + 1
+            state = (state * 48271) % (2**31 - 1)
+            end = min(start + state % 30 + 1, 201)
+            value = float(state % 100)
+            tree.insert(start, end, value)
+            oracle.insert(start, end, value)
+        tree.check_invariants()
+        for t in range(1, 201, 3):
+            assert tree.query(t) == oracle.query(t)
+
+
+class TestMax:
+    @pytest.fixture()
+    def tree(self, pool):
+        return MinMaxSBTree(pool, capacity=4, domain=(1, 201), mode="max")
+
+    def test_max_semantics(self, tree):
+        tree.insert(10, 100, 5.0)
+        tree.insert(40, 60, 2.0)
+        assert tree.query(45) == 5.0
+        tree.insert(44, 46, 11.0)
+        assert tree.query(45) == 11.0
+        assert tree.query(47) == 5.0
+
+    def test_identity_is_minus_infinity(self, tree):
+        assert tree.query(5) == float("-inf")
+
+
+def test_invalid_mode_rejected(pool):
+    with pytest.raises(ValueError):
+        MinMaxSBTree(pool, mode="median")

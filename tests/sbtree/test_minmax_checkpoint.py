@@ -1,0 +1,59 @@
+"""Checkpoint round-trips for the min/max SB-tree, including window
+queries after reload (the child_agg augmentation must survive the codec)."""
+
+import pytest
+
+from repro.sbtree.minmax import MinMaxSBTree
+from repro.sbtree.tree import SBTree
+
+DOMAIN = (1, 2001)
+
+
+def loaded_tree(pool, mode):
+    tree = MinMaxSBTree(pool, capacity=4, domain=DOMAIN, mode=mode)
+    state = 17
+    for _ in range(300):
+        state = (state * 48271) % (2**31 - 1)
+        start = state % 1900 + 1
+        end = min(start + state % 80 + 1, DOMAIN[1])
+        tree.insert(start, end, float(state % 997))
+    return tree
+
+
+@pytest.mark.parametrize("mode", ["min", "max"])
+def test_window_queries_survive_reload(pool, tmp_path, mode):
+    tree = loaded_tree(pool, mode)
+    tree.save(str(tmp_path / "mm"))
+    reopened = MinMaxSBTree.load(str(tmp_path / "mm"))
+    assert isinstance(reopened, MinMaxSBTree)
+    assert reopened.mode == mode
+    for lo in range(1, 2000, 173):
+        for width in (1, 50, 700):
+            hi = min(lo + width, DOMAIN[1])
+            if lo >= hi:
+                continue
+            assert reopened.window_query(lo, hi) \
+                == tree.window_query(lo, hi), (lo, hi)
+            assert reopened.query(lo) == tree.query(lo)
+
+
+def test_reloaded_tree_keeps_augmentation_consistent(pool, tmp_path):
+    tree = loaded_tree(pool, "min")
+    tree.save(str(tmp_path / "mm"))
+    reopened = MinMaxSBTree.load(str(tmp_path / "mm"))
+    # Further insertions keep window queries exact (aggregates maintained
+    # through the reloaded records).
+    reopened.insert(500, 600, -1.0)
+    assert reopened.window_query(550, 560) == -1.0
+    assert reopened.window_query(1, 2001) == -1.0
+    before = tree.window_query(700, 900)
+    assert reopened.window_query(700, 900) == before
+
+
+def test_plain_sbtree_load_does_not_gain_minmax_api(pool, tmp_path):
+    tree = SBTree(pool, capacity=4, domain=DOMAIN)
+    tree.insert(10, 20, 5.0)
+    tree.save(str(tmp_path / "sb"))
+    reopened = SBTree.load(str(tmp_path / "sb"))
+    assert not isinstance(reopened, MinMaxSBTree)
+    assert reopened.query(15) == 5.0

@@ -1,0 +1,183 @@
+"""Unit tests for the SB-tree: semantics, balance, splits, compaction."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sbtree.tree import SBTree
+
+from tests.oracles import IntervalFunctionOracle
+
+
+@pytest.fixture()
+def tree(pool):
+    return SBTree(pool, capacity=4, domain=(1, 101), compact=False)
+
+
+class TestBasicSemantics:
+    def test_fresh_tree_is_identity_everywhere(self, tree):
+        for t in (1, 50, 100):
+            assert tree.query(t) == 0.0
+
+    def test_single_interval(self, tree):
+        tree.insert(10, 20, 5.0)
+        assert tree.query(9) == 0.0
+        assert tree.query(10) == 5.0
+        assert tree.query(19) == 5.0
+        assert tree.query(20) == 0.0
+
+    def test_overlapping_intervals_accumulate(self, tree):
+        tree.insert(10, 30, 1.0)
+        tree.insert(20, 40, 2.0)
+        assert tree.query(15) == 1.0
+        assert tree.query(25) == 3.0
+        assert tree.query(35) == 2.0
+
+    def test_negative_insert_models_deletion(self, tree):
+        tree.insert(10, 30, 7.0)
+        tree.insert(10, 30, -7.0)
+        assert tree.query(15) == 0.0
+
+    def test_whole_domain_interval_touches_only_root(self, tree):
+        tree.insert(1, 101, 4.0)
+        assert tree.query(1) == 4.0
+        assert tree.query(100) == 4.0
+        # Parked at the root's single record: still a 1-page tree.
+        assert tree.page_count() == 1
+
+    def test_adjacent_intervals_do_not_bleed(self, tree):
+        tree.insert(10, 20, 1.0)
+        tree.insert(20, 30, 2.0)
+        assert tree.query(19) == 1.0
+        assert tree.query(20) == 2.0
+
+    def test_instant_interval(self, tree):
+        tree.insert(42, 43, 9.0)
+        assert tree.query(41) == 0.0
+        assert tree.query(42) == 9.0
+        assert tree.query(43) == 0.0
+
+
+class TestValidation:
+    def test_interval_outside_domain_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.insert(200, 300, 1.0)
+
+    def test_query_outside_domain_rejected(self, tree):
+        with pytest.raises(QueryError):
+            tree.query(101)
+        with pytest.raises(QueryError):
+            tree.query(0)
+
+    def test_interval_clipped_to_domain(self, tree):
+        tree.insert(0, 1000, 3.0)  # clipped to [1, 101)
+        assert tree.query(1) == 3.0
+        assert tree.query(100) == 3.0
+
+    def test_capacity_below_four_rejected(self, pool):
+        with pytest.raises(ValueError):
+            SBTree(pool, capacity=3)
+
+    def test_empty_domain_rejected(self, pool):
+        with pytest.raises(ValueError):
+            SBTree(pool, capacity=4, domain=(5, 5))
+
+
+class TestStructure:
+    def test_tree_grows_and_stays_invariant(self, tree):
+        for i in range(1, 50):
+            tree.insert(i, i + 2, 1.0)
+            tree.check_invariants()
+        assert tree.height > 1
+
+    def test_height_is_logarithmic(self, pool):
+        tree = SBTree(pool, capacity=8, domain=(1, 10_001), compact=False)
+        for i in range(1, 1000):
+            tree.insert(i * 10, i * 10 + 5, 1.0)
+        tree.check_invariants()
+        # ~2000 leaf records at b=8: height must stay well under linear.
+        assert tree.height <= 6
+
+    def test_long_intervals_cost_constant_records(self, pool):
+        """Segment-tree property: a long interval is parked, not pushed down."""
+        tree = SBTree(pool, capacity=4, domain=(1, 10_001), compact=False)
+        for i in range(200):
+            tree.insert(2 * i + 1, 2 * i + 3, 1.0)
+        records_before = tree.leaf_record_count()
+        tree.insert(1, 10_001, 1.0)  # covers everything
+        # A full-domain insert adds no leaf records at all.
+        assert tree.leaf_record_count() == records_before
+
+    def test_page_count_matches_all_page_ids(self, tree):
+        for i in range(1, 40):
+            tree.insert(i, i + 3, 1.0)
+        assert tree.page_count() == len(tree._all_page_ids())
+
+    def test_insertions_counter(self, tree):
+        tree.insert(1, 5, 1.0)
+        tree.insert(2, 6, 1.0)
+        assert tree.insertions == 2
+
+
+class TestCompaction:
+    def test_compaction_merges_equal_adjacent_leaves(self, pool):
+        compacted = SBTree(pool, capacity=4, domain=(1, 101), compact=True)
+        plain = SBTree(pool, capacity=4, domain=(1, 101), compact=False)
+        # Insert then cancel: values return to 0 everywhere, compaction
+        # should keep the compacted tree small.
+        for tree in (compacted, plain):
+            for i in range(1, 40):
+                tree.insert(i, i + 1, 1.0)
+            for i in range(1, 40):
+                tree.insert(i, i + 1, -1.0)
+        assert compacted.leaf_record_count() < plain.leaf_record_count()
+
+    def test_compaction_preserves_answers(self, pool):
+        compacted = SBTree(pool, capacity=4, domain=(1, 201), compact=True)
+        oracle = IntervalFunctionOracle()
+        updates = [(i * 3 % 150 + 1, i * 7 % 160 + 20, float(i % 5 - 2))
+                   for i in range(1, 120)]
+        for start, end, value in updates:
+            if start < end:
+                compacted.insert(start, end, value)
+                oracle.insert(start, end, value)
+        compacted.check_invariants()
+        for t in range(1, 201, 7):
+            assert compacted.query(t) == pytest.approx(oracle.query(t))
+
+
+class TestAgainstOracle:
+    def test_dense_random_like_updates(self, pool):
+        tree = SBTree(pool, capacity=5, domain=(1, 301), compact=False)
+        oracle = IntervalFunctionOracle()
+        # Deterministic pseudo-random pattern with varied lengths/values.
+        state = 12345
+        for _ in range(300):
+            state = (state * 1103515245 + 12345) % (2**31)
+            start = state % 290 + 1
+            state = (state * 1103515245 + 12345) % (2**31)
+            length = state % 40 + 1
+            end = min(start + length, 301)
+            value = float(state % 11 - 5)
+            tree.insert(start, end, value)
+            oracle.insert(start, end, value)
+        tree.check_invariants()
+        for t in range(1, 301):
+            assert tree.query(t) == pytest.approx(oracle.query(t))
+
+    def test_query_many_matches_individual_queries(self, tree):
+        tree.insert(5, 60, 2.0)
+        tree.insert(30, 80, 3.0)
+        instants = [1, 5, 29, 30, 59, 60, 79, 80, 100]
+        assert tree.query_many(instants) == [tree.query(t) for t in instants]
+
+
+class TestIOAccounting:
+    def test_query_io_bounded_by_height(self, pool):
+        tree = SBTree(pool, capacity=4, domain=(1, 2001), compact=False)
+        for i in range(1, 500):
+            tree.insert(i * 4, i * 4 + 2, 1.0)
+        pool.clear()
+        small = pool.stats.snapshot()
+        tree.query(1000)
+        delta = pool.stats.delta(small)
+        assert delta.logical_reads <= tree.height

@@ -1,0 +1,74 @@
+"""Hypothesis property tests: SB-tree vs the interval-function oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sbtree.tree import SBTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+from tests.oracles import IntervalFunctionOracle
+
+DOMAIN = (1, 301)
+
+
+def intervals():
+    return st.tuples(
+        st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1] - 1),
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=-10, max_value=10),
+    ).map(lambda t: (t[0], min(t[0] + t[1], DOMAIN[1]), float(t[2])))
+
+
+@st.composite
+def update_streams(draw):
+    return draw(st.lists(intervals(), min_size=1, max_size=120))
+
+
+def build_tree(updates, capacity=4, compact=False):
+    pool = BufferPool(InMemoryDiskManager(), capacity=512)
+    tree = SBTree(pool, capacity=capacity, domain=DOMAIN, compact=compact)
+    oracle = IntervalFunctionOracle()
+    for start, end, value in updates:
+        tree.insert(start, end, value)
+        oracle.insert(start, end, value)
+    return tree, oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_streams(), st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1] - 1))
+def test_point_query_matches_oracle(updates, t):
+    tree, oracle = build_tree(updates)
+    assert tree.query(t) == oracle.query(t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_streams())
+def test_invariants_hold_after_any_stream(updates):
+    tree, _ = build_tree(updates)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_streams(), st.integers(min_value=DOMAIN[0], max_value=DOMAIN[1] - 1))
+def test_compaction_never_changes_answers(updates, t):
+    compacted, _ = build_tree(updates, compact=True)
+    plain, _ = build_tree(updates, compact=False)
+    assert compacted.query(t) == plain.query(t)
+    compacted.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(update_streams(), st.integers(min_value=5, max_value=9))
+def test_capacity_does_not_change_semantics(updates, capacity):
+    wide, oracle = build_tree(updates, capacity=capacity)
+    for t in range(DOMAIN[0], DOMAIN[1], 17):
+        assert wide.query(t) == oracle.query(t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(update_streams())
+def test_insertion_order_is_irrelevant(updates):
+    forward, _ = build_tree(updates)
+    backward, _ = build_tree(list(reversed(updates)))
+    for t in range(DOMAIN[0], DOMAIN[1], 13):
+        assert forward.query(t) == backward.query(t)

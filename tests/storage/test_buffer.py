@@ -1,0 +1,156 @@
+"""Unit tests for the LRU buffer pool: eviction order, pinning, I/O counting."""
+
+import pytest
+
+from repro.errors import BufferPoolError, PageNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+@pytest.fixture()
+def pool():
+    return BufferPool(InMemoryDiskManager(), capacity=3)
+
+
+def _alloc_pages(pool, n):
+    pages = [pool.allocate(capacity=4, kind="raw") for _ in range(n)]
+    pool.flush_all()
+    return pages
+
+
+def test_allocate_counts_allocation_not_read(pool):
+    pool.allocate(capacity=4)
+    assert pool.stats.allocations == 1
+    assert pool.stats.reads == 0
+
+
+def test_fetch_hit_costs_no_physical_read(pool):
+    (page,) = _alloc_pages(pool, 1)
+    before = pool.stats.reads
+    fetched = pool.fetch(page.page_id)
+    assert fetched is page
+    assert pool.stats.reads == before
+    assert pool.stats.logical_reads == 1
+
+
+def test_fetch_miss_reads_from_disk(pool):
+    pages = _alloc_pages(pool, 4)  # capacity 3: page 0 evicted
+    assert not pool.is_resident(pages[0].page_id)
+    pool.fetch(pages[0].page_id)
+    assert pool.stats.reads == 1
+
+
+def test_lru_eviction_order(pool):
+    pages = _alloc_pages(pool, 3)
+    pool.fetch(pages[0].page_id)  # 0 becomes most-recent
+    pool.allocate(capacity=4)     # someone must go: LRU is page 1
+    assert pool.is_resident(pages[0].page_id)
+    assert not pool.is_resident(pages[1].page_id)
+    assert pool.is_resident(pages[2].page_id)
+
+
+def test_dirty_eviction_writes_back(pool):
+    pages = _alloc_pages(pool, 3)
+    victim = pool.fetch(pages[0].page_id)
+    victim.add("rec")            # dirty
+    pool.fetch(pages[1].page_id)
+    pool.fetch(pages[2].page_id)
+    writes_before = pool.stats.writes
+    pool.allocate(capacity=4)    # evicts dirty page 0
+    assert pool.stats.writes == writes_before + 1
+
+
+def test_clean_eviction_costs_no_write(pool):
+    _alloc_pages(pool, 3)
+    writes_before = pool.stats.writes
+    pool.allocate(capacity=4)
+    pool.flush_all()
+    # Only the newly allocated dirty page should have been written.
+    assert pool.stats.writes == writes_before + 1
+
+
+def test_pinned_page_survives_eviction(pool):
+    pages = _alloc_pages(pool, 3)
+    pool.fetch(pages[0].page_id)
+    pool.pin(pages[0].page_id)
+    pool.allocate(capacity=4)
+    pool.allocate(capacity=4)
+    assert pool.is_resident(pages[0].page_id)
+    pool.unpin(pages[0].page_id)
+
+
+def test_pin_is_nestable(pool):
+    (page,) = _alloc_pages(pool, 1)
+    pool.pin(page.page_id)
+    pool.pin(page.page_id)
+    pool.unpin(page.page_id)
+    # Still pinned once: eviction pressure must not remove it.
+    pool.allocate(capacity=4)
+    pool.allocate(capacity=4)
+    pool.allocate(capacity=4)
+    assert pool.is_resident(page.page_id)
+    pool.unpin(page.page_id)
+
+
+def test_unpin_unpinned_raises(pool):
+    (page,) = _alloc_pages(pool, 1)
+    with pytest.raises(BufferPoolError):
+        pool.unpin(page.page_id)
+
+
+def test_pin_nonresident_raises(pool):
+    pages = _alloc_pages(pool, 4)
+    with pytest.raises(BufferPoolError):
+        pool.pin(pages[0].page_id)  # evicted above
+
+
+def test_pinned_context_manager(pool):
+    (page,) = _alloc_pages(pool, 1)
+    with pool.pinned(page):
+        pool.allocate(capacity=4)
+        pool.allocate(capacity=4)
+        pool.allocate(capacity=4)
+        assert pool.is_resident(page.page_id)
+    pool.unpin  # released: now evictable
+    pool.allocate(capacity=4)
+    pool.allocate(capacity=4)
+    pool.allocate(capacity=4)
+    assert not pool.is_resident(page.page_id)
+
+
+def test_free_releases_page(pool):
+    (page,) = _alloc_pages(pool, 1)
+    pool.free(page.page_id)
+    assert pool.stats.frees == 1
+    with pytest.raises(PageNotFoundError):
+        pool.fetch(page.page_id)
+
+
+def test_free_pinned_page_raises(pool):
+    (page,) = _alloc_pages(pool, 1)
+    pool.pin(page.page_id)
+    with pytest.raises(BufferPoolError):
+        pool.free(page.page_id)
+    pool.unpin(page.page_id)
+
+
+def test_clear_flushes_and_empties(pool):
+    pages = _alloc_pages(pool, 2)
+    pool.fetch(pages[0].page_id).add("rec")
+    pool.clear()
+    assert pool.resident_page_ids == []
+    # Record persisted: refetch sees it.
+    assert list(pool.fetch(pages[0].page_id)) == ["rec"]
+
+
+def test_hit_rate_reflects_misses(pool):
+    pages = _alloc_pages(pool, 4)
+    pool.fetch(pages[3].page_id)  # hit
+    pool.fetch(pages[0].page_id)  # miss
+    assert pool.stats.logical_reads == 2
+    assert pool.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BufferPool(InMemoryDiskManager(), capacity=0)

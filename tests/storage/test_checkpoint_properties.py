@@ -1,0 +1,81 @@
+"""Hypothesis property tests for checkpointing: save/load at arbitrary
+points of a stream must be transparent."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.mvsbt.tree import MVSBT, MVSBTConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+from tests.oracles import DominanceSumOracle
+
+KEY_SPACE = (1, 100)
+
+
+@st.composite
+def streams_with_cut(draw):
+    stream = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+        ),
+        min_size=2, max_size=60,
+    ))
+    cut = draw(st.integers(min_value=1, max_value=len(stream) - 1))
+    return stream, cut
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams_with_cut(), st.integers(min_value=1, max_value=300),
+       st.integers(min_value=KEY_SPACE[0], max_value=KEY_SPACE[1] - 1))
+def test_mvsbt_checkpoint_mid_stream_is_transparent(tmp_path_factory,
+                                                    stream_cut, t, key):
+    (stream, cut) = stream_cut
+    directory = str(tmp_path_factory.mktemp("ck"))
+    pool = BufferPool(InMemoryDiskManager(), capacity=512)
+    tree = MVSBT(pool, MVSBTConfig(capacity=5), key_space=KEY_SPACE)
+    oracle = DominanceSumOracle()
+    clock = 1
+    for i, (k, dt, v) in enumerate(stream):
+        if i == cut:
+            tree.save(directory)
+            tree = MVSBT.load(directory, buffer_pages=512)
+        clock += dt
+        tree.insert(k, clock, float(v))
+        oracle.insert(k, clock, float(v))
+    assert tree.query(key, t) == pytest.approx(oracle.query(key, t))
+    tree.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(streams_with_cut())
+def test_rta_checkpoint_mid_stream_is_transparent(tmp_path_factory,
+                                                  stream_cut):
+    (stream, cut) = stream_cut
+    directory = str(tmp_path_factory.mktemp("ck"))
+    pool = BufferPool(InMemoryDiskManager(), capacity=512)
+    index = RTAIndex(pool, MVSBTConfig(capacity=5), key_space=KEY_SPACE)
+    shadow = RTAIndex(BufferPool(InMemoryDiskManager(), capacity=512),
+                      MVSBTConfig(capacity=5), key_space=KEY_SPACE)
+    alive = set()
+    clock = 1
+    for i, (k, dt, v) in enumerate(stream):
+        if i == cut:
+            index.save(directory)
+            index = RTAIndex.load(directory, buffer_pages=512)
+        clock += dt
+        if k in alive:
+            index.delete(k, clock)
+            shadow.delete(k, clock)
+            alive.discard(k)
+        else:
+            index.insert(k, float(v), clock)
+            shadow.insert(k, float(v), clock)
+            alive.add(k)
+    r, iv = KeyRange(*KEY_SPACE), Interval(1, clock + 2)
+    assert index.sum(r, iv) == pytest.approx(shadow.sum(r, iv))
+    assert index.count(r, iv) == shadow.count(r, iv)

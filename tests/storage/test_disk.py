@@ -1,0 +1,130 @@
+"""Unit tests for disk managers and serialization round-trips."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.serialization import (
+    RecordCodec,
+    decode_page,
+    encode_page,
+    records_per_page,
+    register_codec,
+)
+
+
+class TestInMemoryDiskManager:
+    def test_allocate_assigns_sequential_ids(self):
+        disk = InMemoryDiskManager()
+        ids = [disk.allocate(capacity=4).page_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+        assert disk.allocated_count == 3
+
+    def test_read_returns_same_object(self):
+        disk = InMemoryDiskManager()
+        page = disk.allocate(capacity=4)
+        page.add("rec")
+        assert disk.read(page.page_id) is page
+
+    def test_read_missing_raises(self):
+        disk = InMemoryDiskManager()
+        with pytest.raises(PageNotFoundError):
+            disk.read(7)
+
+    def test_free_then_read_raises(self):
+        disk = InMemoryDiskManager()
+        page = disk.allocate(capacity=4)
+        disk.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            disk.read(page.page_id)
+
+    def test_double_free_raises(self):
+        disk = InMemoryDiskManager()
+        page = disk.allocate(capacity=4)
+        disk.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            disk.free(page.page_id)
+
+    def test_live_page_count_tracks_frees(self):
+        disk = InMemoryDiskManager()
+        pages = [disk.allocate(capacity=4) for _ in range(5)]
+        disk.free(pages[2].page_id)
+        assert disk.live_page_count == 4
+        assert pages[2].page_id not in set(disk.live_page_ids())
+
+
+# A trivial test codec: records are (int, int) pairs.
+register_codec("test-pair", RecordCodec(
+    fmt="<qq",
+    to_tuple=lambda rec: rec,
+    from_tuple=lambda tup: tup,
+))
+
+
+class TestSerialization:
+    def test_records_per_page_matches_paper_setting(self):
+        # Paper: 4 KB pages, 16-byte records (4 x 4-byte fields).
+        assert records_per_page(16, page_bytes=4096) == 254
+
+    def test_records_per_page_rejects_tiny_pages(self):
+        with pytest.raises(ValueError):
+            records_per_page(100, page_bytes=128)
+
+    def test_records_per_page_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            records_per_page(0)
+
+    def test_page_image_round_trip(self):
+        records = [(1, 2), (3, 4), (-5, 2**40)]
+        image = encode_page("test-pair", records, page_bytes=256)
+        assert len(image) == 256
+        kind, decoded = decode_page(image)
+        assert kind == "test-pair"
+        assert decoded == records
+
+    def test_encode_overfull_page_raises(self):
+        records = [(i, i) for i in range(100)]
+        with pytest.raises(ValueError):
+            encode_page("test-pair", records, page_bytes=256)
+
+
+class TestFileDiskManager:
+    @pytest.fixture()
+    def disk(self, tmp_path):
+        manager = FileDiskManager(str(tmp_path / "pages.db"), page_bytes=256)
+        yield manager
+        manager.close()
+
+    def test_round_trip_through_real_file(self, disk):
+        page = disk.allocate(capacity=8, kind="test-pair")
+        page.records = [(10, 20), (30, 40)]
+        disk.write(page)
+        reread = disk.read(page.page_id)
+        assert reread.records == [(10, 20), (30, 40)]
+        assert reread.kind == "test-pair"
+        assert reread.capacity == 8
+
+    def test_pages_at_distinct_offsets(self, disk):
+        first = disk.allocate(capacity=8, kind="test-pair")
+        second = disk.allocate(capacity=8, kind="test-pair")
+        first.records = [(1, 1)]
+        second.records = [(2, 2)]
+        disk.write(first)
+        disk.write(second)
+        assert disk.read(first.page_id).records == [(1, 1)]
+        assert disk.read(second.page_id).records == [(2, 2)]
+
+    def test_free_zeroes_slot(self, disk):
+        page = disk.allocate(capacity=8, kind="test-pair")
+        page.records = [(9, 9)]
+        disk.write(page)
+        disk.free(page.page_id)
+        assert disk.live_page_count == 0
+        with pytest.raises(PageNotFoundError):
+            disk.read(page.page_id)
+
+    def test_write_to_freed_page_raises(self, disk):
+        page = disk.allocate(capacity=8, kind="test-pair")
+        disk.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            disk.write(page)

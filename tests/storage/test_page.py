@@ -1,0 +1,74 @@
+"""Unit tests for the Page container."""
+
+import pytest
+
+from repro.errors import PageOverflowError
+from repro.storage.page import Page
+
+
+def test_page_starts_empty_and_clean():
+    page = Page(0, capacity=4)
+    assert len(page) == 0
+    assert not page.dirty
+    assert not page.overflowed
+    assert page.free_slots == 4
+
+
+def test_add_marks_dirty_and_counts():
+    page = Page(1, capacity=4)
+    page.add("a")
+    page.add("b")
+    assert page.dirty
+    assert len(page) == 2
+    assert list(page) == ["a", "b"]
+    assert page.free_slots == 2
+
+
+def test_transient_overflow_by_one_is_allowed():
+    page = Page(2, capacity=3)
+    for rec in range(4):  # capacity + 1: the paper's overflow trigger state
+        page.add(rec)
+    assert page.overflowed
+    assert len(page) == 4
+
+
+def test_overflow_beyond_one_extra_record_raises():
+    page = Page(3, capacity=3)
+    for rec in range(4):
+        page.add(rec)
+    with pytest.raises(PageOverflowError):
+        page.add(99)
+
+
+def test_remove_physically_deletes():
+    page = Page(4, capacity=4)
+    page.add("x")
+    page.add("y")
+    page.remove("x")
+    assert list(page) == ["y"]
+
+
+def test_remove_missing_record_raises():
+    page = Page(5, capacity=4)
+    with pytest.raises(ValueError):
+        page.remove("ghost")
+
+
+def test_capacity_below_two_rejected():
+    with pytest.raises(ValueError):
+        Page(6, capacity=1)
+
+
+def test_mark_dirty_flags_in_place_mutation():
+    page = Page(7, capacity=4)
+    page.add([1])
+    page.dirty = False
+    page.records[0].append(2)
+    page.mark_dirty()
+    assert page.dirty
+
+
+def test_meta_dict_is_per_page():
+    a, b = Page(8, 4), Page(9, 4)
+    a.meta["level"] = 3
+    assert "level" not in b.meta

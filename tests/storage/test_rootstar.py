@@ -1,0 +1,110 @@
+"""Tests for the root* time-to-root directory."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.rootstar import RootDirectory
+
+
+class TestInMemory:
+    @pytest.fixture()
+    def directory(self):
+        d = RootDirectory()
+        d.append(1, 100)
+        d.append(10, 101)
+        d.append(50, 102)
+        return d
+
+    def test_find_within_slices(self, directory):
+        assert directory.find(1).root_id == 100
+        assert directory.find(9).root_id == 100
+        assert directory.find(10).root_id == 101
+        assert directory.find(49).root_id == 101
+        assert directory.find(50).root_id == 102
+        assert directory.find(10**9).root_id == 102
+
+    def test_find_before_first_raises(self):
+        d = RootDirectory()
+        d.append(10, 1)
+        with pytest.raises(LookupError):
+            d.find(9)
+
+    def test_find_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            RootDirectory().find(5)
+
+    def test_latest(self, directory):
+        assert directory.latest.root_id == 102
+
+    def test_latest_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            RootDirectory().latest
+
+    def test_same_instant_append_replaces(self, directory):
+        directory.append(50, 999)
+        assert directory.find(50).root_id == 999
+        assert len(directory) == 3
+
+    def test_out_of_order_append_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.append(5, 200)
+
+    def test_roots_intersecting(self, directory):
+        ids = [e.root_id for e in directory.roots_intersecting(5, 55)]
+        assert ids == [100, 101, 102]
+        ids = [e.root_id for e in directory.roots_intersecting(10, 50)]
+        assert ids == [101]
+        ids = [e.root_id for e in directory.roots_intersecting(60, 70)]
+        assert ids == [102]
+        assert list(directory.roots_intersecting(60, 60)) == []
+
+    def test_roots_intersecting_before_first_entry(self, directory):
+        ids = [e.root_id for e in directory.roots_intersecting(0, 1)]
+        assert ids == []  # starts[0] == 1 >= t_end
+
+
+class TestPaged:
+    @pytest.fixture()
+    def pool(self):
+        return BufferPool(InMemoryDiskManager(), capacity=64)
+
+    def test_requires_pool(self):
+        with pytest.raises(ValueError):
+            RootDirectory(paged=True)
+
+    def test_paged_lookup_matches_memory(self, pool):
+        paged = RootDirectory(pool, page_capacity=4, paged=True)
+        plain = RootDirectory()
+        for i in range(100):
+            paged.append(i * 3 + 1, 1000 + i)
+            plain.append(i * 3 + 1, 1000 + i)
+        for t in range(1, 310, 7):
+            assert paged.find(t).root_id == plain.find(t).root_id
+
+    def test_paged_lookup_costs_logarithmic_ios(self, pool):
+        paged = RootDirectory(pool, page_capacity=4, paged=True)
+        for i in range(200):
+            paged.append(i + 1, i)
+        pool.clear()
+        before = pool.stats.snapshot()
+        paged.find(150)
+        delta = pool.stats.delta(before)
+        # 200 entries at fanout 4: 4 levels; far below a full scan.
+        assert 1 <= delta.logical_reads <= 5
+
+    def test_paged_same_instant_replace(self, pool):
+        paged = RootDirectory(pool, page_capacity=4, paged=True)
+        for i in range(20):
+            paged.append(i + 1, i)
+        paged.append(20, 777)
+        assert paged.find(20).root_id == 777
+        assert paged.find(25).root_id == 777
+
+    def test_page_count_grows_with_entries(self, pool):
+        paged = RootDirectory(pool, page_capacity=4, paged=True)
+        paged.append(1, 0)
+        single = paged.page_count
+        for i in range(2, 60):
+            paged.append(i, i)
+        assert paged.page_count > single

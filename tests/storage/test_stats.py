@@ -1,0 +1,67 @@
+"""Unit tests for I/O statistics and the estimated-time cost model."""
+
+import pytest
+
+from repro.storage.stats import CostModel, CpuTimer, IOStats, OperationCost
+
+
+def test_total_ios_sums_reads_and_writes():
+    stats = IOStats(reads=3, writes=2)
+    assert stats.total_ios == 5
+
+
+def test_hit_rate_with_no_logical_reads_is_perfect():
+    assert IOStats().hit_rate == 1.0
+
+
+def test_hit_rate_computation():
+    stats = IOStats(reads=1, logical_reads=4)
+    assert stats.hit_rate == pytest.approx(0.75)
+
+
+def test_reset_zeroes_everything():
+    stats = IOStats(reads=1, writes=2, logical_reads=3, allocations=4, frees=5)
+    stats.reset()
+    assert stats == IOStats()
+
+
+def test_snapshot_is_independent_copy():
+    stats = IOStats(reads=1)
+    snap = stats.snapshot()
+    stats.reads = 10
+    assert snap.reads == 1
+
+
+def test_delta_between_snapshots():
+    stats = IOStats(reads=5, writes=1, logical_reads=9)
+    earlier = IOStats(reads=2, writes=0, logical_reads=3)
+    diff = stats.delta(earlier)
+    assert (diff.reads, diff.writes, diff.logical_reads) == (3, 1, 6)
+
+
+def test_addition_of_stats():
+    total = IOStats(reads=1, writes=2) + IOStats(reads=3, writes=4)
+    assert (total.reads, total.writes) == (4, 6)
+
+
+def test_cost_model_matches_paper_formula():
+    # Paper: estimated time = I/Os x 10 ms + CPU.
+    model = CostModel()
+    stats = IOStats(reads=100, writes=50)
+    assert model.estimate(stats, cpu_s=0.25) == pytest.approx(1.75)
+
+
+def test_cost_model_custom_latency():
+    model = CostModel(io_latency_s=0.001)
+    assert model.estimate(IOStats(reads=10), cpu_s=0.0) == pytest.approx(0.01)
+
+
+def test_cpu_timer_measures_nonnegative_time():
+    with CpuTimer() as timer:
+        sum(range(10000))
+    assert timer.elapsed >= 0.0
+
+
+def test_operation_cost_estimated_time():
+    cost = OperationCost(stats=IOStats(reads=2), cpu_s=0.01)
+    assert cost.estimated_time() == pytest.approx(0.03)

@@ -1,0 +1,27 @@
+"""The committed API reference must match a fresh regeneration."""
+
+import sys
+from pathlib import Path
+
+DOCS = Path(__file__).parent.parent / "docs"
+
+
+def test_api_md_is_current():
+    sys.path.insert(0, str(DOCS))
+    try:
+        import gen_api
+        fresh = gen_api.generate()
+    finally:
+        sys.path.remove(str(DOCS))
+    committed = (DOCS / "API.md").read_text()
+    assert committed == fresh, (
+        "docs/API.md is stale; run `python docs/gen_api.py`"
+    )
+
+
+def test_api_md_covers_key_classes():
+    text = (DOCS / "API.md").read_text()
+    for name in ("class `MVSBT`", "class `MVBT`", "class `SBTree`",
+                 "class `RTAIndex`", "class `TemporalWarehouse`",
+                 "class `RangeMinMaxIndex`", "class `BufferPool`"):
+        assert name in text, f"{name} missing from API.md"

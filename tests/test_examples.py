@@ -1,0 +1,49 @@
+"""Every example script must run end to end (they assert internally too)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # index_comparison reads argv; pin a tiny scale so CI stays fast.
+    monkeypatch.setattr(sys, "argv", [str(script), "0.001"])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_numbers():
+    """The quickstart's documented answers are exactly right."""
+    sys_path_backup = list(sys.path)
+    try:
+        module = runpy.run_path(
+            str(Path(__file__).parent.parent / "examples" / "quickstart.py")
+        )
+        # Re-derive the documented values through the public API.
+        from repro import Interval, KeyRange, RTAIndex
+        from repro.storage.buffer import BufferPool
+        from repro.storage.disk import InMemoryDiskManager
+
+        index = RTAIndex(BufferPool(InMemoryDiskManager(), capacity=64),
+                         key_space=(1, 1_000_001))
+        index.insert(1004, 250.0, t=10)
+        index.insert(2117, 900.0, t=12)
+        index.insert(2118, 100.0, t=15)
+        index.delete(1004, t=20)
+        index.insert(9500, 50.0, t=25)
+        assert index.sum(KeyRange(2000, 3000), Interval(12, 18)) == 1000.0
+        assert index.count(KeyRange(2000, 3000), Interval(12, 18)) == 2
+        assert index.avg(KeyRange(2000, 3000), Interval(12, 18)) == 500.0
+        assert index.count(KeyRange(2000, 3000), Interval(12, 15)) == 1
+        assert index.sum(KeyRange(1, 1_000_000), Interval(10, 30)) == 1300.0
+        assert index.sum(KeyRange(1, 1_000_000), Interval(20, 30)) == 1050.0
+    finally:
+        sys.path[:] = sys_path_backup

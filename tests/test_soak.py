@@ -1,0 +1,100 @@
+"""Soak tests: large randomized cross-checks, opt-in via REPRO_SOAK=1.
+
+The regular suite keeps streams small for speed; these runs push tens of
+thousands of events through every structure with full oracle agreement
+and invariant audits.  Run with::
+
+    REPRO_SOAK=1 pytest tests/test_soak.py -q
+"""
+
+import os
+
+import pytest
+
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAIndex
+from repro.mvbt.config import MVBTConfig
+from repro.mvsbt.tree import MVSBT, MVSBTConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+from tests.oracles import DominanceSumOracle, TupleStoreOracle
+
+soak = pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="soak tests are opt-in (REPRO_SOAK=1)",
+)
+
+EVENTS = int(os.environ.get("REPRO_SOAK_EVENTS", "20000"))
+
+
+def fresh_pool():
+    return BufferPool(InMemoryDiskManager(), capacity=8192)
+
+
+@soak
+def test_mvsbt_soak():
+    tree = MVSBT(fresh_pool(), MVSBTConfig(capacity=24),
+                 key_space=(1, 10**6))
+    oracle = DominanceSumOracle()
+    state = 1234
+    t = 1
+    for _ in range(EVENTS):
+        state = (state * 48271) % (2**31 - 1)
+        key = state % (10**6 - 1) + 1
+        t += state % 2
+        value = float(state % 19 - 9) or 1.0
+        tree.insert(key, t, value)
+        oracle.insert(key, t, value)
+    tree.check_invariants()
+    state = 999
+    for _ in range(300):
+        state = (state * 48271) % (2**31 - 1)
+        qk = state % (10**6 - 1) + 1
+        qt = state % (t + 10) + 1
+        assert tree.query(qk, qt) == pytest.approx(oracle.query(qk, qt))
+
+
+@soak
+def test_rta_and_mvbt_soak_cross_check():
+    from repro.baselines.mvbt_rta import MVBTRTABaseline
+
+    key_space = (1, 100_001)
+    rta = RTAIndex(fresh_pool(), MVSBTConfig(capacity=24),
+                   key_space=key_space)
+    mvbt = MVBTRTABaseline(fresh_pool(), MVBTConfig(capacity=24),
+                           key_space=key_space)
+    oracle = TupleStoreOracle()
+    alive = []
+    state = 777
+    t = 1
+    for _ in range(EVENTS):
+        state = (state * 48271) % (2**31 - 1)
+        t += state % 2
+        if alive and state % 3 == 0:
+            key = alive.pop(state % len(alive))
+            rta.delete(key, t)
+            mvbt.delete(key, t)
+            oracle.delete(key, t)
+        else:
+            key = state % 100_000 + 1
+            if key not in alive:
+                value = float(state % 101 - 50)
+                rta.insert(key, value, t)
+                mvbt.insert(key, value, t)
+                oracle.insert(key, value, t)
+                alive.append(key)
+    rta.check_invariants()
+    mvbt.check_invariants()
+    state = 31337
+    for _ in range(60):
+        state = (state * 48271) % (2**31 - 1)
+        k1 = state % 100_000 + 1
+        k2 = min(k1 + state % 50_000 + 1, 100_001)
+        t1 = state % t + 1
+        t2 = min(t1 + state % (t // 2 + 1) + 1, t + 5)
+        r, iv = KeyRange(k1, k2), Interval(t1, t2)
+        expected_sum = oracle.rta_sum(k1, k2, t1, t2)
+        assert rta.sum(r, iv) == pytest.approx(expected_sum)
+        assert mvbt.sum(r, iv) == pytest.approx(expected_sum)
+        assert rta.count(r, iv) == oracle.rta_count(k1, k2, t1, t2)

@@ -1,0 +1,46 @@
+"""Tests for the randomized self-validation harness."""
+
+import pytest
+
+from repro.validate import ValidationReport, main, run_validation
+
+
+class TestRunValidation:
+    def test_small_run_passes(self, tmp_path):
+        report = run_validation(events=600, seed=3, rectangles=30,
+                                capacity=8,
+                                checkpoint_dir=str(tmp_path / "ck"))
+        assert report.ok, report.summary()
+        assert report.events > 0
+        assert report.rectangles_checked == 30
+        assert report.checkpoint_ok is True
+        assert report.elapsed_s > 0
+
+    def test_without_checkpoint(self):
+        report = run_validation(events=300, seed=5, rectangles=10,
+                                capacity=8)
+        assert report.checkpoint_ok is None
+        assert report.ok
+
+    def test_different_seeds_different_streams(self):
+        a = run_validation(events=300, seed=1, rectangles=5, capacity=8)
+        b = run_validation(events=300, seed=2, rectangles=5, capacity=8)
+        assert a.ok and b.ok
+        # Event counts may differ (key collisions skip events).
+        assert (a.events, a.rectangles_checked)[1] == 5
+
+    def test_summary_formats(self):
+        report = ValidationReport(events=10, rectangles_checked=5,
+                                  checkpoint_ok=True, elapsed_s=1.0)
+        assert "PASS" in report.summary()
+        report.mismatches.append("something")
+        assert "FAIL" in report.summary()
+        assert "mismatch: something" in report.summary()
+
+
+class TestCli:
+    def test_cli_pass_exit_code(self, capsys):
+        code = main(["--events", "300", "--rectangles", "10",
+                     "--capacity", "8"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out

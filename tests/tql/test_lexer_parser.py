@@ -1,0 +1,121 @@
+"""Tests for the TQL lexer and parser."""
+
+import pytest
+
+from repro.tql.lexer import TQLLexError, tokenize
+from repro.tql.parser import (
+    AggSpec,
+    HistoryStatement,
+    SelectStatement,
+    SnapshotStatement,
+    TQLSyntaxError,
+    parse,
+)
+
+
+class TestLexer:
+    def test_tokenizes_keywords_case_insensitively(self):
+        kinds = [t.kind for t in tokenize("select Sum WHERE key")]
+        assert kinds == ["SELECT", "SUM", "WHERE", "KEY", "EOF"]
+
+    def test_integers_and_symbols(self):
+        kinds = [t.kind for t in tokenize("[1, 200)")]
+        assert kinds == ["[", "NUMBER", ",", "NUMBER", ")", "EOF"]
+
+    def test_floats_and_negatives(self):
+        tokens = tokenize("-2.5 17")
+        assert [t.text for t in tokens[:-1]] == ["-2.5", "17"]
+        assert all(t.kind == "NUMBER" for t in tokens[:-1])
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(TQLLexError):
+            tokenize("SELECT banana")
+
+    def test_unlexable_symbol_rejected(self):
+        with pytest.raises(TQLLexError):
+            tokenize("SELECT SUM(value) WHERE key > 5")  # '>' unsupported
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT SUM")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestParseSelect:
+    def test_full_select(self):
+        stmt = parse(
+            "SELECT SUM(value) WHERE key IN [100, 200) "
+            "AND time DURING [5, 50)"
+        )
+        assert stmt == SelectStatement(
+            agg=AggSpec("SUM"), key_range=(100, 200), interval=(5, 50)
+        )
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) WHERE time AT 75")
+        assert stmt.agg == AggSpec("COUNT")
+        assert stmt.interval == (75, 76)
+        assert stmt.key_range is None
+
+    def test_count_value_accepted(self):
+        assert parse("SELECT COUNT(value)").agg == AggSpec("COUNT")
+
+    def test_key_equals(self):
+        stmt = parse("SELECT AVG(value) WHERE key = 42")
+        assert stmt.key_range == (42, 43)
+
+    def test_bare_select_no_where(self):
+        stmt = parse("SELECT SUM(value)")
+        assert stmt.key_range is None and stmt.interval is None
+
+    def test_predicates_in_either_order(self):
+        a = parse("SELECT SUM(value) WHERE key = 1 AND time AT 2")
+        b = parse("SELECT SUM(value) WHERE time AT 2 AND key = 1")
+        assert a == b
+
+    def test_timeline(self):
+        stmt = parse("SELECT TIMELINE(SUM, 4) WHERE time DURING [1, 101)")
+        assert stmt.agg == AggSpec("SUM", timeline_buckets=4)
+
+    def test_min_max(self):
+        assert parse("SELECT MIN(value)").agg.name == "MIN"
+        assert parse("SELECT MAX(value)").agg.name == "MAX"
+
+
+class TestParseOthers:
+    def test_snapshot(self):
+        stmt = parse("SNAPSHOT AT 75 WHERE key IN [10, 20)")
+        assert stmt == SnapshotStatement(at=75, key_range=(10, 20))
+
+    def test_snapshot_without_filter(self):
+        assert parse("SNAPSHOT AT 9") == SnapshotStatement(at=9,
+                                                           key_range=None)
+
+    def test_history(self):
+        assert parse("HISTORY OF 1042") == HistoryStatement(key=1042)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", [
+        "",                                        # nothing
+        "SELECT",                                  # no aggregate
+        "SELECT SUM value",                        # missing parens
+        "SELECT SUM(*)",                           # * only for COUNT
+        "SELECT SUM(value) WHERE",                 # dangling WHERE
+        "SELECT SUM(value) WHERE key IN [5, 5)",   # empty range
+        "SELECT SUM(value) WHERE key = 1 AND key = 2",   # duplicate
+        "SELECT SUM(value) WHERE value AT 5",      # bad predicate subject
+        "SELECT TIMELINE(MIN, 3)",                 # MIN not additive
+        "SELECT TIMELINE(SUM, 0)",                 # zero buckets
+        "SNAPSHOT 75",                             # missing AT
+        "HISTORY 5",                               # missing OF
+        "SELECT SUM(value) extra",                 # trailing input... lexes?
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(Exception) as exc_info:
+            parse(text)
+        assert isinstance(exc_info.value, (TQLSyntaxError, TQLLexError))
+
+    def test_error_message_names_position(self):
+        with pytest.raises(TQLSyntaxError, match="position"):
+            parse("SELECT SUM(value) WHERE key IN 5")

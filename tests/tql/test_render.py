@@ -1,0 +1,96 @@
+"""Renderer tests and the parse/render round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.tql.parser import (
+    AggSpec,
+    HistoryStatement,
+    SelectStatement,
+    SnapshotStatement,
+    parse,
+)
+from repro.tql.render import render
+
+
+class TestRenderExamples:
+    def test_select_full(self):
+        stmt = SelectStatement(AggSpec("SUM"), key_range=(10, 20),
+                               interval=(5, 50))
+        assert render(stmt) == (
+            "SELECT SUM(value) WHERE key IN [10, 20) AND time DURING [5, 50)"
+        )
+
+    def test_select_count_star(self):
+        stmt = SelectStatement(AggSpec("COUNT"), None, None)
+        assert render(stmt) == "SELECT COUNT(*)"
+
+    def test_single_key_and_instant_use_sugar(self):
+        stmt = SelectStatement(AggSpec("AVG"), key_range=(42, 43),
+                               interval=(7, 8))
+        assert render(stmt) == "SELECT AVG(value) WHERE key = 42 AND time AT 7"
+
+    def test_timeline(self):
+        stmt = SelectStatement(AggSpec("SUM", timeline_buckets=4),
+                               None, (1, 101))
+        assert render(stmt) \
+            == "SELECT TIMELINE(SUM, 4) WHERE time DURING [1, 101)"
+
+    def test_snapshot_and_history(self):
+        assert render(SnapshotStatement(at=9, key_range=None)) \
+            == "SNAPSHOT AT 9"
+        assert render(SnapshotStatement(at=9, key_range=(5, 6))) \
+            == "SNAPSHOT AT 9 WHERE key = 5"
+        assert render(HistoryStatement(key=7)) == "HISTORY OF 7"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            render("not a statement")
+
+
+# -- round-trip property -----------------------------------------------------
+
+def ranges():
+    return st.tuples(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    ).map(lambda p: (min(p), max(p) + 1))
+
+
+def agg_specs():
+    plain = st.sampled_from(["SUM", "COUNT", "AVG", "MIN", "MAX"]).map(
+        AggSpec)
+    timeline = st.tuples(
+        st.sampled_from(["SUM", "COUNT", "AVG"]),
+        st.integers(min_value=1, max_value=50),
+    ).map(lambda p: AggSpec(p[0], timeline_buckets=p[1]))
+    return st.one_of(plain, timeline)
+
+
+def statements():
+    selects = st.tuples(
+        agg_specs(),
+        st.one_of(st.none(), ranges()),
+        st.one_of(st.none(), ranges()),
+    ).map(lambda p: SelectStatement(*p))
+    snapshots = st.tuples(
+        st.integers(min_value=1, max_value=10**6),
+        st.one_of(st.none(), ranges()),
+    ).map(lambda p: SnapshotStatement(*p))
+    histories = st.integers(min_value=1, max_value=10**6).map(
+        HistoryStatement)
+    return st.one_of(selects, snapshots, histories)
+
+
+@settings(max_examples=200, deadline=None)
+@given(statements())
+def test_parse_render_round_trip(statement):
+    assert parse(render(statement)) == statement
+
+
+@settings(max_examples=100, deadline=None)
+@given(statements())
+def test_render_is_idempotent_through_parse(statement):
+    text = render(statement)
+    assert render(parse(text)) == text

@@ -1,0 +1,80 @@
+"""Tests for the TQL shell (run_line is exercised directly; the whole
+loop is driven through stdin once)."""
+
+import io
+
+import pytest
+
+from repro.core.warehouse import TemporalWarehouse
+from repro.tql.__main__ import HELP, build_demo_warehouse, main, run_line
+
+
+@pytest.fixture()
+def warehouse():
+    wh = TemporalWarehouse(key_space=(1, 1001), page_capacity=8)
+    wh.insert(100, 5.0, t=10)
+    wh.insert(200, 7.0, t=12)
+    return wh
+
+
+class TestRunLine:
+    def test_select(self, warehouse):
+        assert run_line(warehouse, "SELECT SUM(value)") == "12.0"
+
+    def test_explain(self, warehouse):
+        out = run_line(warehouse, "EXPLAIN SELECT SUM(value)")
+        assert "reads" in out
+
+    def test_snapshot_list_output(self, warehouse):
+        out = run_line(warehouse, "SNAPSHOT AT 11")
+        assert "(100, 5.0)" in out
+
+    def test_empty_result(self, warehouse):
+        assert run_line(warehouse, "SNAPSHOT AT 5") == "(empty)"
+
+    def test_error_reported_not_raised(self, warehouse):
+        out = run_line(warehouse, "SELECT banana")
+        assert out.startswith("error:")
+
+    def test_describe(self, warehouse):
+        out = run_line(warehouse, "\\describe")
+        assert "temporal-warehouse" in out
+
+    def test_help(self, warehouse):
+        assert run_line(warehouse, "\\help") == HELP
+
+    def test_quit_returns_none(self, warehouse):
+        assert run_line(warehouse, "\\q") is None
+        assert run_line(warehouse, "exit") is None
+
+    def test_blank_line(self, warehouse):
+        assert run_line(warehouse, "   ") == ""
+
+
+class TestShellLoop:
+    def test_scripted_session(self, monkeypatch, capsys):
+        lines = iter(["SELECT COUNT(*)", "\\q"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main(["--scale", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "demo warehouse" in out
+        assert "1000.0" in out
+
+    def test_eof_ends_session(self, monkeypatch, capsys):
+        def raise_eof(prompt=""):
+            raise EOFError
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["--scale", "0.001"]) == 0
+
+    def test_durable_mode(self, tmp_path, monkeypatch, capsys):
+        lines = iter(["\\q"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main(["--dir", str(tmp_path / "wh")])
+        assert code == 0
+        assert "durable warehouse" in capsys.readouterr().out
+
+
+def test_demo_warehouse_builds(capsys):
+    warehouse = build_demo_warehouse(0.001)
+    assert warehouse.now > 1

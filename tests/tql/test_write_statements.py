@@ -1,0 +1,78 @@
+"""Tests for TQL INSERT/DELETE statements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.warehouse import TemporalWarehouse
+from repro.errors import DuplicateKeyError, TimeOrderError
+from repro.tql import execute, parse, render
+from repro.tql.parser import DeleteStatement, InsertStatement
+
+
+@pytest.fixture()
+def warehouse():
+    return TemporalWarehouse(key_space=(1, 1001), page_capacity=8)
+
+
+class TestParsing:
+    def test_insert(self):
+        assert parse("INSERT KEY 42 VALUE 2.5 AT 10") \
+            == InsertStatement(key=42, value=2.5, at=10)
+
+    def test_insert_negative_value(self):
+        assert parse("insert key 42 value -7 at 10").value == -7.0
+
+    def test_delete(self):
+        assert parse("DELETE KEY 42 AT 99") == DeleteStatement(key=42, at=99)
+
+    def test_float_where_int_needed_rejected(self):
+        from repro.tql.parser import TQLSyntaxError
+        with pytest.raises(TQLSyntaxError):
+            parse("INSERT KEY 4.5 VALUE 1 AT 10")
+        with pytest.raises(TQLSyntaxError):
+            parse("DELETE KEY 4 AT 9.5")
+
+
+class TestExecution:
+    def test_insert_then_query(self, warehouse):
+        execute(warehouse, "INSERT KEY 100 VALUE 5.5 AT 10")
+        assert execute(warehouse, "SELECT SUM(value)") == 5.5
+
+    def test_full_lifecycle(self, warehouse):
+        execute(warehouse, "INSERT KEY 100 VALUE 5 AT 10")
+        execute(warehouse, "INSERT KEY 200 VALUE 7 AT 12")
+        message = execute(warehouse, "DELETE KEY 100 AT 20")
+        assert "value was 5" in message
+        assert execute(
+            warehouse, "SELECT COUNT(*) WHERE time AT 25") == 1.0
+        assert execute(
+            warehouse, "SELECT COUNT(*) WHERE time AT 15") == 2.0
+
+    def test_library_errors_propagate(self, warehouse):
+        execute(warehouse, "INSERT KEY 100 VALUE 5 AT 10")
+        with pytest.raises(DuplicateKeyError):
+            execute(warehouse, "INSERT KEY 100 VALUE 6 AT 11")
+        with pytest.raises(TimeOrderError):
+            execute(warehouse, "INSERT KEY 300 VALUE 6 AT 5")
+
+
+class TestRenderRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.one_of(st.integers(min_value=-10**6, max_value=10**6),
+                     st.floats(allow_nan=False, allow_infinity=False,
+                               min_value=-1e6, max_value=1e6)),
+           st.integers(min_value=1, max_value=10**6))
+    def test_insert_round_trip(self, key, value, at):
+        stmt = InsertStatement(key=key, value=float(value), at=at)
+        rendered = render(stmt)
+        reparsed = parse(rendered)
+        assert reparsed.key == stmt.key and reparsed.at == stmt.at
+        assert reparsed.value == pytest.approx(stmt.value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    def test_delete_round_trip(self, key, at):
+        stmt = DeleteStatement(key=key, at=at)
+        assert parse(render(stmt)) == stmt

@@ -1,0 +1,164 @@
+"""Tests for the TimeIT-like dataset generator."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.model import NOW
+from repro.workloads.generator import DatasetConfig, generate_dataset
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_records=500, n_keys=20, key_space=(1, 10_001),
+        time_space=(1, 100_001), seed=7,
+    )
+    defaults.update(overrides)
+    return DatasetConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_more_keys_than_records_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(n_records=5, n_keys=10)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(key_distribution="pareto")
+
+    def test_unknown_interval_style_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(interval_style="medium")
+
+    def test_mean_interval_styles_differ(self):
+        long_cfg = small_config(interval_style="long")
+        short_cfg = small_config(interval_style="short")
+        assert long_cfg.mean_interval > short_cfg.mean_interval
+
+
+class TestGeneratedTuples:
+    def test_record_count_matches_config(self):
+        dataset = generate_dataset(small_config())
+        assert len(dataset) == 500
+
+    def test_unique_key_count(self):
+        dataset = generate_dataset(small_config())
+        assert dataset.unique_keys == 20
+
+    def test_1tnf_no_overlaps_per_key(self):
+        dataset = generate_dataset(small_config())
+        by_key = defaultdict(list)
+        for key, start, end, _value in dataset.tuples:
+            real_end = end if end != NOW else 10**18
+            by_key[key].append((start, real_end))
+        for key, intervals in by_key.items():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2, f"key {key}: [{s1},{e1}) overlaps [{s2},{e2})"
+
+    def test_tuples_within_spaces(self):
+        cfg = small_config()
+        dataset = generate_dataset(cfg)
+        for key, start, end, _value in dataset.tuples:
+            assert cfg.key_space[0] <= key < cfg.key_space[1]
+            assert cfg.time_space[0] <= start < cfg.time_space[1]
+            assert end > start
+
+    def test_deterministic_for_fixed_seed(self):
+        a = generate_dataset(small_config())
+        b = generate_dataset(small_config())
+        assert a.tuples == b.tuples
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(small_config(seed=1))
+        b = generate_dataset(small_config(seed=2))
+        assert a.tuples != b.tuples
+
+    def test_normal_keys_concentrate_in_middle(self):
+        cfg = small_config(n_keys=200, n_records=1000,
+                           key_distribution="normal")
+        dataset = generate_dataset(cfg)
+        keys = [key for (key, _s, _e, _v) in dataset.tuples]
+        center = (cfg.key_space[0] + cfg.key_space[1]) / 2
+        span = cfg.key_space[1] - cfg.key_space[0]
+        inside = sum(1 for k in keys if abs(k - center) < span / 4)
+        assert inside / len(keys) > 0.8  # ~2 sigma of N(center, span/8)
+
+    def test_zipf_keys_skew_low(self):
+        cfg = small_config(n_keys=200, n_records=1000,
+                           key_distribution="zipf")
+        dataset = generate_dataset(cfg)
+        keys = {key for (key, _s, _e, _v) in dataset.tuples}
+        assert len(keys) == 200
+        # Zipf a=1.5: the bulk of distinct keys sit near the bottom.
+        low = sum(1 for k in keys if k < cfg.key_space[0] + 10_000)
+        assert low / len(keys) > 0.9
+
+    def test_zipf_keys_within_space(self):
+        cfg = small_config(n_keys=50, n_records=200,
+                           key_distribution="zipf")
+        dataset = generate_dataset(cfg)
+        for key, _s, _e, _v in dataset.tuples:
+            assert cfg.key_space[0] <= key < cfg.key_space[1]
+
+    def test_uniform_keys_spread(self):
+        cfg = small_config(n_keys=200, n_records=1000)
+        dataset = generate_dataset(cfg)
+        keys = {key for (key, _s, _e, _v) in dataset.tuples}
+        span = cfg.key_space[1] - cfg.key_space[0]
+        low_third = sum(1 for k in keys if k < cfg.key_space[0] + span / 3)
+        assert 0.15 < low_third / len(keys) < 0.55
+
+    def test_interval_styles_have_different_lengths(self):
+        def mean_length(style):
+            dataset = generate_dataset(small_config(
+                interval_style=style, time_space=(1, 10**6 + 1)))
+            lengths = [end - start for (_k, start, end, _v) in dataset.tuples
+                       if end != NOW]
+            return sum(lengths) / len(lengths)
+
+        assert mean_length("long") > 5 * mean_length("short")
+
+
+class TestEventStream:
+    def test_events_time_ordered(self):
+        dataset = generate_dataset(small_config())
+        times = [event.time for event in dataset.events]
+        assert times == sorted(times)
+
+    def test_deletes_precede_inserts_within_instant(self):
+        dataset = generate_dataset(small_config())
+        by_time = defaultdict(list)
+        for event in dataset.events:
+            by_time[event.time].append(event.op)
+        for ops in by_time.values():
+            if "delete" in ops and "insert" in ops:
+                assert ops.index("insert") > ops.index("delete") \
+                    or "delete" not in ops[ops.index("insert"):]
+
+    def test_every_closed_tuple_has_matching_delete(self):
+        dataset = generate_dataset(small_config())
+        closed = sum(1 for (_k, _s, end, _v) in dataset.tuples if end != NOW)
+        deletes = sum(1 for e in dataset.events if e.op == "delete")
+        assert deletes == closed
+
+    def test_replay_into_index(self, pool):
+        from repro.core.rta import RTAIndex
+        from repro.core.model import Interval, KeyRange
+        from repro.mvsbt.tree import MVSBTConfig
+
+        cfg = small_config(n_records=200, n_keys=10)
+        dataset = generate_dataset(cfg)
+        index = RTAIndex(pool, MVSBTConfig(capacity=16),
+                         key_space=cfg.key_space)
+        dataset.replay_into(index)
+        total = index.count(KeyRange(*cfg.key_space),
+                            Interval(1, cfg.time_space[1]))
+        assert total == len(dataset)
+
+    def test_iter_batches(self):
+        dataset = generate_dataset(small_config(n_records=50, n_keys=5))
+        batches = list(dataset.iter_batches(16))
+        assert sum(len(b) for b in batches) == len(dataset.events)
+        assert all(len(b) <= 16 for b in batches)

@@ -1,0 +1,104 @@
+"""Tests for query-rectangle generation (QRS and R/I shape)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads.datasets import PAPER_FAMILIES, paper_config
+from repro.workloads.queries import (
+    QueryRectangleConfig,
+    generate_query_rectangles,
+)
+
+SPACES = dict(key_space=(1, 10_001), time_space=(1, 100_001))
+
+
+class TestConfig:
+    def test_qrs_bounds(self):
+        with pytest.raises(QueryError):
+            QueryRectangleConfig(qrs=0.0)
+        with pytest.raises(QueryError):
+            QueryRectangleConfig(qrs=1.5)
+
+    def test_shape_positive(self):
+        with pytest.raises(QueryError):
+            QueryRectangleConfig(shape=-1)
+
+    def test_relative_extents_square(self):
+        cfg = QueryRectangleConfig(qrs=0.01, shape=1.0)
+        r, i = cfg.relative_extents
+        assert r == pytest.approx(0.1)
+        assert i == pytest.approx(0.1)
+
+    def test_relative_extents_wide_in_keys(self):
+        cfg = QueryRectangleConfig(qrs=0.01, shape=4.0)
+        r, i = cfg.relative_extents
+        assert r == pytest.approx(0.2)
+        assert i == pytest.approx(0.05)
+        assert r * i == pytest.approx(0.01)
+
+    def test_extents_clamped_preserving_area(self):
+        cfg = QueryRectangleConfig(qrs=0.25, shape=100.0)
+        r, i = cfg.relative_extents
+        assert r == 1.0
+        assert r * i == pytest.approx(0.25)
+
+
+class TestGeneration:
+    def test_count_and_determinism(self):
+        cfg = QueryRectangleConfig(qrs=0.01, count=25, seed=3, **SPACES)
+        a = generate_query_rectangles(cfg)
+        b = generate_query_rectangles(cfg)
+        assert len(a) == 25
+        assert a == b
+
+    def test_rectangles_fit_spaces(self):
+        cfg = QueryRectangleConfig(qrs=0.04, count=50, **SPACES)
+        for rect in generate_query_rectangles(cfg):
+            assert rect.range.low >= 1
+            assert rect.range.high <= 10_001
+            assert rect.interval.start >= 1
+            assert rect.interval.end <= 100_001
+
+    def test_area_matches_qrs(self):
+        cfg = QueryRectangleConfig(qrs=0.01, count=5, **SPACES)
+        key_span = 10_000
+        time_span = 100_000
+        for rect in generate_query_rectangles(cfg):
+            area_fraction = rect.area / (key_span * time_span)
+            assert area_fraction == pytest.approx(0.01, rel=0.05)
+
+    def test_full_space_rectangle(self):
+        cfg = QueryRectangleConfig(qrs=1.0, count=3, **SPACES)
+        for rect in generate_query_rectangles(cfg):
+            assert rect.range.width == 10_000
+            assert rect.interval.length == 100_000
+
+
+class TestPaperFamilies:
+    def test_all_families_resolve(self):
+        for family in PAPER_FAMILIES:
+            cfg = paper_config(family, scale=0.001)
+            assert cfg.n_records == 1000
+            assert cfg.n_keys == 10
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            paper_config("zipf-long")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            paper_config(scale=0)
+        with pytest.raises(ValueError):
+            paper_config(scale=2)
+
+    def test_full_scale_matches_paper(self):
+        cfg = paper_config("uniform-long", scale=1.0)
+        assert cfg.n_records == 1_000_000
+        assert cfg.n_keys == 10_000
+        assert cfg.key_space == (1, 10**9 + 1)
+        assert cfg.time_space == (1, 10**8 + 1)
+
+    def test_family_fields_propagate(self):
+        cfg = paper_config("normal-short", scale=0.001)
+        assert cfg.key_distribution == "normal"
+        assert cfg.interval_style == "short"
