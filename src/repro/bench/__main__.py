@@ -7,46 +7,24 @@ Usage::
     python -m repro.bench --page-bytes 4096     # the paper's page size
     python -m repro.bench --only fig4a fig4b    # a subset
     python -m repro.bench --out results/        # where tables are written
+    python -m repro.bench --workers 4           # experiments in parallel
+    python -m repro.bench --seed 7              # re-seed the datasets
 
 Each experiment prints its table (plus a bar chart for the figure sweeps)
-and writes both into the output directory.
+and writes both into the output directory.  With ``--workers N`` the
+experiments run across N worker processes; results are printed in selection
+order either way, and ``--workers 1`` (the default) stays byte-identical to
+the sequential CLI.  ``--seed`` derives a deterministic per-experiment seed
+(see :func:`repro.bench.runner.task_seed`), independent of scheduling.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
-from repro.bench import experiments
-from repro.bench.ascii_chart import bar_chart
-from repro.bench.harness import BenchSettings
-
-#: experiment id -> (function name, chart spec or None)
-EXPERIMENTS = {
-    "fig4a": ("fig4a_space", ("updates", ("mvbt_pages", "two_mvsbt_pages"))),
-    "fig4b": ("fig4b_speedup", ("qrs", ("mvsbt_est_s", "mvbt_est_s"))),
-    "fig4c": ("fig4c_buffer", ("buffer_pages",
-                               ("mvsbt_est_s", "mvbt_est_s"))),
-    "update-cost": ("update_cost", None),
-    "families": ("dataset_families", None),
-    "strong-factor": ("ablation_strong_factor", ("f", ("pages",))),
-    "logical-split": ("ablation_logical_split", None),
-    "merging": ("ablation_merging", None),
-    "disposal": ("ablation_disposal", None),
-    "theorem2": ("theorem2_bounds", None),
-    "scalar-context": ("scalar_context", None),
-    "minmax": ("minmax_open_problem",
-               ("qrs", ("index_est_s", "mvbt_est_s"))),
-    "operational": ("operational_mix",
-                    ("queries_per_1000_updates",
-                     ("two_mvsbt_s", "mvbt_s"))),
-    "rootstar": ("rootstar_overhead", None),
-}
-
-#: experiments whose signature has no ``scale`` parameter.
-_NO_SCALE = {"theorem2", "scalar-context"}
+from repro.bench.runner import EXPERIMENTS, run_many
 
 
 def parse_args(argv: list[str]) -> argparse.Namespace:
@@ -66,34 +44,30 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         help="directory for rendered tables")
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="run a subset of experiments")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = run inline)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base dataset seed; each experiment derives "
+                             "its own (default: built-in paper seeds)")
     return parser.parse_args(argv)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiments; returns a process exit code."""
     args = parse_args(argv if argv is not None else sys.argv[1:])
-    settings = BenchSettings(page_bytes=args.page_bytes,
-                             buffer_pages=args.buffer_pages)
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     selected = args.only or list(EXPERIMENTS)
     args.out.mkdir(parents=True, exist_ok=True)
 
-    for exp_id in selected:
-        func_name, chart_spec = EXPERIMENTS[exp_id]
-        func = getattr(experiments, func_name)
-        started = time.perf_counter()
-        if exp_id in _NO_SCALE:
-            table = func(settings)
-        else:
-            table = func(settings, scale=args.scale)
-        elapsed = time.perf_counter() - started
-
-        output = table.render()
-        if chart_spec is not None:
-            label_col, value_cols = chart_spec
-            output += "\n" + bar_chart(table, label_col, value_cols)
-        (args.out / f"{func_name}.txt").write_text(output)
-        print(output)
-        print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+    results = run_many(selected, page_bytes=args.page_bytes,
+                       buffer_pages=args.buffer_pages, scale=args.scale,
+                       seed=args.seed, workers=args.workers)
+    for result in results:
+        (args.out / f"{result.func_name}.txt").write_text(result.output)
+        print(result.output)
+        print(f"[{result.exp_id} done in {result.elapsed_s:.1f}s]\n")
     return 0
 
 

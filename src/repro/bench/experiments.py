@@ -48,8 +48,10 @@ DEFAULT_SCALE = 0.005
 DEFAULT_QUERY_COUNT = 100
 
 
-def _dataset(family: str, scale: float):
-    return generate_dataset(paper_config(family, scale=scale))
+def _dataset(family: str, scale: float, seed: Optional[int] = None):
+    if seed is None:
+        return generate_dataset(paper_config(family, scale=scale))
+    return generate_dataset(paper_config(family, scale=scale, seed=seed))
 
 
 def _rectangles(dataset, qrs: float, shape: float = 1.0,
@@ -67,14 +69,15 @@ def _rectangles(dataset, qrs: float, shape: float = 1.0,
 
 def fig4a_space(settings: Optional[BenchSettings] = None,
                 scale: float = DEFAULT_SCALE, points: int = 5,
-                family: str = "uniform-long") -> Table:
+                family: str = "uniform-long",
+                seed: Optional[int] = None) -> Table:
     """Space of the MVBT versus the two-MVSBT approach as the warehouse grows.
 
     Paper result: the two-MVSBT approach costs a small constant factor more
     (about 2.5x there) — the ``O(log_b K)`` space overhead of Theorem 2.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset(family, scale)
+    dataset = _dataset(family, scale, seed)
     table = Table(
         title=f"Figure 4a — space (pages), {family}, scale={scale}",
         columns=("updates", "mvbt_pages", "two_mvsbt_pages", "ratio"),
@@ -108,14 +111,15 @@ def fig4b_speedup(settings: Optional[BenchSettings] = None,
                   qrs_points: Sequence[float] = (0.0001, 0.001, 0.01,
                                                  0.1, 0.5, 1.0),
                   shape: float = 1.0, count: int = DEFAULT_QUERY_COUNT,
-                  family: str = "uniform-long") -> Table:
+                  family: str = "uniform-long",
+                  seed: Optional[int] = None) -> Table:
     """Estimated query time of both approaches across QRS values.
 
     Paper result: the two-MVSBT cost is independent of QRS while the MVBT
     plan degrades with it — thousands of times slower at QRS=100%.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset(family, scale)
+    dataset = _dataset(family, scale, seed)
     rta = build_rta_index(settings, dataset)
     mvbt = build_mvbt_baseline(settings, dataset)
     measure_updates(rta, dataset.events, settings)
@@ -150,7 +154,8 @@ def fig4c_buffer(settings: Optional[BenchSettings] = None,
                  scale: float = DEFAULT_SCALE,
                  buffer_sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
                  qrs: float = 0.01, count: int = DEFAULT_QUERY_COUNT,
-                 family: str = "uniform-long") -> Table:
+                 family: str = "uniform-long",
+                 seed: Optional[int] = None) -> Table:
     """Query cost of both approaches across LRU buffer sizes at QRS=1%.
 
     Paper result: the two-MVSBT approach is clearly superior at every
@@ -161,7 +166,7 @@ def fig4c_buffer(settings: Optional[BenchSettings] = None,
     larger than the competitor voids the sweep's premise.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset(family, scale)
+    dataset = _dataset(family, scale, seed)
     rta = build_rta_index(settings, dataset)
     mvbt = build_mvbt_baseline(settings, dataset)
     measure_updates(rta, dataset.events, settings)
@@ -196,14 +201,15 @@ def fig4c_buffer(settings: Optional[BenchSettings] = None,
 
 def update_cost(settings: Optional[BenchSettings] = None,
                 scale: float = DEFAULT_SCALE,
-                family: str = "uniform-long") -> Table:
+                family: str = "uniform-long",
+                seed: Optional[int] = None) -> Table:
     """Amortized per-update cost of both approaches.
 
     Paper: update time behaves like the space comparison — the two-MVSBT
     approach pays a small constant factor over the single MVBT.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset(family, scale)
+    dataset = _dataset(family, scale, seed)
     table = Table(
         title=f"Update cost per operation, {family}, scale={scale}",
         columns=("method", "ops", "ios_per_op", "est_ms_per_op", "cpu_ms_per_op"),
@@ -227,7 +233,8 @@ def update_cost(settings: Optional[BenchSettings] = None,
 
 def dataset_families(settings: Optional[BenchSettings] = None,
                      scale: float = DEFAULT_SCALE, qrs: float = 0.01,
-                     count: int = DEFAULT_QUERY_COUNT) -> Table:
+                     count: int = DEFAULT_QUERY_COUNT,
+                     seed: Optional[int] = None) -> Table:
     """Space and query cost across the paper's four dataset families.
 
     Figure 4 shows the uniform/long-lived family; this sweep adds the
@@ -244,7 +251,7 @@ def dataset_families(settings: Optional[BenchSettings] = None,
                  "speedup_full"),
     )
     for family in PAPER_FAMILIES:
-        dataset = _dataset(family, scale)
+        dataset = _dataset(family, scale, seed)
         rta = build_rta_index(settings, dataset)
         mvbt = build_mvbt_baseline(settings, dataset)
         measure_updates(rta, dataset.events, settings)
@@ -279,10 +286,11 @@ def ablation_strong_factor(settings: Optional[BenchSettings] = None,
                            scale: float = DEFAULT_SCALE,
                            factors: Sequence[float] = (0.3, 0.5, 0.7,
                                                        0.9, 1.0),
-                           qrs: float = 0.01) -> Table:
+                           qrs: float = 0.01,
+                           seed: Optional[int] = None) -> Table:
     """Effect of the strong factor ``f`` on space, update and query cost."""
     settings = settings or BenchSettings()
-    dataset = _dataset("uniform-long", scale)
+    dataset = _dataset("uniform-long", scale, seed)
     table = Table(
         title=f"Ablation — strong factor f (paper uses 0.9), scale={scale}",
         columns=("f", "pages", "update_ios_per_op", "query_est_s"),
@@ -304,10 +312,11 @@ def ablation_strong_factor(settings: Optional[BenchSettings] = None,
 
 def ablation_logical_split(settings: Optional[BenchSettings] = None,
                            scale: float = DEFAULT_SCALE,
-                           qrs: float = 0.01) -> Table:
+                           qrs: float = 0.01,
+                           seed: Optional[int] = None) -> Table:
     """Aggregation-in-a-page versus physically splitting every record."""
     settings = settings or BenchSettings()
-    dataset = _dataset("uniform-long", scale)
+    dataset = _dataset("uniform-long", scale, seed)
     table = Table(
         title=f"Ablation — logical splitting (4.2.1), scale={scale}",
         columns=("mode", "pages", "records_created", "update_ios_per_op",
@@ -338,10 +347,11 @@ def ablation_logical_split(settings: Optional[BenchSettings] = None,
 # ---------------------------------------------------------------------------
 
 def ablation_merging(settings: Optional[BenchSettings] = None,
-                     scale: float = DEFAULT_SCALE) -> Table:
+                     scale: float = DEFAULT_SCALE,
+                     seed: Optional[int] = None) -> Table:
     """Space effect of record merging."""
     settings = settings or BenchSettings()
-    dataset = _dataset("uniform-long", scale)
+    dataset = _dataset("uniform-long", scale, seed)
     table = Table(
         title=f"Ablation — record merging (4.2.2), scale={scale}",
         columns=("merging", "pages", "records_created", "time_merges",
@@ -369,7 +379,8 @@ def ablation_merging(settings: Optional[BenchSettings] = None,
 
 def ablation_disposal(settings: Optional[BenchSettings] = None,
                       scale: float = DEFAULT_SCALE,
-                      burst: int = 64) -> Table:
+                      burst: int = 64,
+                      seed: Optional[int] = None) -> Table:
     """Space effect of page disposal when many updates share an instant.
 
     The update stream's timestamps are quantized into bursts of ``burst``
@@ -383,7 +394,8 @@ def ablation_disposal(settings: Optional[BenchSettings] = None,
     # lands on one shared instant (the stream is time-sorted, so
     # group-leader times are non-decreasing and relative event order is
     # untouched).
-    base = paper_config("uniform-long", scale=scale)
+    base = (paper_config("uniform-long", scale=scale) if seed is None
+            else paper_config("uniform-long", scale=scale, seed=seed))
     config = DatasetConfig(
         n_records=base.n_records, n_keys=base.n_records,
         key_space=base.key_space, time_space=base.time_space,
@@ -427,7 +439,8 @@ def tree_insert_stream(rta, event: UpdateEvent) -> None:
 
 def theorem2_bounds(settings: Optional[BenchSettings] = None,
                     scales: Sequence[float] = (0.001, 0.002, 0.005),
-                    qrs: float = 0.01) -> Table:
+                    qrs: float = 0.01,
+                    seed: Optional[int] = None) -> Table:
     """Measured costs against the paper's asymptotic bounds.
 
     Query: ``O(log_b n)`` I/Os.  Update: ``O(log_b K)`` I/Os.  Space:
@@ -443,7 +456,7 @@ def theorem2_bounds(settings: Optional[BenchSettings] = None,
                  "space_bound_pages"),
     )
     for scale in scales:
-        dataset = _dataset("uniform-long", scale)
+        dataset = _dataset("uniform-long", scale, seed)
         n = len(dataset.events)
         keys = dataset.unique_keys
         rta = build_rta_index(settings, dataset)
@@ -469,7 +482,8 @@ def theorem2_bounds(settings: Optional[BenchSettings] = None,
 def minmax_open_problem(settings: Optional[BenchSettings] = None,
                         scale: float = DEFAULT_SCALE,
                         qrs_points: Sequence[float] = (0.01, 0.25, 1.0),
-                        count: int = 50) -> Table:
+                        count: int = 50,
+                        seed: Optional[int] = None) -> Table:
     """Insert-only range-temporal MIN: segment-of-SB-trees index vs the
     retrieval fallbacks (MVBT rectangle query, heap scan).
 
@@ -481,7 +495,8 @@ def minmax_open_problem(settings: Optional[BenchSettings] = None,
     from repro.minmax.index import RangeMinMaxIndex
 
     settings = settings or BenchSettings()
-    config = paper_config("uniform-long", scale=scale)
+    config = (paper_config("uniform-long", scale=scale) if seed is None
+              else paper_config("uniform-long", scale=scale, seed=seed))
     dataset = generate_dataset(config)
     # Insert-only: replay tuples (with their full validity intervals),
     # which all competitors support.
@@ -543,7 +558,8 @@ def minmax_open_problem(settings: Optional[BenchSettings] = None,
 def rootstar_overhead(settings: Optional[BenchSettings] = None,
                       scale: float = DEFAULT_SCALE,
                       qrs: float = 0.01,
-                      count: int = DEFAULT_QUERY_COUNT) -> Table:
+                      count: int = DEFAULT_QUERY_COUNT,
+                      seed: Optional[int] = None) -> Table:
     """Query cost with root* on disk versus in memory.
 
     Theorem 2 charges ``O(log_b n)`` I/Os per point query to locate the
@@ -553,7 +569,7 @@ def rootstar_overhead(settings: Optional[BenchSettings] = None,
     by a bounded logarithmic term.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset("uniform-long", scale)
+    dataset = _dataset("uniform-long", scale, seed)
     table = Table(
         title=f"root* representation, scale={scale}, QRS={qrs:.0%}",
         columns=("rootstar", "roots", "query_est_s", "query_logical_reads",
@@ -589,7 +605,8 @@ def rootstar_overhead(settings: Optional[BenchSettings] = None,
 def operational_mix(settings: Optional[BenchSettings] = None,
                     scale: float = DEFAULT_SCALE,
                     queries_per_1000_updates: Sequence[int] = (1, 10, 100),
-                    qrs: float = 0.01) -> Table:
+                    qrs: float = 0.01,
+                    seed: Optional[int] = None) -> Table:
     """End-to-end cost of a live warehouse: updates with periodic queries.
 
     The figure experiments measure updates and queries separately; a
@@ -598,7 +615,7 @@ def operational_mix(settings: Optional[BenchSettings] = None,
     winner depends on the query rate.  This sweep locates the crossover.
     """
     settings = settings or BenchSettings()
-    dataset = _dataset("uniform-long", scale)
+    dataset = _dataset("uniform-long", scale, seed)
     table = Table(
         title=(f"Operational mix, scale={scale}, QRS={qrs:.0%}: total "
                f"estimated seconds (updates + interleaved queries)"),
@@ -648,7 +665,8 @@ def operational_mix(settings: Optional[BenchSettings] = None,
 
 def scalar_context(settings: Optional[BenchSettings] = None,
                    n_intervals: int = 3000,
-                   n_queries: int = 200) -> Table:
+                   n_queries: int = 200,
+                   seed: Optional[int] = None) -> Table:
     """Scalar temporal aggregation: SB-tree vs [KS95] vs [MLI00] vs scan.
 
     The disk-based SB-tree is measured in estimated time (I/Os + CPU); the
@@ -658,7 +676,8 @@ def scalar_context(settings: Optional[BenchSettings] = None,
     """
     settings = settings or BenchSettings()
     domain = (1, 10**6)
-    state = 13
+    # The LCG multiplies the state, so it must start non-zero.
+    state = 13 if seed is None else max(1, seed % (2**31 - 1))
     intervals = []
     for _ in range(n_intervals):
         state = (state * 48271) % (2**31 - 1)

@@ -1,0 +1,133 @@
+"""Experiment registry and (optionally parallel) execution for the bench CLI.
+
+``python -m repro.bench`` used to run every experiment inline in one
+process; the registry and the per-experiment execution now live here so a
+worker process can import and run them too.  :func:`run_one` is a plain
+top-level function of picklable arguments — exactly what
+:class:`concurrent.futures.ProcessPoolExecutor` needs — and builds its
+:class:`~repro.bench.harness.BenchSettings` *inside* the worker, so nothing
+stateful crosses the process boundary in either direction.
+
+Determinism: every experiment seeds its dataset generators from constants,
+so results are reproducible regardless of worker count or scheduling order.
+When the caller supplies a base ``seed``, each experiment derives its own
+task seed as ``base + crc32(experiment id)`` — a pure function of the
+experiment's identity, not of which worker ran it or when.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+from zlib import crc32
+
+from repro.bench import experiments
+from repro.bench.ascii_chart import bar_chart
+from repro.bench.harness import BenchSettings
+
+#: experiment id -> (function name in :mod:`repro.bench.experiments`,
+#: chart spec ``(label column, value columns)`` or None)
+EXPERIMENTS = {
+    "fig4a": ("fig4a_space", ("updates", ("mvbt_pages", "two_mvsbt_pages"))),
+    "fig4b": ("fig4b_speedup", ("qrs", ("mvsbt_est_s", "mvbt_est_s"))),
+    "fig4c": ("fig4c_buffer", ("buffer_pages",
+                               ("mvsbt_est_s", "mvbt_est_s"))),
+    "update-cost": ("update_cost", None),
+    "families": ("dataset_families", None),
+    "strong-factor": ("ablation_strong_factor", ("f", ("pages",))),
+    "logical-split": ("ablation_logical_split", None),
+    "merging": ("ablation_merging", None),
+    "disposal": ("ablation_disposal", None),
+    "theorem2": ("theorem2_bounds", None),
+    "scalar-context": ("scalar_context", None),
+    "minmax": ("minmax_open_problem",
+               ("qrs", ("index_est_s", "mvbt_est_s"))),
+    "operational": ("operational_mix",
+                    ("queries_per_1000_updates",
+                     ("two_mvsbt_s", "mvbt_s"))),
+    "rootstar": ("rootstar_overhead", None),
+}
+
+#: experiments whose signature has no ``scale`` parameter.
+_NO_SCALE = {"theorem2", "scalar-context"}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One finished experiment: rendered output plus wall-clock seconds."""
+
+    #: Experiment id (a key of :data:`EXPERIMENTS`).
+    exp_id: str
+    #: Name of the experiment function (used for the output file name).
+    func_name: str
+    #: Rendered table, plus the bar chart when the registry defines one.
+    output: str
+    #: Wall-clock seconds spent inside the experiment function.
+    elapsed_s: float
+
+
+def task_seed(base: Optional[int], exp_id: str) -> Optional[int]:
+    """Per-experiment seed derived from a base seed and the experiment id.
+
+    ``None`` base (the default CLI behavior) keeps every experiment on its
+    built-in constants.  Otherwise the derivation is a pure function of the
+    experiment id, so a parallel run hands out the same seeds as a
+    sequential one no matter how tasks are scheduled.
+    """
+    if base is None:
+        return None
+    return (base + crc32(exp_id.encode("ascii"))) % (2**31)
+
+
+def run_one(exp_id: str, page_bytes: int, buffer_pages: int,
+            scale: float, seed: Optional[int] = None) -> RunResult:
+    """Run a single experiment and return its rendered output.
+
+    Picklable in and out: settings are rebuilt from scalars inside the
+    (possibly worker) process, and only strings/floats come back.
+    """
+    func_name, chart_spec = EXPERIMENTS[exp_id]
+    func = getattr(experiments, func_name)
+    settings = BenchSettings(page_bytes=page_bytes,
+                             buffer_pages=buffer_pages)
+    kwargs = {}
+    if exp_id not in _NO_SCALE:
+        kwargs["scale"] = scale
+    derived = task_seed(seed, exp_id)
+    if derived is not None:
+        kwargs["seed"] = derived
+    started = time.perf_counter()
+    table = func(settings, **kwargs)
+    elapsed = time.perf_counter() - started
+
+    output = table.render()
+    if chart_spec is not None:
+        label_col, value_cols = chart_spec
+        output += "\n" + bar_chart(table, label_col, value_cols)
+    return RunResult(exp_id=exp_id, func_name=func_name,
+                     output=output, elapsed_s=elapsed)
+
+
+def run_many(selected: Sequence[str], page_bytes: int, buffer_pages: int,
+             scale: float, seed: Optional[int] = None,
+             workers: int = 1) -> list[RunResult]:
+    """Run the selected experiments, in order, optionally across processes.
+
+    ``workers=1`` (the default) runs inline — byte-identical to the
+    pre-parallel CLI.  With more workers the experiments are farmed out to
+    a :class:`ProcessPoolExecutor`; results still come back in selection
+    order, so reports are stable regardless of completion order.
+    """
+    unknown = [exp_id for exp_id in selected if exp_id not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    if workers <= 1:
+        return [run_one(exp_id, page_bytes, buffer_pages, scale, seed)
+                for exp_id in selected]
+    with ProcessPoolExecutor(max_workers=min(workers, len(selected))) as pool:
+        futures = [pool.submit(run_one, exp_id, page_bytes, buffer_pages,
+                               scale, seed)
+                   for exp_id in selected]
+        return [future.result() for future in futures]

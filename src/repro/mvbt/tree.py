@@ -24,6 +24,7 @@ partition the tuple's true lifespan across its copies.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -40,6 +41,36 @@ from repro.mvbt.entries import INDEX_KIND, LEAF_KIND, IndexEntry, LeafEntry
 from repro.storage.buffer import BufferPool
 from repro.storage.page import Page
 from repro.storage.rootstar import RootDirectory
+
+
+class _AliveMirror:
+    """Sorted snapshot of a page's alive entries, tagged with ``Page.version``.
+
+    Index pages sort by ``low`` (their alive entries tile the page's key
+    range), leaves by ``key`` (1TNF makes alive keys unique), so both admit
+    binary search.  ``keys`` is the parallel list fed to :mod:`bisect`.
+    """
+
+    __slots__ = ("version", "alive", "keys")
+
+    def __init__(self, page: Page) -> None:
+        self.version = page.version
+        if page.kind == LEAF_KIND:
+            self.alive = sorted((e for e in page.records if e.alive),
+                                key=lambda e: e.key)
+            self.keys = [e.key for e in self.alive]
+        else:
+            self.alive = sorted((e for e in page.records if e.alive),
+                                key=lambda e: e.low)
+            self.keys = [e.low for e in self.alive]
+
+
+def _mirror(page: Page) -> _AliveMirror:
+    m = page.cache
+    if m is None or m.version != page.version:
+        m = _AliveMirror(page)
+        page.cache = m
+    return m
 
 
 @dataclass
@@ -86,6 +117,7 @@ class MVBT:
         self.counters = MVBTCounters()
         self.roots = RootDirectory(pool=pool, paged=paged_roots)
         self.now = start_time
+        self._batch_depth = 0
         self._ever_roots: Set[int] = set()
         root = self._new_page(LEAF_KIND, key_space[0], key_space[1],
                               start_time, level=0)
@@ -115,6 +147,23 @@ class MVBT:
     def root_id(self) -> int:
         return self.roots.latest.root_id
 
+    def begin_batch(self) -> None:
+        """Enter batch-ingestion mode (nestable).
+
+        While open, insert/delete maintain each touched leaf's alive mirror
+        incrementally instead of letting the next access rebuild it, which
+        removes the per-event re-sort from hot leaves.  Restructuring paths
+        are untouched (their mutations bump ``Page.version``, so the mirrors
+        self-invalidate); page contents are identical either way.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave batch-ingestion mode (one nesting level)."""
+        if self._batch_depth <= 0:
+            raise ValueError("end_batch() without matching begin_batch()")
+        self._batch_depth -= 1
+
     # -- updates ----------------------------------------------------------------------
 
     def insert(self, key: int, value: float, t: int) -> None:
@@ -127,12 +176,18 @@ class MVBT:
         self._check_key(key)
         path = self._descend_alive(key)
         leaf = path[-1]
-        for entry in leaf.records:
-            if entry.alive and entry.key == key:
-                raise DuplicateKeyError(
-                    f"key {key} is alive since t={entry.start}"
-                )
-        leaf.add(LeafEntry(key, t, NOW, value))
+        m = _mirror(leaf)
+        i = bisect_left(m.keys, key)
+        if i < len(m.alive) and m.alive[i].key == key:
+            raise DuplicateKeyError(
+                f"key {key} is alive since t={m.alive[i].start}"
+            )
+        entry = LeafEntry(key, t, NOW, value)
+        leaf.add(entry)
+        if self._batch_depth:
+            m.alive.insert(i, entry)
+            m.keys.insert(i, key)
+            m.version = leaf.version
         self.counters.inserts += 1
         if leaf.overflowed:
             self._restructure(path, t)
@@ -149,11 +204,11 @@ class MVBT:
         self._check_key(key)
         path = self._descend_alive(key)
         leaf = path[-1]
+        m = _mirror(leaf)
+        i = bisect_left(m.keys, key)
         target: Optional[LeafEntry] = None
-        for entry in leaf.records:
-            if entry.alive and entry.key == key:
-                target = entry
-                break
+        if i < len(m.alive) and m.alive[i].key == key:
+            target = m.alive[i]
         if target is None:
             raise KeyNotFoundError(f"no alive tuple with key {key}")
         if target.start == t:
@@ -161,9 +216,13 @@ class MVBT:
         else:
             target.end = t
         leaf.mark_dirty()
+        if self._batch_depth:
+            del m.alive[i]
+            del m.keys[i]
+            m.version = leaf.version
         self.counters.deletes += 1
         if (leaf.page_id != self.root_id
-                and self._alive_count(leaf) < self.config.weak_min):
+                and len(_mirror(leaf).alive) < self.config.weak_min):
             self._restructure(path, t)
             self._maybe_shrink_root(t)
         return target.value
@@ -182,11 +241,13 @@ class MVBT:
         path = [self.pool.fetch(self.root_id)]
         while path[-1].kind == INDEX_KIND:
             page = path[-1]
+            m = _mirror(page)
+            i = bisect_right(m.keys, key) - 1
             child_id = None
-            for entry in page.records:
-                if entry.alive and entry.covers_key(key):
+            if i >= 0:
+                entry = m.alive[i]
+                if entry.covers_key(key):
                     child_id = entry.child
-                    break
             if child_id is None:
                 raise InvariantViolation(
                     f"index page {page.page_id} has no alive route for "
@@ -475,6 +536,7 @@ class MVBT:
         tree.now = state["now"]
         tree.dispose_pages = state["dispose_pages"]
         tree.counters = MVBTCounters(**state["counters"])
+        tree._batch_depth = 0
         tree._ever_roots = set(state["ever_roots"])
         tree.roots = RootDirectory()
         for start, root_id in state["roots"]:

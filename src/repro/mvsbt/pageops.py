@@ -15,11 +15,19 @@ Vertical (time) splits are the persistence primitive: a record alive since
 value.  A record already born at ``t`` is updated in place — the paper's
 page-disposal philosophy applied at record granularity (an empty-lifespan
 record can never be observed by any version).
+
+Lookups exploit Property 1 (the alive records of a page tile its key range,
+so their ``low`` endpoints are strictly increasing): each page keeps a
+sorted *alive mirror* in ``Page.cache``, validated against ``Page.version``,
+and the ``find_*`` helpers binary-search it.  Tiling makes each sought
+record unique, so the bisect results are exactly the records the original
+linear scans returned.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.model import NOW
 from repro.storage.page import Page
@@ -38,35 +46,68 @@ def is_leaf(page: Page) -> bool:
     return page.kind == LEAF_KIND
 
 
+class _AliveMirror:
+    """Sorted snapshot of a page's alive records, tagged with ``Page.version``.
+
+    ``alive`` is the alive records sorted by ``low`` (Property 1 makes the
+    lows strictly increasing), ``lows`` the parallel key list fed to
+    :mod:`bisect`.  ``closes`` is a lazily built map from a record's
+    ``(low, high)`` range to the *latest-closed* dead record with that range,
+    used by the batch kernel for O(1) time-merge candidate probing.
+    """
+
+    __slots__ = ("version", "alive", "lows", "closes")
+
+    def __init__(self, page: Page) -> None:
+        self.version = page.version
+        self.alive: List[Record] = sorted(
+            (rec for rec in page.records if rec.alive),
+            key=lambda rec: rec.low,
+        )
+        self.lows: List[int] = [rec.low for rec in self.alive]
+        self.closes: Optional[Dict[Tuple[int, int], Record]] = None
+
+
+def mirror(page: Page) -> _AliveMirror:
+    """The page's alive mirror, rebuilt when ``Page.version`` moved on."""
+    m = page.cache
+    if m is None or m.version != page.version:
+        m = _AliveMirror(page)
+        page.cache = m
+    return m
+
+
 def alive_records(page: Page) -> List[Record]:
     """Alive records sorted by key range (they tile the page's range)."""
-    alive = [rec for rec in page.records if rec.alive]
-    alive.sort(key=lambda rec: rec.low)
-    return alive
+    return list(mirror(page).alive)
 
 
 def find_partly_covered(page: Page, key: int) -> Optional[Record]:
     """The alive record with ``low < key < high``, if any."""
-    for rec in page.records:
-        if rec.alive and rec.low < key < rec.high:
+    m = mirror(page)
+    i = bisect_right(m.lows, key) - 1
+    if i >= 0:
+        rec = m.alive[i]
+        if rec.low < key < rec.high:
             return rec
     return None
 
 
 def find_first_fully_covered(page: Page, key: int) -> Optional[Record]:
     """The alive record with the smallest ``low >= key``, if any."""
-    best: Optional[Record] = None
-    for rec in page.records:
-        if rec.alive and rec.low >= key and (best is None or rec.low < best.low):
-            best = rec
-    return best
+    m = mirror(page)
+    i = bisect_left(m.lows, key)
+    if i < len(m.alive):
+        return m.alive[i]
+    return None
 
 
 def find_successor(page: Page, boundary: int) -> Optional[Record]:
     """The alive record starting exactly at key ``boundary``, if any."""
-    for rec in page.records:
-        if rec.alive and rec.low == boundary:
-            return rec
+    m = mirror(page)
+    i = bisect_left(m.lows, boundary)
+    if i < len(m.alive) and m.alive[i].low == boundary:
+        return m.alive[i]
     return None
 
 

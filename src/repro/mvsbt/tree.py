@@ -38,6 +38,7 @@ both on by default and individually toggleable.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -139,6 +140,7 @@ class MVSBT:
         self.roots = RootDirectory(pool=pool, paged=paged_roots)
         self.now = start_time
         self.start_time = start_time
+        self._batch_depth = 0
         root = self._new_page(LEAF_KIND, key_space[0], key_space[1],
                               start_time, level=0)
         root.add(MVSBTLeafRecord(key_space[0], key_space[1], start_time,
@@ -150,6 +152,25 @@ class MVSBT:
     @property
     def root_id(self) -> int:
         return self.roots.latest.root_id
+
+    def begin_batch(self) -> None:
+        """Enter batch-ingestion mode (nestable).
+
+        While at least one batch window is open (and the tree runs the
+        default logical value semantics), insertions route through a kernel
+        that maintains each touched page's alive mirror *incrementally* and
+        probes merge candidates in O(1), instead of rebuilding the mirror
+        and scanning for merges on every event.  The resulting page contents
+        are bit-identical to sequential insertion; only CPU work (and, via
+        the pool's batch window, write scheduling) changes.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave batch-ingestion mode (one nesting level)."""
+        if self._batch_depth <= 0:
+            raise ValueError("end_batch() without matching begin_batch()")
+        self._batch_depth -= 1
 
     def insert(self, key: int, t: int, value: float) -> None:
         """Add ``value`` to every point of ``[key, maxkey] x [t, maxtime]``.
@@ -183,12 +204,20 @@ class MVSBT:
             page = self.pool.fetch(router.child)
 
         # Phase 2 (lines 9-29): apply the insertion at the lowest page.
-        new_children = self._apply_at_lowest(page, key, t, value)
+        batched = self._batch_depth > 0 and self.config.logical_split
+        if batched:
+            new_children = self._apply_at_lowest_batched(page, key, t, value)
+        else:
+            new_children = self._apply_at_lowest(page, key, t, value)
 
         # Phase 3 (lines 30-43): walk back up through the router pages.
         for parent, router in zip(reversed(path), reversed(routers)):
-            new_children = self._apply_at_parent(parent, router,
-                                                 new_children, t, value)
+            if batched:
+                new_children = self._apply_at_parent_batched(
+                    parent, router, new_children, t, value)
+            else:
+                new_children = self._apply_at_parent(parent, router,
+                                                     new_children, t, value)
 
         # Phase 4 (lines 44-47): install a new root if the old one split.
         if new_children:
@@ -301,6 +330,169 @@ class MVSBT:
             return self._time_split(parent, t)
         return []
 
+    # -- batch-mode kernel --------------------------------------------------------------
+    #
+    # The batched methods replay the exact record-level mutation sequence of
+    # their reference counterparts (same records, same page.records order,
+    # same counters) but keep each page's alive mirror valid incrementally
+    # and probe merge candidates in O(1).  Property 1 tiling makes every
+    # sought record unique, which is what licenses the bisect/neighbour
+    # lookups below; the metamorphic tests enforce the equivalence.
+
+    def _apply_at_lowest_batched(self, page: Page, key: int, t: int,
+                                 value: float) -> List[Page]:
+        """Batch-mode :meth:`_apply_at_lowest` (logical semantics only)."""
+        m = ops.mirror(page)
+        partly = None
+        i = -1
+        if page.kind == LEAF_KIND:
+            i = bisect_right(m.lows, key) - 1
+            if i >= 0:
+                rec = m.alive[i]
+                if rec.low < key < rec.high:
+                    partly = rec
+        if partly is not None:
+            # Inline horizontal_split_leaf with mirror maintenance.
+            if partly.start == t:
+                upper = MVSBTLeafRecord(key, partly.high, t, NOW, value)
+                partly.high = key
+                page.records.append(upper)
+                page.mark_dirty()
+                m.alive.insert(i + 1, upper)
+                m.lows.insert(i + 1, key)
+            else:
+                partly.end = t
+                if m.closes is not None:
+                    m.closes[(partly.low, partly.high)] = partly
+                lower = MVSBTLeafRecord(partly.low, key, t, NOW, partly.value)
+                upper = MVSBTLeafRecord(key, partly.high, t, NOW, value)
+                page.records.append(lower)
+                page.records.append(upper)
+                page.mark_dirty()
+                m.alive[i] = lower
+                m.alive.insert(i + 1, upper)
+                m.lows.insert(i + 1, key)
+            self.counters.records_created += 2
+            fresh, idx = upper, i + 1
+        else:
+            j = bisect_left(m.lows, key)
+            assert j < len(m.alive), (
+                f"page {page.page_id} has neither partly- nor fully-covered "
+                f"record for key {key}"
+            )
+            fresh, idx = self._vertical_split_batched(page, m, j, t, value)
+            self.counters.records_created += 1
+        self._merge_around_batched(page, m, fresh, idx)
+        m.version = page.version
+        if page.overflowed:
+            return self._time_split(page, t)
+        return []
+
+    def _apply_at_parent_batched(self, parent: Page,
+                                 router: MVSBTIndexRecord,
+                                 new_children: List[Page], t: int,
+                                 value: float) -> List[Page]:
+        """Batch-mode :meth:`_apply_at_parent` (logical semantics only).
+
+        The rare child-was-split case delegates to the reference method;
+        its mutations bump ``Page.version`` so the mirror self-invalidates.
+        """
+        if new_children:
+            return self._apply_at_parent(parent, router, new_children, t,
+                                         value)
+        m = ops.mirror(parent)
+        boundary = router.high
+        j = bisect_left(m.lows, boundary)
+        if j < len(m.alive) and m.alive[j].low == boundary:
+            fresh, idx = self._vertical_split_batched(parent, m, j, t, value)
+            self.counters.records_created += 1
+            self._merge_around_batched(parent, m, fresh, idx)
+            m.version = parent.version
+        if parent.overflowed:
+            return self._time_split(parent, t)
+        return []
+
+    def _vertical_split_batched(self, page: Page, m, j: int, t: int,
+                                value: float):
+        """Vertically split the alive record at mirror slot ``j``, adding
+        ``value`` to its successor's value; returns ``(alive_record, slot)``."""
+        record = m.alive[j]
+        new_value = record.value + value
+        if record.start == t:
+            record.value = new_value
+            page.mark_dirty()
+            return record, j
+        record.end = t
+        if m.closes is not None:
+            m.closes[(record.low, record.high)] = record
+        fresh = ops.clone(record, t)
+        fresh.value = new_value
+        page.records.append(fresh)
+        page.mark_dirty()
+        m.alive[j] = fresh
+        return fresh, j
+
+    def _merge_around_batched(self, page: Page, m, record, idx: int) -> None:
+        """Batch-mode :meth:`_merge_around` with O(1) candidate probing.
+
+        Time merge: the only possible partner is the latest-closed dead
+        record with ``record``'s exact range (``record.start == now``, and
+        two same-range records cannot both die at one instant without
+        having violated tiling), which the mirror's ``closes`` map yields
+        directly.  Key merge: tiling makes the mergeable lower/upper
+        neighbours exactly the mirror-adjacent alive records.
+        """
+        if not self.config.record_merging:
+            return
+        if m.closes is None:
+            closes = {}
+            for rec in page.records:
+                if rec.alive:
+                    continue
+                key_range = (rec.low, rec.high)
+                cur = closes.get(key_range)
+                if cur is None or rec.end > cur.end:
+                    closes[key_range] = rec
+            m.closes = closes
+        cand = m.closes.get((record.low, record.high))
+        if (cand is not None and cand.end == record.start
+                and cand.value == record.value
+                and getattr(cand, "child", None)
+                == getattr(record, "child", None)):
+            page.records.remove(record)
+            cand.end = NOW
+            page.mark_dirty()
+            del m.closes[(record.low, record.high)]
+            m.alive[idx] = cand
+            self.counters.time_merges += 1
+            record = cand
+        if page.kind != LEAF_KIND:
+            return
+        merged = False
+        if record.value == 0 and idx > 0:
+            lower = m.alive[idx - 1]
+            if lower.high == record.low and lower.start == record.start:
+                lower.high = record.high
+                page.records.remove(record)
+                page.mark_dirty()
+                del m.alive[idx]
+                del m.lows[idx]
+                idx -= 1
+                record = lower
+                merged = True
+        if idx + 1 < len(m.alive):
+            upper = m.alive[idx + 1]
+            if (upper.value == 0 and upper.low == record.high
+                    and upper.start == record.start):
+                record.high = upper.high
+                page.records.remove(upper)
+                page.mark_dirty()
+                del m.alive[idx + 1]
+                del m.lows[idx + 1]
+                merged = True
+        if merged:
+            self.counters.key_merges += 1
+
     def _split_fully_covered(self, page: Page, from_key: int, t: int,
                              value: float) -> None:
         """Physical mode: vertically split every alive record with
@@ -352,7 +544,7 @@ class MVSBT:
                                    t, level)
             fresh.records = chunk
             fresh.meta["born_count"] = len(chunk)
-            fresh.dirty = True
+            fresh.mark_dirty()
             new_pages.append(fresh)
             self.counters.records_created += len(chunk)
 
@@ -424,6 +616,7 @@ class MVSBT:
         tree.start_time = state["start_time"]
         tree.now = state["now"]
         tree.counters = MVSBTCounters(**state["counters"])
+        tree._batch_depth = 0
         tree.roots = RootDirectory()
         for start, root_id in state["roots"]:
             tree.roots.append(start, root_id)

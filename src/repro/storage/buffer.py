@@ -12,6 +12,14 @@ concurrent evict-while-in-use hazards unless an algorithm holds several pages
 across further fetches — which the index code does during splits, using
 :meth:`pin`/:meth:`unpin` (or the :meth:`pinned` context manager) around
 those windows.
+
+Batch windows (:meth:`begin_batch` / :meth:`flush_batch` / :meth:`end_batch`)
+support buffer-tree-style ingestion: while a window is open, eviction prefers
+clean victims and keeps dirty pages resident so repeated mutations of a hot
+page coalesce into one eventual write-back.  Each deferral is counted once
+per page per window in ``IOStats.coalesced_writes``; if no victim is
+evictable at all, the pool transiently over-commits and counts it in
+``IOStats.overcommit``.
 """
 
 from __future__ import annotations
@@ -51,6 +59,15 @@ class BufferPool:
         self.stats = stats if stats is not None else IOStats()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pins: Dict[int, int] = {}
+        self._batch_depth = 0
+        self._batch_deferred: set[int] = set()
+        # Batch-mode eviction candidates: pages last seen clean (admitted by
+        # a fetch miss, flushed, or unpinned).  Entries may be stale — the
+        # index layer dirties pages without telling the pool — so the victim
+        # scan re-checks and discards; each page re-enters only on another
+        # clean transition, keeping eviction amortized O(1) even when every
+        # frame is dirty.
+        self._maybe_clean: Dict[int, None] = {}
 
     # -- core protocol ---------------------------------------------------------
 
@@ -63,6 +80,7 @@ class BufferPool:
             return page
         page = self.disk.read(page_id)
         self.stats.reads += 1
+        self._maybe_clean[page_id] = None
         self._admit(page)
         return page
 
@@ -71,6 +89,9 @@ class BufferPool:
         page = self.disk.allocate(capacity, kind)
         self.stats.allocations += 1
         page.dirty = True
+        # Candidate from birth: a batch-mode victim scan then sees the page,
+        # defers it (it is dirty) and counts the coalesced write.
+        self._maybe_clean[page.page_id] = None
         self._admit(page)
         return page
 
@@ -83,6 +104,7 @@ class BufferPool:
         if self._pins.get(page_id, 0) > 0:
             raise BufferPoolError(f"cannot free pinned page {page_id}")
         self._frames.pop(page_id, None)
+        self._maybe_clean.pop(page_id, None)
         self.disk.free(page_id)
         self.stats.frees += 1
 
@@ -95,6 +117,7 @@ class BufferPool:
             self.disk.write(page)
             self.stats.writes += 1
             page.dirty = False
+            self._maybe_clean[page_id] = None
 
     def flush_all(self) -> None:
         """Write every dirty buffered page (end-of-run checkpoint)."""
@@ -108,6 +131,52 @@ class BufferPool:
         self.flush_all()
         self._frames.clear()
         self._pins.clear()
+        self._maybe_clean.clear()
+
+    # -- batch windows ----------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Open a (nestable) batch window that defers dirty-page evictions.
+
+        While the window is open, :meth:`_evict_if_needed` skips dirty frames
+        when hunting for a victim, so a page mutated by many events in the
+        batch is written back once by :meth:`flush_batch` instead of once per
+        eviction.  The first deferral of each page per window increments
+        ``IOStats.coalesced_writes``.
+        """
+        self._batch_depth += 1
+
+    def flush_batch(self) -> int:
+        """Write every dirty frame once and trim the pool back to capacity.
+
+        Returns the number of pages written.  Pinned dirty pages are written
+        in place (writing does not evict); only clean, unpinned frames are
+        then evicted until the pool is within ``capacity`` again.
+        """
+        written = 0
+        for page in self._frames.values():
+            if page.dirty:
+                self.disk.write(page)
+                self.stats.writes += 1
+                page.dirty = False
+                written += 1
+        self._batch_deferred.clear()
+        self._maybe_clean = dict.fromkeys(self._frames)
+        self._evict_if_needed()
+        return written
+
+    def end_batch(self) -> None:
+        """Close one batch window level; the outermost close flushes."""
+        if self._batch_depth <= 0:
+            raise BufferPoolError("end_batch() without matching begin_batch()")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            self.flush_batch()
+
+    @property
+    def in_batch(self) -> bool:
+        """True while at least one batch window is open."""
+        return self._batch_depth > 0
 
     # -- pinning ----------------------------------------------------------------
 
@@ -124,6 +193,8 @@ class BufferPool:
             raise BufferPoolError(f"page {page_id} is not pinned")
         if count == 1:
             del self._pins[page_id]
+            if page_id in self._frames:
+                self._maybe_clean[page_id] = None
         else:
             self._pins[page_id] = count - 1
 
@@ -147,19 +218,43 @@ class BufferPool:
         while len(self._frames) > self.capacity:
             victim_id = self._pick_victim()
             if victim_id is None:
-                # Everything is pinned; allow transient over-commit rather
-                # than deadlock.  Split algorithms pin only O(height) pages.
+                # No evictable victim (everything pinned, or dirty inside a
+                # batch window); allow transient over-commit rather than
+                # deadlock, and make the violation observable.
+                self.stats.overcommit += 1
                 return
             victim = self._frames.pop(victim_id)
+            self._maybe_clean.pop(victim_id, None)
             if victim.dirty:
                 self.disk.write(victim)
                 self.stats.writes += 1
                 victim.dirty = False
 
     def _pick_victim(self) -> Optional[int]:
-        for pid in self._frames:  # OrderedDict iterates LRU-first
-            if self._pins.get(pid, 0) == 0:
-                return pid
+        if not self._batch_depth:
+            for pid in self._frames:  # OrderedDict iterates LRU-first
+                if self._pins.get(pid, 0) == 0:
+                    return pid
+            return None
+        # Batch window: only clean pages are evictable; walk the candidate
+        # list instead of rescanning every (mostly dirty) frame.  A stale
+        # candidate that turned dirty is deferred — kept resident so later
+        # events coalesce into flush_batch's single write — and counted
+        # once per window in ``coalesced_writes``.
+        while self._maybe_clean:
+            pid = next(iter(self._maybe_clean))
+            del self._maybe_clean[pid]
+            page = self._frames.get(pid)
+            if page is None:
+                continue
+            if self._pins.get(pid, 0) > 0:
+                continue  # re-enters the candidate list on unpin
+            if page.dirty:
+                if pid not in self._batch_deferred:
+                    self._batch_deferred.add(pid)
+                    self.stats.coalesced_writes += 1
+                continue
+            return pid
         return None
 
     # -- introspection ----------------------------------------------------------

@@ -8,6 +8,14 @@ the owning index (the paper uses 4 KB pages and 16--24 byte records).
 Pages are deliberately dumb containers: all structural logic (splits, record
 classification, tiling invariants) lives in the index packages.  What the
 page *does* own is its identity, its dirty flag, and its capacity check.
+
+Two small hooks support the index layers' derived-state caches (e.g. the
+sorted alive-record mirrors behind the binary-search page operations):
+``version`` is a monotonically increasing mutation counter bumped by every
+mutating method, and ``cache`` is an opaque slot where an index may park a
+structure derived from ``records`` tagged with the version it was built
+against.  The storage layer never interprets either; a cache whose recorded
+version no longer matches ``page.version`` is simply stale.
 """
 
 from __future__ import annotations
@@ -36,7 +44,16 @@ class Page:
         by serializers and debug dumps; the storage layer never interprets it.
     """
 
-    __slots__ = ("page_id", "capacity", "kind", "records", "dirty", "meta")
+    __slots__ = (
+        "page_id",
+        "capacity",
+        "kind",
+        "records",
+        "dirty",
+        "meta",
+        "version",
+        "cache",
+    )
 
     def __init__(self, page_id: int, capacity: int, kind: str = "raw") -> None:
         if capacity < 2:
@@ -49,6 +66,11 @@ class Page:
         #: Small per-page metadata dict (e.g. a tree level or lifespan);
         #: serialized into the page header by the codecs.
         self.meta: dict[str, Any] = {}
+        #: Mutation counter; bumped by :meth:`add`, :meth:`remove` and
+        #: :meth:`mark_dirty` so index-layer caches can detect staleness.
+        self.version = 0
+        #: Opaque slot for index-layer derived state (never serialized).
+        self.cache: Any = None
 
     # -- record manipulation -------------------------------------------------
 
@@ -67,15 +89,18 @@ class Page:
             )
         self.records.append(record)
         self.dirty = True
+        self.version += 1
 
     def remove(self, record: Any) -> None:
         """Physically remove ``record`` (identity/equality match)."""
         self.records.remove(record)
         self.dirty = True
+        self.version += 1
 
     def mark_dirty(self) -> None:
         """Flag the page as modified in place (record mutation)."""
         self.dirty = True
+        self.version += 1
 
     # -- state queries --------------------------------------------------------
 

@@ -20,6 +20,13 @@ class IOStats:
     evictions of dirty pages), matching what a real DBMS would issue to disk.
     ``logical_reads`` counts every page access, hit or miss, which is useful
     for buffer-sensitivity experiments (Figure 4c).
+
+    ``coalesced_writes`` counts dirty-page write-backs that a batch window
+    deferred (the page stayed resident and absorbed further mutations before
+    a single :meth:`~repro.storage.buffer.BufferPool.flush_batch` write).
+    ``overcommit`` counts eviction attempts that found no unpinned (or, in a
+    batch window, no clean) victim and let the pool transiently exceed its
+    frame capacity instead of failing.
     """
 
     reads: int = 0
@@ -27,6 +34,8 @@ class IOStats:
     logical_reads: int = 0
     allocations: int = 0
     frees: int = 0
+    coalesced_writes: int = 0
+    overcommit: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -47,6 +56,8 @@ class IOStats:
         self.logical_reads = 0
         self.allocations = 0
         self.frees = 0
+        self.coalesced_writes = 0
+        self.overcommit = 0
 
     def snapshot(self) -> "IOStats":
         """Return an immutable-by-convention copy of the current counters."""
@@ -56,6 +67,8 @@ class IOStats:
             logical_reads=self.logical_reads,
             allocations=self.allocations,
             frees=self.frees,
+            coalesced_writes=self.coalesced_writes,
+            overcommit=self.overcommit,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -66,6 +79,8 @@ class IOStats:
             logical_reads=self.logical_reads - earlier.logical_reads,
             allocations=self.allocations - earlier.allocations,
             frees=self.frees - earlier.frees,
+            coalesced_writes=self.coalesced_writes - earlier.coalesced_writes,
+            overcommit=self.overcommit - earlier.overcommit,
         )
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -75,6 +90,8 @@ class IOStats:
             logical_reads=self.logical_reads + other.logical_reads,
             allocations=self.allocations + other.allocations,
             frees=self.frees + other.frees,
+            coalesced_writes=self.coalesced_writes + other.coalesced_writes,
+            overcommit=self.overcommit + other.overcommit,
         )
 
 

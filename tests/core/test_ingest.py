@@ -1,0 +1,195 @@
+"""Metamorphic tests for batched ingestion (``repro.core.ingest``).
+
+The contract under test: replaying a chronological update stream through
+:class:`~repro.core.ingest.BatchLoader` is *observationally identical* to
+replaying it one event at a time — bit-identical page contents, identical
+tree counters, identical query answers, and identical per-query I/O
+counters.  Batching may only change CPU cost and write scheduling.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchSettings,
+    build_heap_baseline,
+    build_mvbt_baseline,
+    build_rta_index,
+)
+from repro.core.aggregates import AVG, COUNT, SUM
+from repro.core.ingest import BatchLoader, batch_replay
+from repro.core.warehouse import TemporalWarehouse
+from repro.workloads.datasets import paper_config
+from repro.workloads.generator import UpdateEvent, generate_dataset
+from repro.workloads.queries import (
+    QueryRectangleConfig,
+    generate_query_rectangles,
+)
+
+SETTINGS = BenchSettings()
+
+BUILDERS = {
+    "two-mvsbt": lambda dataset: build_rta_index(SETTINGS, dataset,
+                                                 aggregates=(SUM, COUNT)),
+    "mvbt": lambda dataset: build_mvbt_baseline(SETTINGS, dataset),
+    "heap": lambda dataset: build_heap_baseline(SETTINGS, dataset),
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(paper_config("uniform-long", scale=0.001))
+
+
+@pytest.fixture(scope="module")
+def rects(dataset):
+    return generate_query_rectangles(QueryRectangleConfig(
+        qrs=0.05, count=12, key_space=dataset.config.key_space,
+        time_space=dataset.config.time_space, seed=917,
+    ))
+
+
+def replay_sequential(target, events):
+    """Event-at-a-time reference replay through the public update API."""
+    for event in events:
+        if event.op == "insert":
+            target.insert(event.key, event.value, event.time)
+        else:
+            target.delete(event.key, event.time)
+
+
+def dump_pages(pool):
+    """Full on-disk image of a pool: {page_id: (kind, record reprs)}."""
+    pool.flush_all()
+    disk = pool.disk
+    return {
+        page_id: (disk.read(page_id).kind,
+                  [repr(record) for record in disk.read(page_id).records])
+        for page_id in sorted(disk.live_page_ids())
+    }
+
+
+def per_query_ios(index, rects, aggregate):
+    """(answer, logical_reads, physical_reads) per rectangle, cold cache."""
+    results = []
+    for rect in rects:
+        index.pool.clear()
+        before = index.pool.stats.snapshot()
+        answer = index.query(rect.range, rect.interval, aggregate)
+        delta = index.pool.stats.delta(before)
+        results.append((answer, delta.logical_reads, delta.reads))
+    return results
+
+
+class TestMetamorphicEquivalence:
+    """Batched vs sequential: same bits, same answers, same query I/O."""
+
+    @pytest.mark.parametrize("name", ["two-mvsbt", "mvbt", "heap"])
+    def test_page_images_identical(self, dataset, name):
+        reference = BUILDERS[name](dataset)
+        batched = BUILDERS[name](dataset)
+        replay_sequential(reference, dataset.events)
+        batch_replay(batched, dataset.events, batch_size=256)
+        assert dump_pages(batched.pool) == dump_pages(reference.pool)
+
+    @pytest.mark.parametrize("name", ["two-mvsbt", "mvbt", "heap"])
+    @pytest.mark.parametrize("aggregate", [SUM, COUNT, AVG],
+                             ids=lambda a: a.name)
+    def test_query_answers_and_ios_identical(self, dataset, rects, name,
+                                             aggregate):
+        reference = BUILDERS[name](dataset)
+        batched = BUILDERS[name](dataset)
+        replay_sequential(reference, dataset.events)
+        batch_replay(batched, dataset.events, batch_size=256)
+        assert (per_query_ios(batched, rects, aggregate)
+                == per_query_ios(reference, rects, aggregate))
+
+    @pytest.mark.parametrize("name", ["two-mvsbt", "mvbt", "heap"])
+    def test_aggregate_all_identical(self, dataset, rects, name):
+        reference = BUILDERS[name](dataset)
+        batched = BUILDERS[name](dataset)
+        replay_sequential(reference, dataset.events)
+        batch_replay(batched, dataset.events)
+        for rect in rects:
+            assert (batched.aggregate_all(rect.range, rect.interval)
+                    == reference.aggregate_all(rect.range, rect.interval))
+
+    def test_mvsbt_counters_identical(self, dataset):
+        reference = BUILDERS["two-mvsbt"](dataset)
+        batched = BUILDERS["two-mvsbt"](dataset)
+        replay_sequential(reference, dataset.events)
+        batch_replay(batched, dataset.events, batch_size=128)
+        for agg, (ref_lkst, ref_lklt) in reference.trees().items():
+            bat_lkst, bat_lklt = batched.trees()[agg]
+            assert bat_lkst.counters == ref_lkst.counters
+            assert bat_lklt.counters == ref_lklt.counters
+
+    def test_batch_size_one_is_still_identical(self, dataset):
+        events = dataset.events[:400]
+        reference = BUILDERS["two-mvsbt"](dataset)
+        batched = BUILDERS["two-mvsbt"](dataset)
+        replay_sequential(reference, events)
+        batch_replay(batched, events, batch_size=1)
+        assert dump_pages(batched.pool) == dump_pages(reference.pool)
+
+    def test_warehouse_target(self, dataset, rects):
+        reference = TemporalWarehouse(key_space=dataset.config.key_space)
+        batched = TemporalWarehouse(key_space=dataset.config.key_space)
+        replay_sequential(reference, dataset.events)
+        batch_replay(batched, dataset.events, batch_size=512)
+        assert (dump_pages(batched.tuples.pool)
+                == dump_pages(reference.tuples.pool))
+        assert (dump_pages(batched.aggregates.pool)
+                == dump_pages(reference.aggregates.pool))
+        for rect in rects:
+            assert (batched.sum(rect.range, rect.interval)
+                    == reference.sum(rect.range, rect.interval))
+            assert (batched.avg(rect.range, rect.interval)
+                    == reference.avg(rect.range, rect.interval))
+
+
+class TestBatchLoaderProtocol:
+    """Loader bookkeeping, validation, and window lifecycle."""
+
+    def test_report_counts(self, dataset):
+        index = BUILDERS["two-mvsbt"](dataset)
+        report = batch_replay(index, dataset.events, batch_size=300)
+        inserts = sum(1 for e in dataset.events if e.op == "insert")
+        assert report.events == len(dataset.events)
+        assert report.inserts == inserts
+        assert report.deletes == len(dataset.events) - inserts
+        assert report.batches == -(-len(dataset.events) // 300)
+        assert report.flushed_pages > 0
+
+    def test_windows_closed_after_load(self, dataset):
+        index = BUILDERS["two-mvsbt"](dataset)
+        batch_replay(index, dataset.events[:100])
+        assert not index.pool.in_batch
+        for lkst, lklt in index.trees().values():
+            assert lkst._batch_depth == 0
+            assert lklt._batch_depth == 0
+
+    def test_rejects_out_of_order_events(self, dataset):
+        index = BUILDERS["two-mvsbt"](dataset)
+        events = [
+            UpdateEvent("insert", key=10, value=1.0, time=5),
+            UpdateEvent("insert", key=20, value=1.0, time=4),
+        ]
+        with pytest.raises(ValueError, match="chronological"):
+            batch_replay(index, events)
+
+    def test_rejects_unknown_op(self, dataset):
+        index = BUILDERS["two-mvsbt"](dataset)
+        events = [UpdateEvent("upsert", key=10, value=1.0, time=5)]
+        with pytest.raises(ValueError, match="unknown event op"):
+            batch_replay(index, events)
+
+    def test_rejects_non_positive_batch_size(self, dataset):
+        with pytest.raises(ValueError, match="batch size"):
+            BatchLoader(BUILDERS["two-mvsbt"](dataset), batch_size=0)
+
+    def test_coalescing_is_observable(self, dataset):
+        # A pool far smaller than the working set must defer dirty
+        # evictions inside the window and count them.
+        index = build_rta_index(SETTINGS, dataset, buffer_pages=8)
+        batch_replay(index, dataset.events)
+        assert index.pool.stats.coalesced_writes > 0

@@ -1,0 +1,144 @@
+"""Batch-window behavior of the buffer pool: coalescing, pins, overcommit."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+@pytest.fixture()
+def pool():
+    return BufferPool(InMemoryDiskManager(), capacity=3)
+
+
+def _alloc_pages(pool, n, dirty=False):
+    pages = [pool.allocate(capacity=4, kind="raw") for _ in range(n)]
+    if not dirty:
+        pool.flush_all()
+    return pages
+
+
+def test_end_batch_without_begin_raises(pool):
+    with pytest.raises(BufferPoolError):
+        pool.end_batch()
+
+
+def test_in_batch_tracks_nesting(pool):
+    assert not pool.in_batch
+    pool.begin_batch()
+    pool.begin_batch()
+    assert pool.in_batch
+    pool.end_batch()
+    assert pool.in_batch          # inner close keeps the window open
+    pool.end_batch()
+    assert not pool.in_batch
+
+
+def test_flush_batch_writes_each_dirty_page_once(pool):
+    pages = _alloc_pages(pool, 3, dirty=True)
+    pool.begin_batch()
+    for page in pages:
+        page.add("x")
+        page.add("y")             # two mutations, one eventual write
+    written = pool.flush_batch()
+    assert written == 3
+    assert all(not page.dirty for page in pages)
+    pool.end_batch()
+
+
+def test_outermost_end_batch_flushes(pool):
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 2, dirty=True)
+    writes_before = pool.stats.writes
+    pool.end_batch()
+    assert pool.stats.writes == writes_before + 2
+    assert all(not page.dirty for page in pages)
+
+
+def test_batch_window_defers_dirty_evictions_and_counts_them(pool):
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 3, dirty=True)
+    writes_before = pool.stats.writes
+    pool.allocate(capacity=4)     # over capacity; every frame is dirty
+    # Nothing was written mid-window: the dirty frames were deferred.
+    assert pool.stats.writes == writes_before
+    assert pool.stats.coalesced_writes > 0
+    assert all(pool.is_resident(page.page_id) for page in pages)
+    pool.end_batch()
+
+
+def test_batch_window_prefers_clean_victims(pool):
+    pool.begin_batch()
+    clean = _alloc_pages(pool, 1)[0]          # flushed: clean
+    dirty = _alloc_pages(pool, 2, dirty=True)
+    pool.allocate(capacity=4)                 # needs one eviction
+    assert not pool.is_resident(clean.page_id)
+    assert all(pool.is_resident(page.page_id) for page in dirty)
+    pool.end_batch()
+
+
+def test_flush_batch_keeps_pinned_pages_resident(pool):
+    """Regression: writing back a pinned dirty page must not evict it."""
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 3, dirty=True)
+    pool.pin(pages[0].page_id)
+    pool.flush_batch()
+    assert pool.is_resident(pages[0].page_id)
+    assert not pages[0].dirty                 # written in place
+    pages[0].add("still-usable")              # the caller's reference is live
+    pool.unpin(pages[0].page_id)
+    pool.end_batch()
+
+
+def test_flush_batch_trims_back_to_capacity(pool):
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 6, dirty=True)  # over-committed window
+    assert len(pool.resident_page_ids) == 6
+    pool.flush_batch()
+    assert len(pool.resident_page_ids) == pool.capacity
+    # Every page is on disk regardless of which frames were trimmed.
+    for page in pages:
+        assert pool.disk.read(page.page_id) is page
+    pool.end_batch()
+
+
+def test_overcommit_counter_when_nothing_evictable(pool):
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 3)
+    for page in pages:
+        pool.pin(page.page_id)
+    assert pool.stats.overcommit == 0
+    # Every frame is pinned and the newcomer is dirty inside the window:
+    # there is no victim, so the pool over-commits and says so.
+    extra = pool.allocate(capacity=4)
+    assert pool.stats.overcommit == 1
+    assert pool.is_resident(extra.page_id)     # transient over-capacity
+    for page in pages:
+        pool.unpin(page.page_id)
+    pool.end_batch()
+
+
+def test_unpinned_page_becomes_candidate_again(pool):
+    pool.begin_batch()
+    pages = _alloc_pages(pool, 3)              # all clean
+    pool.pin(pages[0].page_id)
+    pool.allocate(capacity=4)                  # evicts a clean unpinned page
+    assert pool.is_resident(pages[0].page_id)
+    pool.unpin(pages[0].page_id)
+    pool.allocate(capacity=4)
+    # The unpinned clean page is evictable once more.
+    assert len(pool.resident_page_ids) <= pool.capacity + 1
+    pool.end_batch()
+
+
+def test_query_phase_unaffected_outside_windows(pool):
+    """Outside a window the pool is plain LRU — batch state must not leak."""
+    pool.begin_batch()
+    _alloc_pages(pool, 3, dirty=True)
+    pool.end_batch()
+    pages = _alloc_pages(pool, 3)
+    pool.fetch(pages[0].page_id)               # 0 most-recent
+    pool.allocate(capacity=4)
+    assert pool.is_resident(pages[0].page_id)
+    assert not pool.is_resident(pages[1].page_id)  # LRU victim
