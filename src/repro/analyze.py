@@ -9,12 +9,25 @@ Supported: :class:`~repro.mvsbt.tree.MVSBT`, :class:`~repro.mvbt.tree.MVBT`,
 :class:`~repro.sbtree.tree.SBTree` (and subclasses),
 :class:`~repro.core.rta.RTAIndex`,
 :class:`~repro.core.warehouse.TemporalWarehouse`.
+
+The module is also a small CLI over trace files::
+
+    python -m repro.analyze traces out.jsonl --top 10   # hottest spans
+    python -m repro.analyze schema                       # print the schema
+    python -m repro.analyze schema --check docs/trace_schema.json
+
+``traces`` ranks the spans of a ``--trace`` JSONL file (bench phases or
+EXPLAIN span trees alike) by physical I/O and by CPU; ``schema --check``
+fails when a checked-in schema copy drifts from the one the code enforces.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 from dataclasses import asdict
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.rta import RTAIndex
 from repro.core.warehouse import TemporalWarehouse
@@ -147,3 +160,108 @@ def render_report(report: Dict[str, Any], indent: int = 0) -> str:
         else:
             lines.append(f"{pad}{key}: {value}")
     return "\n".join(lines)
+
+
+# -- trace-file CLI ----------------------------------------------------------------
+
+
+def _attr_summary(record: Dict[str, Any], width: int = 48) -> str:
+    """Compact ``k=v`` rendering of a record's attrs for a table cell."""
+    attrs = record.get("attrs") or {}
+    text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    if len(text) > width:
+        text = text[:width - 1] + "…"
+    return text
+
+
+def top_spans_table(records: Iterable[Dict[str, Any]], by: str,
+                    top: int = 10) -> "Table":
+    """Rank every span (children included) by ``"ios"`` or ``"cpu"``.
+
+    Returns a :class:`~repro.bench.reporting.Table` of the ``top`` most
+    expensive spans: physical I/O split into reads/writes, logical hits,
+    and CPU milliseconds, with the span's attrs as the last column.
+    """
+    from repro.bench.reporting import Table
+    from repro.obs.tracefile import iter_records
+
+    if by not in ("ios", "cpu"):
+        raise ValueError(f"rank spans by 'ios' or 'cpu', not {by!r}")
+    flat = list(iter_records(records))
+
+    def cost(record: Dict[str, Any]) -> float:
+        if by == "ios":
+            return record["reads"] + record["writes"]
+        return record["cpu_s"]
+
+    flat.sort(key=cost, reverse=True)
+    table = Table(
+        title=f"top {top} spans by {'physical I/O' if by == 'ios' else 'CPU'}",
+        columns=("span", "ios", "reads", "writes", "logical", "cpu_ms",
+                 "attrs"),
+    )
+    for record in flat[:top]:
+        table.add(span=record["name"],
+                  ios=record["reads"] + record["writes"],
+                  reads=record["reads"], writes=record["writes"],
+                  logical=record["logical_reads"],
+                  cpu_ms=record["cpu_s"] * 1000.0,
+                  attrs=_attr_summary(record))
+    return table
+
+
+def _cmd_traces(path: str, top: int) -> int:
+    """The ``traces`` subcommand: print both top-k rankings for a file."""
+    from repro.obs.tracefile import read_trace
+
+    records = read_trace(path)
+    print(f"{path}: {len(records)} top-level records")
+    print()
+    print(top_spans_table(records, by="ios", top=top).render())
+    print(top_spans_table(records, by="cpu", top=top).render())
+    return 0
+
+
+def _cmd_schema(check: Optional[str]) -> int:
+    """The ``schema`` subcommand: print, or diff against a checked-in copy."""
+    from repro.obs.tracefile import TRACE_RECORD_SCHEMA
+
+    if check is None:
+        print(json.dumps(TRACE_RECORD_SCHEMA, indent=2, sort_keys=True))
+        return 0
+    with open(check) as fh:
+        on_disk = json.load(fh)
+    if on_disk == TRACE_RECORD_SCHEMA:
+        print(f"{check}: matches the enforced trace-record schema")
+        return 0
+    print(f"{check}: DRIFT — does not match repro.obs.tracefile."
+          f"TRACE_RECORD_SCHEMA", file=sys.stderr)
+    print("regenerate with: python -m repro.analyze schema > " + check,
+          file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.analyze``); returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Inspect trace files emitted by the observability layer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    traces = sub.add_parser("traces",
+                            help="rank spans of a JSONL trace by I/O and CPU")
+    traces.add_argument("file", help="a --trace JSONL file")
+    traces.add_argument("--top", type=int, default=10,
+                        help="rows per ranking (default 10)")
+    schema = sub.add_parser("schema",
+                            help="print or check the trace-record schema")
+    schema.add_argument("--check", default=None, metavar="FILE",
+                        help="compare FILE against the enforced schema")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if args.command == "traces":
+        return _cmd_traces(args.file, args.top)
+    return _cmd_schema(args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

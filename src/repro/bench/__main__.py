@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench --out results/        # where tables are written
     python -m repro.bench --workers 4           # experiments in parallel
     python -m repro.bench --seed 7              # re-seed the datasets
+    python -m repro.bench --trace out.jsonl     # per-phase trace records
 
 Each experiment prints its table (plus a bar chart for the figure sweeps)
 and writes both into the output directory.  With ``--workers N`` the
@@ -16,15 +17,22 @@ experiments run across N worker processes; results are printed in selection
 order either way, and ``--workers 1`` (the default) stays byte-identical to
 the sequential CLI.  ``--seed`` derives a deterministic per-experiment seed
 (see :func:`repro.bench.runner.task_seed`), independent of scheduling.
+
+``--trace FILE`` additionally captures one JSONL record per measured phase
+(update replay, batched load, query batch — see
+:mod:`repro.obs.tracefile` for the schema), writes them all to FILE, and
+appends each experiment's metrics-registry snapshot to its report file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.bench.runner import EXPERIMENTS, run_many
+from repro.obs.tracefile import write_trace
 
 
 def parse_args(argv: list[str]) -> argparse.Namespace:
@@ -49,6 +57,10 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=None,
                         help="base dataset seed; each experiment derives "
                              "its own (default: built-in paper seeds)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write one JSONL trace record per measured "
+                             "phase to FILE and embed metrics snapshots "
+                             "in the reports")
     return parser.parse_args(argv)
 
 
@@ -63,11 +75,22 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run_many(selected, page_bytes=args.page_bytes,
                        buffer_pages=args.buffer_pages, scale=args.scale,
-                       seed=args.seed, workers=args.workers)
+                       seed=args.seed, workers=args.workers,
+                       trace=args.trace is not None)
     for result in results:
-        (args.out / f"{result.func_name}.txt").write_text(result.output)
-        print(result.output)
+        output = result.output
+        if result.metrics is not None:
+            output += ("\nmetrics:\n"
+                       + json.dumps(result.metrics, indent=2, sort_keys=True)
+                       + "\n")
+        (args.out / f"{result.func_name}.txt").write_text(output)
+        print(output)
         print(f"[{result.exp_id} done in {result.elapsed_s:.1f}s]\n")
+    if args.trace is not None:
+        records = [record for result in results
+                   for record in result.trace_records]
+        count = write_trace(records, args.trace)
+        print(f"[{count} trace records -> {args.trace}]")
     return 0
 
 

@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.baselines.mvbt_rta import MVBTRTABaseline
 from repro.baselines.naive_scan import HeapFileScanBaseline
 from repro.core.aggregates import Aggregate, SUM
+from repro.obs import collect as _collect
 from repro.core.ingest import DEFAULT_BATCH_SIZE, BatchLoader
 from repro.core.model import Rectangle
 from repro.core.rta import RTAIndex
@@ -148,11 +149,13 @@ def measure_updates(index, events: Iterable[UpdateEvent],
             count += 1
     pool.flush_all()
     stats = pool.stats.delta(before)
-    return MeasuredCost(
+    cost = MeasuredCost(
         stats=stats, cpu_s=timer.elapsed,
         estimated_s=settings.cost_model.estimate(stats, timer.elapsed),
         operations=count,
     )
+    _record_phase("bench.updates", index, cost)
+    return cost
 
 
 def measure_batched_updates(index, events: Sequence[UpdateEvent],
@@ -170,11 +173,14 @@ def measure_batched_updates(index, events: Sequence[UpdateEvent],
         report = loader.load(events)
     pool.flush_all()
     stats = pool.stats.delta(before)
-    return MeasuredCost(
+    cost = MeasuredCost(
         stats=stats, cpu_s=timer.elapsed,
         estimated_s=settings.cost_model.estimate(stats, timer.elapsed),
         operations=report.events,
     )
+    _record_phase("bench.batched_updates", index, cost,
+                  batch_size=batch_size)
+    return cost
 
 
 def measure_queries(index, rectangles: Sequence[Rectangle],
@@ -194,11 +200,29 @@ def measure_queries(index, rectangles: Sequence[Rectangle],
         for rect in rectangles:
             index.query(rect.range, rect.interval, aggregate)
     stats = pool.stats.delta(before)
-    return MeasuredCost(
+    cost = MeasuredCost(
         stats=stats, cpu_s=timer.elapsed,
         estimated_s=settings.cost_model.estimate(stats, timer.elapsed),
         operations=len(rectangles),
     )
+    _record_phase("bench.queries", index, cost, aggregate=aggregate.name,
+                  cold_buffer=cold_buffer)
+    return cost
+
+
+def _record_phase(name: str, index, cost: MeasuredCost, **attrs) -> None:
+    """Feed one measured phase to the active trace collector, if any.
+
+    With no collector installed (``python -m repro.bench`` without
+    ``--trace``) this is one global load and a branch — measured numbers
+    are untouched either way, since recording happens after measurement.
+    """
+    collector = _collect.active()
+    if collector is None:
+        return
+    collector.record(name, cost.stats, cost.cpu_s, cost.operations,
+                     competitor=type(index).__name__,
+                     estimated_s=cost.estimated_s, **attrs)
 
 
 def space_pages(index) -> int:

@@ -26,6 +26,7 @@ from zlib import crc32
 from repro.bench import experiments
 from repro.bench.ascii_chart import bar_chart
 from repro.bench.harness import BenchSettings
+from repro.obs.collect import collecting
 
 #: experiment id -> (function name in :mod:`repro.bench.experiments`,
 #: chart spec ``(label column, value columns)`` or None)
@@ -66,6 +67,12 @@ class RunResult:
     output: str
     #: Wall-clock seconds spent inside the experiment function.
     elapsed_s: float
+    #: Trace records (plain dicts, schema of :mod:`repro.obs.tracefile`)
+    #: captured while the experiment ran; empty unless tracing was on.
+    trace_records: tuple = ()
+    #: Metrics registry snapshot (the ``to_json`` dict) for the traced run;
+    #: ``None`` unless tracing was on.
+    metrics: Optional[dict] = None
 
 
 def task_seed(base: Optional[int], exp_id: str) -> Optional[int]:
@@ -82,11 +89,15 @@ def task_seed(base: Optional[int], exp_id: str) -> Optional[int]:
 
 
 def run_one(exp_id: str, page_bytes: int, buffer_pages: int,
-            scale: float, seed: Optional[int] = None) -> RunResult:
+            scale: float, seed: Optional[int] = None,
+            trace: bool = False) -> RunResult:
     """Run a single experiment and return its rendered output.
 
     Picklable in and out: settings are rebuilt from scalars inside the
-    (possibly worker) process, and only strings/floats come back.
+    (possibly worker) process, and only strings/floats come back.  With
+    ``trace=True`` a :class:`~repro.obs.collect.BenchCollector` is active
+    while the experiment runs, and its records plus metrics snapshot ride
+    back on the result (still plain dicts, so workers stay picklable).
     """
     func_name, chart_spec = EXPERIMENTS[exp_id]
     func = getattr(experiments, func_name)
@@ -99,7 +110,15 @@ def run_one(exp_id: str, page_bytes: int, buffer_pages: int,
     if derived is not None:
         kwargs["seed"] = derived
     started = time.perf_counter()
-    table = func(settings, **kwargs)
+    if trace:
+        with collecting(exp_id) as collector:
+            table = func(settings, **kwargs)
+        trace_records = tuple(collector.records)
+        metrics = collector.registry.to_json()
+    else:
+        table = func(settings, **kwargs)
+        trace_records = ()
+        metrics = None
     elapsed = time.perf_counter() - started
 
     output = table.render()
@@ -107,27 +126,31 @@ def run_one(exp_id: str, page_bytes: int, buffer_pages: int,
         label_col, value_cols = chart_spec
         output += "\n" + bar_chart(table, label_col, value_cols)
     return RunResult(exp_id=exp_id, func_name=func_name,
-                     output=output, elapsed_s=elapsed)
+                     output=output, elapsed_s=elapsed,
+                     trace_records=trace_records, metrics=metrics)
 
 
 def run_many(selected: Sequence[str], page_bytes: int, buffer_pages: int,
              scale: float, seed: Optional[int] = None,
-             workers: int = 1) -> list[RunResult]:
+             workers: int = 1, trace: bool = False) -> list[RunResult]:
     """Run the selected experiments, in order, optionally across processes.
 
     ``workers=1`` (the default) runs inline — byte-identical to the
     pre-parallel CLI.  With more workers the experiments are farmed out to
     a :class:`ProcessPoolExecutor`; results still come back in selection
-    order, so reports are stable regardless of completion order.
+    order, so reports are stable regardless of completion order.  Tracing
+    works in both modes: the collector lives inside whichever process runs
+    the experiment, and the records come back on the (picklable) results.
     """
     unknown = [exp_id for exp_id in selected if exp_id not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {unknown}")
     if workers <= 1:
-        return [run_one(exp_id, page_bytes, buffer_pages, scale, seed)
+        return [run_one(exp_id, page_bytes, buffer_pages, scale, seed,
+                        trace=trace)
                 for exp_id in selected]
     with ProcessPoolExecutor(max_workers=min(workers, len(selected))) as pool:
         futures = [pool.submit(run_one, exp_id, page_bytes, buffer_pages,
-                               scale, seed)
+                               scale, seed, trace)
                    for exp_id in selected]
         return [future.result() for future in futures]

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, List
 
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.buffer import BufferPool
 
 #: Events applied between two coalesced flushes; large enough to amortize
@@ -108,6 +109,18 @@ class BatchLoader:
         qualifies).  Raises :class:`ValueError` on an out-of-order timestamp
         or unknown ``op`` before the offending event is applied.
         """
+        tracer = self._tracer()
+        if tracer.enabled:
+            with tracer.span("ingest.load", batch_size=self.batch_size):
+                return self._load(events)
+        return self._load(events)
+
+    def _tracer(self):
+        """The tracer shared by the discovered pools (null when detached)."""
+        return self._pools[0].tracer if self._pools else NULL_TRACER
+
+    def _load(self, events: Iterable[Any]) -> IngestReport:
+        """The chunking loop behind :meth:`load`."""
         report = IngestReport()
         with self:
             chunk: List[Any] = []
@@ -130,6 +143,18 @@ class BatchLoader:
         return report
 
     def _apply_chunk(self, chunk: List[Any], report: IngestReport) -> None:
+        tracer = self._tracer()
+        if tracer.enabled:
+            with tracer.span("ingest.chunk", events=len(chunk)):
+                self._apply_events(chunk, report)
+                with tracer.span("ingest.flush"):
+                    self._flush_pools(report)
+            return
+        self._apply_events(chunk, report)
+        self._flush_pools(report)
+
+    def _apply_events(self, chunk: List[Any], report: IngestReport) -> None:
+        """Route one chunk's events through the target's update API."""
         target = self.target
         for event in chunk:
             if event.op == "insert":
@@ -140,6 +165,9 @@ class BatchLoader:
                 report.deletes += 1
         report.events += len(chunk)
         report.batches += 1
+
+    def _flush_pools(self, report: IngestReport) -> None:
+        """One coalesced write-back per discovered pool."""
         for pool in self._pools:
             report.flushed_pages += pool.flush_batch()
 

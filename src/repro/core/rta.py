@@ -269,9 +269,37 @@ class RTAIndex:
         k1, k2 = key_range.low, key_range.high
         t1, t3 = interval.start, interval.end - 1
         lkst, lklt = self._lkst[name], self._lklt[name]
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("rta.reduce", aggregate=name,
+                             key_range=str(key_range),
+                             interval=str(interval)):
+                return self._reduce_traced(lkst, lklt, k1, k2, t1, t3, tracer)
         result = lkst.query(k2, t3) - lkst.query(k1, t3)
         result += lklt.query(k2, t3) - lklt.query(k1, t3)
         result -= lklt.query(k2, t1) - lklt.query(k1, t1)
+        return result
+
+    @staticmethod
+    def _reduce_traced(lkst: MVSBT, lklt: MVSBT, k1: int, k2: int,
+                       t1: int, t3: int, tracer) -> float:
+        """Equation (1) with one ``rta.point`` span per point query.
+
+        Evaluation order (and hence float rounding) is identical to the
+        untraced path; ``sign`` records the term's contribution to the sum.
+        """
+        def point(tree: MVSBT, label: str, key: int, t: int,
+                  sign: int) -> float:
+            with tracer.span("rta.point", tree=label, key=key, t=t,
+                             sign=sign):
+                return tree.query(key, t)
+
+        result = point(lkst, "lkst", k2, t3, +1) \
+            - point(lkst, "lkst", k1, t3, -1)
+        result += point(lklt, "lklt", k2, t3, +1) \
+            - point(lklt, "lklt", k1, t3, -1)
+        result -= point(lklt, "lklt", k2, t1, -1) \
+            - point(lklt, "lklt", k1, t1, +1)
         return result
 
     def _validate_rectangle(self, key_range: KeyRange,

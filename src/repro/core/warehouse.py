@@ -77,6 +77,11 @@ class TemporalWarehouse:
         MVSBT strong factor (paper: 0.9).
     """
 
+    #: Observability hook set by :func:`repro.obs.attach_metrics`; a class
+    #: attribute (not set in ``__init__``) because :meth:`load` builds
+    #: warehouses via ``cls.__new__``.
+    metrics = None
+
     def __init__(self, key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  page_capacity: int = 32, buffer_pages: int = 64,
                  strong_factor: float = 0.9, start_time: int = 1) -> None:
@@ -183,7 +188,43 @@ class TemporalWarehouse:
 
         MIN/MAX return ``None`` on empty rectangles, as does AVG.
         """
-        plan = self.explain(key_range, interval, aggregate)
+        tracer = self.aggregates.pool.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            ios_before = (self.tuples.pool.stats.total_ios
+                          + self.aggregates.pool.stats.total_ios)
+        if tracer.enabled:
+            with tracer.span("warehouse.aggregate", aggregate=aggregate.name,
+                             key_range=str(key_range),
+                             interval=str(interval)) as span:
+                with tracer.span("warehouse.plan"):
+                    plan = self.explain(key_range, interval, aggregate)
+                span.attrs["plan"] = plan.plan
+                with tracer.span("warehouse.execute", plan=plan.plan):
+                    result = self.run_plan(plan, key_range, interval,
+                                           aggregate)
+        else:
+            plan = self.explain(key_range, interval, aggregate)
+            result = self.run_plan(plan, key_range, interval, aggregate)
+        if metrics is not None:
+            ios_after = (self.tuples.pool.stats.total_ios
+                         + self.aggregates.pool.stats.total_ios)
+            metrics.query_ios.observe(ios_after - ios_before)
+            if plan.plan == "mvsbt":
+                metrics.plan_mvsbt.inc()
+            else:
+                metrics.plan_mvbt_scan.inc()
+        return result
+
+    def run_plan(self, plan: QueryPlan, key_range: KeyRange,
+                 interval: Interval,
+                 aggregate: Aggregate = SUM) -> Optional[float]:
+        """Execute an already-planned aggregate query.
+
+        Split out of :meth:`aggregate` so EXPLAIN-style callers (see
+        :func:`repro.obs.explain_query`) can plan once, inspect the
+        decision, and execute the same plan without re-planning.
+        """
         if plan.plan == "mvsbt":
             return self.aggregates.query(key_range, interval, aggregate)
         rows = self.tuples.rectangle_query(

@@ -106,6 +106,11 @@ class MVBT:
         their birth instant).
     """
 
+    #: Observability hook set by :func:`repro.obs.attach_metrics`; a class
+    #: attribute (not set in ``__init__``) because :meth:`restore` builds
+    #: trees via ``cls.__new__``.
+    metrics = None
+
     def __init__(self, pool: BufferPool, config: Optional[MVBTConfig] = None,
                  key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  start_time: int = 1, paged_roots: bool = False,
@@ -426,7 +431,19 @@ class MVBT:
     def snapshot_point(self, key: int, t: int) -> Optional[float]:
         """Value of the tuple with ``key`` alive at instant ``t`` (or None)."""
         self._check_key(key)
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvbt.snapshot_point", key=key, t=t):
+                return self._snapshot_point(key, t, tracer)
+        return self._snapshot_point(key, t, None)
+
+    def _snapshot_point(self, key: int, t: int, tracer) -> Optional[float]:
+        """Version-``t`` root-to-leaf descent behind :meth:`snapshot_point`."""
         page = self.pool.fetch(self.roots.find(t).root_id)
+        pages = 1
+        if tracer is not None:
+            tracer.event("mvbt.page", page=page.page_id, kind=page.kind)
+        result = None
         while page.kind == INDEX_KIND:
             child_id = None
             for entry in page.records:
@@ -434,12 +451,19 @@ class MVBT:
                     child_id = entry.child
                     break
             if child_id is None:
-                return None
+                break
             page = self.pool.fetch(child_id)
-        for entry in page.records:
-            if entry.key == key and entry.alive_at(t):
-                return entry.value
-        return None
+            pages += 1
+            if tracer is not None:
+                tracer.event("mvbt.page", page=page.page_id, kind=page.kind)
+        else:
+            for entry in page.records:
+                if entry.key == key and entry.alive_at(t):
+                    result = entry.value
+                    break
+        if self.metrics is not None:
+            self.metrics.descent_pages.observe(pages)
+        return result
 
     def range_snapshot(self, low: int, high: int,
                        t: int) -> List[Tuple[int, float]]:
@@ -449,14 +473,27 @@ class MVBT:
         """
         if low >= high:
             raise QueryError(f"empty key range [{low}, {high})")
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvbt.range_snapshot", low=low, high=high, t=t):
+                return self._range_snapshot(low, high, t, tracer)
+        return self._range_snapshot(low, high, t, None)
+
+    def _range_snapshot(self, low: int, high: int, t: int,
+                        tracer) -> List[Tuple[int, float]]:
+        """Version-``t`` subtree traversal behind :meth:`range_snapshot`."""
         results: List[Tuple[int, float]] = []
         try:
             root_id = self.roots.find(t).root_id
         except LookupError:
             return results
         stack = [root_id]
+        pages = 0
         while stack:
             page = self.pool.fetch(stack.pop())
+            pages += 1
+            if tracer is not None:
+                tracer.event("mvbt.page", page=page.page_id, kind=page.kind)
             if page.kind == INDEX_KIND:
                 for entry in page.records:
                     if entry.alive_at(t) and entry.low < high and low < entry.high:
@@ -465,6 +502,8 @@ class MVBT:
                 for entry in page.records:
                     if entry.alive_at(t) and low <= entry.key < high:
                         results.append((entry.key, entry.value))
+        if self.metrics is not None:
+            self.metrics.descent_pages.observe(pages)
         results.sort()
         return results
 
@@ -480,6 +519,21 @@ class MVBT:
         """
         if low >= high or t_start >= t_end:
             raise QueryError("empty query rectangle")
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvbt.rectangle_query", low=low, high=high,
+                             t_start=t_start, t_end=t_end) as span:
+                found = self._rectangle_query(low, high, t_start, t_end,
+                                              tracer, span)
+                return sorted(found.values())
+        found = self._rectangle_query(low, high, t_start, t_end, None, None)
+        return sorted(found.values())
+
+    def _rectangle_query(self, low: int, high: int, t_start: int, t_end: int,
+                         tracer, span
+                         ) -> Dict[Tuple[int, int],
+                                   Tuple[int, int, int, float]]:
+        """Multi-root traversal behind :meth:`rectangle_query`."""
         found: Dict[Tuple[int, int], Tuple[int, int, int, float]] = {}
         visited: Set[int] = set()
         for root in self.roots.roots_intersecting(t_start, t_end):
@@ -490,6 +544,8 @@ class MVBT:
                     continue
                 visited.add(page_id)
                 page = self.pool.fetch(page_id)
+                if tracer is not None:
+                    tracer.event("mvbt.page", page=page_id, kind=page.kind)
                 if page.kind == INDEX_KIND:
                     for entry in page.records:
                         if entry.intersects(low, high, t_start, t_end):
@@ -508,7 +564,11 @@ class MVBT:
                         end = entry.end if known is None \
                             else min(known[2], entry.end)
                         found[tid] = (entry.key, entry.start, end, entry.value)
-        return sorted(found.values())
+        if span is not None:
+            span.attrs["pages"] = len(visited)
+        if self.metrics is not None:
+            self.metrics.descent_pages.observe(len(visited))
+        return found
 
     # -- persistence -------------------------------------------------------------------
 

@@ -130,6 +130,11 @@ class MVSBT:
         "main-memory array" remark.
     """
 
+    #: Observability hook set by :func:`repro.obs.attach_metrics`; a class
+    #: attribute (not set in ``__init__``) because :meth:`restore` builds
+    #: trees via ``cls.__new__``.
+    metrics = None
+
     def __init__(self, pool: BufferPool, config: Optional[MVSBTConfig] = None,
                  key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  start_time: int = 1, paged_roots: bool = False) -> None:
@@ -180,6 +185,15 @@ class MVSBT:
         below the bottom it covers the whole key space.  Zero values are
         accepted and skipped (they change no point).
         """
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvsbt.insert", key=key, t=t, value=value):
+                self._insert(key, t, value)
+            return
+        self._insert(key, t, value)
+
+    def _insert(self, key: int, t: int, value: float) -> None:
+        """The four-phase insertion of Appendix A (see :meth:`insert`)."""
         if t < self.now:
             raise TimeOrderError(
                 f"insertion at t={t} after the clock reached {self.now}"
@@ -229,28 +243,67 @@ class MVSBT:
             raise QueryError(f"key {key} outside key space {self.key_space}")
         if t < self.start_time:
             return 0.0
-        page = self.pool.fetch(self.roots.find(t).root_id)
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvsbt.query", key=key, t=t):
+                return self._descend(key, t, tracer)
+        return self._descend(key, t, None)
+
+    def _descend(self, key: int, t: int, tracer) -> float:
+        """Root-to-leaf descent summing per-page contributions at ``t``.
+
+        With a live ``tracer``, each page visit opens an ``mvsbt.page`` span
+        around the fetch *and* the record scan, so per-level I/O deltas sum
+        exactly to the whole query's I/O and CPU attribution follows the
+        descent.
+        """
         acc = 0.0
         logical = self.config.logical_split
+        pid = self.roots.find(t).root_id
+        pages = 0
         while True:
-            containing = None
-            for rec in page.records:
-                if not rec.alive_at(t):
-                    continue
-                if logical:
-                    if rec.low <= key:
-                        acc += rec.value
-                if rec.low <= key < rec.high:
-                    containing = rec
+            if tracer is not None:
+                with tracer.span("mvsbt.page", page=pid) as span:
+                    page = self.pool.fetch(pid)
+                    span.attrs["level"] = page.meta["level"]
+                    span.attrs["kind"] = page.kind
+                    delta, containing = self._scan_page(page, key, t, logical)
+            else:
+                page = self.pool.fetch(pid)
+                delta, containing = self._scan_page(page, key, t, logical)
+            acc += delta
+            pages += 1
             if containing is None:
                 raise InvariantViolation(
                     f"page {page.page_id} does not cover key {key} at t={t}"
                 )
-            if not logical:
-                acc += containing.value
             if page.kind == LEAF_KIND:
+                if self.metrics is not None:
+                    self.metrics.descent_pages.observe(pages)
                 return acc
-            page = self.pool.fetch(containing.child)
+            pid = containing.child
+
+    @staticmethod
+    def _scan_page(page: Page, key: int, t: int, logical: bool
+                   ) -> Tuple[float, Optional[object]]:
+        """One page's ``PagePointQuery`` step: contribution + next router.
+
+        Logical mode sums every alive record with ``low <= key``; physical
+        mode reads only the containing record's value.
+        """
+        acc = 0.0
+        containing = None
+        for rec in page.records:
+            if not rec.alive_at(t):
+                continue
+            if logical:
+                if rec.low <= key:
+                    acc += rec.value
+            if rec.low <= key < rec.high:
+                containing = rec
+        if not logical and containing is not None:
+            acc = containing.value
+        return acc, containing
 
     # -- insertion internals ------------------------------------------------------------
 

@@ -1,0 +1,80 @@
+"""repro.obs — zero-cost-when-disabled observability for the MVSBT stack.
+
+The paper's evaluation metric is *counted* I/Os, so this package makes the
+counting inspectable end to end:
+
+* :mod:`repro.obs.tracer` — hierarchical spans with exact
+  :class:`~repro.storage.stats.IOStats` deltas and CPU per node; a single
+  RTA query yields query → plan/execute → tree descent → per-level page
+  access → buffer hit/miss → physical read.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
+  JSON and Prometheus text export, published into by the buffer pool and
+  the trees.
+* :mod:`repro.obs.explain` — ``EXPLAIN``: run a query under a tracer and
+  render the span tree as an indented ASCII plan.
+* :mod:`repro.obs.tracefile` — JSONL trace records, their frozen schema,
+  and a dependency-free validator.
+* :mod:`repro.obs.collect` — the bench harness's per-phase record
+  collector behind ``python -m repro.bench --trace``.
+* :mod:`repro.obs.attach` — wiring helpers (:func:`traced`,
+  :func:`attach_tracer`, :func:`attach_metrics`) that discover every pool,
+  disk, and tree behind a warehouse/index/tree.
+
+Everything is off by default: instrumented objects point at the shared
+:data:`NULL_TRACER` and hold no metrics, and the invariance tests assert
+the disabled paths leave page images and I/O counters bit-identical.
+Names are re-exported lazily (PEP 562) because the storage layer imports
+:mod:`repro.obs.tracer` — eager re-exports here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: name -> submodule providing it; resolved on first attribute access.
+_EXPORTS = {
+    "Span": "repro.obs.tracer",
+    "Tracer": "repro.obs.tracer",
+    "NullTracer": "repro.obs.tracer",
+    "NULL_TRACER": "repro.obs.tracer",
+    "Counter": "repro.obs.metrics",
+    "Gauge": "repro.obs.metrics",
+    "Histogram": "repro.obs.metrics",
+    "MetricsRegistry": "repro.obs.metrics",
+    "snapshot_into": "repro.obs.metrics",
+    "attach_tracer": "repro.obs.attach",
+    "attach_metrics": "repro.obs.attach",
+    "detach_metrics": "repro.obs.attach",
+    "detach_tracer": "repro.obs.attach",
+    "traced": "repro.obs.attach",
+    "ExplainReport": "repro.obs.explain",
+    "explain_query": "repro.obs.explain",
+    "render_span_tree": "repro.obs.explain",
+    "TRACE_RECORD_SCHEMA": "repro.obs.tracefile",
+    "TraceSchemaError": "repro.obs.tracefile",
+    "span_to_record": "repro.obs.tracefile",
+    "validate_record": "repro.obs.tracefile",
+    "write_trace": "repro.obs.tracefile",
+    "read_trace": "repro.obs.tracefile",
+    "iter_records": "repro.obs.tracefile",
+    "BenchCollector": "repro.obs.collect",
+    "collecting": "repro.obs.collect",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__

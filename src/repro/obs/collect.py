@@ -1,0 +1,89 @@
+"""Process-local collection of bench trace records and metrics.
+
+The bench experiments build their competitors deep inside experiment
+functions, so the CLI cannot hand a tracer down through every call.
+Instead the harness's ``measure_*`` functions consult a process-local
+*collector* (installed by :func:`collecting`, e.g. when ``python -m
+repro.bench --trace out.jsonl`` runs): when one is active, every measured
+phase appends one schema-conforming trace record and feeds the phase
+histograms of the collector's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+With no collector installed (the default) the check is one global load and
+a branch — measured I/O counters and outputs are untouched, keeping bench
+results byte-identical to pre-observability runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracefile import validate_record
+
+_ACTIVE: Optional["BenchCollector"] = None
+
+
+class BenchCollector:
+    """Accumulates per-phase trace records and a metrics registry."""
+
+    def __init__(self, experiment: str = "") -> None:
+        self.experiment = experiment
+        self.records: List[Dict[str, Any]] = []
+        self.registry = MetricsRegistry()
+        self._phase_ios = self.registry.histogram(
+            "repro_bench_phase_ios", "physical I/Os per measured phase")
+        self._phase_cpu = self.registry.histogram(
+            "repro_bench_phase_cpu_seconds", "CPU seconds per measured phase",
+            buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 100.0))
+        self._operations = self.registry.counter(
+            "repro_bench_operations_total", "operations measured")
+
+    def record(self, name: str, stats, cpu_s: float, operations: int,
+               **attrs: Any) -> Dict[str, Any]:
+        """Append one measured phase as a trace record; returns it.
+
+        ``stats`` is the phase's :class:`~repro.storage.stats.IOStats`
+        delta; extra attrs (experiment id, estimated seconds) go into the
+        record's ``attrs`` object.
+        """
+        merged = {"operations": operations}
+        if self.experiment:
+            merged["experiment"] = self.experiment
+        merged.update(attrs)
+        record = {
+            "name": name,
+            "attrs": {k: v for k, v in merged.items() if v is not None},
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "logical_reads": stats.logical_reads,
+            "cpu_s": cpu_s,
+        }
+        validate_record(record)
+        self.records.append(record)
+        self._phase_ios.observe(stats.total_ios)
+        self._phase_cpu.observe(cpu_s)
+        self._operations.inc(operations)
+        return record
+
+
+def active() -> Optional[BenchCollector]:
+    """The currently installed collector, or None (the common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def collecting(experiment: str = "") -> Iterator[BenchCollector]:
+    """Install a fresh collector for the duration of a ``with`` block.
+
+    Nesting replaces the outer collector for the inner block (each bench
+    experiment gets its own records); the outer one is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    collector = BenchCollector(experiment)
+    _ACTIVE = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,127 @@
+"""EXPLAIN: run a query under a tracer and render the span tree as a plan.
+
+``explain_query(warehouse, key_range, interval, aggregate)`` produces an
+:class:`ExplainReport` — the planner's :class:`~repro.core.warehouse.QueryPlan`
+decision, the executed result, and the full span tree with per-node I/O and
+CPU.  :func:`render_span_tree` turns any span into the indented ASCII form
+the TQL shell prints for ``EXPLAIN SELECT ...``::
+
+    explain aggregate=SUM                       [ios=9 reads=9 ... ]
+      plan choice=mvsbt                         [ios=4 ...]
+        rta.point tree=lkst k=900 t=699          ...
+          mvsbt.query key=900 t=699
+            mvsbt.page page=12 level=1 kind=index
+              buffer.miss page=12
+              disk.read page=12
+
+Each node shows the I/O delta accumulated *while it was open* (inclusive
+of children) and its CPU; leaf ``mvsbt.page`` spans therefore sum exactly
+to the query's ``IOStats.total_ios``, the property the paper's entire
+evaluation rests on and the acceptance test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.obs.attach import traced
+from repro.obs.tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.aggregates import Aggregate
+    from repro.core.model import Interval, KeyRange
+    from repro.core.warehouse import QueryPlan, TemporalWarehouse
+
+
+def _format_attrs(span: Span) -> str:
+    return " ".join(f"{key}={value}" for key, value in span.attrs.items())
+
+
+def _format_cost(span: Span) -> str:
+    io = span.io
+    parts = [f"ios={io.total_ios}", f"reads={io.reads}"]
+    if io.writes:
+        parts.append(f"writes={io.writes}")
+    parts.append(f"logical={io.logical_reads}")
+    parts.append(f"cpu={span.cpu_s * 1e3:.3f}ms")
+    return "[" + " ".join(parts) + "]"
+
+
+def render_span_tree(span: Span, indent: int = 0,
+                     show_events: bool = True) -> str:
+    """Indented ASCII rendering of a span tree with per-node I/O and CPU.
+
+    Events (zero-duration spans with no I/O snapshot) render without the
+    cost suffix; pass ``show_events=False`` to drop them entirely.
+    """
+    pad = "  " * indent
+    head = span.name if not span.attrs else f"{span.name} {_format_attrs(span)}"
+    is_event = span.cpu_s == 0.0 and not span.children \
+        and not span.io_by_source
+    line = f"{pad}{head}" if is_event else f"{pad}{head}  {_format_cost(span)}"
+    lines: List[str] = [line]
+    for child in span.children:
+        child_is_event = child.cpu_s == 0.0 and not child.children \
+            and not child.io_by_source
+        if child_is_event and not show_events:
+            continue
+        lines.append(render_span_tree(child, indent + 1, show_events))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExplainReport:
+    """Everything EXPLAIN learned about one query.
+
+    ``plan`` is the cost-based planner's decision, ``result`` the value the
+    executed plan produced, and ``root`` the span tree of the whole
+    operation (planning included).  ``str()`` renders the ASCII plan.
+    """
+
+    plan: "QueryPlan"
+    result: Any
+    root: Span
+    tracer: Tracer
+
+    def render(self, show_events: bool = True) -> str:
+        """The plan header plus the indented span tree."""
+        header = [
+            f"plan: {self.plan}",
+            f"result: {self.result}",
+            f"total: ios={self.root.total_ios} "
+            f"reads={self.root.io.reads} writes={self.root.io.writes} "
+            f"logical={self.root.io.logical_reads} "
+            f"cpu={self.root.cpu_s * 1e3:.3f}ms",
+        ]
+        return "\n".join(header) + "\n" + render_span_tree(
+            self.root, show_events=show_events)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain_query(warehouse: "TemporalWarehouse",
+                  key_range: "KeyRange", interval: "Interval",
+                  aggregate: Optional["Aggregate"] = None) -> ExplainReport:
+    """Plan, trace, and execute one aggregate query against ``warehouse``.
+
+    A fresh tracer is attached for the duration (previous wiring is
+    restored), the planner runs inside a ``plan`` span (its COUNT probe
+    I/Os are visible), and the chosen plan executes inside an ``execute``
+    span via :meth:`~repro.core.warehouse.TemporalWarehouse.run_plan`.
+    """
+    from repro.core.aggregates import SUM
+
+    aggregate = aggregate if aggregate is not None else SUM
+    with traced(warehouse) as tracer:
+        with tracer.span("explain", aggregate=aggregate.name,
+                         key_range=str(key_range),
+                         interval=str(interval)) as root:
+            with tracer.span("plan"):
+                plan = warehouse.explain(key_range, interval, aggregate)
+            tracer.current.attrs["choice"] = plan.plan
+            with tracer.span("execute", plan=plan.plan):
+                result = warehouse.run_plan(plan, key_range, interval,
+                                            aggregate)
+    return ExplainReport(plan=plan, result=result, root=root, tracer=tracer)

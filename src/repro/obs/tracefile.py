@@ -1,0 +1,183 @@
+"""JSONL trace records: serialization, schema, and validation.
+
+One trace record is one measured operation — a span tree from the tracer,
+or a flat per-phase record from the bench harness — serialized as a single
+JSON object per line.  The record shape is frozen in
+:data:`TRACE_RECORD_SCHEMA` (a checked-in copy lives at
+``docs/trace_schema.json``; CI fails if the two drift), and
+:func:`validate_record` enforces it with a dependency-free validator
+covering the JSON-Schema subset the schema uses.
+
+Record shape::
+
+    {"name": "bench.queries",            # span/operation name
+     "attrs": {"experiment": "fig4b"},   # free-form string-keyed attrs
+     "reads": 612, "writes": 0,          # physical I/O delta
+     "logical_reads": 1800,              # buffer accesses
+     "cpu_s": 0.031,                     # process CPU seconds
+     "children": [...]}                  # nested spans (optional)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any, Dict, Iterable, Iterator, List, Union
+
+from repro.obs.tracer import Span
+
+#: The frozen JSONL record schema (JSON-Schema subset: ``type``,
+#: ``required``, ``properties``, ``items``, ``additionalProperties``).
+#: ``docs/trace_schema.json`` is the checked-in copy; ``python -m
+#: repro.analyze schema --check docs/trace_schema.json`` verifies they match.
+TRACE_RECORD_SCHEMA: Dict[str, Any] = {
+    "$id": "repro-trace-record",
+    "title": "repro trace record",
+    "type": "object",
+    "required": ["name", "reads", "writes", "logical_reads", "cpu_s"],
+    "properties": {
+        "name": {"type": "string"},
+        "attrs": {"type": "object"},
+        "reads": {"type": "integer"},
+        "writes": {"type": "integer"},
+        "logical_reads": {"type": "integer"},
+        "cpu_s": {"type": "number"},
+        "children": {"type": "array", "items": {"$ref": "#"}},
+    },
+    "additionalProperties": False,
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace record (or schema file) violates :data:`TRACE_RECORD_SCHEMA`."""
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str) -> None:
+    if schema.get("$ref") == "#":
+        schema = TRACE_RECORD_SCHEMA
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        ok = isinstance(value, py_type)
+        if expected in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            raise TraceSchemaError(
+                f"{path}: expected {expected}, got {type(value).__name__}"
+            )
+    if expected == "object":
+        for required in schema.get("required", ()):
+            if required not in value:
+                raise TraceSchemaError(f"{path}: missing key {required!r}")
+        properties = schema.get("properties")
+        if properties is not None:
+            if schema.get("additionalProperties") is False:
+                extra = set(value) - set(properties)
+                if extra:
+                    raise TraceSchemaError(
+                        f"{path}: unexpected keys {sorted(extra)}"
+                    )
+            for key, sub in properties.items():
+                if key in value:
+                    _check(value[key], sub, f"{path}.{key}")
+    elif expected == "array":
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                _check(item, items, f"{path}[{i}]")
+
+
+def validate_record(record: Any) -> Dict[str, Any]:
+    """Check one parsed record against the schema; returns it unchanged.
+
+    Raises :class:`TraceSchemaError` naming the offending path otherwise.
+    """
+    _check(record, TRACE_RECORD_SCHEMA, "$")
+    return record
+
+
+def span_to_record(span: Span) -> Dict[str, Any]:
+    """Serialize a span tree into the JSONL record shape (recursively)."""
+    record: Dict[str, Any] = {
+        "name": span.name,
+        "attrs": {str(k): _json_safe(v) for k, v in span.attrs.items()},
+        "reads": span.io.reads,
+        "writes": span.io.writes,
+        "logical_reads": span.io.logical_reads,
+        "cpu_s": span.cpu_s,
+    }
+    if span.children:
+        record["children"] = [span_to_record(c) for c in span.children]
+    return record
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+RecordLike = Union[Span, Dict[str, Any]]
+
+
+def write_trace(records: Iterable[RecordLike], target: Union[str, IO[str]]
+                ) -> int:
+    """Write records (spans or dicts) as JSONL; returns the line count.
+
+    ``target`` is a path or an open text file.  Every record is validated
+    on the way out, so an emitted trace always conforms to the schema.
+    """
+    def emit(fh: IO[str]) -> int:
+        count = 0
+        for record in records:
+            if isinstance(record, Span):
+                record = span_to_record(record)
+            validate_record(record)
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        return count
+
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w") as fh:
+            return emit(fh)
+    return emit(target)
+
+
+def read_trace(path: str, validate: bool = True) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file (optionally validating every record)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{number}: not JSON: {exc}"
+                ) from None
+            if validate:
+                try:
+                    validate_record(record)
+                except TraceSchemaError as exc:
+                    raise TraceSchemaError(f"{path}:{number}: {exc}") from None
+            records.append(record)
+    return records
+
+
+def iter_records(records: Iterable[Dict[str, Any]]
+                 ) -> Iterator[Dict[str, Any]]:
+    """Yield every record and nested child record, depth-first."""
+    for record in records:
+        yield record
+        yield from iter_records(record.get("children", ()))

@@ -1,0 +1,225 @@
+"""Hierarchical span tracing with exact I/O and CPU attribution.
+
+The paper's evaluation is a *counting* argument — estimated time is
+``I/Os x 10 ms + CPU`` — so the tracer's job is to say *which* page
+accesses a query paid for, not to time wall clocks.  A :class:`Span` is
+one step of an operation (a query, one level of a tree descent, a buffer
+flush); spans nest into a tree, and every span carries
+
+* the :class:`~repro.storage.stats.IOStats` delta accumulated while it was
+  open (summed over every pool the tracer watches, per-pool on request),
+* process CPU seconds (inclusive of children; renderers subtract), and
+* free-form attributes (``page=17, level=2, hit=False``).
+
+Instrumentation sites throughout the library hold a reference to a tracer
+(the shared :data:`NULL_TRACER` by default) and guard every emission with
+``tracer.enabled`` — one attribute load and a branch, so the disabled path
+perturbs nothing: page images, tree counters, and every ``IOStats``
+counter stay bit-identical to an uninstrumented run, which the
+``tests/obs`` invariance suite enforces.  An *enabled* tracer only ever
+reads counters and buffer residency; it never fetches a page, so it adds
+zero physical I/Os.
+
+Use :func:`repro.obs.attach_tracer` (or the :func:`repro.obs.traced`
+context manager) to wire a tracer into a warehouse, index, or bare tree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.stats import IOStats
+
+# IOStats is imported lazily (inside the two functions that construct one)
+# so this module stays import-cycle-free: the storage layer imports the
+# tracer for NULL_TRACER, and any entry point that pulls the tracer in
+# first (e.g. ``repro.obs.tracefile``) must not re-enter
+# ``repro.storage.__init__`` while it is still initializing.
+
+
+class Span:
+    """One node of a trace tree: name, attributes, children, I/O + CPU.
+
+    ``io`` and ``io_by_source`` are populated when the span closes; events
+    (zero-duration leaf spans from :meth:`Tracer.event`) carry neither.
+    """
+
+    __slots__ = ("name", "attrs", "children", "cpu_s", "io", "io_by_source",
+                 "_cpu_start", "_io_before")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        from repro.storage.stats import IOStats
+
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.children: List["Span"] = []
+        self.cpu_s: float = 0.0
+        #: Summed I/O delta over every watched pool while the span was open.
+        self.io: IOStats = IOStats()
+        #: Per-pool I/O deltas, keyed by the label given to :meth:`Tracer.watch`.
+        self.io_by_source: Dict[str, IOStats] = {}
+        self._cpu_start: float = 0.0
+        self._io_before: List[Tuple[str, IOStats]] = []
+
+    @property
+    def total_ios(self) -> int:
+        """Physical I/Os (reads + writes) charged while this span was open."""
+        return self.io.total_ios
+
+    def self_cpu_s(self) -> float:
+        """CPU seconds spent in this span excluding its child spans."""
+        return max(0.0, self.cpu_s - sum(c.cpu_s for c in self.children))
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span in this subtree with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, ios={self.total_ios}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Collects span trees from instrumented code paths.
+
+    Parameters
+    ----------
+    clock:
+        Callable returning CPU seconds; defaults to :func:`time.process_time`
+        (user + system, the paper's CPU metric).  Injectable for tests.
+
+    A tracer is *enabled* from construction; instrumentation sites check the
+    ``enabled`` attribute before doing any work, so the shared
+    :data:`NULL_TRACER` (whose ``enabled`` is False) costs one branch.
+    Spans opened while another span is open become its children; spans
+    opened at top level are collected in ``roots``.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.process_time) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._clock = clock
+        self._sources: List[Tuple[str, IOStats]] = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def watch(self, label: str, stats: IOStats) -> None:
+        """Attribute ``stats``'s counter movement to every future span.
+
+        Watching the same object twice (e.g. two trees sharing one pool)
+        is a no-op, so attach helpers need not deduplicate.
+        """
+        if any(existing is stats for _, existing in self._sources):
+            return
+        self._sources.append((label, stats))
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        """Labels of the watched :class:`IOStats` objects, in watch order."""
+        return tuple(label for label, _ in self._sources)
+
+    # -- span API ----------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block."""
+        span = Span(name, attrs)
+        span._io_before = [(label, stats.snapshot())
+                           for label, stats in self._sources]
+        span._cpu_start = self._clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            from repro.storage.stats import IOStats
+
+            self._stack.pop()
+            span.cpu_s = self._clock() - span._cpu_start
+            total = IOStats()
+            for label, before in span._io_before:
+                stats = next(s for lbl, s in self._sources if lbl == label)
+                delta = stats.delta(before)
+                span.io_by_source[label] = delta
+                total = total + delta
+            span.io = total
+            span._io_before = []
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration leaf span under the current span.
+
+        Events carry attributes only (no I/O snapshot), which keeps them
+        cheap enough for per-page-access emission on hot paths.
+        """
+        span = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every collected span (watched sources are kept)."""
+        if self._stack:
+            raise RuntimeError("cannot reset a tracer while spans are open")
+        self.roots = []
+
+    @property
+    def last_root(self) -> Optional[Span]:
+        """The most recently completed top-level span, if any."""
+        return self.roots[-1] if self.roots else None
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is the default value of
+    every ``tracer`` attribute in the library, so instrumentation sites can
+    unconditionally read ``self.tracer.enabled`` without None checks.
+    """
+
+    enabled = False
+    roots: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """No-op context manager (kept for call-site symmetry)."""
+        yield None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """No-op."""
+        return None
+
+    def watch(self, label: str, stats: IOStats) -> None:
+        """No-op."""
+        return None
+
+    @property
+    def current(self) -> None:
+        """Always None: a disabled tracer holds no spans."""
+        return None
+
+
+#: The process-wide disabled tracer every instrumented object defaults to.
+NULL_TRACER = NullTracer()

@@ -69,6 +69,11 @@ class SBTree:
         (the [YW01] compaction).
     """
 
+    #: Observability hook set by :func:`repro.obs.attach_metrics`; a class
+    #: attribute (not set in ``__init__``) because :meth:`load` builds
+    #: trees via ``cls.__new__``.
+    metrics = None
+
     def __init__(self, pool: BufferPool, capacity: int = 32,
                  domain: Tuple[int, int] = (1, NOW),
                  combine: Combine = _add, identity: float = 0.0,
@@ -128,14 +133,38 @@ class SBTree:
         """Instantaneous aggregate ``V(t)``; ``O(height)`` page reads."""
         if not (self.domain[0] <= t < self.domain[1]):
             raise QueryError(f"instant {t} outside domain {self.domain}")
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("sbtree.query", t=t):
+                return self._descend(t, tracer)
+        return self._descend(t, None)
+
+    def _descend(self, t: int, tracer) -> float:
+        """Root-to-leaf combine along the path containing ``t``.
+
+        With a live ``tracer`` each page visit opens an ``sbtree.page`` span
+        around the fetch and the record lookup, so per-level I/O deltas sum
+        to the query total.
+        """
         acc = self.identity
-        page = self.pool.fetch(self._root_id)
+        pid = self._root_id
+        pages = 0
         while True:
-            record = find_record(page, t)
+            if tracer is not None:
+                with tracer.span("sbtree.page", page=pid) as span:
+                    page = self.pool.fetch(pid)
+                    span.attrs["kind"] = page.kind
+                    record = find_record(page, t)
+            else:
+                page = self.pool.fetch(pid)
+                record = find_record(page, t)
+            pages += 1
             acc = self.combine(acc, record.value)
             if is_leaf(page):
+                if self.metrics is not None:
+                    self.metrics.descent_pages.observe(pages)
                 return acc
-            page = self.pool.fetch(record.child)
+            pid = record.child
 
     def query_many(self, instants: List[int]) -> List[float]:
         """Batch point queries (convenience; no special optimization)."""

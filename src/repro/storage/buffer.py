@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from repro.errors import BufferPoolError, PageNotFoundError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 from repro.storage.stats import IOStats
@@ -57,6 +58,12 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStats()
+        #: Observability hooks: a (usually null) tracer receiving
+        #: ``buffer.*`` events, and metrics instruments when attached via
+        #: :func:`repro.obs.attach_metrics`.  Both read-only for the pool's
+        #: own state — they never change eviction or write decisions.
+        self.tracer = NULL_TRACER
+        self.metrics = None
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pins: Dict[int, int] = {}
         self._batch_depth = 0
@@ -77,7 +84,11 @@ class BufferPool:
         page = self._frames.get(page_id)
         if page is not None:
             self._frames.move_to_end(page_id)
+            if self.tracer.enabled:
+                self.tracer.event("buffer.hit", page=page_id)
             return page
+        if self.tracer.enabled:
+            self.tracer.event("buffer.miss", page=page_id)
         page = self.disk.read(page_id)
         self.stats.reads += 1
         self._maybe_clean[page_id] = None
@@ -163,6 +174,8 @@ class BufferPool:
         self._batch_deferred.clear()
         self._maybe_clean = dict.fromkeys(self._frames)
         self._evict_if_needed()
+        if self.metrics is not None:
+            self.metrics.flush_batch_pages.observe(written)
         return written
 
     def end_batch(self) -> None:
@@ -222,9 +235,19 @@ class BufferPool:
                 # batch window); allow transient over-commit rather than
                 # deadlock, and make the violation observable.
                 self.stats.overcommit += 1
+                if self.tracer.enabled:
+                    self.tracer.event("buffer.overcommit",
+                                      resident=len(self._frames))
+                if self.metrics is not None:
+                    self.metrics.overcommits.inc()
                 return
             victim = self._frames.pop(victim_id)
             self._maybe_clean.pop(victim_id, None)
+            if self.tracer.enabled:
+                self.tracer.event("buffer.evict", page=victim_id,
+                                  dirty=victim.dirty)
+            if self.metrics is not None:
+                self.metrics.evictions.inc()
             if victim.dirty:
                 self.disk.write(victim)
                 self.stats.writes += 1

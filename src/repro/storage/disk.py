@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Iterator, Optional
 
 from repro.errors import PageNotFoundError, StorageError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.page import Page
 from repro.storage.serialization import (
     DEFAULT_PAGE_BYTES,
@@ -27,6 +28,11 @@ from repro.storage.serialization import (
 
 class DiskManager(ABC):
     """Allocation and persistence protocol all disk managers implement."""
+
+    #: Observability hook: ``disk.read``/``disk.write`` events mark every
+    #: physical page transfer.  The shared null tracer makes this one
+    #: branch on the (hot) untraced path.
+    tracer = NULL_TRACER
 
     def __init__(self) -> None:
         self._next_page_id = 0
@@ -81,15 +87,20 @@ class InMemoryDiskManager(DiskManager):
 
     def read(self, page_id: int) -> Page:
         try:
-            return self._pages[page_id]
+            page = self._pages[page_id]
         except KeyError:
             raise PageNotFoundError(page_id) from None
+        if self.tracer.enabled:
+            self.tracer.event("disk.read", page=page_id)
+        return page
 
     def write(self, page: Page) -> None:
         # The dict already holds the live object; writing is a no-op beyond
         # validation.  Physical-write accounting lives in the buffer pool.
         if page.page_id not in self._pages:
             raise PageNotFoundError(page.page_id)
+        if self.tracer.enabled:
+            self.tracer.event("disk.write", page=page.page_id)
 
     def free(self, page_id: int) -> None:
         if self._pages.pop(page_id, None) is None:
@@ -147,6 +158,8 @@ class FileDiskManager(DiskManager):
         kind, records = decode_page(raw)
         page = Page(page_id, self._capacities.get(page_id, self.default_capacity), kind)
         page.records = records
+        if self.tracer.enabled:
+            self.tracer.event("disk.read", page=page_id, bytes=len(raw))
         return page
 
     def write(self, page: Page) -> None:
@@ -157,6 +170,9 @@ class FileDiskManager(DiskManager):
         with open(self.path, "r+b") as fh:
             fh.seek(self._offset(page.page_id))
             fh.write(image)
+        if self.tracer.enabled:
+            self.tracer.event("disk.write", page=page.page_id,
+                              bytes=len(image))
 
     def free(self, page_id: int) -> None:
         if page_id not in self._known or page_id in self._freed:

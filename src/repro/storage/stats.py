@@ -9,7 +9,8 @@ I/Os; :class:`CostModel` turns counts into the estimate.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Dict
 
 
 @dataclass
@@ -44,55 +45,56 @@ class IOStats:
 
     @property
     def hit_rate(self) -> float:
-        """Buffer hit rate over logical reads (1.0 when everything was cached)."""
+        """Buffer hit rate over logical reads (1.0 when everything was cached).
+
+        Clamped to ``[0.0, 1.0]``: after a batch-window overcommit eviction a
+        page can be physically re-fetched without a new logical access, so
+        ``reads`` may transiently exceed ``logical_reads``.
+        """
         if self.logical_reads == 0:
             return 1.0
-        return 1.0 - self.reads / self.logical_reads
+        return min(1.0, max(0.0, 1.0 - self.reads / self.logical_reads))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter as a ``{field name: value}`` dict (reporting/export)."""
+        return {name: getattr(self, name) for name in _IOSTAT_FIELDS}
 
     def reset(self) -> None:
         """Zero every counter (start of a measured phase)."""
-        self.reads = 0
-        self.writes = 0
-        self.logical_reads = 0
-        self.allocations = 0
-        self.frees = 0
-        self.coalesced_writes = 0
-        self.overcommit = 0
+        for name in _IOSTAT_FIELDS:
+            setattr(self, name, 0)
 
     def snapshot(self) -> "IOStats":
         """Return an immutable-by-convention copy of the current counters."""
-        return IOStats(
-            reads=self.reads,
-            writes=self.writes,
-            logical_reads=self.logical_reads,
-            allocations=self.allocations,
-            frees=self.frees,
-            coalesced_writes=self.coalesced_writes,
-            overcommit=self.overcommit,
-        )
+        return IOStats(**self.as_dict())
+
+    def _combine(self, other: "IOStats", sign: int) -> "IOStats":
+        """Fieldwise ``self + sign * other`` over every counter.
+
+        Iterating the dataclass fields (rather than naming each counter)
+        means a newly added counter participates in ``snapshot``/``delta``/
+        arithmetic automatically instead of being silently dropped.
+        """
+        return IOStats(**{
+            name: getattr(self, name) + sign * getattr(other, name)
+            for name in _IOSTAT_FIELDS
+        })
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
-        return IOStats(
-            reads=self.reads - earlier.reads,
-            writes=self.writes - earlier.writes,
-            logical_reads=self.logical_reads - earlier.logical_reads,
-            allocations=self.allocations - earlier.allocations,
-            frees=self.frees - earlier.frees,
-            coalesced_writes=self.coalesced_writes - earlier.coalesced_writes,
-            overcommit=self.overcommit - earlier.overcommit,
-        )
+        return self._combine(earlier, -1)
 
     def __add__(self, other: "IOStats") -> "IOStats":
-        return IOStats(
-            reads=self.reads + other.reads,
-            writes=self.writes + other.writes,
-            logical_reads=self.logical_reads + other.logical_reads,
-            allocations=self.allocations + other.allocations,
-            frees=self.frees + other.frees,
-            coalesced_writes=self.coalesced_writes + other.coalesced_writes,
-            overcommit=self.overcommit + other.overcommit,
-        )
+        return self._combine(other, +1)
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        """``stats - earlier`` — alias for :meth:`delta`."""
+        return self.delta(other)
+
+
+#: Field names of :class:`IOStats`, computed once; every counter-combining
+#: helper iterates this so new counters cannot be dropped from one of them.
+_IOSTAT_FIELDS = tuple(f.name for f in fields(IOStats))
 
 
 @dataclass(frozen=True)

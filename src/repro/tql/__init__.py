@@ -19,13 +19,17 @@ the whole key space and a missing time predicate means everything up to
 (open problem (ii)); everything else uses the cost-based planner.
 
 Entry points: :func:`parse` (text -> statement AST),
-:func:`execute` (text or AST + warehouse -> result), and
-:func:`explain` (text + warehouse -> the planner's decision).
+:func:`execute` (text or AST + warehouse -> result),
+:func:`explain` (text + warehouse -> the planner's decision), and
+:func:`explain_select` (SELECT AST + warehouse -> traced
+:class:`~repro.obs.explain.ExplainReport`); ``EXPLAIN SELECT ...`` routes
+through the latter.
 """
 
-from repro.tql.executor import execute, explain
+from repro.tql.executor import execute, explain, explain_select
 from repro.tql.parser import (
     DeleteStatement,
+    ExplainStatement,
     HistoryStatement,
     InsertStatement,
     SelectStatement,
@@ -37,6 +41,7 @@ from repro.tql.render import render
 
 __all__ = [
     "DeleteStatement",
+    "ExplainStatement",
     "HistoryStatement",
     "InsertStatement",
     "SelectStatement",
@@ -44,6 +49,7 @@ __all__ = [
     "TQLSyntaxError",
     "execute",
     "explain",
+    "explain_select",
     "parse",
     "render",
 ]

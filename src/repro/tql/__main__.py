@@ -21,7 +21,7 @@ from typing import Optional
 from repro.analyze import describe, render_report
 from repro.core.warehouse import TemporalWarehouse
 from repro.errors import ReproError
-from repro.tql import execute, explain
+from repro.tql import execute
 from repro.workloads.datasets import paper_config
 from repro.workloads.generator import generate_dataset
 
@@ -36,7 +36,7 @@ TQL statements:
   HISTORY OF k
   INSERT KEY k VALUE v AT t
   DELETE KEY k AT t
-  EXPLAIN <select>
+  EXPLAIN <select>        traced plan: span tree with per-node I/O + CPU
 Shell commands:
   \\describe   index statistics      \\help   this text      \\q   quit
 """
@@ -66,8 +66,6 @@ def run_line(warehouse: TemporalWarehouse, line: str) -> Optional[str]:
     if line == "\\describe":
         return render_report(describe(warehouse))
     try:
-        if line.upper().startswith("EXPLAIN"):
-            return str(explain(warehouse, line[len("EXPLAIN"):]))
         result = execute(warehouse, line)
     except ReproError as exc:
         return f"error: {exc}"

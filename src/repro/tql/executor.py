@@ -4,7 +4,10 @@
 defaults — whole key space, everything up to ``now`` — and dispatches:
 plain SELECTs go through the warehouse's cost-based planner, TIMELINE uses
 the RTA rollup, SNAPSHOT/HISTORY use the tuple store.  ``explain`` returns
-the planner's decision for a SELECT without running it.
+the planner's decision for a SELECT without running it; ``EXPLAIN SELECT
+...`` (the statement) additionally *runs* the select under a tracer and
+returns an :class:`~repro.obs.explain.ExplainReport` whose ``str()`` is
+the indented span-tree plan with per-node I/O and CPU.
 """
 
 from __future__ import annotations
@@ -15,8 +18,10 @@ from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
 from repro.core.model import Interval, KeyRange
 from repro.core.warehouse import QueryPlan, TemporalWarehouse
 from repro.errors import QueryError
+from repro.obs.explain import ExplainReport, explain_query
 from repro.tql.parser import (
     DeleteStatement,
+    ExplainStatement,
     HistoryStatement,
     InsertStatement,
     SelectStatement,
@@ -48,10 +53,14 @@ def execute(warehouse: TemporalWarehouse,
     * plain ``SELECT`` — a float (``None`` for AVG/MIN/MAX of nothing);
     * ``SELECT TIMELINE(...)`` — a list of ``(Interval, value)`` buckets;
     * ``SNAPSHOT`` — a list of ``(key, value)`` pairs;
-    * ``HISTORY`` — a list of :class:`~repro.core.model.TemporalTuple`.
+    * ``HISTORY`` — a list of :class:`~repro.core.model.TemporalTuple`;
+    * ``EXPLAIN SELECT ...`` — an :class:`~repro.obs.explain.ExplainReport`
+      (plan decision, result, and the traced span tree).
     """
     if isinstance(statement, str):
         statement = parse(statement)
+    if isinstance(statement, ExplainStatement):
+        return explain_select(warehouse, statement.select)
     if isinstance(statement, SelectStatement):
         key_range, interval = _resolve_rectangle(warehouse, statement)
         aggregate = _AGGREGATES[statement.agg.name]
@@ -82,8 +91,27 @@ def explain(warehouse: TemporalWarehouse,
     """The planner's decision for a SELECT, without executing it."""
     if isinstance(statement, str):
         statement = parse(statement)
+    if isinstance(statement, ExplainStatement):
+        statement = statement.select
     if not isinstance(statement, SelectStatement):
         raise QueryError("only SELECT statements have query plans")
     key_range, interval = _resolve_rectangle(warehouse, statement)
     return warehouse.explain(key_range, interval,
                              _AGGREGATES[statement.agg.name])
+
+
+def explain_select(warehouse: TemporalWarehouse,
+                   statement: SelectStatement) -> ExplainReport:
+    """Run a SELECT under a tracer and report the full span tree.
+
+    The traced counterpart of :func:`explain`: the query actually executes
+    (under a temporarily attached tracer), so the report carries the
+    result and exact per-node I/O and CPU alongside the plan decision.
+    """
+    if statement.agg.timeline_buckets is not None:
+        raise QueryError(
+            "EXPLAIN supports plain SELECT aggregates, not TIMELINE"
+        )
+    key_range, interval = _resolve_rectangle(warehouse, statement)
+    return explain_query(warehouse, key_range, interval,
+                         _AGGREGATES[statement.agg.name])

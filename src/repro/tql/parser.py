@@ -2,7 +2,8 @@
 
 Grammar (keywords case-insensitive; ``[a, b)`` denotes half-open)::
 
-    statement  := select | snapshot | history
+    statement  := explain | select | snapshot | history
+    explain    := EXPLAIN select
     select     := SELECT aggspec WHERE predicates
                 | SELECT aggspec                      -- no filter: whole space
     aggspec    := (SUM|AVG|MIN|MAX) '(' VALUE ')'
@@ -82,8 +83,15 @@ class DeleteStatement:
     at: int
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN SELECT ...`` — trace the select and render its span tree."""
+
+    select: SelectStatement
+
+
 Statement = (SelectStatement, SnapshotStatement, HistoryStatement,
-             InsertStatement, DeleteStatement)
+             InsertStatement, DeleteStatement, ExplainStatement)
 
 
 class _Parser:
@@ -129,7 +137,10 @@ class _Parser:
 
     def statement(self):
         """Parse one complete statement followed by end of input."""
-        if self._accept("SELECT"):
+        if self._accept("EXPLAIN"):
+            self._take("SELECT")
+            result = ExplainStatement(select=self._select())
+        elif self._accept("SELECT"):
             result = self._select()
         elif self._accept("SNAPSHOT"):
             result = self._snapshot()
@@ -142,8 +153,8 @@ class _Parser:
         else:
             token = self._current
             raise TQLSyntaxError(
-                f"expected SELECT, SNAPSHOT, HISTORY, INSERT or DELETE, "
-                f"found {token.text or 'end of input'!r}"
+                f"expected SELECT, EXPLAIN, SNAPSHOT, HISTORY, INSERT or "
+                f"DELETE, found {token.text or 'end of input'!r}"
             )
         self._take("EOF")
         return result

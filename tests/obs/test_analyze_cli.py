@@ -1,0 +1,73 @@
+"""The ``python -m repro.analyze`` trace subcommands."""
+
+import json
+
+import pytest
+
+from repro.analyze import main, top_spans_table
+from repro.obs.tracefile import TRACE_RECORD_SCHEMA, write_trace
+
+
+def sample_records():
+    return [
+        {"name": "bench.queries", "reads": 10, "writes": 2,
+         "logical_reads": 40, "cpu_s": 0.02,
+         "attrs": {"experiment": "fig4b"}},
+        {"name": "bench.updates", "reads": 1, "writes": 30,
+         "logical_reads": 90, "cpu_s": 0.5,
+         "attrs": {"experiment": "fig4a"},
+         "children": [
+             {"name": "ingest.flush", "reads": 0, "writes": 25,
+              "logical_reads": 0, "cpu_s": 0.1},
+         ]},
+    ]
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_trace(sample_records(), str(path))
+    return path
+
+
+class TestTopSpans:
+    def test_ranking_by_ios_includes_children(self):
+        table = top_spans_table(sample_records(), by="ios", top=10)
+        spans = table.column("span")
+        assert spans[0] == "bench.updates"          # 31 I/Os
+        assert "ingest.flush" in spans              # nested record counted
+
+    def test_ranking_by_cpu(self):
+        table = top_spans_table(sample_records(), by="cpu", top=1)
+        assert table.column("span") == ["bench.updates"]
+
+    def test_unknown_ranking_rejected(self):
+        with pytest.raises(ValueError):
+            top_spans_table(sample_records(), by="wall")
+
+
+class TestCLI:
+    def test_traces_subcommand_prints_both_tables(self, trace_path, capsys):
+        assert main(["traces", str(trace_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 spans by physical I/O" in out
+        assert "top 3 spans by CPU" in out
+        assert "bench.updates" in out
+
+    def test_schema_subcommand_prints_schema(self, capsys):
+        assert main(["schema"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(json.dumps(TRACE_RECORD_SCHEMA))
+
+    def test_schema_check_passes_on_fresh_copy(self, tmp_path, capsys):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(TRACE_RECORD_SCHEMA))
+        assert main(["schema", "--check", str(path)]) == 0
+
+    def test_schema_check_fails_on_drift(self, tmp_path, capsys):
+        path = tmp_path / "schema.json"
+        drifted = json.loads(json.dumps(TRACE_RECORD_SCHEMA))
+        drifted["required"] = []
+        path.write_text(json.dumps(drifted))
+        assert main(["schema", "--check", str(path)]) == 1
+        assert "DRIFT" in capsys.readouterr().err

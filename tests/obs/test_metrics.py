@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PoolMetrics,
+    QueryMetrics,
+    TreeMetrics,
+    snapshot_into,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(113.5)
+        # le=1: {0.5}; le=5: +{3,3}; le=10: +{7}; +Inf: +{100}
+        assert histogram.cumulative_counts() == [1, 3, 4, 5]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_one_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"x": "1"})
+        b = registry.counter("c", labels={"x": "1"})
+        other = registry.counter("c", labels={"x": "2"})
+        assert a is b
+        assert a is not other
+
+    def test_kind_conflict_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_to_json_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", "requests", {"op": "q"}).inc(4)
+        payload = registry.to_json()
+        assert payload["reqs"]["type"] == "counter"
+        assert payload["reqs"]["series"] == [
+            {"labels": {"op": "q"}, "value": 4.0}
+        ]
+
+    def test_render_json_is_valid_json_with_inf_encoded(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(3)
+        payload = json.loads(registry.render_json())
+        les = [b["le"] for b in payload["h"]["series"][0]["buckets"]]
+        assert les == [1.0, "+Inf"]
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "ops", {"op": "insert"}).inc(2)
+        registry.histogram("repro_ios", "ios", buckets=(1.0, 2.0)).observe(2)
+        text = registry.render_prometheus()
+        assert '# TYPE repro_ops_total counter' in text
+        assert 'repro_ops_total{op="insert"} 2' in text
+        assert 'repro_ios_bucket{le="2"} 1' in text
+        assert 'repro_ios_bucket{le="+Inf"} 1' in text
+        assert 'repro_ios_count 1' in text
+        assert text.endswith("\n")
+
+
+class TestPublishedMetrics:
+    def test_pool_tree_query_metrics_register_names(self):
+        registry = MetricsRegistry()
+        PoolMetrics(registry, "tuples").flush_batch_pages.observe(3)
+        TreeMetrics(registry, "SUM.lkst").descent_pages.observe(2)
+        query = QueryMetrics(registry)
+        query.query_ios.observe(7)
+        query.plan_mvsbt.inc()
+        payload = registry.to_json()
+        assert set(payload) >= {
+            "repro_flush_batch_pages", "repro_descent_pages",
+            "repro_query_ios", "repro_plan_choices_total",
+        }
+        (series,) = payload["repro_descent_pages"]["series"]
+        assert series["labels"] == {"index": "SUM.lkst"}
+
+    def test_snapshot_into_publishes_pool_and_tree_counters(self):
+        from repro.core.warehouse import TemporalWarehouse
+
+        warehouse = TemporalWarehouse(key_space=(1, 101), page_capacity=8)
+        for key in range(1, 20):
+            warehouse.insert(key, 1.0, t=key)
+        registry = snapshot_into(MetricsRegistry(), warehouse)
+        payload = registry.to_json()
+        assert payload["repro_pool_logical_reads"]["series"]
+        assert payload["repro_tree_inserts"]["series"]

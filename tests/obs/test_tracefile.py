@@ -1,0 +1,104 @@
+"""Trace-record schema, JSONL round-trips, and the checked-in schema copy."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.tracefile import (
+    TRACE_RECORD_SCHEMA,
+    TraceSchemaError,
+    iter_records,
+    read_trace,
+    span_to_record,
+    validate_record,
+    write_trace,
+)
+from repro.obs.tracer import Tracer
+from repro.storage.stats import IOStats
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+GOOD = {"name": "op", "reads": 1, "writes": 0, "logical_reads": 3,
+        "cpu_s": 0.001}
+
+
+class TestValidation:
+    def test_minimal_record_is_valid(self):
+        validate_record(GOOD)
+
+    def test_nested_children_are_validated(self):
+        record = dict(GOOD, children=[dict(GOOD, attrs={"page": 7})])
+        validate_record(record)
+        with pytest.raises(TraceSchemaError):
+            validate_record(dict(GOOD, children=[{"name": "broken"}]))
+
+    @pytest.mark.parametrize("mutation", [
+        {"name": None}, {"reads": "three"}, {"cpu_s": None},
+        {"unexpected": 1}, {"attrs": "not-a-dict"},
+    ])
+    def test_bad_records_rejected(self, mutation):
+        record = dict(GOOD)
+        record.update(mutation)
+        with pytest.raises(TraceSchemaError):
+            validate_record(record)
+
+    def test_missing_required_field_rejected(self):
+        record = dict(GOOD)
+        del record["reads"]
+        with pytest.raises(TraceSchemaError):
+            validate_record(record)
+
+
+class TestRoundTrip:
+    def test_span_to_record_and_back(self):
+        tracer = Tracer()
+        stats = IOStats()
+        tracer.watch("pool", stats)
+        with tracer.span("query", plan="mvsbt"):
+            stats.reads += 2
+            stats.logical_reads += 5
+            tracer.event("buffer.miss", page=3)
+        record = span_to_record(tracer.last_root)
+        validate_record(record)
+        assert record["name"] == "query"
+        assert record["reads"] == 2
+        assert record["children"][0]["name"] == "buffer.miss"
+
+    def test_write_and_read_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_trace([GOOD, dict(GOOD, name="other")], str(path))
+        assert count == 2
+        records = read_trace(str(path))
+        assert [r["name"] for r in records] == ["op", "other"]
+
+    def test_write_rejects_invalid(self, tmp_path):
+        with pytest.raises(TraceSchemaError):
+            write_trace([{"name": "broken"}], str(tmp_path / "t.jsonl"))
+
+    def test_read_rejects_drifted_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(dict(GOOD, rogue=1)) + "\n")
+        with pytest.raises(TraceSchemaError):
+            read_trace(str(path))
+
+    def test_iter_records_flattens_depth_first(self):
+        nested = dict(GOOD, name="root",
+                      children=[dict(GOOD, name="a",
+                                     children=[dict(GOOD, name="b")]),
+                                dict(GOOD, name="c")])
+        names = [r["name"] for r in iter_records([nested])]
+        assert names == ["root", "a", "b", "c"]
+
+
+class TestCheckedInSchema:
+    def test_docs_schema_matches_enforced_schema(self):
+        # CI's obs-smoke job and `python -m repro.analyze schema --check`
+        # rely on docs/trace_schema.json being the enforced schema, verbatim.
+        path = REPO_ROOT / "docs" / "trace_schema.json"
+        with open(path) as fh:
+            on_disk = json.load(fh)
+        assert on_disk == json.loads(json.dumps(TRACE_RECORD_SCHEMA)), (
+            "docs/trace_schema.json drifted; regenerate with "
+            "`python -m repro.analyze schema > docs/trace_schema.json`"
+        )

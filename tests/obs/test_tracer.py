@@ -1,0 +1,116 @@
+"""Unit tests for spans, the tracer, and the null tracer."""
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.storage.stats import IOStats
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                tracer.event("leaf")
+            with tracer.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+        assert tracer.last_root is root
+
+    def test_attrs_settable_inside_span(self):
+        tracer = Tracer()
+        with tracer.span("op", key=7) as span:
+            span.attrs["plan"] = "mvsbt"
+        assert span.attrs == {"key": 7, "plan": "mvsbt"}
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("c")
+        root = tracer.last_root
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        assert [s.name for s in root.find("c")] == ["c"]
+        assert root.find("missing") == []
+
+    def test_cpu_time_is_inclusive_of_children(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(50000))
+        assert outer.cpu_s >= inner.cpu_s >= 0.0
+        assert outer.self_cpu_s() == pytest.approx(
+            outer.cpu_s - inner.cpu_s)
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.last_root.name == "boom"
+        assert tracer.current is None
+
+
+class TestIOAttribution:
+    def test_watched_stats_delta_lands_on_span(self):
+        tracer = Tracer()
+        stats = IOStats()
+        tracer.watch("pool", stats)
+        with tracer.span("op") as span:
+            stats.reads += 3
+            stats.writes += 1
+            stats.logical_reads += 5
+        assert span.io.reads == 3
+        assert span.io.writes == 1
+        assert span.io.logical_reads == 5
+        assert span.total_ios == 4
+        assert span.io_by_source["pool"].reads == 3
+
+    def test_multiple_sources_are_summed(self):
+        tracer = Tracer()
+        a, b = IOStats(), IOStats()
+        tracer.watch("a", a)
+        tracer.watch("b", b)
+        with tracer.span("op") as span:
+            a.reads += 1
+            b.writes += 2
+        assert span.io.reads == 1 and span.io.writes == 2
+        assert set(span.io_by_source) == {"a", "b"}
+
+    def test_watch_same_stats_twice_is_single_source(self):
+        tracer = Tracer()
+        stats = IOStats()
+        tracer.watch("pool", stats)
+        tracer.watch("pool", stats)
+        with tracer.span("op") as span:
+            stats.reads += 1
+        assert span.io.reads == 1
+
+    def test_events_are_zero_cost_leaves(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            tracer.event("buffer.hit", page=9)
+        (event,) = span.children
+        assert event.cpu_s == 0.0
+        assert event.children == []
+        assert event.attrs == {"page": 9}
+
+
+class TestTracerLifecycle:
+    def test_reset_forgets_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.last_root is None
+
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("ignored", key=1) as span:
+            assert span is None
+        NULL_TRACER.event("ignored")  # must not raise
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer().enabled is True

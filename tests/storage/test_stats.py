@@ -19,6 +19,33 @@ def test_hit_rate_computation():
     assert stats.hit_rate == pytest.approx(0.75)
 
 
+def test_hit_rate_clamped_when_reads_exceed_logical_reads():
+    # Flush-driven physical writes used to push the raw ratio negative;
+    # regression: the rate must stay inside [0, 1] for any counter state.
+    stats = IOStats(reads=7, logical_reads=4)
+    assert stats.hit_rate == 0.0
+    assert 0.0 <= IOStats(reads=1, logical_reads=1000).hit_rate <= 1.0
+
+
+def test_subtraction_is_delta():
+    later = IOStats(reads=5, writes=3, logical_reads=9)
+    earlier = IOStats(reads=2, writes=1, logical_reads=4)
+    diff = later - earlier
+    assert diff == later.delta(earlier)
+    assert (diff.reads, diff.writes, diff.logical_reads) == (3, 2, 5)
+
+
+def test_as_dict_lists_every_counter_field():
+    from dataclasses import fields
+
+    stats = IOStats(reads=1, writes=2, logical_reads=3, allocations=4,
+                    frees=5, coalesced_writes=6, overcommit=7)
+    as_dict = stats.as_dict()
+    assert set(as_dict) == {f.name for f in fields(IOStats)}
+    assert as_dict["reads"] == 1 and as_dict["overcommit"] == 7
+    assert IOStats(**as_dict) == stats
+
+
 def test_reset_zeroes_everything():
     stats = IOStats(reads=1, writes=2, logical_reads=3, allocations=4, frees=5)
     stats.reset()
