@@ -49,6 +49,7 @@ _EXPORTS = {
     "TemporalWarehouse": "repro.core",
     "QueryPlan": "repro.core",
     "RangeMinMaxIndex": "repro.minmax",
+    "ShardedWarehouse": "repro.serve",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -323,6 +323,11 @@ class TemporalWarehouse:
 
     # -- durability (checkpoint + write-ahead log) ---------------------------------------
 
+    #: Pointer file naming the live checkpoint directory (atomic flip).
+    _CURRENT_FILE = "CURRENT"
+    #: Per-checkpoint metadata blob (the WAL sequence it covers).
+    _CKPT_META_FILE = "warehouse.json"
+
     @classmethod
     def open_durable(cls, directory: str, buffer_pages: int = 64,
                      fsync: bool = False,
@@ -334,18 +339,46 @@ class TemporalWarehouse:
         is created with ``fresh_kwargs``.  Every subsequent update is
         logged before acknowledgement; call :meth:`checkpoint`
         periodically to bound the log.
+
+        Recovery is idempotent under any crash point: the live checkpoint
+        is named by an atomically-replaced ``CURRENT`` pointer and records
+        the WAL sequence it covers, so a kill -9 between "checkpoint
+        written" and "log truncated" replays only the genuinely
+        uncovered tail (no double-applied updates), while a kill -9
+        mid-checkpoint leaves ``CURRENT`` pointing at the previous good
+        checkpoint.
         """
+        import json
         import os
 
         from repro.storage.wal import WriteAheadLog
 
-        checkpoint_dir = os.path.join(directory, "checkpoint")
         wal = WriteAheadLog(directory, fsync=fsync)
-        if os.path.exists(os.path.join(checkpoint_dir, "tuples")):
+        last_seq = 0
+        checkpoint_dir = None
+        current_path = os.path.join(directory, cls._CURRENT_FILE)
+        if os.path.exists(current_path):
+            with open(current_path) as fh:
+                name = fh.read().strip()
+            candidate = os.path.join(directory, "checkpoints", name)
+            if os.path.exists(os.path.join(candidate, "tuples")):
+                checkpoint_dir = candidate
+                meta_path = os.path.join(candidate, cls._CKPT_META_FILE)
+                if os.path.exists(meta_path):
+                    with open(meta_path) as fh:
+                        last_seq = int(json.load(fh)["wal_last_seq"])
+        if checkpoint_dir is None:
+            # Legacy layout: a bare in-place "checkpoint" directory whose
+            # WAL was truncated at checkpoint time (replay-all is sound).
+            legacy = os.path.join(directory, "checkpoint")
+            if os.path.exists(os.path.join(legacy, "tuples")):
+                checkpoint_dir = legacy
+        if checkpoint_dir is not None:
             warehouse = cls.load(checkpoint_dir, buffer_pages)
         else:
             warehouse = cls(**fresh_kwargs)
-        for event in wal.replay():
+        wal.bump_seq(last_seq)
+        for event in wal.replay(after_seq=last_seq):
             if event.op == "insert":
                 warehouse.tuples.insert(event.key, event.value, event.time)
                 warehouse.aggregates.insert(event.key, event.value,
@@ -358,18 +391,59 @@ class TemporalWarehouse:
         return warehouse
 
     def checkpoint(self) -> None:
-        """Persist the current state and truncate the update log."""
+        """Persist the current state and truncate the update log.
+
+        Ordering is the crash-safety contract: (1) write the new
+        checkpoint and its covered-WAL-sequence metadata under a fresh
+        directory, (2) atomically repoint ``CURRENT`` at it, (3) truncate
+        the log, (4) garbage-collect superseded checkpoints.  A crash
+        before (2) keeps the old checkpoint live; one between (2) and (3)
+        is healed by the sequence-skip in :meth:`open_durable`.
+        """
+        import json
         import os
+        import shutil
 
         if self._wal is None or self._durable_dir is None:
             raise StorageError(
                 "checkpoint() requires a warehouse opened via open_durable"
             )
-        self.save(os.path.join(self._durable_dir, "checkpoint"))
+        covered_seq = self._wal.last_seq
+        name = f"ckpt-{covered_seq:020d}"
+        checkpoints = os.path.join(self._durable_dir, "checkpoints")
+        target = os.path.join(checkpoints, name)
+        shutil.rmtree(target, ignore_errors=True)  # stale partial attempt
+        self.save(target)
+        with open(os.path.join(target, self._CKPT_META_FILE), "w") as fh:
+            json.dump({"wal_last_seq": covered_seq}, fh)
+        current = os.path.join(self._durable_dir, self._CURRENT_FILE)
+        tmp = current + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(name + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, current)
         self._wal.truncate()
+        for stale in os.listdir(checkpoints):
+            if stale != name:
+                shutil.rmtree(os.path.join(checkpoints, stale),
+                              ignore_errors=True)
+        legacy = os.path.join(self._durable_dir, "checkpoint")
+        if os.path.exists(os.path.join(legacy, "tuples")):
+            shutil.rmtree(legacy, ignore_errors=True)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run on a durable warehouse."""
+        return self._closed
+
+    #: Class attribute default so warehouses built via ``cls.__new__``
+    #: (:meth:`load`) report ``closed`` correctly without extra wiring.
+    _closed = False
 
     def close(self) -> None:
-        """Release the update log handle, if any."""
+        """Release the update log handle, if any.  Idempotent."""
         if self._wal is not None:
             self._wal.close()
             self._wal = None
+        self._closed = True

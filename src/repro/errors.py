@@ -4,21 +4,36 @@ All library-raised errors derive from :class:`ReproError` so callers can
 catch one base class.  Errors are deliberately fine-grained: storage-level
 failures, structural index corruption, and user-input problems are distinct
 conditions with distinct remedies.
+
+Every class carries a stable machine-readable ``code`` so process
+boundaries (the ``repro.serve`` wire protocol, logs, clients in other
+languages) can dispatch on the condition without parsing prose;
+:func:`error_payload` is the one sanctioned way to serialize an exception
+into the ``{"code", "message"}`` object the protocol ships.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
 
+    #: Stable machine-readable identifier, refined by every subclass.
+    code = "REPRO_ERROR"
+
 
 class StorageError(ReproError):
     """Base class for storage-engine failures."""
 
+    code = "STORAGE"
+
 
 class PageNotFoundError(StorageError):
     """A page id was requested that the disk manager does not hold."""
+
+    code = "PAGE_NOT_FOUND"
 
     def __init__(self, page_id: int) -> None:
         super().__init__(f"page {page_id} does not exist")
@@ -28,18 +43,37 @@ class PageNotFoundError(StorageError):
 class PageOverflowError(StorageError):
     """A page's serialized payload exceeded the configured page size."""
 
+    code = "PAGE_OVERFLOW"
+
 
 class BufferPoolError(StorageError):
     """Buffer-pool protocol violation (e.g. unpinning an unpinned page)."""
+
+    code = "BUFFER_POOL"
+
+
+class ConcurrentAccessError(BufferPoolError):
+    """Two threads entered an unlocked buffer pool at once.
+
+    Raised only in assertion mode (see
+    :meth:`~repro.storage.buffer.BufferPool.enable_concurrency_assertions`);
+    production servers enable locking instead, which makes this impossible.
+    """
+
+    code = "CONCURRENT_ACCESS"
 
 
 class IndexError_(ReproError):
     """Base class for index-structure errors (named to avoid shadowing
     the builtin :class:`IndexError`)."""
 
+    code = "INDEX"
+
 
 class InvariantViolation(IndexError_):
     """A structural invariant check failed; indicates a bug, not bad input."""
+
+    code = "INVARIANT"
 
 
 class TimeOrderError(IndexError_):
@@ -49,15 +83,74 @@ class TimeOrderError(IndexError_):
     applied in non-decreasing time order.  Violations are rejected eagerly.
     """
 
+    code = "TIME_ORDER"
+
 
 class DuplicateKeyError(IndexError_):
     """An insertion would violate first temporal normal form (1TNF): two
     alive records with the same key at the same instant."""
 
+    code = "DUPLICATE_KEY"
+
 
 class KeyNotFoundError(IndexError_):
     """A logical deletion referenced a key with no alive record."""
 
+    code = "KEY_NOT_FOUND"
+
 
 class QueryError(ReproError):
     """A query was malformed (empty range, reversed interval, ...)."""
+
+    code = "QUERY"
+
+
+class ShardRoutingError(QueryError):
+    """A key or key range fell outside every shard's partition."""
+
+    code = "SHARD_ROUTING"
+
+
+class ServerError(ReproError):
+    """Base class for query-server failures (see :mod:`repro.serve`)."""
+
+    code = "SERVER"
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the request: in-flight and queued work
+    are both at their configured limits.  Clients should back off and
+    retry."""
+
+    code = "SERVER_BUSY"
+
+
+class RequestTimeoutError(ServerError):
+    """The per-request timeout elapsed before the query finished."""
+
+    code = "TIMEOUT"
+
+
+class ServerShuttingDownError(ServerError):
+    """The server is draining for shutdown and accepts no new work."""
+
+    code = "SHUTTING_DOWN"
+
+
+class ProtocolError(ServerError):
+    """A request line was not valid protocol JSON or named an unknown op."""
+
+    code = "PROTOCOL"
+
+
+def error_payload(exc: BaseException) -> Dict[str, str]:
+    """The wire form of an exception: ``{"code": ..., "message": ...}``.
+
+    Library errors report their class's stable ``code``; anything else is
+    collapsed to ``INTERNAL`` so foreign tracebacks never leak structure
+    the protocol does not promise.
+    """
+    if isinstance(exc, ReproError):
+        return {"code": exc.code, "message": str(exc)}
+    return {"code": "INTERNAL",
+            "message": f"{type(exc).__name__}: {exc}"}

@@ -535,6 +535,14 @@ class MVBT:
                                    Tuple[int, int, int, float]]:
         """Multi-root traversal behind :meth:`rectangle_query`."""
         found: Dict[Tuple[int, int], Tuple[int, int, int, float]] = {}
+        # Tightest stored end per tuple over ALL copies in key range, even
+        # those whose responsibility misses the query window.  A copy's
+        # ``end`` is either the open sentinel or the true death time (1TNF:
+        # one delete per logical tuple), so the minimum is authoritative.
+        # Without this, a delete coinciding with a version split leaves the
+        # closed copy in a page born at the death instant — an empty
+        # responsibility interval — and only stale open copies would report.
+        ends: Dict[Tuple[int, int], int] = {}
         visited: Set[int] = set()
         for root in self.roots.roots_intersecting(t_start, t_end):
             stack = [root.root_id]
@@ -555,15 +563,19 @@ class MVBT:
                 for entry in page.records:
                     if not (low <= entry.key < high):
                         continue
+                    tid = entry.tuple_id
+                    known_end = ends.get(tid)
+                    if known_end is None or entry.end < known_end:
+                        ends[tid] = entry.end
                     resp_start = max(entry.start, birth)
                     resp_end = min(entry.end, death)
                     if resp_start < resp_end and resp_start < t_end \
                             and t_start < resp_end:
-                        tid = entry.tuple_id
-                        known = found.get(tid)
-                        end = entry.end if known is None \
-                            else min(known[2], entry.end)
-                        found[tid] = (entry.key, entry.start, end, entry.value)
+                        if tid not in found:
+                            found[tid] = (entry.key, entry.start,
+                                          entry.end, entry.value)
+        for tid, (key, start, _end, value) in found.items():
+            found[tid] = (key, start, ends[tid], value)
         if span is not None:
             span.attrs["pages"] = len(visited)
         if self.metrics is not None:

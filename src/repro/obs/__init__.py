@@ -41,6 +41,7 @@ _EXPORTS = {
     "Gauge": "repro.obs.metrics",
     "Histogram": "repro.obs.metrics",
     "MetricsRegistry": "repro.obs.metrics",
+    "ServerMetrics": "repro.obs.metrics",
     "snapshot_into": "repro.obs.metrics",
     "attach_tracer": "repro.obs.attach",
     "attach_metrics": "repro.obs.attach",

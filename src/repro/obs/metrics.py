@@ -283,6 +283,83 @@ class QueryMetrics:
             {"plan": "mvbt-scan"})
 
 
+#: Latency buckets in seconds, sized for in-process query service times.
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class ServerMetrics:
+    """Instruments the :mod:`repro.serve` query server publishes into.
+
+    Covers the admission-control and per-shard surface the ``METRICS``
+    protocol verb exposes: request counts by op, end-to-end latency,
+    in-flight and queued request gauges, rejections by reason, and
+    per-shard query/write counters.  Per-label counter handles are cached
+    so the request hot path never re-hashes registry keys.
+    """
+
+    __slots__ = ("registry", "latency", "queue_depth", "inflight",
+                 "_requests", "_rejected", "_shard_queries", "_shard_writes")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.latency = registry.histogram(
+            "repro_serve_latency_seconds",
+            "end-to-end request latency", buckets=LATENCY_BUCKETS)
+        self.queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "requests waiting for an execution slot")
+        self.inflight = registry.gauge(
+            "repro_serve_inflight", "requests currently executing")
+        self._requests: Dict[str, Counter] = {}
+        self._rejected: Dict[str, Counter] = {}
+        self._shard_queries: Dict[int, Counter] = {}
+        self._shard_writes: Dict[int, Counter] = {}
+
+    def request(self, op: str) -> Counter:
+        """The ``repro_serve_requests_total{op=...}`` counter."""
+        counter = self._requests.get(op)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_serve_requests_total",
+                "requests received by op", {"op": op})
+            self._requests[op] = counter
+        return counter
+
+    def rejected(self, reason: str) -> Counter:
+        """The ``repro_serve_rejected_total{reason=...}`` counter."""
+        counter = self._rejected.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_serve_rejected_total",
+                "requests refused by admission control or timeouts",
+                {"reason": reason})
+            self._rejected[reason] = counter
+        return counter
+
+    def shard_queries(self, shard: int) -> Counter:
+        """The ``repro_serve_shard_queries_total{shard=...}`` counter."""
+        counter = self._shard_queries.get(shard)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_serve_shard_queries_total",
+                "read statements executed, by home shard",
+                {"shard": str(shard)})
+            self._shard_queries[shard] = counter
+        return counter
+
+    def shard_writes(self, shard: int) -> Counter:
+        """The ``repro_serve_shard_writes_total{shard=...}`` counter."""
+        counter = self._shard_writes.get(shard)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_serve_shard_writes_total",
+                "DML statements applied, by owning shard",
+                {"shard": str(shard)})
+            self._shard_writes[shard] = counter
+        return counter
+
+
 def snapshot_into(registry: MetricsRegistry, target: Any) -> MetricsRegistry:
     """Pull-publish a target's current counters into ``registry``.
 

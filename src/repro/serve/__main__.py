@@ -1,0 +1,81 @@
+"""``python -m repro.serve`` — run the TQL query server.
+
+Prints ``LISTENING <host> <port>`` once accepting (port 0 requests an
+ephemeral port, resolved in that line — harness scripts parse it), then
+serves until SIGINT/SIGTERM or a client ``shutdown`` op triggers the
+graceful drain-checkpoint-exit sequence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from typing import List, Optional
+
+from repro.serve.server import ServerConfig, TQLServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The server CLI's argument parser (one flag per ServerConfig knob)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Concurrent TQL query server over a sharded "
+                    "temporal warehouse.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0: ephemeral)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--key-lo", type=int, default=1)
+    parser.add_argument("--key-hi", type=int, default=10**9 + 1,
+                        help="exclusive upper bound of the key space")
+    parser.add_argument("--page-capacity", type=int, default=32)
+    parser.add_argument("--buffer-pages", type=int, default=64)
+    parser.add_argument("--readers", type=int, default=4,
+                        help="statement thread-pool size")
+    parser.add_argument("--max-inflight", type=int, default=16)
+    parser.add_argument("--max-queue", type=int, default=32)
+    parser.add_argument("--request-timeout", type=float, default=30.0)
+    parser.add_argument("--drain-timeout", type=float, default=10.0)
+    parser.add_argument("--durable-dir", default=None,
+                        help="enable WAL + checkpoint recovery under "
+                             "this directory")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every WAL record (durable, slower)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="checkpoint after every N writes (0: only "
+                             "on shutdown)")
+    return parser
+
+
+async def amain(config: ServerConfig) -> int:
+    """Run the server until a graceful shutdown completes."""
+    server = TQLServer(config)
+    host, port = await server.start()
+    print(f"LISTENING {host} {port}", flush=True)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(
+            signum, lambda: asyncio.ensure_future(server.shutdown()))
+    await server.wait_stopped()
+    print("server stopped", flush=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse flags, build the config, serve."""
+    args = build_parser().parse_args(argv)
+    config = ServerConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        key_space=(args.key_lo, args.key_hi),
+        page_capacity=args.page_capacity, buffer_pages=args.buffer_pages,
+        readers=args.readers, max_inflight=args.max_inflight,
+        max_queue=args.max_queue, request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout, durable_dir=args.durable_dir,
+        fsync=args.fsync, checkpoint_every=args.checkpoint_every,
+    )
+    return asyncio.run(amain(config))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""A small blocking client for the :mod:`repro.serve` protocol.
+
+One socket, one request at a time, newline-delimited JSON both ways —
+deliberately simple, so it works from any thread (the load generator
+gives each worker its own :class:`Client`) and from other languages by
+transliteration.
+
+    with Client(host, port) as client:
+        client.execute("INSERT KEY 7 VALUE 3.5 AT 2")
+        total = client.execute("SELECT SUM(value) WHERE key IN [1, 100)")
+
+Failures come back as :class:`ServerReplyError` carrying the structured
+``code`` + ``message`` the server sent (codes from :mod:`repro.errors`),
+so callers can branch on ``exc.code == "SERVER_BUSY"`` for backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.serve import protocol
+
+
+class ServerReplyError(ReproError):
+    """The server answered a request with a structured error."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class Client:
+    """Blocking connection to a TQL server.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for connect and for each reply.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7654,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        #: The server's hello: protocol version, shard count, snapshot.
+        self.hello: Dict[str, Any] = self._read_line()
+        #: The session's pinned snapshot time (updated by :meth:`repin`).
+        self.snapshot: int = int(self.hello.get("snapshot", 0))
+
+    # -- low-level ---------------------------------------------------------------------
+
+    def _read_line(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw protocol message; returns the raw response dict.
+
+        Raises :class:`ServerReplyError` on an ``"ok": false`` response.
+        """
+        self._next_id += 1
+        message = dict(message)
+        message.setdefault("id", self._next_id)
+        self._sock.sendall(protocol.encode(message))
+        response = self._read_line()
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServerReplyError(error.get("code", "INTERNAL"),
+                                   error.get("message", "unknown error"))
+        return response
+
+    # -- protocol ops ------------------------------------------------------------------
+
+    def execute(self, tql: str, as_of: Optional[int] = None) -> Any:
+        """Run one TQL statement; returns the decoded ``result``."""
+        message: Dict[str, Any] = {"op": "query", "tql": tql}
+        if as_of is not None:
+            message["as_of"] = as_of
+        return self.request(message)["result"]
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self.request({"op": "ping"})["result"] == "pong"
+
+    def repin(self) -> int:
+        """Advance the session snapshot to the server's current ``now``."""
+        self.snapshot = int(self.request({"op": "snapshot"})["result"])
+        return self.snapshot
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry as JSON."""
+        return self.request({"op": "metrics"})["result"]
+
+    def sleep(self, seconds: float) -> str:
+        """Occupy one execution slot for ``seconds`` (diagnostics)."""
+        return self.request({"op": "sleep", "seconds": seconds})["result"]
+
+    def shutdown(self) -> str:
+        """Ask the server to drain, checkpoint, and stop."""
+        return self.request({"op": "shutdown"})["result"]
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

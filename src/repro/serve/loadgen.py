@@ -1,0 +1,198 @@
+"""Closed-loop load generator for the TQL server.
+
+``python -m repro.serve.loadgen`` drives N worker threads, each with its
+own blocking :class:`~repro.serve.client.Client`, in a closed loop (send,
+wait, send again) against a live server — or against one it spawns itself
+with ``--spawn-server``.  A seed phase inserts a key population first;
+the measured phase issues randomized ``SELECT SUM/COUNT/AVG`` rectangles
+pinned to each worker's session snapshot.
+
+The run reports throughput (QPS) and latency percentiles (p50/p95/p99)
+to stdout and writes the raw numbers plus the server's final metrics
+snapshot to ``BENCH_serve.json`` — the per-shard
+``repro_serve_shard_queries_total`` counters in that snapshot must add up
+to the scatter-gather fan-out of the load driven, which the serve tests
+assert.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.serve.client import Client, ServerReplyError
+
+DEFAULT_OUT = Path("benchmarks") / "results" / "BENCH_serve.json"
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of pre-sorted values, nearest-rank."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def seed_population(host: str, port: int, keys: int, seed: int) -> int:
+    """Insert ``keys`` tuples (deterministic values); returns last time."""
+    rng = random.Random(seed)
+    t = 1
+    with Client(host, port) as client:
+        for key in range(1, keys + 1):
+            value = float(rng.randint(1, 100))
+            client.execute(f"INSERT KEY {key} VALUE {value} AT {t}")
+            if rng.random() < 0.3:
+                t += 1
+    return t
+
+
+class _Worker(threading.Thread):
+    """One closed-loop client: latencies in ms, errors by code."""
+
+    def __init__(self, host: str, port: int, key_space: int,
+                 deadline: float, seed: int) -> None:
+        super().__init__(daemon=True)
+        self._host = host
+        self._port = port
+        self._keys = key_space
+        self._deadline = deadline
+        self._rng = random.Random(seed)
+        self.latencies_ms: List[float] = []
+        self.errors: Dict[str, int] = {}
+
+    def _statement(self) -> str:
+        agg = self._rng.choice(("SUM(value)", "COUNT(*)", "AVG(value)"))
+        lo = self._rng.randint(1, max(self._keys - 1, 1))
+        hi = self._rng.randint(lo + 1, self._keys + 1)
+        return f"SELECT {agg} WHERE key IN [{lo}, {hi})"
+
+    def run(self) -> None:
+        with Client(self._host, self._port) as client:
+            client.repin()
+            while time.perf_counter() < self._deadline:
+                statement = self._statement()
+                started = time.perf_counter()
+                try:
+                    client.execute(statement)
+                except ServerReplyError as exc:
+                    self.errors[exc.code] = self.errors.get(exc.code, 0) + 1
+                    continue
+                self.latencies_ms.append(
+                    (time.perf_counter() - started) * 1000.0)
+
+
+def run_load(host: str, port: int, workers: int, duration: float,
+             seed_keys: int, seed: int) -> Dict[str, Any]:
+    """Seed, drive the closed loop, and gather the report payload."""
+    seed_population(host, port, seed_keys, seed)
+    deadline = time.perf_counter() + duration
+    pool = [
+        _Worker(host, port, seed_keys, deadline, seed + 1000 + i)
+        for i in range(workers)
+    ]
+    started = time.perf_counter()
+    for worker in pool:
+        worker.start()
+    for worker in pool:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(
+        value for worker in pool for value in worker.latencies_ms)
+    errors: Dict[str, int] = {}
+    for worker in pool:
+        for code, count in worker.errors.items():
+            errors[code] = errors.get(code, 0) + count
+    with Client(host, port) as client:
+        metrics = client.metrics()
+
+    requests = len(latencies)
+    return {
+        "config": {"host": host, "port": port, "workers": workers,
+                   "duration_s": duration, "seed_keys": seed_keys,
+                   "seed": seed},
+        "totals": {
+            "requests": requests,
+            "errors": errors,
+            "elapsed_s": elapsed,
+            "qps": requests / elapsed if elapsed > 0 else 0.0,
+        },
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "mean": (sum(latencies) / requests) if requests else
+                    float("nan"),
+            "max": latencies[-1] if latencies else float("nan"),
+        },
+        "server_metrics": metrics,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run the load, print and persist the report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Closed-loop load generator for the TQL server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument("--workers", type=int, default=8,
+                        help="concurrent closed-loop clients (default 8)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="measured seconds of load (default 5)")
+    parser.add_argument("--seed-keys", type=int, default=200,
+                        help="keys inserted before measuring (default 200)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"report path (default {DEFAULT_OUT})")
+    parser.add_argument("--spawn-server", action="store_true",
+                        help="start an in-process server instead of "
+                             "connecting to a running one")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for --spawn-server (default 4)")
+    args = parser.parse_args(argv)
+
+    handle = None
+    host, port = args.host, args.port
+    if args.spawn_server:
+        from repro.serve.server import ServerConfig, serve_in_thread
+
+        handle = serve_in_thread(ServerConfig(
+            shards=args.shards, key_space=(1, args.seed_keys + 1)))
+        host, port = handle.host, handle.port
+        print(f"spawned server on {host}:{port} "
+              f"({args.shards} shards)")
+    try:
+        report = run_load(host, port, args.workers, args.duration,
+                          args.seed_keys, args.seed)
+    finally:
+        if handle is not None:
+            handle.stop()
+    if args.spawn_server:
+        report["config"]["shards"] = args.shards
+        report["config"]["spawned"] = True
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    totals = report["totals"]
+    latency = report["latency_ms"]
+    print(f"{totals['requests']} requests in {totals['elapsed_s']:.2f}s "
+          f"-> {totals['qps']:.0f} QPS "
+          f"({args.workers} workers, closed loop)")
+    print(f"latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
+          f"p99={latency['p99']:.2f} max={latency['max']:.2f}")
+    if totals["errors"]:
+        print(f"errors: {totals['errors']}")
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

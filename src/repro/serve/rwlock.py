@@ -1,0 +1,112 @@
+"""A writer-preferring readers-writer lock for per-shard concurrency.
+
+The serve layer's concurrency control is single-writer / multi-reader per
+shard: closed MVSBT/MVBT versions are immutable, so any number of snapshot
+readers can share a shard while exactly one writer advances ``now`` — but
+the :class:`~repro.storage.buffer.BufferPool` beneath both is a mutable
+LRU cache, so reads still need mutual exclusion against the writer at the
+page layer.  This lock provides that: readers hold it shared, the shard's
+writer queue holds it exclusive.
+
+Writer preference (new readers wait once a writer is queued) keeps a
+steady read load from starving ingest; readers already inside finish
+first, which bounds writer wait by the longest running query.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock: many readers or one writer, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (reader) side --------------------------------------------------
+
+    def acquire_read(self, timeout: float = None) -> bool:
+        """Take the lock shared; blocks while a writer holds or awaits it.
+
+        Returns ``False`` if ``timeout`` (seconds) elapsed first.
+        """
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active and not self._writers_waiting,
+                timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with`` form of the shared side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- exclusive (writer) side -----------------------------------------------
+
+    def acquire_write(self, timeout: float = None) -> bool:
+        """Take the lock exclusive; blocks until all readers drain."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout,
+                )
+                if not ok:
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with`` form of the exclusive side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def readers(self) -> int:
+        """Current shared holders (racy; debugging/metrics only)."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        """True while a writer holds the lock (racy; debugging only)."""
+        return self._writer_active

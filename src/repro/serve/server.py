@@ -1,0 +1,438 @@
+"""The concurrent TQL query server.
+
+:class:`TQLServer` is an asyncio TCP server speaking the newline-delimited
+JSON protocol of :mod:`repro.serve.protocol` over a
+:class:`~repro.serve.sharded.ShardedWarehouse`.  The moving parts:
+
+* **Sessions & snapshots** — each connection is pinned to a snapshot time
+  (the warehouse's ``now`` at connect, re-pinnable with the ``snapshot``
+  op).  Reads execute with ``AS OF`` semantics at that time, so their
+  rectangles only touch closed, immutable versions and concurrent ingest
+  cannot change their answers mid-flight.
+* **Single writer, many readers** — DML is serialized through a per-shard
+  asyncio writer queue; read statements run in a thread pool.  Underneath,
+  each shard's readers-writer lock and buffer-pool locks keep page access
+  safe (see :mod:`repro.serve.sharded`).
+* **Admission control** — at most ``max_inflight`` requests execute at
+  once and at most ``max_queue`` wait; beyond that the server answers a
+  structured ``SERVER_BUSY`` error immediately instead of letting latency
+  grow without bound.  Each request also has a ``request_timeout``,
+  answered with ``TIMEOUT`` (the worker thread finishes in the background
+  and keeps its slot until it does, so the pool cannot oversubscribe).
+* **Graceful shutdown** — the ``shutdown`` op (or SIGTERM from the CLI)
+  stops admissions, drains in-flight work, checkpoints every shard
+  through the WAL/checkpoint path, and closes.  A kill -9 anywhere in
+  that sequence recovers via WAL replay on the next open (acknowledged
+  updates were logged before their responses were sent).
+* **Metrics** — a :class:`~repro.obs.metrics.ServerMetrics` set published
+  into the registry the ``metrics`` op exports.
+
+:func:`serve_in_thread` runs the whole event loop in a daemon thread and
+returns a handle — the harness tests and the load generator's
+``--spawn-server`` mode use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.model import MAX_KEY
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+    ServerBusyError,
+    ServerShuttingDownError,
+    error_payload,
+)
+from repro.obs.metrics import MetricsRegistry, ServerMetrics
+from repro.serve import protocol
+from repro.serve.sharded import ShardedWarehouse
+from repro.tql import executor as tql_executor
+from repro.tql.parser import (
+    DeleteStatement,
+    HistoryStatement,
+    InsertStatement,
+    SelectStatement,
+    SnapshotStatement,
+    parse,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Everything a deployment tunes, with test-friendly defaults."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0: ephemeral, see TQLServer.address
+    shards: int = 4
+    key_space: Tuple[int, int] = (1, MAX_KEY + 1)
+    page_capacity: int = 32
+    buffer_pages: int = 64
+    readers: int = 4                   # thread-pool workers for statements
+    max_inflight: int = 16             # executing requests, server-wide
+    max_queue: int = 32                # waiting requests before SERVER_BUSY
+    request_timeout: float = 30.0      # seconds per request
+    drain_timeout: float = 10.0        # seconds to drain on shutdown
+    durable_dir: Optional[str] = None  # None: in-memory, no WAL
+    fsync: bool = False
+    checkpoint_every: int = 0          # checkpoint after N writes (0: off)
+
+
+@dataclass
+class _Session:
+    """Per-connection state: the pinned snapshot time."""
+
+    snapshot: int
+    peer: str = ""
+
+
+class TQLServer:
+    """One serving process: warehouse, protocol, admission control."""
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 warehouse: Optional[ShardedWarehouse] = None) -> None:
+        self.config = config or ServerConfig()
+        if warehouse is None:
+            if self.config.durable_dir is not None:
+                warehouse = ShardedWarehouse.open_durable(
+                    self.config.durable_dir, shards=self.config.shards,
+                    key_space=self.config.key_space,
+                    page_capacity=self.config.page_capacity,
+                    buffer_pages=self.config.buffer_pages,
+                    thread_safe=True, fsync=self.config.fsync)
+            else:
+                warehouse = ShardedWarehouse(
+                    shards=self.config.shards,
+                    key_space=self.config.key_space,
+                    page_capacity=self.config.page_capacity,
+                    buffer_pages=self.config.buffer_pages,
+                    thread_safe=True)
+        self.warehouse = warehouse
+        self.registry = MetricsRegistry()
+        self.metrics = ServerMetrics(self.registry)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(self.config.readers, 1),
+            thread_name_prefix="repro-serve")
+        self._writer_locks = [asyncio.Lock()
+                              for _ in range(warehouse.shard_count)]
+        self._admission = asyncio.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._writes_since_checkpoint = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown_task: Optional[asyncio.Task] = None
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); resolves ephemeral port 0."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def wait_stopped(self) -> None:
+        """Block until a graceful shutdown completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Drain in-flight work, checkpoint every shard, stop.
+
+        Safe to call repeatedly; later calls await the first.
+        """
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(self._shutdown())
+        await asyncio.shield(self._shutdown_task)
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            async with self._admission:
+                await asyncio.wait_for(
+                    self._admission.wait_for(
+                        lambda: self._inflight == 0 and self._queued == 0),
+                    self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            pass  # drain on best effort; WAL covers the stragglers
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        if self.config.durable_dir is not None:
+            await loop.run_in_executor(self._pool,
+                                       self.warehouse.checkpoint)
+        self.warehouse.close()
+        self._pool.shutdown(wait=False)
+        self._stopped.set()
+
+    # -- connection handling -----------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        peername = writer.get_extra_info("peername")
+        session = _Session(snapshot=self.warehouse.now,
+                           peer=str(peername))
+        writer.write(protocol.encode({
+            "server": "repro.serve",
+            "version": protocol.PROTOCOL_VERSION,
+            "shards": self.warehouse.shard_count,
+            "snapshot": session.snapshot,
+        }))
+        try:
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._respond(line, session)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown closing a connection blocked in readline
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _respond(self, line: bytes,
+                       session: _Session) -> Dict[str, Any]:
+        request_id = None
+        started = time.perf_counter()
+        try:
+            message = protocol.decode(line)
+            request_id = message.get("id")
+            result, snapshot = await self._dispatch(message, session)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            self.metrics.latency.observe(elapsed / 1000.0)
+            return protocol.ok_response(request_id, result,
+                                        snapshot=snapshot,
+                                        elapsed_ms=elapsed)
+        except Exception as exc:  # noqa: BLE001 — boundary: all -> payload
+            self.metrics.latency.observe(time.perf_counter() - started)
+            return protocol.error_response(request_id, error_payload(exc))
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    async def _dispatch(self, message: Dict[str, Any],
+                        session: _Session) -> Tuple[Any, Optional[int]]:
+        op = message["op"]
+        self.metrics.request(op).inc()
+        if op == "ping":
+            return "pong", session.snapshot
+        if op == "metrics":
+            return self.registry.to_json(), None
+        if op == "snapshot":
+            session.snapshot = self.warehouse.now
+            return session.snapshot, session.snapshot
+        if op == "shutdown":
+            asyncio.ensure_future(self.shutdown())
+            return "draining", None
+        if op == "sleep":
+            seconds = float(message.get("seconds", 0.0))
+            await self._admitted(lambda: time.sleep(seconds))
+            return f"slept {seconds}s", None
+        # op == "query"
+        return await self._query(message, session)
+
+    async def _query(self, message: Dict[str, Any],
+                     session: _Session) -> Tuple[Any, Optional[int]]:
+        tql = message.get("tql")
+        if not isinstance(tql, str):
+            raise ProtocolError('op "query" needs a "tql" string field')
+        statement = parse(tql)
+        if isinstance(statement, (InsertStatement, DeleteStatement)):
+            shard = self.warehouse.shard_index(statement.key)
+            writer_lock = self._writer_locks[shard]
+
+            async def serialized() -> Any:
+                async with writer_lock:
+                    result = await self._admitted(
+                        lambda: tql_executor.execute(self.warehouse,
+                                                     statement))
+                self.metrics.shard_writes(shard).inc()
+                await self._maybe_checkpoint()
+                return result
+
+            return await serialized(), None
+        as_of = message.get("as_of", session.snapshot)
+        if not isinstance(as_of, int) or as_of < 0:
+            raise ProtocolError('"as_of" must be a non-negative integer')
+        result = await self._admitted(
+            lambda: tql_executor.execute(self.warehouse, statement,
+                                         as_of=as_of))
+        for shard in self._touched_shards(statement):
+            self.metrics.shard_queries(shard).inc()
+        return result, as_of
+
+    def _touched_shards(self, statement: Any) -> list:
+        """Shard indexes a read statement fans out to (for metrics)."""
+        from repro.core.model import KeyRange
+
+        warehouse = self.warehouse
+        lo, hi = warehouse.key_space
+        if isinstance(statement, HistoryStatement):
+            try:
+                return [warehouse.shard_index(statement.key)]
+            except ReproError:
+                return []
+        key_range = None
+        if isinstance(statement, (SelectStatement, SnapshotStatement)):
+            key_range = KeyRange(*(statement.key_range or (lo, hi)))
+        elif hasattr(statement, "select"):  # EXPLAIN
+            select = statement.select
+            key_range = KeyRange(*(select.key_range or (lo, hi)))
+        if key_range is None:
+            return []
+        return [index for index, _ in warehouse.parts_for(key_range)]
+
+    async def _maybe_checkpoint(self) -> None:
+        if (self.config.checkpoint_every <= 0
+                or self.config.durable_dir is None):
+            return
+        self._writes_since_checkpoint += 1
+        if self._writes_since_checkpoint >= self.config.checkpoint_every:
+            self._writes_since_checkpoint = 0
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._pool,
+                                       self.warehouse.checkpoint)
+
+    # -- admission control -------------------------------------------------------------
+
+    async def _admitted(self, fn) -> Any:
+        """Run ``fn`` in the thread pool under a slot, queue, and timeout.
+
+        The slot is released when the worker *finishes*, not when the
+        response goes out — a timed-out request keeps occupying capacity
+        until its thread returns, so admission control reflects true load.
+        """
+        if self._draining:
+            raise ServerShuttingDownError("server is draining for shutdown")
+        async with self._admission:
+            if self._inflight >= self.config.max_inflight:
+                if self._queued >= self.config.max_queue:
+                    self.metrics.rejected("busy").inc()
+                    raise ServerBusyError(
+                        f"{self._inflight} in flight and {self._queued} "
+                        "queued; retry with backoff")
+                self._queued += 1
+                self.metrics.queue_depth.set(self._queued)
+                try:
+                    await self._admission.wait_for(
+                        lambda: self._inflight < self.config.max_inflight)
+                finally:
+                    self._queued -= 1
+                    self.metrics.queue_depth.set(self._queued)
+                    self._admission.notify_all()  # wakes the drain waiter
+                if self._draining:
+                    raise ServerShuttingDownError(
+                        "server is draining for shutdown")
+            self._inflight += 1
+            self.metrics.inflight.set(self._inflight)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, fn)
+        future.add_done_callback(self._release_slot)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future),
+                                          self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self.metrics.rejected("timeout").inc()
+            raise RequestTimeoutError(
+                f"request exceeded {self.config.request_timeout}s; "
+                "still completing in the background") from None
+
+    def _release_slot(self, future: "asyncio.Future") -> None:
+        if future.cancelled():
+            pass
+        elif future.exception() is not None:
+            pass  # retrieved so abandoned (timed-out) futures don't warn
+        asyncio.ensure_future(self._release_slot_async())
+
+    async def _release_slot_async(self) -> None:
+        async with self._admission:
+            self._inflight -= 1
+            self.metrics.inflight.set(self._inflight)
+            self._admission.notify_all()
+
+
+# -- thread-hosted server (tests, loadgen --spawn-server) ----------------------------
+
+
+class ServerHandle:
+    """A server running its own event loop in a daemon thread."""
+
+    def __init__(self, host: str, port: int, loop: asyncio.AbstractEventLoop,
+                 server: TQLServer, thread: threading.Thread) -> None:
+        self.host = host
+        self.port = port
+        self._loop = loop
+        self.server = server
+        self._thread = thread
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request graceful shutdown and join the serving thread."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop).result(timeout)
+        self._thread.join(timeout)
+
+
+def serve_in_thread(config: Optional[ServerConfig] = None,
+                    warehouse: Optional[ShardedWarehouse] = None,
+                    start_timeout: float = 30.0) -> ServerHandle:
+    """Start a :class:`TQLServer` on a background thread; returns when it
+    is accepting connections."""
+    started: "concurrent.futures.Future" = concurrent.futures.Future()
+    holder: Dict[str, Any] = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = TQLServer(config, warehouse)
+            try:
+                host, port = await server.start()
+            except Exception as exc:  # noqa: BLE001 — surfaced to caller
+                started.set_exception(exc)
+                return
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            started.set_result((host, port))
+            await server.wait_stopped()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="repro-serve-loop",
+                              daemon=True)
+    thread.start()
+    host, port = started.result(start_timeout)
+    return ServerHandle(host, port, holder["loop"], holder["server"],
+                        thread)

@@ -1,0 +1,381 @@
+"""Key-range sharding: N :class:`TemporalWarehouse` shards behind one API.
+
+:class:`ShardedWarehouse` partitions the key space into ``shards``
+contiguous half-open ranges, owns one :class:`TemporalWarehouse` per
+range, and re-exposes the warehouse surface (updates, aggregates,
+snapshots, history, timeline, EXPLAIN) by routing:
+
+* **updates** go to exactly the shard owning the key;
+* **aggregate queries** scatter over the shards whose range intersects
+  the query rectangle, clip the key range to each shard, and gather:
+  SUM/COUNT add, AVG recombines per-shard SUM and COUNT totals (never
+  per-shard averages), MIN/MAX take the extremum of non-empty shards.
+  Additive gathers are exact — each tuple lives in exactly one shard, so
+  the per-shard partial aggregates partition the single-warehouse answer.
+
+Concurrency (``thread_safe=True``, the mode :mod:`repro.serve.server`
+runs) is single-writer / multi-reader *per shard*: updates take the
+shard's :class:`~repro.serve.rwlock.ReadWriteLock` exclusive, queries take
+it shared, and each shard's buffer pools additionally enable internal
+locking so concurrent readers cannot race the LRU bookkeeping
+(:meth:`~repro.storage.buffer.BufferPool.enable_locking`).  Scatter-gather
+locks one shard at a time; cross-shard stability comes from ``AS OF``
+snapshot semantics — a query whose rectangle ends at or before the
+snapshot time only touches closed (immutable) versions, so its answer
+cannot reflect a partially applied update (see ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.aggregates import Aggregate, AVG, COUNT, MAX, MIN, SUM
+from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
+from repro.core.rta import RTAResult
+from repro.core.warehouse import QueryPlan, TemporalWarehouse
+from repro.errors import QueryError, ShardRoutingError
+from repro.serve.rwlock import ReadWriteLock
+
+_LAYOUT_FILE = "layout.json"
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's contribution to a scatter-gather EXPLAIN."""
+
+    shard: int
+    key_range: KeyRange
+    plan: QueryPlan
+
+
+class _ShardedAggregates:
+    """Duck-types the slice of :class:`~repro.core.rta.RTAIndex` the TQL
+    executor uses (``timeline``), gathering bucket-wise over shards."""
+
+    def __init__(self, owner: "ShardedWarehouse") -> None:
+        self._owner = owner
+
+    def timeline(self, key_range: KeyRange, interval: Interval,
+                 buckets: int, aggregate: Aggregate = SUM
+                 ) -> List[Tuple[Interval, Optional[float]]]:
+        """Time-bucketed rollup, bucket boundaries identical to
+        :meth:`repro.core.rta.RTAIndex.timeline`."""
+        if buckets < 1:
+            raise QueryError("timeline needs at least one bucket")
+        span = interval.length
+        if buckets > span:
+            raise QueryError(
+                f"cannot split {span} instants into {buckets} buckets"
+            )
+        edges = [
+            interval.start + span * i // buckets for i in range(buckets + 1)
+        ]
+        return [
+            (Interval(lo, hi),
+             self._owner.aggregate(key_range, Interval(lo, hi), aggregate))
+            for lo, hi in zip(edges, edges[1:])
+        ]
+
+
+class ShardedWarehouse:
+    """N key-range-partitioned warehouses answering as one.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions (boundaries split the key space evenly).
+    key_space:
+        Half-open key domain, divided among the shards.
+    thread_safe:
+        Install per-shard readers-writer locks and buffer-pool locking;
+        required whenever more than one thread touches the instance.
+    page_capacity / buffer_pages / strong_factor / start_time:
+        Forwarded to every underlying :class:`TemporalWarehouse`.
+    """
+
+    def __init__(self, shards: int = 4,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 page_capacity: int = 32, buffer_pages: int = 64,
+                 strong_factor: float = 0.9, start_time: int = 1,
+                 thread_safe: bool = False) -> None:
+        self.key_space = key_space
+        self.boundaries = self._split(key_space, shards)
+        self.shards: List[TemporalWarehouse] = [
+            TemporalWarehouse(key_space=(lo, hi),
+                              page_capacity=page_capacity,
+                              buffer_pages=buffer_pages,
+                              strong_factor=strong_factor,
+                              start_time=start_time)
+            for lo, hi in zip(self.boundaries, self.boundaries[1:])
+        ]
+        self.aggregates = _ShardedAggregates(self)
+        self._durable_dir: Optional[str] = None
+        self._finish_init(thread_safe)
+
+    def _finish_init(self, thread_safe: bool) -> None:
+        self.thread_safe = thread_safe
+        self.locks: List[ReadWriteLock] = [
+            ReadWriteLock() for _ in self.shards
+        ]
+        if thread_safe:
+            for shard in self.shards:
+                shard.tuples.pool.enable_locking()
+                shard.aggregates.pool.enable_locking()
+
+    @staticmethod
+    def _split(key_space: Tuple[int, int], shards: int) -> List[int]:
+        lo, hi = key_space
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if hi - lo < shards:
+            raise ValueError(
+                f"key space {key_space} is smaller than {shards} shards"
+            )
+        return [lo + (hi - lo) * i // shards for i in range(shards + 1)]
+
+    # -- routing -----------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, key: int) -> int:
+        """The shard owning ``key``; raises on out-of-domain keys."""
+        lo, hi = self.key_space
+        if not lo <= key < hi:
+            raise ShardRoutingError(
+                f"key {key} outside key space [{lo}, {hi})"
+            )
+        return bisect_right(self.boundaries, key) - 1
+
+    def parts_for(self, key_range: KeyRange) -> List[Tuple[int, KeyRange]]:
+        """``(shard index, clipped key range)`` pairs the range touches.
+
+        Ranges beyond the key space clip silently (those keys hold no
+        tuples), so queries never fail on routing — only updates do.
+        """
+        parts: List[Tuple[int, KeyRange]] = []
+        for index, (lo, hi) in enumerate(
+                zip(self.boundaries, self.boundaries[1:])):
+            clipped = key_range.intersection(KeyRange(lo, hi))
+            if clipped is not None:
+                parts.append((index, clipped))
+        return parts
+
+    # -- update API --------------------------------------------------------------------
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        """Insert a tuple alive from ``t`` into the owning shard."""
+        index = self.shard_index(key)
+        if self.thread_safe:
+            with self.locks[index].write_locked():
+                self.shards[index].insert(key, value, t)
+        else:
+            self.shards[index].insert(key, value, t)
+
+    def delete(self, key: int, t: int) -> float:
+        """Logically delete the alive tuple with ``key`` at ``t``."""
+        index = self.shard_index(key)
+        if self.thread_safe:
+            with self.locks[index].write_locked():
+                return self.shards[index].delete(key, t)
+        return self.shards[index].delete(key, t)
+
+    def update(self, key: int, value: float, t: int) -> None:
+        """Replace the alive tuple's value at ``t`` (one shard, atomic
+        under that shard's write lock)."""
+        index = self.shard_index(key)
+        if self.thread_safe:
+            with self.locks[index].write_locked():
+                self.shards[index].update(key, value, t)
+        else:
+            self.shards[index].update(key, value, t)
+
+    @property
+    def now(self) -> int:
+        """The most recent time any shard has seen."""
+        return max(shard.now for shard in self.shards)
+
+    # -- query API ---------------------------------------------------------------------
+
+    def _on_shard(self, index: int, fn):
+        if self.thread_safe:
+            with self.locks[index].read_locked():
+                return fn(self.shards[index])
+        return fn(self.shards[index])
+
+    def aggregate(self, key_range: KeyRange, interval: Interval,
+                  aggregate: Aggregate = SUM) -> Optional[float]:
+        """Scatter-gather aggregate of one key-time rectangle."""
+        parts = self.parts_for(key_range)
+        if aggregate.name == AVG.name:
+            total = self.aggregate_all(key_range, interval)
+            return total.avg
+        if aggregate.name in (MIN.name, MAX.name):
+            extrema = [
+                self._on_shard(i, lambda s, r=part: s.aggregate(
+                    r, interval, aggregate))
+                for i, part in parts
+            ]
+            extrema = [x for x in extrema if x is not None]
+            if not extrema:
+                return None
+            return min(extrema) if aggregate.name == MIN.name else max(extrema)
+        if aggregate.name not in (SUM.name, COUNT.name):
+            raise QueryError(f"unknown aggregate {aggregate.name!r}")
+        return sum(
+            self._on_shard(i, lambda s, r=part: s.aggregate(
+                r, interval, aggregate))
+            for i, part in parts
+        )
+
+    def aggregate_all(self, key_range: KeyRange,
+                      interval: Interval) -> RTAResult:
+        """SUM, COUNT and AVG gathered from per-shard totals."""
+        total_sum = 0.0
+        total_count = 0.0
+        for i, part in self.parts_for(key_range):
+            partial = self._on_shard(
+                i, lambda s, r=part: s.aggregate_all(r, interval))
+            total_sum += partial.sum
+            total_count += partial.count
+        return RTAResult(sum=total_sum, count=total_count)
+
+    def sum(self, key_range: KeyRange, interval: Interval) -> float:
+        """Scatter-gather SUM."""
+        return self.aggregate(key_range, interval, SUM)
+
+    def count(self, key_range: KeyRange, interval: Interval) -> float:
+        """Scatter-gather COUNT."""
+        return self.aggregate(key_range, interval, COUNT)
+
+    def avg(self, key_range: KeyRange, interval: Interval) -> Optional[float]:
+        """AVG from gathered SUM and COUNT totals; ``None`` when empty."""
+        return self.aggregate(key_range, interval, AVG)
+
+    def min(self, key_range: KeyRange, interval: Interval) -> Optional[float]:
+        """Minimum over non-empty shards; ``None`` when all are empty."""
+        return self.aggregate(key_range, interval, MIN)
+
+    def max(self, key_range: KeyRange, interval: Interval) -> Optional[float]:
+        """Maximum over non-empty shards; ``None`` when all are empty."""
+        return self.aggregate(key_range, interval, MAX)
+
+    # -- tuple retrieval ---------------------------------------------------------------
+
+    def snapshot(self, key_range: KeyRange,
+                 t: int) -> List[Tuple[int, float]]:
+        """Alive ``(key, value)`` pairs at ``t``; shard order is key order,
+        so concatenation is already sorted."""
+        out: List[Tuple[int, float]] = []
+        for i, part in self.parts_for(key_range):
+            out.extend(self._on_shard(
+                i, lambda s, r=part: s.snapshot(r, t)))
+        return out
+
+    def tuples_in(self, key_range: KeyRange,
+                  interval: Interval) -> List[TemporalTuple]:
+        """Every logical tuple whose key and lifespan hit the rectangle."""
+        out: List[TemporalTuple] = []
+        for i, part in self.parts_for(key_range):
+            out.extend(self._on_shard(
+                i, lambda s, r=part: s.tuples_in(r, interval)))
+        return out
+
+    def history(self, key: int) -> List[TemporalTuple]:
+        """All versions a key ever had (routes to the owning shard)."""
+        index = self.shard_index(key)
+        return self._on_shard(index, lambda s: s.history(key))
+
+    # -- planner -----------------------------------------------------------------------
+
+    def explain(self, key_range: KeyRange, interval: Interval,
+                aggregate: Aggregate = SUM) -> List[ShardPlan]:
+        """Each intersecting shard's planner decision for the rectangle."""
+        return [
+            ShardPlan(shard=i, key_range=part,
+                      plan=self._on_shard(
+                          i, lambda s, r=part: s.explain(r, interval,
+                                                         aggregate)))
+            for i, part in self.parts_for(key_range)
+        ]
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def page_count(self) -> int:
+        """Total pages across all shards."""
+        return sum(shard.page_count() for shard in self.shards)
+
+    def check_invariants(self) -> None:
+        """Audit every shard."""
+        for shard in self.shards:
+            shard.check_invariants()
+
+    # -- durability --------------------------------------------------------------------
+
+    @classmethod
+    def open_durable(cls, directory: str, shards: int = 4,
+                     key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                     page_capacity: int = 32, buffer_pages: int = 64,
+                     strong_factor: float = 0.9, start_time: int = 1,
+                     thread_safe: bool = False,
+                     fsync: bool = False) -> "ShardedWarehouse":
+        """Open (or create) a crash-recoverable sharded warehouse.
+
+        The shard layout (count and boundaries) is frozen in
+        ``layout.json`` on first open; reopens ignore the ``shards`` and
+        ``key_space`` arguments in favor of the stored layout, because
+        re-partitioning on-disk shards is not supported.
+        """
+        import json
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        layout_path = os.path.join(directory, _LAYOUT_FILE)
+        if os.path.exists(layout_path):
+            with open(layout_path) as fh:
+                layout = json.load(fh)
+            key_space = tuple(layout["key_space"])
+            boundaries = list(layout["boundaries"])
+        else:
+            boundaries = cls._split(key_space, shards)
+            with open(layout_path, "w") as fh:
+                json.dump({"key_space": list(key_space),
+                           "boundaries": boundaries}, fh)
+
+        warehouse = cls.__new__(cls)
+        warehouse.key_space = key_space
+        warehouse.boundaries = boundaries
+        warehouse.shards = [
+            TemporalWarehouse.open_durable(
+                os.path.join(directory, f"shard-{i:02d}"),
+                buffer_pages=buffer_pages, fsync=fsync,
+                key_space=(lo, hi), page_capacity=page_capacity,
+                strong_factor=strong_factor, start_time=start_time)
+            for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
+        ]
+        warehouse.aggregates = _ShardedAggregates(warehouse)
+        warehouse._durable_dir = directory
+        warehouse._finish_init(thread_safe)
+        return warehouse
+
+    def checkpoint(self) -> None:
+        """Checkpoint every shard (under its write lock if thread-safe)."""
+        for index, shard in enumerate(self.shards):
+            if self.thread_safe:
+                with self.locks[index].write_locked():
+                    shard.checkpoint()
+            else:
+                shard.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return all(shard.closed for shard in self.shards)
+
+    def close(self) -> None:
+        """Close every shard (idempotent)."""
+        for shard in self.shards:
+            shard.close()

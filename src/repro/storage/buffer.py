@@ -20,21 +20,81 @@ page coalesce into one eventual write-back.  Each deferral is counted once
 per page per window in ``IOStats.coalesced_writes``; if no victim is
 evictable at all, the pool transiently over-commits and counts it in
 ``IOStats.overcommit``.
+
+The pool is **not thread-safe by default** — the simulation is
+single-threaded and the hot path stays branch-free.  The
+:mod:`repro.serve` query server, which runs readers in a thread pool,
+opts into guard rails per pool: :meth:`enable_locking` wraps the public
+protocol in one :class:`threading.RLock`, and
+:meth:`enable_concurrency_assertions` (tests) detects unlocked concurrent
+entry and raises :class:`~repro.errors.ConcurrentAccessError` instead of
+corrupting frames silently.  Both rebind the instance's methods, so a
+pool that never opts in pays nothing.
 """
 
 from __future__ import annotations
 
+import functools
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
-from repro.errors import BufferPoolError, PageNotFoundError
+from repro.errors import (
+    BufferPoolError,
+    ConcurrentAccessError,
+    PageNotFoundError,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 from repro.storage.stats import IOStats
 
 DEFAULT_BUFFER_PAGES = 64
+
+#: Public methods serialized by :meth:`BufferPool.enable_locking` and
+#: checked by :meth:`BufferPool.enable_concurrency_assertions`.
+_GUARDED_METHODS = (
+    "fetch", "allocate", "free", "flush", "flush_all", "clear",
+    "begin_batch", "flush_batch", "end_batch", "pin", "unpin",
+)
+
+
+class _EntryGuard:
+    """Re-entrancy-aware detector of concurrent unlocked access.
+
+    Best-effort by design (the bookkeeping itself is unlocked — adding a
+    lock would mask exactly the bug being hunted), but any overlap where
+    one thread is inside a guarded method while another enters is caught
+    at the second thread's entry point.
+    """
+
+    __slots__ = ("_owner", "_depth")
+
+    def __init__(self) -> None:
+        self._owner: Optional[int] = None
+        self._depth = 0
+
+    def wrap(self, method):
+        @functools.wraps(method)
+        def guarded(*args, **kwargs):
+            me = threading.get_ident()
+            owner = self._owner
+            if owner is not None and owner != me:
+                raise ConcurrentAccessError(
+                    f"thread {me} entered BufferPool.{method.__name__} "
+                    f"while thread {owner} is inside the pool; wrap access "
+                    "in a lock (see BufferPool.enable_locking)"
+                )
+            self._owner = me
+            self._depth += 1
+            try:
+                return method(*args, **kwargs)
+            finally:
+                self._depth -= 1
+                if self._depth == 0:
+                    self._owner = None
+        return guarded
 
 
 class BufferPool:
@@ -75,6 +135,49 @@ class BufferPool:
         # clean transition, keeping eviction amortized O(1) even when every
         # frame is dirty.
         self._maybe_clean: Dict[int, None] = {}
+        #: Set by :meth:`enable_locking`; ``None`` means unguarded.
+        self._lock: Optional[threading.RLock] = None
+        self._entry_guard: Optional[_EntryGuard] = None
+
+    # -- thread-safety guard rails ----------------------------------------------
+
+    def enable_locking(self) -> threading.RLock:
+        """Serialize the pool's public protocol behind one ``RLock``.
+
+        Idempotent; returns the lock so callers holding several pages
+        across calls (splits) can take it around the whole window.  The
+        methods in ``_GUARDED_METHODS`` are rebound on *this instance*, so
+        pools that never call this keep the branch-free fast path.
+        """
+        if self._lock is None:
+            self._lock = threading.RLock()
+            lock = self._lock
+
+            def locked(method):
+                @functools.wraps(method)
+                def wrapper(*args, **kwargs):
+                    with lock:
+                        return method(*args, **kwargs)
+                return wrapper
+
+            for name in _GUARDED_METHODS:
+                setattr(self, name, locked(getattr(self, name)))
+        return self._lock
+
+    def enable_concurrency_assertions(self) -> None:
+        """Detect (don't prevent) concurrent unlocked access, for tests.
+
+        Rebinds the public protocol behind a re-entrancy-aware entry
+        guard: a second thread entering while another is inside raises
+        :class:`~repro.errors.ConcurrentAccessError`.  Call *before*
+        :meth:`enable_locking` if combining both (the lock then wraps the
+        guard, which consequently never fires).
+        """
+        if self._entry_guard is None:
+            self._entry_guard = _EntryGuard()
+            for name in _GUARDED_METHODS:
+                setattr(self, name,
+                        self._entry_guard.wrap(getattr(self, name)))
 
     # -- core protocol ---------------------------------------------------------
 

@@ -10,15 +10,26 @@ The transaction-time model makes recovery the textbook two-piece story:
   and replays the log tail; determinism of the indexes makes the replayed
   state byte-for-byte equivalent to the lost one.
 
-Records are newline-delimited ``op,key,value,time`` lines.  A crash can
-leave a torn final line; :meth:`WriteAheadLog.replay` stops at the first
-malformed record, which is exactly the prefix that was durably accepted.
+Records are newline-delimited ``seq,op,key,value,time`` lines, where
+``seq`` is a sequence number that increases monotonically for the life of
+the log directory — it keeps counting across :meth:`truncate` calls and
+reopens.  Sequence numbers make replay *idempotent*: a checkpoint records
+the last sequence it covers, so recovery after a crash in the window
+between "checkpoint written" and "log truncated" skips the already-applied
+prefix instead of double-applying it (see
+:meth:`repro.core.warehouse.TemporalWarehouse.checkpoint`).  Legacy
+four-field ``op,key,value,time`` lines (pre-sequence logs) still parse,
+numbered by position.
+
+A crash can leave a torn final line; :meth:`WriteAheadLog.replay` stops at
+the first malformed record, which is exactly the prefix that was durably
+accepted.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.workloads.generator import UpdateEvent
@@ -42,42 +53,91 @@ class WriteAheadLog:
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, LOG_FILE)
         self.fsync = fsync
+        #: Highest sequence number ever appended (0 for a fresh log).
+        #: Restored by scanning the existing file on open; a checkpoint
+        #: owner that truncated the file re-seeds it via :meth:`bump_seq`.
+        self.last_seq = self._scan_last_seq()
         # Line-buffered append handle; kept open across records.
         self._handle = open(self.path, "a", buffering=1)
 
+    def _scan_last_seq(self) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        last = 0
+        with open(self.path) as fh:
+            for position, line in enumerate(fh, start=1):
+                parsed = self._parse(line, position)
+                if parsed is None:
+                    break
+                last = parsed[0]
+        return last
+
     # -- writes -------------------------------------------------------------------
 
-    def append(self, op: str, key: int, value: float, t: int) -> None:
-        """Log one accepted update (call *before* applying it)."""
+    def append(self, op: str, key: int, value: float, t: int) -> int:
+        """Log one accepted update (call *before* applying it).
+
+        Returns the record's sequence number.
+        """
         if op not in ("insert", "delete"):
             raise StorageError(f"unknown log op {op!r}")
-        self._handle.write(f"{op},{key},{value!r},{t}\n")
+        self.last_seq += 1
+        self._handle.write(f"{self.last_seq},{op},{key},{value!r},{t}\n")
         if self.fsync:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+        return self.last_seq
+
+    def bump_seq(self, min_seq: int) -> None:
+        """Ensure future appends use sequence numbers above ``min_seq``.
+
+        Called on recovery with the checkpoint's covered sequence: after a
+        truncate the file alone no longer remembers how far numbering got,
+        and reusing an already-checkpointed number would make a later
+        recovery wrongly skip a live record.
+        """
+        self.last_seq = max(self.last_seq, min_seq)
 
     def truncate(self) -> None:
-        """Drop every record (call right after a checkpoint completes)."""
+        """Drop every record (call right after a checkpoint completes).
+
+        Sequence numbering continues from where it was — truncation frees
+        space, it does not restart history.
+        """
         self._handle.close()
         self._handle = open(self.path, "w", buffering=1)
 
     def close(self) -> None:
-        """Release the file handle (the log file itself stays)."""
-        self._handle.close()
+        """Release the file handle (the log file itself stays).
+
+        Idempotent: closing an already-closed log is a no-op.
+        """
+        if not self._handle.closed:
+            self._handle.close()
 
     # -- reads --------------------------------------------------------------------
 
-    def replay(self) -> Iterator[UpdateEvent]:
-        """Yield logged updates in order, stopping at a torn final record."""
-        self._handle.flush()
+    def replay(self, after_seq: int = 0) -> Iterator[UpdateEvent]:
+        """Yield logged updates with ``seq > after_seq``, in order,
+        stopping at a torn final record."""
+        for _seq, event in self.replay_with_seq(after_seq):
+            yield event
+
+    def replay_with_seq(self, after_seq: int = 0
+                        ) -> Iterator[Tuple[int, UpdateEvent]]:
+        """Yield ``(seq, event)`` pairs with ``seq > after_seq``."""
+        if not self._handle.closed:
+            self._handle.flush()
         if not os.path.exists(self.path):
             return
         with open(self.path) as fh:
-            for line in fh:
-                event = self._parse(line)
-                if event is None:
+            for position, line in enumerate(fh, start=1):
+                parsed = self._parse(line, position)
+                if parsed is None:
                     break
-                yield event
+                seq, event = parsed
+                if seq > after_seq:
+                    yield seq, event
 
     def records(self) -> List[UpdateEvent]:
         """The whole intact log as a list."""
@@ -87,18 +147,24 @@ class WriteAheadLog:
         return sum(1 for _ in self.replay())
 
     @staticmethod
-    def _parse(line: str) -> Optional[UpdateEvent]:
+    def _parse(line: str,
+               position: int) -> Optional[Tuple[int, UpdateEvent]]:
         line = line.strip()
         if not line:
             return None
         parts = line.split(",")
-        if len(parts) != 4:
+        if len(parts) == 5:
+            seq_raw, op, key_raw, value_raw, time_raw = parts
+        elif len(parts) == 4:
+            # Legacy pre-sequence record: number it by file position.
+            op, key_raw, value_raw, time_raw = parts
+            seq_raw = str(position)
+        else:
             return None
-        op, key_raw, value_raw, time_raw = parts
         if op not in ("insert", "delete"):
             return None
         try:
-            return UpdateEvent(op, int(key_raw), float(value_raw),
-                               int(time_raw))
+            return int(seq_raw), UpdateEvent(op, int(key_raw),
+                                             float(value_raw), int(time_raw))
         except ValueError:
             return None

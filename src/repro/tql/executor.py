@@ -8,11 +8,25 @@ the planner's decision for a SELECT without running it; ``EXPLAIN SELECT
 ...`` (the statement) additionally *runs* the select under a tracer and
 returns an :class:`~repro.obs.explain.ExplainReport` whose ``str()`` is
 the indented span-tree plan with per-node I/O and CPU.
+
+The ``warehouse`` argument is duck-typed: a
+:class:`~repro.serve.sharded.ShardedWarehouse` works too.  EXPLAIN
+against a sharded warehouse returns its list of per-shard
+:class:`~repro.serve.sharded.ShardPlan` decisions instead of a traced
+report (span tracing is a single-warehouse facility).
+
+``as_of`` pins a statement to a snapshot time — the AS OF semantics the
+:mod:`repro.serve` server runs every read under.  The default interval
+becomes "everything up to the snapshot" and explicit intervals are clipped
+so they end at or before ``as_of + 1``; a rectangle that only touches
+closed versions never races a concurrent writer.  Every error raised here
+derives from :class:`~repro.errors.ReproError` and carries a stable
+``code``, so process boundaries can map failures without string matching.
 """
 
 from __future__ import annotations
 
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
 from repro.core.model import Interval, KeyRange
@@ -35,19 +49,38 @@ StatementLike = Union[str, SelectStatement, SnapshotStatement,
                       HistoryStatement]
 
 
+def _aggregate_named(name: str):
+    aggregate = _AGGREGATES.get(name)
+    if aggregate is None:
+        raise QueryError(f"unknown aggregate {name!r}")
+    return aggregate
+
+
 def _resolve_rectangle(warehouse: TemporalWarehouse,
-                       statement: SelectStatement):
+                       statement: SelectStatement,
+                       as_of: Optional[int] = None):
     lo, hi = warehouse.key_space
     key_range = KeyRange(*(statement.key_range or (lo, hi)))
+    horizon = (as_of if as_of is not None else warehouse.now) + 1
     if statement.interval is not None:
-        interval = Interval(*statement.interval)
+        start, end = statement.interval
+        if as_of is not None and end > horizon:
+            end = horizon
+        if start >= end:
+            raise QueryError(
+                f"interval [{statement.interval[0]}, "
+                f"{statement.interval[1]}) is empty at snapshot "
+                f"time {as_of}"
+            )
+        interval = Interval(start, end)
     else:
-        interval = Interval(1, max(warehouse.now + 1, 2))
+        interval = Interval(1, max(horizon, 2))
     return key_range, interval
 
 
 def execute(warehouse: TemporalWarehouse,
-            statement: StatementLike) -> Any:
+            statement: StatementLike, *,
+            as_of: Optional[int] = None) -> Any:
     """Run one TQL statement; the result type depends on the statement.
 
     * plain ``SELECT`` — a float (``None`` for AVG/MIN/MAX of nothing);
@@ -55,15 +88,19 @@ def execute(warehouse: TemporalWarehouse,
     * ``SNAPSHOT`` — a list of ``(key, value)`` pairs;
     * ``HISTORY`` — a list of :class:`~repro.core.model.TemporalTuple`;
     * ``EXPLAIN SELECT ...`` — an :class:`~repro.obs.explain.ExplainReport`
-      (plan decision, result, and the traced span tree).
+      (plan decision, result, and the traced span tree), or per-shard
+      plans for a sharded warehouse.
+
+    ``as_of`` pins reads to a snapshot time (see the module docstring);
+    write statements ignore it.
     """
     if isinstance(statement, str):
         statement = parse(statement)
     if isinstance(statement, ExplainStatement):
-        return explain_select(warehouse, statement.select)
+        return explain_select(warehouse, statement.select, as_of=as_of)
     if isinstance(statement, SelectStatement):
-        key_range, interval = _resolve_rectangle(warehouse, statement)
-        aggregate = _AGGREGATES[statement.agg.name]
+        key_range, interval = _resolve_rectangle(warehouse, statement, as_of)
+        aggregate = _aggregate_named(statement.agg.name)
         if statement.agg.timeline_buckets is not None:
             return warehouse.aggregates.timeline(
                 key_range, interval, statement.agg.timeline_buckets,
@@ -73,7 +110,10 @@ def execute(warehouse: TemporalWarehouse,
     if isinstance(statement, SnapshotStatement):
         lo, hi = warehouse.key_space
         key_range = KeyRange(*(statement.key_range or (lo, hi)))
-        return warehouse.snapshot(key_range, statement.at)
+        at = statement.at
+        if as_of is not None:
+            at = min(at, as_of)
+        return warehouse.snapshot(key_range, at)
     if isinstance(statement, HistoryStatement):
         return warehouse.history(statement.key)
     if isinstance(statement, InsertStatement):
@@ -87,31 +127,42 @@ def execute(warehouse: TemporalWarehouse,
 
 
 def explain(warehouse: TemporalWarehouse,
-            statement: StatementLike) -> QueryPlan:
-    """The planner's decision for a SELECT, without executing it."""
+            statement: StatementLike, *,
+            as_of: Optional[int] = None) -> QueryPlan:
+    """The planner's decision for a SELECT, without executing it.
+
+    For a sharded warehouse the return value is its list of per-shard
+    :class:`~repro.serve.sharded.ShardPlan` decisions.
+    """
     if isinstance(statement, str):
         statement = parse(statement)
     if isinstance(statement, ExplainStatement):
         statement = statement.select
     if not isinstance(statement, SelectStatement):
         raise QueryError("only SELECT statements have query plans")
-    key_range, interval = _resolve_rectangle(warehouse, statement)
+    key_range, interval = _resolve_rectangle(warehouse, statement, as_of)
     return warehouse.explain(key_range, interval,
-                             _AGGREGATES[statement.agg.name])
+                             _aggregate_named(statement.agg.name))
 
 
 def explain_select(warehouse: TemporalWarehouse,
-                   statement: SelectStatement) -> ExplainReport:
+                   statement: SelectStatement, *,
+                   as_of: Optional[int] = None) -> ExplainReport:
     """Run a SELECT under a tracer and report the full span tree.
 
     The traced counterpart of :func:`explain`: the query actually executes
     (under a temporarily attached tracer), so the report carries the
     result and exact per-node I/O and CPU alongside the plan decision.
+    Sharded warehouses have no single span tree; they return their
+    per-shard plan decisions instead.
     """
     if statement.agg.timeline_buckets is not None:
         raise QueryError(
             "EXPLAIN supports plain SELECT aggregates, not TIMELINE"
         )
-    key_range, interval = _resolve_rectangle(warehouse, statement)
+    key_range, interval = _resolve_rectangle(warehouse, statement, as_of)
+    if not hasattr(warehouse, "run_plan"):  # sharded: per-shard plans
+        return warehouse.explain(key_range, interval,
+                                 _aggregate_named(statement.agg.name))
     return explain_query(warehouse, key_range, interval,
-                         _AGGREGATES[statement.agg.name])
+                         _aggregate_named(statement.agg.name))

@@ -43,6 +43,8 @@ class Token:
 class TQLLexError(QueryError):
     """Unlexable input (reported with the offending position)."""
 
+    code = "SYNTAX"
+
 
 def tokenize(text: str) -> List[Token]:
     """Lex ``text`` into tokens, dropping whitespace."""

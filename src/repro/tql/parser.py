@@ -33,6 +33,8 @@ TIMELINE_AGGS = ("SUM", "COUNT", "AVG")
 class TQLSyntaxError(QueryError):
     """Malformed TQL (reported with the offending token)."""
 
+    code = "SYNTAX"
+
 
 @dataclass(frozen=True)
 class AggSpec:

@@ -1,0 +1,88 @@
+"""Semantics of the per-shard readers-writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.rwlock import ReadWriteLock
+
+
+class TestSharedSide:
+    def test_many_readers_share(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all four inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert lock.readers == 0
+
+    def test_release_without_acquire_rejected(self):
+        with pytest.raises(RuntimeError):
+            ReadWriteLock().release_read()
+        with pytest.raises(RuntimeError):
+            ReadWriteLock().release_write()
+
+
+class TestExclusiveSide:
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_reader_blocks_writer_until_release(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            got_write.set()
+            lock.release_write()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        # Wait until the writer is queued, then a new reader must wait too.
+        deadline = time.time() + 5
+        while not lock._writers_waiting and time.time() < deadline:
+            time.sleep(0.005)
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        assert got_write.wait(timeout=5)
+        t.join(timeout=5)
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_writers_serialize(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0}
+
+        def writer():
+            with lock.write_locked():
+                counter["value"] += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert counter["value"] == 8
+        assert not lock.writer_active

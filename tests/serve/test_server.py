@@ -1,0 +1,263 @@
+"""End-to-end protocol tests against a live in-process server."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import Client, ServerReplyError
+from repro.serve.server import ServerConfig, serve_in_thread
+
+KEY_SPACE = (1, 1001)
+
+
+@pytest.fixture
+def server():
+    handle = serve_in_thread(ServerConfig(shards=4, key_space=KEY_SPACE,
+                                          page_capacity=8))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with Client(server.host, server.port) as c:
+        yield c
+
+
+class TestBasicProtocol:
+    def test_hello_announces_protocol(self, client):
+        assert client.hello["server"] == "repro.serve"
+        assert client.hello["version"] == 1
+        assert client.hello["shards"] == 4
+        assert client.ping()
+
+    def test_insert_select_round_trip(self, client):
+        client.execute("INSERT KEY 7 VALUE 3.0 AT 1")
+        client.execute("INSERT KEY 900 VALUE 5.0 AT 2")
+        client.repin()
+        total = client.execute("SELECT SUM(value) WHERE key IN [1, 1001)")
+        assert total == 8.0
+        count = client.execute(
+            "SELECT COUNT(*) WHERE key IN [1, 1001) AND TIME DURING [1, 3)")
+        assert count == 2.0
+
+    def test_explain_reports_shard_plans(self, client):
+        client.execute("INSERT KEY 10 VALUE 1.0 AT 1")
+        client.execute("INSERT KEY 600 VALUE 2.0 AT 1")
+        client.repin()
+        plans = client.execute(
+            "EXPLAIN SELECT SUM(value) WHERE key IN [1, 1001)")
+        assert isinstance(plans, list) and len(plans) == 4
+        assert {p["shard"] for p in plans} == {0, 1, 2, 3}
+        for p in plans:
+            assert p["plan"]["plan"] in ("mvsbt", "mvbt-scan")
+
+    def test_metrics_exposes_per_shard_counters(self, client):
+        client.execute("INSERT KEY 10 VALUE 1.0 AT 1")
+        client.repin()
+        client.execute("SELECT SUM(value) WHERE key IN [1, 100)")
+        metrics = client.metrics()
+        assert "repro_serve_requests_total" in metrics
+        assert "repro_serve_shard_writes_total" in metrics
+        writes = metrics["repro_serve_shard_writes_total"]["series"]
+        assert sum(s["value"] for s in writes) == 1
+
+    def test_raw_protocol_over_socket(self, server):
+        # The protocol must be speakable without the Client class.
+        with socket.create_connection((server.host, server.port),
+                                      timeout=5) as sock:
+            fh = sock.makefile("rb")
+            hello = json.loads(fh.readline())
+            assert hello["server"] == "repro.serve"
+            sock.sendall(b'{"op": "ping", "id": 1}\n')
+            reply = json.loads(fh.readline())
+            assert reply == {"id": 1, "ok": True, "result": "pong",
+                             "snapshot": reply["snapshot"],
+                             "elapsed_ms": reply["elapsed_ms"]}
+
+
+class TestSnapshotIsolation:
+    def test_reads_pin_to_session_snapshot(self, server):
+        with Client(server.host, server.port) as writer:
+            writer.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+            writer.execute("INSERT KEY 6 VALUE 1.0 AT 2")
+        with Client(server.host, server.port) as reader:
+            pinned = reader.snapshot
+            assert pinned >= 2
+            before = reader.execute(
+                "SELECT COUNT(*) WHERE key IN [1, 1001)")
+            # A later write is invisible until the session re-pins.
+            with Client(server.host, server.port) as writer:
+                writer.execute("INSERT KEY 7 VALUE 1.0 AT 5")
+            assert reader.execute(
+                "SELECT COUNT(*) WHERE key IN [1, 1001)") == before
+            reader.repin()
+            assert reader.execute(
+                "SELECT COUNT(*) WHERE key IN [1, 1001)") == before + 1
+
+    def test_explicit_as_of_overrides_session(self, client):
+        client.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+        client.execute("INSERT KEY 6 VALUE 2.0 AT 3")
+        client.repin()
+        early = client.execute("SELECT SUM(value) WHERE key IN [1, 1001)",
+                               as_of=1)
+        assert early == 1.0
+        late = client.execute("SELECT SUM(value) WHERE key IN [1, 1001)")
+        assert late == 3.0
+
+
+class TestErrorReporting:
+    def test_syntax_error_code(self, client):
+        with pytest.raises(ServerReplyError) as excinfo:
+            client.execute("SELEKT nothing")
+        assert excinfo.value.code == "SYNTAX"
+
+    def test_query_error_code(self, client):
+        with pytest.raises(ServerReplyError) as excinfo:
+            client.execute("SELECT SUM(value) WHERE key IN [9, 9)")
+        assert excinfo.value.code in ("SYNTAX", "QUERY")
+
+    def test_duplicate_insert_reports_code(self, client):
+        client.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+        with pytest.raises(ServerReplyError) as excinfo:
+            client.execute("INSERT KEY 5 VALUE 2.0 AT 2")
+        assert excinfo.value.code == "DUPLICATE_KEY"
+
+    def test_protocol_errors(self, server):
+        with socket.create_connection((server.host, server.port),
+                                      timeout=5) as sock:
+            fh = sock.makefile("rb")
+            fh.readline()  # hello
+            sock.sendall(b'this is not json\n')
+            reply = json.loads(fh.readline())
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "PROTOCOL"
+            sock.sendall(b'{"op": "no-such-op"}\n')
+            reply = json.loads(fh.readline())
+            assert reply["error"]["code"] == "PROTOCOL"
+
+    def test_errors_do_not_kill_the_connection(self, client):
+        with pytest.raises(ServerReplyError):
+            client.execute("SELEKT")
+        assert client.ping()
+
+
+class TestAdmissionControl:
+    def test_excess_requests_get_server_busy(self):
+        """Acceptance: max_inflight=1 + a slow query => SERVER_BUSY,
+        not a hang and not a crash."""
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=KEY_SPACE, max_inflight=1, max_queue=0,
+            readers=2))
+        try:
+            slow = Client(handle.host, handle.port, timeout=10)
+            fast = Client(handle.host, handle.port, timeout=10)
+            errors = []
+
+            def occupy():
+                slow.sleep(1.0)
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            time.sleep(0.2)  # let the sleeper take the only slot
+            with pytest.raises(ServerReplyError) as excinfo:
+                fast.execute("SELECT SUM(value) WHERE key IN [1, 100)")
+            assert excinfo.value.code == "SERVER_BUSY"
+            t.join(timeout=10)
+            # The server recovered: the slot is free again.
+            assert fast.ping()
+            slow.close()
+            fast.close()
+        finally:
+            handle.stop()
+
+    def test_queue_admits_up_to_max_queue(self):
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=KEY_SPACE, max_inflight=1, max_queue=8,
+            readers=4))
+        try:
+            slow = Client(handle.host, handle.port, timeout=10)
+            t = threading.Thread(target=lambda: slow.sleep(0.5))
+            t.start()
+            time.sleep(0.1)
+            # This request queues behind the sleeper instead of failing.
+            with Client(handle.host, handle.port, timeout=10) as c:
+                assert c.execute(
+                    "SELECT COUNT(*) WHERE key IN [1, 100)") == 0.0
+            t.join(timeout=10)
+            slow.close()
+        finally:
+            handle.stop()
+
+    def test_request_timeout_returns_timeout_code(self):
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=KEY_SPACE, request_timeout=0.2, readers=2))
+        try:
+            with Client(handle.host, handle.port, timeout=10) as c:
+                with pytest.raises(ServerReplyError) as excinfo:
+                    c.sleep(2.0)
+                assert excinfo.value.code == "TIMEOUT"
+                # The connection survives a timed-out request.
+                assert c.ping()
+        finally:
+            handle.stop()
+
+    def test_rejections_are_counted(self):
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=KEY_SPACE, max_inflight=1, max_queue=0,
+            readers=2))
+        try:
+            slow = Client(handle.host, handle.port, timeout=10)
+            t = threading.Thread(target=lambda: slow.sleep(0.6))
+            t.start()
+            time.sleep(0.1)
+            with Client(handle.host, handle.port, timeout=10) as c:
+                for _ in range(3):
+                    with pytest.raises(ServerReplyError):
+                        c.ping_slot = c.execute(
+                            "SELECT COUNT(*) WHERE key IN [1, 100)")
+                t.join(timeout=10)
+                rejected = c.metrics()["repro_serve_rejected_total"]
+                total = sum(s["value"] for s in rejected["series"])
+                assert total >= 3
+            slow.close()
+        finally:
+            handle.stop()
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_stops(self, server):
+        with Client(server.host, server.port) as c:
+            c.execute("INSERT KEY 3 VALUE 1.0 AT 1")
+            assert c.shutdown() == "draining"
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                Client(server.host, server.port, timeout=0.5).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("server kept accepting connections after shutdown")
+
+    def test_requests_during_drain_get_shutting_down(self):
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=KEY_SPACE, drain_timeout=5.0, readers=2))
+        try:
+            holder = Client(handle.host, handle.port, timeout=10)
+            other = Client(handle.host, handle.port, timeout=10)
+            t = threading.Thread(target=lambda: holder.sleep(0.8))
+            t.start()
+            time.sleep(0.2)
+            other.shutdown()
+            with pytest.raises(ServerReplyError) as excinfo:
+                other.execute("SELECT COUNT(*) WHERE key IN [1, 100)")
+            assert excinfo.value.code == "SHUTTING_DOWN"
+            t.join(timeout=10)
+            holder.close()
+            other.close()
+        finally:
+            handle.stop()

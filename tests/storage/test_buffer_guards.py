@@ -1,0 +1,153 @@
+"""Thread-safety guard rails of the buffer pool.
+
+The pool stays branch-free by default; :meth:`enable_locking` serializes
+the public protocol for the query server, and
+:meth:`enable_concurrency_assertions` turns silent frame corruption into
+a deterministic :class:`ConcurrentAccessError` for tests.
+"""
+
+import threading
+
+from repro.errors import ConcurrentAccessError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+def make_pool(capacity=8):
+    disk = InMemoryDiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return disk, pool
+
+
+def fill(pool, n):
+    ids = []
+    for _ in range(n):
+        page = pool.allocate(capacity=4, kind="leaf")
+        ids.append(page.page_id)
+    pool.flush_all()
+    return ids
+
+
+class TestEnableLocking:
+    def test_idempotent_and_returns_same_lock(self):
+        _disk, pool = make_pool()
+        lock = pool.enable_locking()
+        assert pool.enable_locking() is lock
+
+    def test_hammering_under_lock_stays_consistent(self):
+        _disk, pool = make_pool(capacity=4)
+        ids = fill(pool, 32)
+        pool.enable_locking()
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(300):
+                    page = pool.fetch(ids[(seed * 7 + i) % len(ids)])
+                    assert page is not None
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # LRU bookkeeping survived: frame count within capacity.
+        assert len(pool._frames) <= pool.capacity
+        assert not pool._pins
+
+    def test_locked_pool_still_supports_pin_windows(self):
+        _disk, pool = make_pool(capacity=4)
+        ids = fill(pool, 8)
+        pool.enable_locking()
+        pool.pin(pool.fetch(ids[0]).page_id)
+        for page_id in ids[1:]:
+            pool.fetch(page_id)
+        assert ids[0] in pool._frames  # pinned page was never evicted
+        pool.unpin(ids[0])
+        assert not pool._pins
+
+
+class TestConcurrencyAssertions:
+    def test_single_thread_reentrancy_is_fine(self):
+        _disk, pool = make_pool()
+        pool.enable_concurrency_assertions()
+        ids = fill(pool, 4)
+        # flush_all calls flush internally: re-entrant, same thread — OK.
+        pool.fetch(ids[0]).mark_dirty()
+        pool.flush_all()
+
+    def test_concurrent_entry_raises_deterministically(self):
+        """Block thread A inside fetch (on disk.read), then enter from B."""
+        disk, pool = make_pool(capacity=4)
+        ids = fill(pool, 8)
+        pool.clear()
+        pool.enable_concurrency_assertions()
+
+        a_inside = threading.Event()
+        release_a = threading.Event()
+        original_read = disk.read
+
+        def slow_read(page_id):
+            a_inside.set()
+            assert release_a.wait(timeout=30)
+            return original_read(page_id)
+
+        disk.read = slow_read
+        caught = []
+
+        def thread_a():
+            pool.fetch(ids[0])
+
+        def thread_b():
+            assert a_inside.wait(timeout=30)
+            try:
+                pool.fetch(ids[1])
+            except ConcurrentAccessError as exc:
+                caught.append(exc)
+            finally:
+                release_a.set()
+
+        ta = threading.Thread(target=thread_a)
+        tb = threading.Thread(target=thread_b)
+        ta.start()
+        tb.start()
+        ta.join(timeout=60)
+        tb.join(timeout=60)
+        assert len(caught) == 1
+        assert "enable_locking" in str(caught[0])
+
+    def test_error_is_a_buffer_pool_error_with_code(self):
+        from repro.errors import BufferPoolError, error_payload
+
+        exc = ConcurrentAccessError("two threads in the pool")
+        assert isinstance(exc, BufferPoolError)
+        assert error_payload(exc) == {
+            "code": "CONCURRENT_ACCESS",
+            "message": "two threads in the pool",
+        }
+
+    def test_locking_on_top_of_assertions_silences_them(self):
+        _disk, pool = make_pool(capacity=4)
+        ids = fill(pool, 8)
+        pool.enable_concurrency_assertions()
+        pool.enable_locking()
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(200):
+                    pool.fetch(ids[(seed + i) % len(ids)])
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors

@@ -158,3 +158,136 @@ class TestDurableWarehouse:
             directory, key_space=KEY_SPACE, page_capacity=8)
         assert recovered.count(KeyRange(1, 1000), Interval(1, 100)) == 1.0
         recovered.close()
+
+
+class TestSequenceNumbers:
+    def test_append_returns_monotonic_seq(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.append("insert", 1, 1.0, 1) == 1
+        assert wal.append("insert", 2, 1.0, 2) == 2
+        assert wal.last_seq == 2
+        wal.close()
+
+    def test_seq_continues_across_truncate(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("insert", 1, 1.0, 1)
+        wal.append("insert", 2, 1.0, 2)
+        wal.truncate()
+        # Truncation frees space; numbering never restarts.
+        assert wal.append("insert", 3, 1.0, 3) == 3
+        wal.close()
+
+    def test_seq_restored_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("insert", 1, 1.0, 1)
+        wal.append("insert", 2, 1.0, 2)
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.last_seq == 2
+        assert reopened.append("insert", 3, 1.0, 3) == 3
+        reopened.close()
+
+    def test_bump_seq_only_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("insert", 1, 1.0, 1)
+        wal.bump_seq(10)
+        assert wal.append("insert", 2, 1.0, 2) == 11
+        wal.bump_seq(5)  # lower than current: no effect
+        assert wal.append("insert", 3, 1.0, 3) == 12
+        wal.close()
+
+    def test_replay_after_seq_skips_covered_prefix(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        for i in range(1, 6):
+            wal.append("insert", i, float(i), i)
+        tail = list(wal.replay(after_seq=3))
+        assert [e.key for e in tail] == [4, 5]
+        pairs = list(wal.replay_with_seq(after_seq=3))
+        assert [seq for seq, _e in pairs] == [4, 5]
+        wal.close()
+
+    def test_legacy_four_field_lines_numbered_by_position(self, tmp_path):
+        path = tmp_path / "updates.wal"
+        path.write_text("insert,10,1.0,5\ninsert,20,2.0,6\n")
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.last_seq == 2
+        assert [seq for seq, _e in wal.replay_with_seq()] == [1, 2]
+        # New appends continue above the legacy records.
+        assert wal.append("insert", 30, 3.0, 7) == 3
+        wal.close()
+
+
+class TestCheckpointCrashWindow:
+    def test_crash_between_checkpoint_and_truncate(self, tmp_path):
+        """kill -9 after the checkpoint is durable but before the WAL is
+        truncated: recovery must not double-apply the covered records."""
+        directory = str(tmp_path / "wh")
+        warehouse = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        warehouse.insert(100, 5.0, t=1)
+        warehouse.insert(200, 7.0, t=2)
+        # Simulate the crash window: checkpoint lands, truncate does not.
+        warehouse._wal.truncate = lambda: None
+        warehouse.checkpoint()
+        warehouse.insert(300, 9.0, t=3)  # post-checkpoint tail
+        warehouse.close()
+
+        # Without sequence skipping this reopen would double-insert keys
+        # 100 and 200 and raise DuplicateKeyError.
+        recovered = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        r = KeyRange(1, 1000)
+        assert recovered.count(r, Interval(1, 10)) == 3.0
+        assert recovered.sum(r, Interval(1, 10)) == 21.0
+        recovered.close()
+
+    def test_crash_mid_checkpoint_keeps_previous_good_one(self, tmp_path):
+        directory = str(tmp_path / "wh")
+        warehouse = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        warehouse.insert(100, 5.0, t=1)
+        warehouse.checkpoint()
+        warehouse.insert(200, 7.0, t=2)
+        # A later checkpoint attempt dies before repointing CURRENT: the
+        # half-written directory exists but CURRENT still names the old one.
+        real_save = warehouse.save
+
+        def dying_save(target):
+            real_save(target)
+            raise RuntimeError("kill -9 mid-checkpoint")
+
+        warehouse.save = dying_save
+        with pytest.raises(RuntimeError):
+            warehouse.checkpoint()
+        warehouse.close()
+
+        recovered = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        r = KeyRange(1, 1000)
+        assert recovered.count(r, Interval(1, 10)) == 2.0
+        assert recovered.sum(r, Interval(1, 10)) == 12.0
+        recovered.close()
+
+    def test_checkpoint_gc_keeps_only_current(self, tmp_path):
+        directory = str(tmp_path / "wh")
+        warehouse = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        warehouse.insert(100, 5.0, t=1)
+        warehouse.checkpoint()
+        warehouse.insert(200, 7.0, t=2)
+        warehouse.checkpoint()
+        checkpoints = os.listdir(os.path.join(directory, "checkpoints"))
+        assert len(checkpoints) == 1
+        current = open(os.path.join(directory, "CURRENT")).read().strip()
+        assert checkpoints == [current]
+        warehouse.close()
+
+    def test_close_is_idempotent_and_reported(self, tmp_path):
+        directory = str(tmp_path / "wh")
+        warehouse = TemporalWarehouse.open_durable(
+            directory, key_space=KEY_SPACE, page_capacity=8)
+        assert not warehouse.closed
+        warehouse.close()
+        assert warehouse.closed
+        warehouse.close()  # second close: no error
+        assert warehouse.closed
