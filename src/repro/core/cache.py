@@ -1,0 +1,294 @@
+"""Version-pinned read-path caches, correct by construction.
+
+The transaction-time model makes caching unusually easy to get right:
+updates arrive with non-decreasing timestamps, so every version strictly
+before the current clock is **closed** — immutable forever.  The two
+caches here exploit that single fact at two granularities:
+
+* :class:`ResultCache` memoizes whole aggregate answers at the warehouse
+  layer, keyed ``(aggregate, key_range, interval)``.  A query whose
+  interval ends at or before the warehouse clock only touches closed
+  versions, so its answer can be cached *forever* (bounded only by LRU
+  capacity).  A query whose interval reaches the open present is cached
+  too, but tagged with the warehouse's **write epoch**; the single-writer
+  update path bumps the epoch, so a stale open-present entry is detected
+  (and dropped) at lookup time, never served.
+
+* :class:`PointMemo` memoizes MVSBT point queries ``V(key, t)`` — the
+  paper's six-probe reduction repeats boundary probes across overlapping
+  rectangles, and every probe at ``t`` below the tree clock is a closed
+  version.  The memo also records the root-to-leaf descent path, so
+  EXPLAIN can report how many page visits a hit short-circuited.
+
+Both caches are **opt-in** and *absent by default*: an unconfigured
+warehouse holds ``None`` and pays one attribute check on the query path,
+which is what keeps the twin-run trace-invariance tests byte-identical
+with caching off.  Under the multi-reader server they are constructed
+``thread_safe=True``, which guards the LRU bookkeeping with a mutex
+(readers share the shard read lock, so they do race each other).
+
+Why results cannot go stale — the two-line proof the tests enforce:
+an update at time ``t'`` only changes the value surface at instants
+``>= t'``, and the clock guarantees ``t' >= now``; a closed entry only
+aggregates instants ``< now <= t'``, so no update can touch it.  Open
+entries make no such claim and are invalidated wholesale by the epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Marker epoch for entries over closed intervals: valid forever.
+_CLOSED = -1
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Knobs for the layered read-path cache.
+
+    ``result_entries`` bounds the warehouse-level :class:`ResultCache`,
+    ``memo_entries`` bounds each MVSBT's :class:`PointMemo` (two trees
+    per maintained aggregate).  Zero disables the respective layer.
+    """
+
+    result_entries: int = 4096
+    memo_entries: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.result_entries < 0 or self.memo_entries < 0:
+            raise ValueError("cache capacities must be non-negative")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters one cache instance maintains."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stale_drops: int = 0
+    #: Page visits a memo hit avoided (descent length at store time).
+    pages_saved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (metrics export, snapshots)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale_drops": self.stale_drops,
+            "pages_saved": self.pages_saved,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before any traffic."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _VersionedLRU:
+    """LRU map of ``key -> (value, epoch, extra)`` with epoch validation.
+
+    Entries stored with the :data:`_CLOSED` epoch never expire; any other
+    epoch must match the caller's current epoch at lookup or the entry is
+    dropped as stale.  All methods are O(1); the optional mutex makes the
+    structure safe under the server's concurrent readers.
+    """
+
+    __slots__ = ("capacity", "stats", "_entries", "_lock")
+
+    def __init__(self, capacity: int, thread_safe: bool = False) -> None:
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int, Any]]" = \
+            OrderedDict()
+        self._lock: Optional[threading.Lock] = \
+            threading.Lock() if thread_safe else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable, epoch: int) -> Optional[Tuple[Any, Any]]:
+        """``(value, extra)`` when fresh, else ``None`` (stats updated)."""
+        lock = self._lock
+        if lock is None:
+            return self._lookup(key, epoch)
+        with lock:
+            return self._lookup(key, epoch)
+
+    def _lookup(self, key: Hashable, epoch: int) -> Optional[Tuple[Any, Any]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, stored_epoch, extra = entry
+        if stored_epoch != _CLOSED and stored_epoch != epoch:
+            del self._entries[key]
+            self.stats.stale_drops += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value, extra
+
+    def peek(self, key: Hashable, epoch: int) -> bool:
+        """Would :meth:`lookup` hit?  No stats, no recency, no drops."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        stored_epoch = entry[1]
+        return stored_epoch == _CLOSED or stored_epoch == epoch
+
+    def store(self, key: Hashable, value: Any, *, closed: bool, epoch: int,
+              extra: Any = None) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if self.capacity <= 0:
+            return
+        lock = self._lock
+        if lock is None:
+            return self._store(key, value, closed, epoch, extra)
+        with lock:
+            return self._store(key, value, closed, epoch, extra)
+
+    def _store(self, key: Hashable, value: Any, closed: bool, epoch: int,
+               extra: Any) -> None:
+        self._entries[key] = (value, _CLOSED if closed else epoch, extra)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (used by tests and explicit resets)."""
+        lock = self._lock
+        if lock is None:
+            self._entries.clear()
+            return
+        with lock:
+            self._entries.clear()
+
+
+class ResultCache:
+    """Warehouse-level cache of whole aggregate answers.
+
+    Keys are ``(aggregate name, key_range, interval)`` — both model types
+    are frozen dataclasses, so the tuple hashes cheaply and exactly.  The
+    ``as_of`` pinning of the serving layer needs no extra key component:
+    the executor folds a snapshot into the interval (clipping its end to
+    ``as_of + 1``), so two requests with different snapshots already
+    carry different intervals.
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int = 4096,
+                 thread_safe: bool = False) -> None:
+        self._lru = _VersionedLRU(capacity, thread_safe)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @staticmethod
+    def key(aggregate_name: str, key_range: Any, interval: Any) -> Tuple:
+        """The canonical cache key for one aggregate rectangle."""
+        return (aggregate_name, key_range, interval)
+
+    def lookup(self, key: Tuple, epoch: int) -> Optional[Tuple[Any, Any]]:
+        """``(result, None)`` on a fresh hit, else ``None``."""
+        return self._lru.lookup(key, epoch)
+
+    def peek(self, key: Tuple, epoch: int) -> bool:
+        """Non-mutating hit probe (EXPLAIN uses this)."""
+        return self._lru.peek(key, epoch)
+
+    def store(self, key: Tuple, result: Any, *, closed: bool,
+              epoch: int) -> None:
+        """Cache ``result``: pinned forever if ``closed``, else at ``epoch``."""
+        self._lru.store(key, result, closed=closed, epoch=epoch)
+
+    def clear(self) -> None:
+        """Drop every cached result."""
+        self._lru.clear()
+
+
+class PointMemo:
+    """Per-MVSBT memo of point queries with descent-path bookkeeping.
+
+    ``get``/``put`` carry the tree's insertion epoch: entries for closed
+    instants (``t`` below the tree clock at store time) are pinned
+    forever, entries at the open frontier are epoch-validated.  ``put``
+    records the root-to-leaf path the descent walked; a hit credits its
+    length to ``stats.pages_saved`` — the exact number of ``fetch`` calls
+    (and hence logical reads) the memo short-circuited.
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int = 8192,
+                 thread_safe: bool = False) -> None:
+        self._lru = _VersionedLRU(capacity, thread_safe)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: int, t: int, epoch: int) -> Optional[Tuple[float, Any]]:
+        """``(value, path)`` on a fresh hit, else ``None``."""
+        hit = self._lru.lookup((key, t), epoch)
+        if hit is None:
+            return None
+        value, path = hit
+        self._lru.stats.pages_saved += len(path)
+        return value, path
+
+    def put(self, key: int, t: int, value: float, path: Tuple[int, ...], *,
+            closed: bool, epoch: int) -> None:
+        """Memoize one point answer with the descent path that found it."""
+        self._lru.store((key, t), value, closed=closed, epoch=epoch,
+                        extra=path)
+
+    def clear(self) -> None:
+        """Drop every memoized point."""
+        self._lru.clear()
+
+
+@dataclass
+class CacheSnapshot:
+    """Point-in-time roll-up of every cache layer behind a warehouse.
+
+    ``merge`` folds several snapshots (one per shard) into fleet totals;
+    the serving layer publishes the merged counters through the
+    ``metrics`` op and EXPLAIN renders the per-query deltas.
+    """
+
+    result: Dict[str, int] = field(default_factory=dict)
+    memo: Dict[str, int] = field(default_factory=dict)
+    decoded: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _add(into: Dict[str, int], other: Dict[str, int]) -> None:
+        for name, value in other.items():
+            into[name] = into.get(name, 0) + value
+
+    def merge(self, other: "CacheSnapshot") -> "CacheSnapshot":
+        """Fold ``other``'s counters into this snapshot; returns ``self``."""
+        self._add(self.result, other.result)
+        self._add(self.memo, other.memo)
+        self._add(self.decoded, other.decoded)
+        return self
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """``layer -> counters`` (layers a warehouse never attached are empty)."""
+        return {"result": dict(self.result), "memo": dict(self.memo),
+                "decoded": dict(self.decoded)}

@@ -367,6 +367,40 @@ class RTAIndex:
         }
         return index
 
+    # -- read-path caching --------------------------------------------------------------
+
+    def enable_memo(self, capacity: int = 8192,
+                    thread_safe: bool = False) -> None:
+        """Attach a point-query memo to every underlying MVSBT.
+
+        Equation (1) probes tree boundaries that repeat across overlapping
+        query rectangles; the memo answers repeated probes without a
+        descent (see :mod:`repro.core.cache` for the staleness argument).
+        """
+        for trees in (self._lkst, self._lklt):
+            for tree in trees.values():
+                tree.enable_memo(capacity, thread_safe)
+
+    def disable_memo(self) -> None:
+        """Detach every tree's memo."""
+        for trees in (self._lkst, self._lklt):
+            for tree in trees.values():
+                tree.disable_memo()
+
+    def memo_stats(self) -> Optional[Dict[str, int]]:
+        """Summed memo counters across all trees; ``None`` if unmemoized."""
+        totals: Optional[Dict[str, int]] = None
+        for trees in (self._lkst, self._lklt):
+            for tree in trees.values():
+                if tree.memo is None:
+                    continue
+                stats = tree.memo.stats.as_dict()
+                if totals is None:
+                    totals = dict.fromkeys(stats, 0)
+                for name, value in stats.items():
+                    totals[name] += value
+        return totals
+
     # -- introspection -----------------------------------------------------------------
 
     def page_count(self) -> int:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.aggregates import Aggregate, AVG, COUNT, MAX, MIN, SUM
+from repro.core.cache import CacheConfig, CacheSnapshot, ResultCache
 from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
 from repro.core.rta import RTAIndex, RTAResult
 from repro.errors import QueryError, StorageError
@@ -81,18 +82,28 @@ class TemporalWarehouse:
     #: attribute (not set in ``__init__``) because :meth:`load` builds
     #: warehouses via ``cls.__new__``.
     metrics = None
+    #: Optional :class:`repro.core.cache.ResultCache` set by
+    #: :meth:`enable_cache`; class attribute for the same ``cls.__new__``
+    #: reason, and so the uncached query path pays one ``is None`` check.
+    result_cache = None
+    #: Write epoch open-present cache entries validate against; bumped by
+    #: every update.  Class attribute so loaded warehouses start at 0.
+    write_epoch = 0
 
     def __init__(self, key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  page_capacity: int = 32, buffer_pages: int = 64,
-                 strong_factor: float = 0.9, start_time: int = 1) -> None:
+                 strong_factor: float = 0.9, start_time: int = 1,
+                 buffer_policy: str = "lru") -> None:
         self.key_space = key_space
         self.tuples = MVBT(
-            BufferPool(InMemoryDiskManager(), capacity=buffer_pages),
+            BufferPool(InMemoryDiskManager(), capacity=buffer_pages,
+                       policy=buffer_policy),
             MVBTConfig(capacity=page_capacity),
             key_space=key_space, start_time=start_time,
         )
         self.aggregates = RTAIndex(
-            BufferPool(InMemoryDiskManager(), capacity=buffer_pages),
+            BufferPool(InMemoryDiskManager(), capacity=buffer_pages,
+                       policy=buffer_policy),
             MVSBTConfig(capacity=page_capacity,
                         strong_factor=strong_factor),
             key_space=key_space, aggregates=(SUM, COUNT),
@@ -108,6 +119,7 @@ class TemporalWarehouse:
         """Insert a tuple alive from ``t`` (1TNF and time order enforced)."""
         self.tuples.insert(key, value, t)
         self.aggregates.insert(key, value, t)
+        self.write_epoch += 1
         if self._wal is not None:
             self._wal.append("insert", key, value, t)
 
@@ -115,6 +127,7 @@ class TemporalWarehouse:
         """Logically delete the alive tuple with ``key`` at ``t``."""
         value = self.tuples.delete(key, t)
         self.aggregates.delete(key, t)
+        self.write_epoch += 1
         if self._wal is not None:
             self._wal.append("delete", key, value, t)
         return value
@@ -187,9 +200,31 @@ class TemporalWarehouse:
         """The aggregate of one key-time rectangle via the chosen plan.
 
         MIN/MAX return ``None`` on empty rectangles, as does AVG.
+
+        With a result cache attached (:meth:`enable_cache`) repeated
+        rectangles are answered without planning or descending.  The
+        write epoch and the closed/open classification are both captured
+        *before* execution, so an update racing the query can only make
+        the stored entry read as stale — never serve a stale value.
         """
         tracer = self.aggregates.pool.tracer
         metrics = self.metrics
+        cache = self.result_cache
+        if cache is not None:
+            epoch = self.write_epoch
+            closed = interval.end <= self.now
+            cache_key = ResultCache.key(aggregate.name, key_range, interval)
+            hit = cache.lookup(cache_key, epoch)
+            if hit is not None:
+                if tracer.enabled:
+                    with tracer.span("warehouse.aggregate",
+                                     aggregate=aggregate.name,
+                                     key_range=str(key_range),
+                                     interval=str(interval)) as span:
+                        span.attrs["cache"] = "hit"
+                if metrics is not None:
+                    metrics.result_cache_hits.inc()
+                return hit[0]
         if metrics is not None:
             ios_before = (self.tuples.pool.stats.total_ios
                           + self.aggregates.pool.stats.total_ios)
@@ -197,6 +232,8 @@ class TemporalWarehouse:
             with tracer.span("warehouse.aggregate", aggregate=aggregate.name,
                              key_range=str(key_range),
                              interval=str(interval)) as span:
+                if cache is not None:
+                    span.attrs["cache"] = "miss"
                 with tracer.span("warehouse.plan"):
                     plan = self.explain(key_range, interval, aggregate)
                 span.attrs["plan"] = plan.plan
@@ -206,6 +243,10 @@ class TemporalWarehouse:
         else:
             plan = self.explain(key_range, interval, aggregate)
             result = self.run_plan(plan, key_range, interval, aggregate)
+        if cache is not None:
+            cache.store(cache_key, result, closed=closed, epoch=epoch)
+            if metrics is not None:
+                metrics.result_cache_misses.inc()
         if metrics is not None:
             ios_after = (self.tuples.pool.stats.total_ios
                          + self.aggregates.pool.stats.total_ios)
@@ -263,6 +304,58 @@ class TemporalWarehouse:
                       interval: Interval) -> RTAResult:
         """SUM, COUNT and AVG in one result (always the MVSBT plan)."""
         return self.aggregates.aggregate_all(key_range, interval)
+
+    # -- read-path caching -------------------------------------------------------------
+
+    def enable_cache(self, config: Optional[CacheConfig] = None,
+                     thread_safe: bool = False) -> None:
+        """Attach the layered read-path cache (see :mod:`repro.core.cache`).
+
+        Installs the warehouse-level result cache and a point-query memo
+        on every MVSBT behind the RTA index.  ``thread_safe`` guards the
+        cache bookkeeping for multi-reader servers.  Idempotent; call
+        :meth:`disable_cache` to restore the uncached read path.
+        """
+        config = config or CacheConfig()
+        if config.result_entries:
+            self.result_cache = ResultCache(config.result_entries,
+                                            thread_safe)
+        if config.memo_entries:
+            self.aggregates.enable_memo(config.memo_entries, thread_safe)
+
+    def disable_cache(self) -> None:
+        """Detach every read-path cache layer."""
+        self.result_cache = None
+        self.aggregates.disable_memo()
+
+    def cache_probe(self, key_range: KeyRange, interval: Interval,
+                    aggregate: Aggregate = SUM) -> Optional[str]:
+        """Would :meth:`aggregate` hit the result cache right now?
+
+        ``"hit"``/``"miss"`` with a cache attached, ``None`` without one.
+        Non-mutating (no stats, no recency, no stale drops) — EXPLAIN uses
+        it to report the cache outcome without perturbing the cache.
+        """
+        cache = self.result_cache
+        if cache is None:
+            return None
+        key = ResultCache.key(aggregate.name, key_range, interval)
+        return "hit" if cache.peek(key, self.write_epoch) else "miss"
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        """Current counters of every cache layer behind this warehouse."""
+        snapshot = CacheSnapshot()
+        if self.result_cache is not None:
+            snapshot.result = self.result_cache.stats.as_dict()
+        memo = self.aggregates.memo_stats()
+        if memo is not None:
+            snapshot.memo = memo
+        for pool in (self.tuples.pool, self.aggregates.pool):
+            decoded = getattr(pool.disk, "decoded_cache", None)
+            if decoded is not None:
+                CacheSnapshot._add(snapshot.decoded,
+                                   decoded.stats.as_dict())
+        return snapshot
 
     # -- tuple retrieval ---------------------------------------------------------------
 

@@ -134,6 +134,13 @@ class MVSBT:
     #: attribute (not set in ``__init__``) because :meth:`restore` builds
     #: trees via ``cls.__new__``.
     metrics = None
+    #: Optional :class:`repro.core.cache.PointMemo` set by
+    #: :meth:`enable_memo`; class attribute for the same ``cls.__new__``
+    #: reason, and so the unmemoized query path pays one ``is None`` check.
+    memo = None
+    #: Insertion epoch the memo validates open-frontier entries against;
+    #: only bumped while a memo is attached.
+    _memo_epoch = 0
 
     def __init__(self, pool: BufferPool, config: Optional[MVSBTConfig] = None,
                  key_space: Tuple[int, int] = (1, MAX_KEY + 1),
@@ -177,6 +184,22 @@ class MVSBT:
             raise ValueError("end_batch() without matching begin_batch()")
         self._batch_depth -= 1
 
+    def enable_memo(self, capacity: int = 8192,
+                    thread_safe: bool = False) -> None:
+        """Attach a point-query memo (see :mod:`repro.core.cache`).
+
+        Entries for instants below the tree clock are version-pinned
+        (immutable forever); entries at the open frontier are dropped when
+        any later insertion bumps the memo epoch.
+        """
+        from repro.core.cache import PointMemo
+
+        self.memo = PointMemo(capacity, thread_safe)
+
+    def disable_memo(self) -> None:
+        """Detach the memo, restoring the unmemoized query path."""
+        self.memo = None
+
     def insert(self, key: int, t: int, value: float) -> None:
         """Add ``value`` to every point of ``[key, maxkey] x [t, maxtime]``.
 
@@ -204,6 +227,10 @@ class MVSBT:
             return
         key = max(key, self.key_space[0])
         self.counters.insertions += 1
+        if self.memo is not None:
+            # Any effective insertion may rewrite the open frontier; bump
+            # the epoch so open-frontier memo entries read as stale.
+            self._memo_epoch += 1
 
         # Phase 1 (Appendix A lines 1-8): follow partly-covered routers down.
         path: List[Page] = []
@@ -244,12 +271,42 @@ class MVSBT:
         if t < self.start_time:
             return 0.0
         tracer = self.pool.tracer
+        if self.memo is not None:
+            return self._memoized_query(key, t,
+                                        tracer if tracer.enabled else None)
         if tracer.enabled:
             with tracer.span("mvsbt.query", key=key, t=t):
                 return self._descend(key, t, tracer)
         return self._descend(key, t, None)
 
-    def _descend(self, key: int, t: int, tracer) -> float:
+    def _memoized_query(self, key: int, t: int, tracer) -> float:
+        """:meth:`query` through the point memo (memo attached only).
+
+        The epoch is read *before* the descent; if an insertion raced in
+        between (no single-writer discipline at this layer), the entry is
+        stored against the pre-descent epoch and a post-bump lookup drops
+        it — stale values are never served.
+        """
+        epoch = self._memo_epoch
+        hit = self.memo.get(key, t, epoch)
+        if hit is not None:
+            if tracer is not None:
+                with tracer.span("mvsbt.query", key=key, t=t) as span:
+                    span.attrs["memo"] = "hit"
+            return hit[0]
+        path: List[int] = []
+        if tracer is not None:
+            with tracer.span("mvsbt.query", key=key, t=t) as span:
+                span.attrs["memo"] = "miss"
+                value = self._descend(key, t, tracer, path)
+        else:
+            value = self._descend(key, t, None, path)
+        self.memo.put(key, t, value, tuple(path),
+                      closed=t < self.now, epoch=epoch)
+        return value
+
+    def _descend(self, key: int, t: int, tracer,
+                 path: Optional[List[int]] = None) -> float:
         """Root-to-leaf descent summing per-page contributions at ``t``.
 
         With a live ``tracer``, each page visit opens an ``mvsbt.page`` span
@@ -262,6 +319,8 @@ class MVSBT:
         pid = self.roots.find(t).root_id
         pages = 0
         while True:
+            if path is not None:
+                path.append(pid)
             if tracer is not None:
                 with tracer.span("mvsbt.page", page=pid) as span:
                     page = self.pool.fetch(pid)

@@ -83,6 +83,11 @@ class ExplainReport:
     result: Any
     root: Span
     tracer: Tracer
+    #: Per-query cache outcome when the warehouse has read-path caching
+    #: attached: result-cache probe (``hit``/``miss``), memo and decoded
+    #: hit deltas for this query, and the buffer-pool hit rate derived
+    #: from the span tree's logical-vs-physical read counts.
+    cache: Optional[dict] = None
 
     def render(self, show_events: bool = True) -> str:
         """The plan header plus the indented span tree."""
@@ -94,6 +99,13 @@ class ExplainReport:
             f"logical={self.root.io.logical_reads} "
             f"cpu={self.root.cpu_s * 1e3:.3f}ms",
         ]
+        if self.cache is not None:
+            bits = []
+            for name, value in self.cache.items():
+                if name.endswith("_rate"):
+                    value = "n/a" if value is None else f"{value * 100:.1f}%"
+                bits.append(f"{name}={value}")
+            header.append("cache: " + " ".join(bits))
         return "\n".join(header) + "\n" + render_span_tree(
             self.root, show_events=show_events)
 
@@ -114,6 +126,9 @@ def explain_query(warehouse: "TemporalWarehouse",
     from repro.core.aggregates import SUM
 
     aggregate = aggregate if aggregate is not None else SUM
+    probe = getattr(warehouse, "cache_probe", None)
+    outcome = probe(key_range, interval, aggregate) if probe else None
+    before = warehouse.cache_snapshot() if outcome is not None else None
     with traced(warehouse) as tracer:
         with tracer.span("explain", aggregate=aggregate.name,
                          key_range=str(key_range),
@@ -121,7 +136,23 @@ def explain_query(warehouse: "TemporalWarehouse",
             with tracer.span("plan"):
                 plan = warehouse.explain(key_range, interval, aggregate)
             tracer.current.attrs["choice"] = plan.plan
+            if outcome is not None:
+                root.attrs["cache"] = outcome
             with tracer.span("execute", plan=plan.plan):
                 result = warehouse.run_plan(plan, key_range, interval,
                                             aggregate)
-    return ExplainReport(plan=plan, result=result, root=root, tracer=tracer)
+    cache_info = None
+    if outcome is not None:
+        after = warehouse.cache_snapshot()
+        logical = root.io.logical_reads
+        cache_info = {
+            "result": outcome,
+            "memo_hits": (after.memo.get("hits", 0)
+                          - before.memo.get("hits", 0)),
+            "decoded_hits": (after.decoded.get("hits", 0)
+                             - before.decoded.get("hits", 0)),
+            "buffer_hit_rate": ((logical - root.io.reads) / logical
+                                if logical else None),
+        }
+    return ExplainReport(plan=plan, result=result, root=root, tracer=tracer,
+                         cache=cache_info)

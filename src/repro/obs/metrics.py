@@ -269,7 +269,8 @@ class TreeMetrics:
 class QueryMetrics:
     """Instruments the warehouse / RTA query layer publishes into."""
 
-    __slots__ = ("registry", "query_ios", "plan_mvsbt", "plan_mvbt_scan")
+    __slots__ = ("registry", "query_ios", "plan_mvsbt", "plan_mvbt_scan",
+                 "result_cache_hits", "result_cache_misses")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
@@ -281,6 +282,12 @@ class QueryMetrics:
         self.plan_mvbt_scan = registry.counter(
             "repro_plan_choices_total", "planner decisions",
             {"plan": "mvbt-scan"})
+        self.result_cache_hits = registry.counter(
+            "repro_result_cache_total", "result cache outcomes",
+            {"outcome": "hit"})
+        self.result_cache_misses = registry.counter(
+            "repro_result_cache_total", "result cache outcomes",
+            {"outcome": "miss"})
 
 
 #: Latency buckets in seconds, sized for in-process query service times.
@@ -389,4 +396,11 @@ def snapshot_into(registry: MetricsRegistry, target: Any) -> MetricsRegistry:
             registry.gauge(f"repro_tree_{counter}",
                            f"tree counter {counter}",
                            {"index": label}).set(value)
+    snapshot = getattr(target, "cache_snapshot", None)
+    if snapshot is not None:
+        for layer, stats in snapshot().as_dict().items():
+            for counter, value in stats.items():
+                registry.gauge(f"repro_cache_{counter}",
+                               f"read-path cache counter {counter}",
+                               {"cache": layer}).set(value)
     return registry

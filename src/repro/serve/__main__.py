@@ -45,6 +45,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-every", type=int, default=0,
                         help="checkpoint after every N writes (0: only "
                              "on shutdown)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="disable the version-pinned read-path caches "
+                             "(result cache + MVSBT point memo)")
+    parser.add_argument("--cache-result-entries", type=int, default=4096,
+                        help="per-shard result-cache capacity")
+    parser.add_argument("--cache-memo-entries", type=int, default=8192,
+                        help="per-shard MVSBT point-memo capacity")
+    parser.add_argument("--buffer-policy", choices=("lru", "2q"),
+                        default="2q",
+                        help="buffer-pool eviction policy for fresh shards "
+                             "(2q resists one-off scans)")
     return parser
 
 
@@ -73,6 +84,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_queue=args.max_queue, request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout, durable_dir=args.durable_dir,
         fsync=args.fsync, checkpoint_every=args.checkpoint_every,
+        cache=args.cache,
+        cache_result_entries=args.cache_result_entries,
+        cache_memo_entries=args.cache_memo_entries,
+        buffer_policy=args.buffer_policy,
     )
     return asyncio.run(amain(config))
 

@@ -4,8 +4,12 @@
 own blocking :class:`~repro.serve.client.Client`, in a closed loop (send,
 wait, send again) against a live server — or against one it spawns itself
 with ``--spawn-server``.  A seed phase inserts a key population first;
+an optional ``--warmup`` phase then drives identical (unrecorded) load;
 the measured phase issues randomized ``SELECT SUM/COUNT/AVG`` rectangles
-pinned to each worker's session snapshot.
+pinned to each worker's session snapshot.  ``--mix read-hot`` draws 90%
+of statements from a small shared working set of repeated rectangles —
+the pattern the server's read-path caches are built for; ``--no-cache``
+spawns the server with those caches disabled for baseline runs.
 
 The run reports throughput (QPS) and latency percentiles (p50/p95/p99)
 to stdout and writes the raw numbers plus the server's final metrics
@@ -24,7 +28,7 @@ import random
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.serve.client import Client, ServerReplyError
 
@@ -52,56 +56,107 @@ def seed_population(host: str, port: int, keys: int, seed: int) -> int:
     return t
 
 
+def hot_rectangles(key_space: int, count: int, seed: int
+                   ) -> List[Tuple[str, int, int]]:
+    """The deterministic ``(agg, lo, hi)`` working set of the read-hot mix.
+
+    Every worker derives the same set from the run seed, so repeated
+    rectangles repeat *across* workers too — the access pattern a result
+    cache is built for.
+    """
+    rng = random.Random(seed)
+    rectangles = []
+    for _ in range(count):
+        agg = rng.choice(("SUM(value)", "COUNT(*)", "AVG(value)"))
+        lo = rng.randint(1, max(key_space - 1, 1))
+        hi = rng.randint(lo + 1, key_space + 1)
+        rectangles.append((agg, lo, hi))
+    return rectangles
+
+
 class _Worker(threading.Thread):
-    """One closed-loop client: latencies in ms, errors by code."""
+    """One closed-loop client: latencies in ms, errors by code.
+
+    Samples issued before ``measure_start`` are the warm-up phase: they
+    drive the server exactly like measured load but are not recorded.
+    """
 
     def __init__(self, host: str, port: int, key_space: int,
-                 deadline: float, seed: int) -> None:
+                 deadline: float, seed: int, measure_start: float = 0.0,
+                 mix: str = "uniform", run_seed: int = 0,
+                 hot_count: int = 16, hot_fraction: float = 0.9) -> None:
         super().__init__(daemon=True)
         self._host = host
         self._port = port
         self._keys = key_space
         self._deadline = deadline
+        self._measure_start = measure_start
         self._rng = random.Random(seed)
+        self._hot = (hot_rectangles(key_space, hot_count, run_seed)
+                     if mix == "read-hot" else None)
+        self._hot_fraction = hot_fraction
         self.latencies_ms: List[float] = []
         self.errors: Dict[str, int] = {}
 
     def _statement(self) -> str:
-        agg = self._rng.choice(("SUM(value)", "COUNT(*)", "AVG(value)"))
-        lo = self._rng.randint(1, max(self._keys - 1, 1))
-        hi = self._rng.randint(lo + 1, self._keys + 1)
+        if self._hot is not None and self._rng.random() < self._hot_fraction:
+            agg, lo, hi = self._rng.choice(self._hot)
+        else:
+            agg = self._rng.choice(("SUM(value)", "COUNT(*)", "AVG(value)"))
+            lo = self._rng.randint(1, max(self._keys - 1, 1))
+            hi = self._rng.randint(lo + 1, self._keys + 1)
         return f"SELECT {agg} WHERE key IN [{lo}, {hi})"
 
     def run(self) -> None:
         with Client(self._host, self._port) as client:
             client.repin()
-            while time.perf_counter() < self._deadline:
+            while True:
+                now = time.perf_counter()
+                if now >= self._deadline:
+                    break
                 statement = self._statement()
                 started = time.perf_counter()
                 try:
                     client.execute(statement)
                 except ServerReplyError as exc:
-                    self.errors[exc.code] = self.errors.get(exc.code, 0) + 1
+                    if started >= self._measure_start:
+                        self.errors[exc.code] = \
+                            self.errors.get(exc.code, 0) + 1
                     continue
-                self.latencies_ms.append(
-                    (time.perf_counter() - started) * 1000.0)
+                if started >= self._measure_start:
+                    self.latencies_ms.append(
+                        (time.perf_counter() - started) * 1000.0)
 
 
 def run_load(host: str, port: int, workers: int, duration: float,
-             seed_keys: int, seed: int) -> Dict[str, Any]:
-    """Seed, drive the closed loop, and gather the report payload."""
-    seed_population(host, port, seed_keys, seed)
-    deadline = time.perf_counter() + duration
+             seed_keys: int, seed: int, warmup: float = 0.0,
+             mix: str = "uniform", skip_seed: bool = False
+             ) -> Dict[str, Any]:
+    """Seed, drive the closed loop, and gather the report payload.
+
+    ``warmup`` seconds of identical load run first and are excluded from
+    every reported number (request counts, QPS, percentiles) — cold-start
+    effects warm the server without polluting the benchmark.  ``mix``
+    selects the rectangle distribution: ``uniform`` (fresh random
+    rectangles) or ``read-hot`` (90% of statements drawn from a small
+    shared working set of repeated rectangles).  ``skip_seed`` reuses an
+    already-seeded population (cold-vs-warm comparisons on one server).
+    """
+    if not skip_seed:
+        seed_population(host, port, seed_keys, seed)
+    start = time.perf_counter()
+    measure_start = start + warmup
+    deadline = measure_start + duration
     pool = [
-        _Worker(host, port, seed_keys, deadline, seed + 1000 + i)
+        _Worker(host, port, seed_keys, deadline, seed + 1000 + i,
+                measure_start=measure_start, mix=mix, run_seed=seed)
         for i in range(workers)
     ]
-    started = time.perf_counter()
     for worker in pool:
         worker.start()
     for worker in pool:
         worker.join()
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - measure_start
 
     latencies = sorted(
         value for worker in pool for value in worker.latencies_ms)
@@ -116,7 +171,7 @@ def run_load(host: str, port: int, workers: int, duration: float,
     return {
         "config": {"host": host, "port": port, "workers": workers,
                    "duration_s": duration, "seed_keys": seed_keys,
-                   "seed": seed},
+                   "seed": seed, "warmup_s": warmup, "mix": mix},
         "totals": {
             "requests": requests,
             "errors": errors,
@@ -146,6 +201,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="concurrent closed-loop clients (default 8)")
     parser.add_argument("--duration", type=float, default=5.0,
                         help="measured seconds of load (default 5)")
+    parser.add_argument("--warmup", type=float, default=0.0,
+                        help="seconds of identical load excluded from QPS "
+                             "and latency percentiles (default 0)")
+    parser.add_argument("--mix", choices=("uniform", "read-hot"),
+                        default="uniform",
+                        help="rectangle distribution: fresh random "
+                             "(uniform) or 90%% repeated working set "
+                             "(read-hot)")
     parser.add_argument("--seed-keys", type=int, default=200,
                         help="keys inserted before measuring (default 200)")
     parser.add_argument("--seed", type=int, default=42)
@@ -156,6 +219,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "connecting to a running one")
     parser.add_argument("--shards", type=int, default=4,
                         help="shard count for --spawn-server (default 4)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="disable the read-path caches on the spawned "
+                             "server (--spawn-server only)")
     args = parser.parse_args(argv)
 
     handle = None
@@ -164,19 +230,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.server import ServerConfig, serve_in_thread
 
         handle = serve_in_thread(ServerConfig(
-            shards=args.shards, key_space=(1, args.seed_keys + 1)))
+            shards=args.shards, key_space=(1, args.seed_keys + 1),
+            cache=args.cache))
         host, port = handle.host, handle.port
         print(f"spawned server on {host}:{port} "
-              f"({args.shards} shards)")
+              f"({args.shards} shards, cache "
+              f"{'on' if args.cache else 'off'})")
     try:
         report = run_load(host, port, args.workers, args.duration,
-                          args.seed_keys, args.seed)
+                          args.seed_keys, args.seed, warmup=args.warmup,
+                          mix=args.mix)
     finally:
         if handle is not None:
             handle.stop()
     if args.spawn_server:
         report["config"]["shards"] = args.shards
         report["config"]["spawned"] = True
+        report["config"]["cache"] = args.cache
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.cache import CacheConfig
 from repro.core.model import MAX_KEY
 from repro.errors import (
     ProtocolError,
@@ -82,6 +83,10 @@ class ServerConfig:
     durable_dir: Optional[str] = None  # None: in-memory, no WAL
     fsync: bool = False
     checkpoint_every: int = 0          # checkpoint after N writes (0: off)
+    cache: bool = True                 # version-pinned read-path caches
+    cache_result_entries: int = 4096   # per-shard result-cache capacity
+    cache_memo_entries: int = 8192     # per-shard MVSBT path-memo capacity
+    buffer_policy: str = "2q"          # scan-resistant pools (fresh shards)
 
 
 @dataclass
@@ -105,14 +110,20 @@ class TQLServer:
                     key_space=self.config.key_space,
                     page_capacity=self.config.page_capacity,
                     buffer_pages=self.config.buffer_pages,
-                    thread_safe=True, fsync=self.config.fsync)
+                    thread_safe=True, fsync=self.config.fsync,
+                    buffer_policy=self.config.buffer_policy)
             else:
                 warehouse = ShardedWarehouse(
                     shards=self.config.shards,
                     key_space=self.config.key_space,
                     page_capacity=self.config.page_capacity,
                     buffer_pages=self.config.buffer_pages,
-                    thread_safe=True)
+                    thread_safe=True,
+                    buffer_policy=self.config.buffer_policy)
+            if self.config.cache:
+                warehouse.enable_cache(CacheConfig(
+                    result_entries=self.config.cache_result_entries,
+                    memo_entries=self.config.cache_memo_entries))
         self.warehouse = warehouse
         self.registry = MetricsRegistry()
         self.metrics = ServerMetrics(self.registry)
@@ -251,6 +262,7 @@ class TQLServer:
         if op == "ping":
             return "pong", session.snapshot
         if op == "metrics":
+            self._publish_cache_gauges()
             return self.registry.to_json(), None
         if op == "snapshot":
             session.snapshot = self.warehouse.now
@@ -294,6 +306,22 @@ class TQLServer:
         for shard in self._touched_shards(statement):
             self.metrics.shard_queries(shard).inc()
         return result, as_of
+
+    def _publish_cache_gauges(self) -> None:
+        """Mirror merged cache counters into the exported registry.
+
+        Same naming as :func:`repro.obs.metrics.snapshot_into`:
+        ``repro_cache_<counter>{cache=result|memo|decoded}``.  No-op rows
+        never appear when caching is disabled (the merged snapshot is
+        empty), so the export stays byte-stable for cache-off runs.
+        """
+        snapshot = self.warehouse.cache_snapshot()
+        for layer, stats in snapshot.as_dict().items():
+            for counter, value in stats.items():
+                self.registry.gauge(
+                    f"repro_cache_{counter}",
+                    f"read-path cache counter {counter}",
+                    {"cache": layer}).set(value)
 
     def _touched_shards(self, statement: Any) -> list:
         """Shard indexes a read statement fans out to (for metrics)."""

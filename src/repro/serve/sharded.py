@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.aggregates import Aggregate, AVG, COUNT, MAX, MIN, SUM
+from repro.core.cache import CacheConfig, CacheSnapshot
 from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
 from repro.core.rta import RTAResult
 from repro.core.warehouse import QueryPlan, TemporalWarehouse
@@ -91,7 +92,7 @@ class ShardedWarehouse:
     thread_safe:
         Install per-shard readers-writer locks and buffer-pool locking;
         required whenever more than one thread touches the instance.
-    page_capacity / buffer_pages / strong_factor / start_time:
+    page_capacity / buffer_pages / strong_factor / start_time / buffer_policy:
         Forwarded to every underlying :class:`TemporalWarehouse`.
     """
 
@@ -99,7 +100,8 @@ class ShardedWarehouse:
                  key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  page_capacity: int = 32, buffer_pages: int = 64,
                  strong_factor: float = 0.9, start_time: int = 1,
-                 thread_safe: bool = False) -> None:
+                 thread_safe: bool = False,
+                 buffer_policy: str = "lru") -> None:
         self.key_space = key_space
         self.boundaries = self._split(key_space, shards)
         self.shards: List[TemporalWarehouse] = [
@@ -107,7 +109,8 @@ class ShardedWarehouse:
                               page_capacity=page_capacity,
                               buffer_pages=buffer_pages,
                               strong_factor=strong_factor,
-                              start_time=start_time)
+                              start_time=start_time,
+                              buffer_policy=buffer_policy)
             for lo, hi in zip(self.boundaries, self.boundaries[1:])
         ]
         self.aggregates = _ShardedAggregates(self)
@@ -302,6 +305,31 @@ class ShardedWarehouse:
             for i, part in self.parts_for(key_range)
         ]
 
+    # -- read-path caching -------------------------------------------------------------
+
+    def enable_cache(self, config: Optional[CacheConfig] = None) -> None:
+        """Attach the layered read-path cache on every shard.
+
+        Per-shard caches keep epoch bookkeeping local to the single writer
+        of each shard; a write to one shard never invalidates another
+        shard's cached aggregates.  Cache bookkeeping is thread-safe iff
+        this sharded warehouse is.
+        """
+        for shard in self.shards:
+            shard.enable_cache(config, thread_safe=self.thread_safe)
+
+    def disable_cache(self) -> None:
+        """Detach every shard's read-path cache."""
+        for shard in self.shards:
+            shard.disable_cache()
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        """Cache counters merged across all shards (one row per layer)."""
+        snapshot = CacheSnapshot()
+        for shard in self.shards:
+            snapshot.merge(shard.cache_snapshot())
+        return snapshot
+
     # -- maintenance -------------------------------------------------------------------
 
     def page_count(self) -> int:
@@ -321,13 +349,16 @@ class ShardedWarehouse:
                      page_capacity: int = 32, buffer_pages: int = 64,
                      strong_factor: float = 0.9, start_time: int = 1,
                      thread_safe: bool = False,
-                     fsync: bool = False) -> "ShardedWarehouse":
+                     fsync: bool = False,
+                     buffer_policy: str = "lru") -> "ShardedWarehouse":
         """Open (or create) a crash-recoverable sharded warehouse.
 
         The shard layout (count and boundaries) is frozen in
         ``layout.json`` on first open; reopens ignore the ``shards`` and
         ``key_space`` arguments in favor of the stored layout, because
         re-partitioning on-disk shards is not supported.
+        ``buffer_policy`` applies to freshly created shards; shards
+        restored from a checkpoint keep the default eviction policy.
         """
         import json
         import os
@@ -353,7 +384,8 @@ class ShardedWarehouse:
                 os.path.join(directory, f"shard-{i:02d}"),
                 buffer_pages=buffer_pages, fsync=fsync,
                 key_space=(lo, hi), page_capacity=page_capacity,
-                strong_factor=strong_factor, start_time=start_time)
+                strong_factor=strong_factor, start_time=start_time,
+                buffer_policy=buffer_policy)
             for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
         ]
         warehouse.aggregates = _ShardedAggregates(warehouse)

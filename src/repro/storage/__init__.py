@@ -20,11 +20,13 @@ substrate:
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, FileDiskManager, InMemoryDiskManager
 from repro.storage.page import Page
+from repro.storage.serialization import DecodedPageCache
 from repro.storage.stats import CostModel, IOStats
 
 __all__ = [
     "BufferPool",
     "CostModel",
+    "DecodedPageCache",
     "DiskManager",
     "FileDiskManager",
     "InMemoryDiskManager",

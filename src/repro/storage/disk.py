@@ -21,6 +21,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.storage.page import Page
 from repro.storage.serialization import (
     DEFAULT_PAGE_BYTES,
+    DecodedPageCache,
     decode_page,
     encode_page,
 )
@@ -125,11 +126,15 @@ class FileDiskManager(DiskManager):
     """
 
     def __init__(self, path: str, page_bytes: int = DEFAULT_PAGE_BYTES,
-                 default_capacity: int = 64) -> None:
+                 default_capacity: int = 64,
+                 decoded_cache: Optional["DecodedPageCache"] = None) -> None:
         super().__init__()
         self.path = path
         self.page_bytes = page_bytes
         self.default_capacity = default_capacity
+        #: Optional :class:`~repro.storage.serialization.DecodedPageCache`;
+        #: ``None`` keeps the decode-on-every-read behavior.
+        self.decoded_cache = decoded_cache
         self._freed: set[int] = set()
         self._known: set[int] = set()
         self._capacities: Dict[int, int] = {}
@@ -148,6 +153,18 @@ class FileDiskManager(DiskManager):
     def read(self, page_id: int) -> Page:
         if page_id not in self._known or page_id in self._freed:
             raise PageNotFoundError(page_id)
+        if self.decoded_cache is not None:
+            entry = self.decoded_cache.take(page_id)
+            if entry is not None:
+                # The cached records were synced with the on-disk bytes by
+                # the write/eviction that parked them here; skip both the
+                # byte read and the struct decode loop.
+                kind, records, capacity = entry
+                page = Page(page_id, capacity, kind)
+                page.records = records
+                if self.tracer.enabled:
+                    self.tracer.event("disk.read", page=page_id, cached=True)
+                return page
         with open(self.path, "rb") as fh:
             fh.seek(self._offset(page_id))
             raw = fh.read(self.page_bytes)
@@ -170,6 +187,11 @@ class FileDiskManager(DiskManager):
         with open(self.path, "r+b") as fh:
             fh.seek(self._offset(page.page_id))
             fh.write(image)
+        if self.decoded_cache is not None:
+            # The records now match the bytes just written; park them so a
+            # post-eviction re-read skips the decode.
+            self.decoded_cache.put(page.page_id, page.kind, page.records,
+                                   page.capacity)
         if self.tracer.enabled:
             self.tracer.event("disk.write", page=page.page_id,
                               bytes=len(image))
@@ -177,6 +199,8 @@ class FileDiskManager(DiskManager):
     def free(self, page_id: int) -> None:
         if page_id not in self._known or page_id in self._freed:
             raise PageNotFoundError(page_id)
+        if self.decoded_cache is not None:
+            self.decoded_cache.invalidate(page_id)
         self._freed.add(page_id)
         with open(self.path, "r+b") as fh:
             fh.seek(self._offset(page_id))

@@ -17,8 +17,9 @@ paper's exact 4-byte widths when desired.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Bytes reserved per page for header bookkeeping (page id, kind tag, record
 #: count, lifespan).  A real system needs roughly this much; the exact value
@@ -117,3 +118,68 @@ def decode_page(raw: bytes) -> Tuple[str, list]:
         codec.decode(body[i * width:(i + 1) * width]) for i in range(count)
     ]
     return kind, records
+
+
+class DecodedPageCache:
+    """Decoded-record cache above the page codecs (opt-in, LRU-bounded).
+
+    :class:`~repro.storage.disk.FileDiskManager` decodes every record of a
+    page on every physical read — pure CPU the paper's I/O metric never
+    sees but a real server pays per request.  This cache keeps the decoded
+    record lists of recently written-back or evicted pages so a re-read
+    skips the ``struct`` loop entirely.
+
+    Record objects are mutable, so the cache uses **ownership transfer**:
+    :meth:`take` *pops* the entry (hit or nothing), making every record
+    list owned by exactly one of {cache, live buffered page} — an aliased
+    list can never be mutated behind the cache's back.  Coherence then
+    follows from the buffer pool's discipline: an entry is only consumed
+    when the page is not buffer-resident, and the last thing that happens
+    to a resident page on its way out is the :meth:`put` from its write-
+    back (dirty) or clean-eviction hook, so the cached records always
+    match the on-disk bytes.  Page dirtying needs no extra invalidation
+    hook for the same reason — a dirtied page is, by definition, resident.
+    """
+
+    __slots__ = ("capacity", "stats", "_entries")
+
+    def __init__(self, capacity: int = 512) -> None:
+        from repro.core.cache import CacheStats
+
+        if capacity < 1:
+            raise ValueError("decoded-page cache needs capacity >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        #: page_id -> (kind, records, page capacity)
+        self._entries: "OrderedDict[int, Tuple[str, List[Any], int]]" = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def take(self, page_id: int) -> Optional[Tuple[str, List[Any], int]]:
+        """Pop and return the decoded entry, or ``None`` (a decode is due)."""
+        entry = self._entries.pop(page_id, None)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(self, page_id: int, kind: str, records: List[Any],
+            capacity: int) -> None:
+        """Adopt a page's decoded records (the caller yields ownership)."""
+        self._entries[page_id] = (kind, records, capacity)
+        self._entries.move_to_end(page_id)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a freed page's entry."""
+        if self._entries.pop(page_id, None) is not None:
+            self.stats.stale_drops += 1
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()

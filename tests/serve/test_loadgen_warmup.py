@@ -1,0 +1,51 @@
+"""Load-generator warm-up phase and the read-hot statement mix."""
+
+from repro.serve.loadgen import hot_rectangles, run_load
+from repro.serve.server import ServerConfig, serve_in_thread
+
+
+def test_hot_rectangles_deterministic_and_bounded():
+    first = hot_rectangles(100, 8, seed=7)
+    assert first == hot_rectangles(100, 8, seed=7)
+    assert first != hot_rectangles(100, 8, seed=8)
+    assert len(first) == 8
+    for agg, lo, hi in first:
+        assert agg in ("SUM(value)", "COUNT(*)", "AVG(value)")
+        assert 1 <= lo < hi <= 101
+
+
+def test_warmup_samples_excluded_from_report():
+    handle = serve_in_thread(ServerConfig(port=0, shards=2,
+                                          key_space=(1, 81)))
+    try:
+        report = run_load(handle.host, handle.port, workers=2,
+                          duration=0.4, seed_keys=80, seed=3,
+                          warmup=0.4, mix="read-hot")
+        assert report["config"]["warmup_s"] == 0.4
+        assert report["config"]["mix"] == "read-hot"
+        measured = report["totals"]["requests"]
+        assert measured > 0
+        # The server saw seeding + warm-up + measured query requests;
+        # more landed on it than the report counted, which is exactly
+        # the warm-up exclusion.
+        series = report["server_metrics"]["repro_serve_requests_total"]
+        server_query_ops = sum(
+            row["value"] for row in series["series"]
+            if row["labels"].get("op") == "query")
+        seeded = 80
+        assert server_query_ops > seeded + measured
+    finally:
+        handle.stop()
+
+
+def test_zero_warmup_keeps_legacy_behavior():
+    handle = serve_in_thread(ServerConfig(port=0, shards=2,
+                                          key_space=(1, 41)))
+    try:
+        report = run_load(handle.host, handle.port, workers=1,
+                          duration=0.3, seed_keys=40, seed=3)
+        assert report["config"]["warmup_s"] == 0.0
+        assert report["config"]["mix"] == "uniform"
+        assert report["totals"]["requests"] > 0
+    finally:
+        handle.stop()

@@ -1,0 +1,42 @@
+"""Server-level cache wiring: default-on, ``cache=False`` opt-out, and
+the ``metrics`` op's merged cache gauges."""
+
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig, serve_in_thread
+
+
+def _drive(config):
+    handle = serve_in_thread(config)
+    try:
+        with Client(handle.host, handle.port) as client:
+            for k in range(1, 41):
+                client.execute(f"INSERT KEY {k} VALUE {k} AT {k}")
+            client.repin()
+            tql = "SELECT SUM(value) WHERE key IN [1, 81) " \
+                  "AND time DURING [1, 30)"
+            first = client.execute(tql)
+            second = client.execute(tql)
+            metrics = client.metrics()
+        return first, second, metrics, handle.server.warehouse
+    finally:
+        handle.stop()
+
+
+def test_cache_on_by_default_and_exported():
+    first, second, metrics, warehouse = _drive(
+        ServerConfig(port=0, shards=2, key_space=(1, 81)))
+    assert first == second
+    hits = metrics["repro_cache_hits"]["series"]
+    by_layer = {row["labels"]["cache"]: row["value"] for row in hits}
+    assert by_layer["result"] >= 1  # the repeated SELECT was served hot
+    assert all(shard.result_cache is not None
+               for shard in warehouse.shards)
+
+
+def test_no_cache_opt_out_is_inert():
+    first, second, metrics, warehouse = _drive(
+        ServerConfig(port=0, shards=2, key_space=(1, 81), cache=False))
+    assert first == second
+    assert "repro_cache_hits" not in metrics  # no gauges, no layers
+    assert all(shard.result_cache is None
+               for shard in warehouse.shards)

@@ -1,0 +1,107 @@
+"""Decoded-page cache: ownership-transfer semantics and the file-backed
+read path that skips the struct decode on buffer-pool re-reads."""
+
+import pytest
+
+from repro.baselines.naive_scan import HeapFileScanBaseline
+from repro.core.model import Interval, KeyRange
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import FileDiskManager
+from repro.storage.serialization import DecodedPageCache, RecordCodec, \
+    register_codec
+
+register_codec("decoded-pair", RecordCodec(
+    fmt="<qq",
+    to_tuple=lambda rec: rec,
+    from_tuple=lambda tup: tup,
+))
+
+
+class TestDecodedPageCache:
+    def test_take_transfers_ownership(self):
+        cache = DecodedPageCache(capacity=4)
+        records = [(1, 2), (3, 4)]
+        cache.put(7, "decoded-pair", records, 8)
+        assert cache.take(7) == ("decoded-pair", records, 8)
+        assert cache.take(7) is None  # popped, not copied
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_bounds_entries_lru(self):
+        cache = DecodedPageCache(capacity=2)
+        for pid in range(3):
+            cache.put(pid, "decoded-pair", [], 8)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.take(0) is None  # the LRU entry went first
+        assert cache.take(2) is not None
+
+    def test_invalidate_counts_stale_drops(self):
+        cache = DecodedPageCache(capacity=4)
+        cache.put(1, "decoded-pair", [], 8)
+        cache.invalidate(1)
+        cache.invalidate(1)  # second drop is a no-op
+        assert cache.stats.stale_drops == 1
+        assert cache.take(1) is None
+
+    def test_clear_empties_without_stats(self):
+        cache = DecodedPageCache(capacity=4)
+        cache.put(1, "decoded-pair", [], 8)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DecodedPageCache(capacity=0)
+
+
+class TestFileDiskIntegration:
+    def test_read_hit_skips_bytes_and_decode(self, tmp_path):
+        cache = DecodedPageCache(capacity=8)
+        disk = FileDiskManager(str(tmp_path / "pages.db"), page_bytes=256,
+                               decoded_cache=cache)
+        page = disk.allocate(capacity=8, kind="decoded-pair")
+        page.records = [(1, 10), (2, 20)]
+        disk.write(page)  # parks the decoded records
+        fetched = disk.read(page.page_id)
+        assert fetched.records == [(1, 10), (2, 20)]
+        assert cache.stats.hits == 1
+        # The hit consumed the entry; the next read decodes from bytes.
+        again = disk.read(page.page_id)
+        assert again.records == [(1, 10), (2, 20)]
+        assert cache.stats.misses == 1
+        disk.close()
+
+    def test_free_invalidates_parked_entry(self, tmp_path):
+        cache = DecodedPageCache(capacity=8)
+        disk = FileDiskManager(str(tmp_path / "pages.db"), page_bytes=256,
+                               decoded_cache=cache)
+        page = disk.allocate(capacity=8, kind="decoded-pair")
+        disk.write(page)
+        disk.free(page.page_id)
+        assert cache.stats.stale_drops >= 1
+        disk.close()
+
+    def test_heap_baseline_answers_match_cacheless_twin(self, tmp_path):
+        """Pool-mediated access with evictions: cached == uncached, and
+        the cached run actually took decode-skipping hits."""
+        def build(with_cache):
+            cache = DecodedPageCache(capacity=64) if with_cache else None
+            disk = FileDiskManager(str(tmp_path / f"heap{with_cache}.db"),
+                                   page_bytes=512, decoded_cache=cache)
+            pool = BufferPool(disk, capacity=2)  # tiny: constant evictions
+            return HeapFileScanBaseline(pool, capacity=8,
+                                        key_space=(1, 201)), cache
+
+        heap, cache = build(True)
+        twin, _ = build(False)
+        for k in range(1, 121):
+            heap.insert(k, float(k), k)
+            twin.insert(k, float(k), k)
+        probes = [(KeyRange(1, 201), Interval(1, 121)),
+                  (KeyRange(30, 90), Interval(10, 60)),
+                  (KeyRange(1, 50), Interval(100, 121))]
+        for key_range, interval in probes:
+            assert heap.sum(key_range, interval) == \
+                twin.sum(key_range, interval)
+        assert cache.stats.hits > 0
