@@ -14,7 +14,6 @@ machine consumption alongside the usual rendered table.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.bench.reporting import Table
@@ -110,9 +109,14 @@ def test_batched_ingest_speedup(benchmark, settings, scale, record_table):
                "write coalescing applies there (reported, not gated)")
     record_table("ingest_batched_vs_sequential", table)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_ingest.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.bench.envelope import write_report
+    write_report(
+        RESULTS_DIR / "BENCH_ingest.json", "ingest",
+        {k: payload[k] for k in ("scale", "page_bytes", "buffer_pages",
+                                 "events", "rounds")},
+        {f"cpu_speedup[{name}]": entry["cpu_speedup"]
+         for name, entry in payload["competitors"].items()},
+        payload)
 
     for name, (seq, bat) in results.items():
         # The loader replays the identical record-level mutation sequence,

@@ -1,0 +1,198 @@
+"""Process-per-shard versus in-process threads: the multi-core bench.
+
+The thread backend (:class:`~repro.serve.sharded.ShardedWarehouse`)
+executes every shard's aggregate walks under one GIL, so four driver
+threads share roughly one core of index computation.  The process
+backend (:class:`~repro.serve.procpool.ProcessShardedWarehouse`) gives
+each shard its own worker process; the same four driver threads then
+block in RPC waits while four workers compute concurrently.
+
+Two checks:
+
+* **Byte-identical answers** — both backends share
+  :class:`~repro.serve.sharded.ShardRouter`'s gather arithmetic, and this
+  bench proves it end to end: the same fixed-seed workload (bulk-loaded
+  through each backend's own LOAD path) must produce identical
+  ``repr``\\ s for every aggregate over every rectangle.  Enforced
+  everywhere, always.
+* **>= 2x read QPS** at 4 shards / 4 driver threads on the read-hot mix
+  with caches **off** (a result cache answers in the parent and would
+  measure cache hits, not execution).  Only enforced where the speedup
+  is physically possible: ``os.cpu_count() >= 4``, overridable with
+  ``REPRO_MULTICORE_GATE=1`` (force) / ``0`` (report only).
+
+Writes ``benchmarks/results/BENCH_multicore.json`` in the consolidated
+envelope (see :mod:`repro.bench.envelope`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.envelope import write_report
+from repro.bench.reporting import Table
+from repro.core.model import Interval, KeyRange
+from repro.serve.procpool import ProcessShardedWarehouse
+from repro.serve.sharded import ShardedWarehouse
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SEED = 2026
+SHARDS = 4
+WORKERS = 4
+HOT_RECTANGLES = 16
+HOT_FRACTION = 0.9
+
+
+def _duration() -> float:
+    return float(os.environ.get("REPRO_MULTICORE_SECONDS", "2.0"))
+
+
+def _gate_enforced() -> bool:
+    """Whether the >=2x speedup assertion applies on this machine."""
+    override = os.environ.get("REPRO_MULTICORE_GATE")
+    if override is not None:
+        return override == "1"
+    return (os.cpu_count() or 1) >= 4
+
+
+def _events(keys: int, seed: int):
+    """A chronological fixed-seed event stream: inserts plus some churn."""
+    rng = random.Random(seed)
+    events = []
+    t = 1
+    for key in range(1, keys + 1):
+        events.append(("insert", key, float(rng.randint(1, 100)), t))
+        if rng.random() < 0.3:
+            t += 1
+    alive = list(range(1, keys + 1))
+    rng.shuffle(alive)
+    for key in alive[: keys // 10]:
+        t += 1
+        events.append(("delete", key, 0.0, t))
+    return events, t
+
+
+def _rectangles(keys: int, now: int, count: int, seed: int):
+    """``(method, KeyRange, Interval)`` rectangles shared by both drives."""
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        method = rng.choice(("sum", "count", "avg", "min", "max"))
+        lo = rng.randint(1, keys)
+        hi = rng.randint(lo + 1, keys + 1)
+        t0 = rng.randint(1, now)
+        t1 = rng.randint(t0 + 1, now + 1)
+        rects.append((method, KeyRange(lo, hi), Interval(t0, t1)))
+    return rects
+
+
+def _answers(warehouse, rects):
+    """Every rectangle's answer, repr-stringified for exact comparison."""
+    return [repr(getattr(warehouse, method)(key_range, interval))
+            for method, key_range, interval in rects]
+
+
+def _drive_qps(warehouse, keys: int, now: int, duration: float,
+               workers: int, seed: int) -> float:
+    """Closed-loop read-hot drive: ``workers`` threads, completed/s."""
+    hot = _rectangles(keys, now, HOT_RECTANGLES, seed)
+    counts = [0] * workers
+    start = time.perf_counter()
+    deadline = start + duration
+
+    def run(slot: int) -> None:
+        rng = random.Random(seed + 1000 + slot)
+        while time.perf_counter() < deadline:
+            if rng.random() < HOT_FRACTION:
+                method, key_range, interval = rng.choice(hot)
+            else:
+                method, key_range, interval = _rectangles(
+                    keys, now, 1, rng.randrange(1 << 30))[0]
+            getattr(warehouse, method)(key_range, interval)
+            counts[slot] += 1
+
+    pool = [threading.Thread(target=run, args=(slot,), daemon=True)
+            for slot in range(workers)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return sum(counts) / elapsed if elapsed > 0 else 0.0
+
+
+def test_process_backend_speedup(scale, record_table):
+    keys = max(200, int(50_000 * scale))
+    duration = _duration()
+    events, now = _events(keys, SEED)
+    rects = _rectangles(keys, now, 60, SEED + 1)
+
+    thread_backend = ShardedWarehouse(
+        shards=SHARDS, key_space=(1, keys + 1), thread_safe=True)
+    process_backend = ProcessShardedWarehouse(
+        shards=SHARDS, key_space=(1, keys + 1))
+    try:
+        # Bulk load through each backend's own LOAD path — sequential per
+        # shard on threads, concurrent worker fan-out on processes.
+        thread_report = thread_backend.load_events(events)
+        process_report = process_backend.load_events(events)
+        assert thread_report.events == process_report.events == len(events)
+
+        thread_answers = _answers(thread_backend, rects)
+        process_answers = _answers(process_backend, rects)
+        assert thread_answers == process_answers, (
+            "scatter-gather answers differ between backends")
+
+        thread_qps = _drive_qps(thread_backend, keys, now, duration,
+                                WORKERS, SEED + 2)
+        process_qps = _drive_qps(process_backend, keys, now, duration,
+                                 WORKERS, SEED + 2)
+    finally:
+        process_backend.close()
+
+    speedup = process_qps / max(thread_qps, 1e-9)
+    enforced = _gate_enforced()
+
+    table = Table(
+        title=(f"Process vs thread backend, {SHARDS} shards / {WORKERS} "
+               f"drivers, {keys} keys, read-hot, cache off "
+               f"({duration:.1f}s per side)"),
+        columns=("backend", "qps", "speedup"),
+    )
+    table.add(backend="thread", qps=round(thread_qps), speedup=1.0)
+    table.add(backend="process", qps=round(process_qps),
+              speedup=round(speedup, 2))
+    table.note(f"cpu_count={os.cpu_count()}; the >=2x gate is "
+               f"{'enforced' if enforced else 'reported only'} here — "
+               "process-per-shard cannot beat the GIL without cores")
+    record_table("multicore", table)
+
+    write_report(
+        RESULTS_DIR / "BENCH_multicore.json", "multicore",
+        {"shards": SHARDS, "workers": WORKERS, "keys": keys,
+         "events": len(events), "duration_s": duration,
+         "mix": "read-hot", "cache": False,
+         "cpu_count": os.cpu_count() or 1},
+        {"thread_qps": thread_qps, "process_qps": process_qps,
+         "speedup": speedup, "byte_identical": True,
+         "gate_enforced": enforced},
+        {"thread": {"qps": thread_qps, "load": vars(thread_report)},
+         "process": {"qps": process_qps, "load": vars(process_report)},
+         "rectangles": len(rects)})
+
+    if enforced:
+        assert speedup >= 2.0, (
+            f"process backend only {speedup:.2f}x over threads at "
+            f"{SHARDS} shards / {WORKERS} drivers")
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-p", "no:cacheprovider"]))

@@ -165,9 +165,15 @@ def test_warm_cache_speedup(scale, record_table):
         },
         "loadgen": loadgen,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_cache.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.bench.envelope import write_report
+    write_report(
+        RESULTS_DIR / "BENCH_cache.json", "cache",
+        {k: payload[k] for k in ("scale", "keys", "queries",
+                                 "hot_rectangles", "hot_fraction")},
+        {"warm_speedup": speedup, "warm_qps": warm_qps,
+         "uncached_qps": base_qps, "byte_identical": True,
+         "loadgen_speedup": loadgen["speedup"]},
+        payload)
 
     assert speedup >= 3.0, f"warm cache only {speedup:.2f}x over uncached"
     assert snapshot["result"]["hits"] > 0

@@ -10,15 +10,20 @@ Supported: :class:`~repro.mvsbt.tree.MVSBT`, :class:`~repro.mvbt.tree.MVBT`,
 :class:`~repro.core.rta.RTAIndex`,
 :class:`~repro.core.warehouse.TemporalWarehouse`.
 
-The module is also a small CLI over trace files::
+The module is also a small CLI over trace and benchmark files::
 
     python -m repro.analyze traces out.jsonl --top 10   # hottest spans
     python -m repro.analyze schema                       # print the schema
     python -m repro.analyze schema --check docs/trace_schema.json
+    python -m repro.analyze bench                        # perf trajectory
 
 ``traces`` ranks the spans of a ``--trace`` JSONL file (bench phases or
 EXPLAIN span trees alike) by physical I/O and by CPU; ``schema --check``
-fails when a checked-in schema copy drifts from the one the code enforces.
+fails when a checked-in schema copy drifts from the one the code
+enforces; ``bench`` reads every ``BENCH_*.json`` under
+``benchmarks/results`` (legacy shapes are upgraded in memory — see
+:mod:`repro.bench.envelope`) and prints the headline metrics of each
+benchmark family in the order the PRs introduced them.
 """
 
 from __future__ import annotations
@@ -241,6 +246,48 @@ def _cmd_schema(check: Optional[str]) -> int:
     return 1
 
 
+def _metric_value(value: Any) -> str:
+    """Render one flat metric for the bench table."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return f"{value:,}"
+
+
+def _cmd_bench(directory: str) -> int:
+    """The ``bench`` subcommand: the perf trajectory across PRs."""
+    from pathlib import Path
+
+    from repro.bench.envelope import BENCH_PR, load_all
+    from repro.bench.reporting import Table
+
+    reports = load_all(Path(directory))
+    if not reports:
+        print(f"no BENCH_*.json files under {directory}", file=sys.stderr)
+        return 1
+    table = Table(
+        title=f"benchmark trajectory ({directory})",
+        columns=("pr", "bench", "file", "metric", "value"),
+    )
+    for filename, report in reports.items():
+        bench = report.get("bench", "unknown")
+        pr = BENCH_PR.get(bench)
+        metrics = report.get("metrics", {})
+        if not metrics:
+            table.add(pr=pr if pr is not None else "?", bench=bench,
+                      file=filename, metric="(none)", value="")
+        for i, (name, value) in enumerate(sorted(metrics.items())):
+            table.add(pr=(pr if pr is not None else "?") if i == 0 else "",
+                      bench=bench if i == 0 else "",
+                      file=filename if i == 0 else "",
+                      metric=name, value=_metric_value(value))
+    table.note("legacy payloads are upgraded in memory to the v1 "
+               "envelope; raw numbers stay in each file's raw section")
+    print(table.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (``python -m repro.analyze``); returns an exit code."""
     parser = argparse.ArgumentParser(
@@ -257,9 +304,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="print or check the trace-record schema")
     schema.add_argument("--check", default=None, metavar="FILE",
                         help="compare FILE against the enforced schema")
+    bench = sub.add_parser("bench",
+                           help="print the BENCH_*.json perf trajectory")
+    bench.add_argument("--dir", default="benchmarks/results",
+                       help="directory of BENCH_*.json files "
+                            "(default benchmarks/results)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.command == "traces":
         return _cmd_traces(args.file, args.top)
+    if args.command == "bench":
+        return _cmd_bench(args.dir)
     return _cmd_schema(args.check)
 
 

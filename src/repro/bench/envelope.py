@@ -1,0 +1,172 @@
+"""One schema for every ``BENCH_*.json`` artifact.
+
+Each PR so far shipped a benchmark with its own ad-hoc payload —
+``BENCH_ingest.json`` (PR 1, per-competitor replay costs),
+``BENCH_serve.json`` (PR 3, raw loadgen report), ``BENCH_cache.json``
+(PR 4, direct-path + loadgen cache speedups).  Comparing them, or
+feeding them to one tool, meant knowing three shapes.  This module fixes
+the contract going forward and adapts the past:
+
+* :func:`envelope` / :func:`write_report` — the v1 envelope every writer
+  now emits::
+
+      {"schema_version": 1,
+       "bench":   "serve",            # which benchmark family
+       "config":  {...},              # the knobs that produced the run
+       "metrics": {"qps": 1234.5},    # flat name -> number headline
+       "raw":     {...}}              # the full legacy payload, untouched
+
+  ``metrics`` is deliberately flat (no nesting, numeric or boolean
+  values only) so a report across benches is a join, not a traversal.
+
+* :func:`load_report` / :func:`normalize` — read any ``BENCH_*.json``
+  ever written.  Pre-envelope files are *sniffed* by their
+  distinguishing keys (``competitors`` → ingest, ``direct`` → cache,
+  ``totals`` + ``latency_ms`` → serve) and upgraded in memory to the
+  same envelope, raw payload preserved verbatim.
+
+``python -m repro.analyze bench`` consumes these to print the
+performance trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+#: Version of the on-disk envelope written by :func:`write_report`.
+SCHEMA_VERSION = 1
+
+#: Bench family -> the PR that introduced it (trajectory ordering).
+BENCH_PR = {
+    "ingest": 1,
+    "serve": 3,
+    "cache": 4,
+    "multicore": 5,
+}
+
+
+def envelope(bench: str, config: Mapping[str, Any],
+             metrics: Mapping[str, Any],
+             raw: Mapping[str, Any]) -> Dict[str, Any]:
+    """Assemble a v1 envelope; validates the flat-metrics contract."""
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float, bool)):
+            raise TypeError(
+                f"metric {name!r} is {type(value).__name__}; metrics "
+                "must be flat numbers (put structure in raw)")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "config": dict(config),
+        "metrics": dict(metrics),
+        "raw": dict(raw),
+    }
+
+
+def write_report(path: Path, bench: str, config: Mapping[str, Any],
+                 metrics: Mapping[str, Any],
+                 raw: Mapping[str, Any]) -> Dict[str, Any]:
+    """Write the envelope as pretty sorted JSON; returns it."""
+    report = envelope(bench, config, metrics, raw)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def _loadgen_metrics(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Headline numbers of a loadgen ``run_load`` payload."""
+    totals = data.get("totals", {})
+    latency = data.get("latency_ms", {})
+    metrics: Dict[str, Any] = {
+        "qps": totals.get("qps", 0.0),
+        "requests": totals.get("requests", 0),
+        "p50_ms": latency.get("p50"),
+        "p95_ms": latency.get("p95"),
+        "p99_ms": latency.get("p99"),
+    }
+    if "offered" in totals:
+        metrics["offered"] = totals["offered"]
+    if "dropped" in totals:
+        metrics["dropped"] = totals["dropped"]
+    return {k: v for k, v in metrics.items() if v is not None}
+
+
+def normalize(data: Mapping[str, Any],
+              source: str = "") -> Dict[str, Any]:
+    """Upgrade any known ``BENCH_*.json`` payload to the v1 envelope.
+
+    Envelopes pass through unchanged.  Legacy shapes are identified by
+    their distinguishing keys; an unrecognized payload becomes an
+    ``"unknown"`` bench with empty metrics rather than an error, so one
+    stray file never breaks the trajectory report.
+    """
+    if data.get("schema_version") == SCHEMA_VERSION:
+        return dict(data)
+
+    if "competitors" in data:  # legacy BENCH_ingest.json
+        metrics = {
+            f"cpu_speedup[{name}]": entry.get("cpu_speedup", 0.0)
+            for name, entry in data["competitors"].items()
+        }
+        config = {k: data[k] for k in
+                  ("scale", "page_bytes", "buffer_pages", "events",
+                   "rounds") if k in data}
+        return envelope("ingest", config, metrics, data)
+
+    if "direct" in data:  # legacy BENCH_cache.json
+        direct = data["direct"]
+        metrics = {
+            "warm_speedup": direct.get("speedup", 0.0),
+            "warm_qps": direct.get("warm_qps", 0.0),
+            "uncached_qps": direct.get("uncached_qps", 0.0),
+            "byte_identical": direct.get("byte_identical", False),
+        }
+        loadgen = data.get("loadgen", {})
+        if "speedup" in loadgen:
+            metrics["loadgen_speedup"] = loadgen["speedup"]
+        config = {k: data[k] for k in
+                  ("scale", "keys", "queries", "hot_rectangles",
+                   "hot_fraction") if k in data}
+        return envelope("cache", config, metrics, data)
+
+    if "totals" in data and "latency_ms" in data:  # legacy BENCH_serve.json
+        return envelope("serve", data.get("config", {}),
+                        _loadgen_metrics(data), data)
+
+    bench = source or "unknown"
+    return envelope(bench, {}, {}, data)
+
+
+def load_report(path: Path) -> Dict[str, Any]:
+    """Read one ``BENCH_*.json`` file, normalized to the v1 envelope.
+
+    The bench name sniffed from the filename (``BENCH_<name>.json``) is
+    the fallback label for payloads :func:`normalize` cannot identify.
+    """
+    path = Path(path)
+    stem = path.stem
+    source = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    return normalize(json.loads(path.read_text()), source=source)
+
+
+def load_all(directory: Path) -> Dict[str, Dict[str, Any]]:
+    """All ``BENCH_*.json`` envelopes under ``directory``, keyed by file.
+
+    Ordered for the trajectory report: known bench families by the PR
+    that introduced them (:data:`BENCH_PR`), then everything else
+    alphabetically.
+    """
+    directory = Path(directory)
+    reports = {
+        path.name: load_report(path)
+        for path in sorted(directory.glob("BENCH_*.json"))
+    }
+
+    def rank(item: "tuple[str, Dict[str, Any]]") -> "tuple[int, str]":
+        bench = item[1].get("bench", "unknown")
+        return (BENCH_PR.get(bench, 99), item[0])
+
+    return dict(sorted(reports.items(), key=rank))

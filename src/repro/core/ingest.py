@@ -33,7 +33,7 @@ Supported targets (duck-typed, so wrappers compose):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List
+from typing import Any, Iterable, List, NamedTuple, Sequence
 
 from repro.obs.tracer import NULL_TRACER
 from repro.storage.buffer import BufferPool
@@ -41,6 +41,49 @@ from repro.storage.buffer import BufferPool
 #: Events applied between two coalesced flushes; large enough to amortize
 #: the window bookkeeping, small enough to bound dirty-page residency.
 DEFAULT_BATCH_SIZE = 1024
+
+
+class LoadEvent(NamedTuple):
+    """The minimal wire form of one update event.
+
+    A plain tuple subtype so event batches cross process boundaries (the
+    ``repro.serve`` LOAD op, the procpool worker pipe) as pickle-light
+    payloads while still quacking like
+    :class:`~repro.workloads.generator.UpdateEvent` for the loader.
+    ``value`` is ignored for deletes.
+    """
+
+    op: str
+    key: int
+    value: float
+    time: int
+
+
+def coerce_events(events: Sequence[Any]) -> List[LoadEvent]:
+    """Normalize an event batch to :class:`LoadEvent` rows.
+
+    Accepts :class:`LoadEvent`, any object with ``op``/``key``/``value``/
+    ``time`` attributes, or bare ``(op, key, value, time)`` sequences (the
+    JSON protocol decodes to lists).  Raises :class:`ValueError` on a
+    malformed row before anything is applied.
+    """
+    out: List[LoadEvent] = []
+    for row in events:
+        if isinstance(row, LoadEvent):
+            out.append(row)
+        elif hasattr(row, "op"):
+            out.append(LoadEvent(row.op, row.key,
+                                 getattr(row, "value", 0.0), row.time))
+        else:
+            try:
+                op, key, value, time = row
+            except (TypeError, ValueError):
+                raise ValueError(f"malformed load event {row!r}") from None
+            out.append(LoadEvent(str(op), int(key), float(value), int(time)))
+    for event in out:
+        if event.op not in ("insert", "delete"):
+            raise ValueError(f"unknown event op {event.op!r}")
+    return out
 
 
 @dataclass

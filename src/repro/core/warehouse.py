@@ -137,6 +137,33 @@ class TemporalWarehouse:
         self.delete(key, t)
         self.insert(key, value, t)
 
+    def load_events(self, events, batch_size: Optional[int] = None):
+        """Bulk-apply a chronological event batch via the batch kernels.
+
+        Thin wrapper over :class:`~repro.core.ingest.BatchLoader` — page
+        contents come out bit-identical to event-at-a-time ingestion, but
+        page search state is maintained incrementally and write-backs are
+        coalesced.  Updates still reach the WAL one event at a time
+        (``insert``/``delete`` below are the loader's only entry points),
+        so durability is unchanged.  Returns the
+        :class:`~repro.core.ingest.IngestReport`.
+        """
+        from repro.core.ingest import (BatchLoader, DEFAULT_BATCH_SIZE,
+                                       coerce_events)
+
+        loader = BatchLoader(self, batch_size or DEFAULT_BATCH_SIZE)
+        return loader.load(coerce_events(events))
+
+    def __reduce__(self):
+        # Warehouses hold buffer pools, file handles and lambdas; shipping
+        # one through pickle (e.g. into a spawn-started worker) would be a
+        # silent deep copy at best.  Procpool workers rebuild from a
+        # ShardSpec instead.
+        raise TypeError(
+            "TemporalWarehouse is not picklable; pass a construction spec "
+            "(see repro.serve.procpool.ShardSpec) and rebuild in the worker"
+        )
+
     @property
     def now(self) -> int:
         return self.tuples.now

@@ -143,6 +143,18 @@ class ProtocolError(ServerError):
     code = "PROTOCOL"
 
 
+class ShardDownError(ServerError):
+    """A statement was routed to a shard whose worker process is dead.
+
+    Raised by the process-per-shard backend (:mod:`repro.serve.procpool`)
+    when the owning worker has exited — crashed, killed, or unreachable.
+    Durable deployments recover the shard via WAL replay on respawn; the
+    error is retriable once the shard is back.
+    """
+
+    code = "SHARD_DOWN"
+
+
 def error_payload(exc: BaseException) -> Dict[str, str]:
     """The wire form of an exception: ``{"code": ..., "message": ...}``.
 
@@ -154,3 +166,34 @@ def error_payload(exc: BaseException) -> Dict[str, str]:
         return {"code": exc.code, "message": str(exc)}
     return {"code": "INTERNAL",
             "message": f"{type(exc).__name__}: {exc}"}
+
+
+def _code_registry() -> Dict[str, type]:
+    """``code -> class`` over the whole :class:`ReproError` hierarchy."""
+    registry: Dict[str, type] = {}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        registry.setdefault(cls.code, cls)
+        stack.extend(cls.__subclasses__())
+    return registry
+
+
+def error_from_payload(payload: Dict[str, str]) -> ReproError:
+    """Rebuild a typed exception from an :func:`error_payload` dict.
+
+    The inverse used at process boundaries (the :mod:`repro.serve.procpool`
+    worker pipe): the reconstructed exception is of the class whose stable
+    ``code`` matches, so re-serializing it yields the original payload and
+    callers can keep dispatching on types.  Unknown codes collapse to
+    :class:`ReproError`.  Construction bypasses subclass ``__init__``
+    signatures (some take structured arguments) — only the message is
+    carried across.
+    """
+    code = payload.get("code", "")
+    cls = _code_registry().get(code)
+    exc = (cls or ReproError).__new__(cls or ReproError)
+    Exception.__init__(exc, payload.get("message", "unknown error"))
+    if cls is None and code:
+        exc.code = code  # instance shadow: unknown codes round-trip intact
+    return exc

@@ -6,6 +6,9 @@ one thread) using the temporal store at once.  The pieces:
 * :mod:`repro.serve.sharded` — :class:`ShardedWarehouse`, key-range
   partitioning over N :class:`~repro.core.warehouse.TemporalWarehouse`
   shards with exact scatter-gather aggregates;
+* :mod:`repro.serve.procpool` — :class:`ProcessShardedWarehouse`, the
+  process-per-shard backend (``--executor process``): one worker process
+  owns each shard outright, escaping the GIL for multi-core serving;
 * :mod:`repro.serve.rwlock` — the per-shard readers-writer lock behind
   single-writer / multi-reader concurrency;
 * :mod:`repro.serve.server` — the asyncio TCP server: newline-delimited
@@ -29,7 +32,10 @@ from typing import Any
 #: name -> submodule providing it; resolved on first attribute access.
 _EXPORTS = {
     "ShardedWarehouse": "repro.serve.sharded",
+    "ShardRouter": "repro.serve.sharded",
     "ShardPlan": "repro.serve.sharded",
+    "ProcessShardedWarehouse": "repro.serve.procpool",
+    "ShardSpec": "repro.serve.procpool",
     "ReadWriteLock": "repro.serve.rwlock",
     "ServerConfig": "repro.serve.server",
     "TQLServer": "repro.serve.server",

@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default="2q",
                         help="buffer-pool eviction policy for fresh shards "
                              "(2q resists one-off scans)")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="execution backend: shared thread pool "
+                             "(default) or one worker process per shard "
+                             "(escapes the GIL; see docs/SERVING.md)")
+    parser.add_argument("--scan-batch", type=int, default=8,
+                        help="process executor: max consecutive reads a "
+                             "shard worker answers in one shared-scan "
+                             "pass (1 disables batching)")
     return parser
 
 
@@ -88,6 +97,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_result_entries=args.cache_result_entries,
         cache_memo_entries=args.cache_memo_entries,
         buffer_policy=args.buffer_policy,
+        executor=args.executor, scan_batch=args.scan_batch,
     )
     return asyncio.run(amain(config))
 

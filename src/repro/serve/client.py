@@ -107,6 +107,26 @@ class Client:
         """Occupy one execution slot for ``seconds`` (diagnostics)."""
         return self.request({"op": "sleep", "seconds": seconds})["result"]
 
+    def load(self, events: Any, batch_size: int = 1024) -> Dict[str, Any]:
+        """Bulk-ingest a chronologically sorted event batch.
+
+        ``events`` is a sequence of ``(op, key, value, time)`` rows (or
+        objects with those attributes); returns the merged ingest report
+        dict.  Under the process executor the per-shard partitions load
+        concurrently.
+        """
+        rows = [
+            [e.op, e.key, getattr(e, "value", 0.0), e.time]
+            if hasattr(e, "op") else list(e)
+            for e in events
+        ]
+        return self.request({"op": "load", "events": rows,
+                             "batch_size": batch_size})["result"]
+
+    def respawn(self, shard: int) -> Dict[str, Any]:
+        """Replace a dead shard worker (process executor only)."""
+        return self.request({"op": "respawn", "shard": shard})["result"]
+
     def shutdown(self) -> str:
         """Ask the server to drain, checkpoint, and stop."""
         return self.request({"op": "shutdown"})["result"]

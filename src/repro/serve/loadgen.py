@@ -1,28 +1,37 @@
-"""Closed-loop load generator for the TQL server.
+"""Load generator for the TQL server: closed-loop and open-loop modes.
 
 ``python -m repro.serve.loadgen`` drives N worker threads, each with its
-own blocking :class:`~repro.serve.client.Client`, in a closed loop (send,
-wait, send again) against a live server — or against one it spawns itself
-with ``--spawn-server``.  A seed phase inserts a key population first;
-an optional ``--warmup`` phase then drives identical (unrecorded) load;
-the measured phase issues randomized ``SELECT SUM/COUNT/AVG`` rectangles
-pinned to each worker's session snapshot.  ``--mix read-hot`` draws 90%
-of statements from a small shared working set of repeated rectangles —
-the pattern the server's read-path caches are built for; ``--no-cache``
-spawns the server with those caches disabled for baseline runs.
+own blocking :class:`~repro.serve.client.Client`, against a live server —
+or against one it spawns itself with ``--spawn-server``.  A seed phase
+inserts a key population first; an optional ``--warmup`` phase then
+drives identical (unrecorded) load; the measured phase issues randomized
+``SELECT SUM/COUNT/AVG`` rectangles pinned to each worker's session
+snapshot.  ``--mix read-hot`` draws 90% of statements from a small shared
+working set of repeated rectangles — the pattern the server's read-path
+caches are built for; ``--no-cache`` spawns the server with those caches
+disabled for baseline runs.
 
-The run reports throughput (QPS) and latency percentiles (p50/p95/p99)
-to stdout and writes the raw numbers plus the server's final metrics
-snapshot to ``BENCH_serve.json`` — the per-shard
-``repro_serve_shard_queries_total`` counters in that snapshot must add up
-to the scatter-gather fan-out of the load driven, which the serve tests
-assert.
+Two arrival disciplines:
+
+* **closed loop** (default): send, wait, send again.  Latency is
+  response time under a fixed concurrency — but a slow server slows the
+  *offered* load too, hiding queueing delay (coordinated omission).
+* **open loop** (``--arrivals poisson --rate R``): requests arrive on a
+  Poisson schedule at ``R``/s regardless of how the server is doing, and
+  each latency is measured **from the scheduled arrival instant**, so
+  time spent queueing behind a slow server counts.  Arrivals the loop
+  cannot issue within ``--drop-after`` seconds of their schedule are
+  *dropped* and reported — the honest signal of an overloaded server.
+
+The run reports throughput (QPS), latency percentiles (p50/p95/p99), and
+(open loop) drop counts to stdout, and writes the raw numbers plus the
+server's final metrics snapshot to ``BENCH_serve.json`` in the
+consolidated bench-report envelope (see :mod:`repro.bench.report`).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import random
 import threading
@@ -75,16 +84,27 @@ def hot_rectangles(key_space: int, count: int, seed: int
 
 
 class _Worker(threading.Thread):
-    """One closed-loop client: latencies in ms, errors by code.
+    """One load-driving client: latencies in ms, errors by code.
 
     Samples issued before ``measure_start`` are the warm-up phase: they
     drive the server exactly like measured load but are not recorded.
+
+    ``arrivals`` selects the discipline.  ``closed`` sends the next
+    statement the moment the previous reply lands.  ``poisson`` draws
+    exponential inter-arrival gaps at ``rate``/s and measures each
+    latency from the *scheduled* arrival instant — queueing delay behind
+    a slow server is charged to the server, not silently absorbed into a
+    slower send rate (no coordinated omission).  An arrival the loop is
+    already more than ``drop_after`` seconds late for is counted in
+    :attr:`dropped` instead of being sent.
     """
 
     def __init__(self, host: str, port: int, key_space: int,
                  deadline: float, seed: int, measure_start: float = 0.0,
                  mix: str = "uniform", run_seed: int = 0,
-                 hot_count: int = 16, hot_fraction: float = 0.9) -> None:
+                 hot_count: int = 16, hot_fraction: float = 0.9,
+                 arrivals: str = "closed", rate: float = 0.0,
+                 drop_after: float = 1.0) -> None:
         super().__init__(daemon=True)
         self._host = host
         self._port = port
@@ -95,8 +115,17 @@ class _Worker(threading.Thread):
         self._hot = (hot_rectangles(key_space, hot_count, run_seed)
                      if mix == "read-hot" else None)
         self._hot_fraction = hot_fraction
+        self._arrivals = arrivals
+        self._rate = rate
+        self._drop_after = drop_after
         self.latencies_ms: List[float] = []
         self.errors: Dict[str, int] = {}
+        #: Measured-window arrivals the schedule generated (open loop) or
+        #: statements attempted (closed loop).
+        self.offered = 0
+        #: Open-loop arrivals abandoned because the loop fell more than
+        #: ``drop_after`` seconds behind schedule.
+        self.dropped = 0
 
     def _statement(self) -> str:
         if self._hot is not None and self._rng.random() < self._hot_fraction:
@@ -110,29 +139,71 @@ class _Worker(threading.Thread):
     def run(self) -> None:
         with Client(self._host, self._port) as client:
             client.repin()
-            while True:
-                now = time.perf_counter()
-                if now >= self._deadline:
-                    break
-                statement = self._statement()
-                started = time.perf_counter()
-                try:
-                    client.execute(statement)
-                except ServerReplyError as exc:
-                    if started >= self._measure_start:
-                        self.errors[exc.code] = \
-                            self.errors.get(exc.code, 0) + 1
-                    continue
-                if started >= self._measure_start:
-                    self.latencies_ms.append(
-                        (time.perf_counter() - started) * 1000.0)
+            if self._arrivals == "poisson":
+                self._run_open(client)
+            else:
+                self._run_closed(client)
+
+    def _run_closed(self, client: Client) -> None:
+        while True:
+            now = time.perf_counter()
+            if now >= self._deadline:
+                break
+            statement = self._statement()
+            started = time.perf_counter()
+            measured = started >= self._measure_start
+            if measured:
+                self.offered += 1
+            try:
+                client.execute(statement)
+            except ServerReplyError as exc:
+                if measured:
+                    self.errors[exc.code] = \
+                        self.errors.get(exc.code, 0) + 1
+                continue
+            if measured:
+                self.latencies_ms.append(
+                    (time.perf_counter() - started) * 1000.0)
+
+    def _run_open(self, client: Client) -> None:
+        # The schedule is anchored at this worker's start and never
+        # consults the server: arrival k happens at start + sum of k
+        # exponential gaps whether or not reply k-1 has landed.
+        next_at = time.perf_counter()
+        while True:
+            next_at += self._rng.expovariate(self._rate)
+            if next_at >= self._deadline:
+                break
+            measured = next_at >= self._measure_start
+            if measured:
+                self.offered += 1
+            now = time.perf_counter()
+            if now < next_at:
+                time.sleep(next_at - now)
+            elif now - next_at > self._drop_after:
+                if measured:
+                    self.dropped += 1
+                continue
+            try:
+                client.execute(self._statement())
+            except ServerReplyError as exc:
+                if measured:
+                    self.errors[exc.code] = \
+                        self.errors.get(exc.code, 0) + 1
+                continue
+            if measured:
+                # From the *scheduled* arrival, not the send: waiting in
+                # this loop's virtual queue is part of the latency.
+                self.latencies_ms.append(
+                    (time.perf_counter() - next_at) * 1000.0)
 
 
 def run_load(host: str, port: int, workers: int, duration: float,
              seed_keys: int, seed: int, warmup: float = 0.0,
-             mix: str = "uniform", skip_seed: bool = False
-             ) -> Dict[str, Any]:
-    """Seed, drive the closed loop, and gather the report payload.
+             mix: str = "uniform", skip_seed: bool = False,
+             arrivals: str = "closed", rate: float = 0.0,
+             drop_after: float = 1.0) -> Dict[str, Any]:
+    """Seed, drive the load, and gather the report payload.
 
     ``warmup`` seconds of identical load run first and are excluded from
     every reported number (request counts, QPS, percentiles) — cold-start
@@ -141,7 +212,18 @@ def run_load(host: str, port: int, workers: int, duration: float,
     rectangles) or ``read-hot`` (90% of statements drawn from a small
     shared working set of repeated rectangles).  ``skip_seed`` reuses an
     already-seeded population (cold-vs-warm comparisons on one server).
+
+    ``arrivals="poisson"`` switches every worker from the closed loop to
+    an open-loop Poisson schedule totalling ``rate`` requests/s across
+    the pool (each worker draws at ``rate / workers``); latencies are
+    then measured from scheduled arrival and arrivals missed by more
+    than ``drop_after`` seconds are counted in ``totals["dropped"]``
+    rather than sent.
     """
+    if arrivals not in ("closed", "poisson"):
+        raise ValueError(f"unknown arrival discipline {arrivals!r}")
+    if arrivals == "poisson" and rate <= 0:
+        raise ValueError("open-loop arrivals need a positive --rate")
     if not skip_seed:
         seed_population(host, port, seed_keys, seed)
     start = time.perf_counter()
@@ -149,7 +231,9 @@ def run_load(host: str, port: int, workers: int, duration: float,
     deadline = measure_start + duration
     pool = [
         _Worker(host, port, seed_keys, deadline, seed + 1000 + i,
-                measure_start=measure_start, mix=mix, run_seed=seed)
+                measure_start=measure_start, mix=mix, run_seed=seed,
+                arrivals=arrivals, rate=rate / workers,
+                drop_after=drop_after)
         for i in range(workers)
     ]
     for worker in pool:
@@ -168,12 +252,18 @@ def run_load(host: str, port: int, workers: int, duration: float,
         metrics = client.metrics()
 
     requests = len(latencies)
+    offered = sum(worker.offered for worker in pool)
+    dropped = sum(worker.dropped for worker in pool)
     return {
         "config": {"host": host, "port": port, "workers": workers,
                    "duration_s": duration, "seed_keys": seed_keys,
-                   "seed": seed, "warmup_s": warmup, "mix": mix},
+                   "seed": seed, "warmup_s": warmup, "mix": mix,
+                   "arrivals": arrivals, "rate": rate,
+                   "drop_after_s": drop_after},
         "totals": {
             "requests": requests,
+            "offered": offered,
+            "dropped": dropped,
             "errors": errors,
             "elapsed_s": elapsed,
             "qps": requests / elapsed if elapsed > 0 else 0.0,
@@ -194,13 +284,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: run the load, print and persist the report."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.loadgen",
-        description="Closed-loop load generator for the TQL server.")
+        description="Closed- and open-loop load generator for the TQL "
+                    "server.")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7654)
     parser.add_argument("--workers", type=int, default=8,
-                        help="concurrent closed-loop clients (default 8)")
+                        help="concurrent client threads (default 8)")
     parser.add_argument("--duration", type=float, default=5.0,
                         help="measured seconds of load (default 5)")
+    parser.add_argument("--arrivals", choices=("closed", "poisson"),
+                        default="closed",
+                        help="closed: send-wait-send (default); poisson: "
+                             "open-loop arrivals at --rate/s with latency "
+                             "measured from the scheduled arrival")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="total offered requests/s across all workers "
+                             "(--arrivals poisson only)")
+    parser.add_argument("--drop-after", type=float, default=1.0,
+                        help="open loop: drop an arrival the loop is this "
+                             "many seconds late for instead of sending it "
+                             "(default 1.0)")
     parser.add_argument("--warmup", type=float, default=0.0,
                         help="seconds of identical load excluded from QPS "
                              "and latency percentiles (default 0)")
@@ -239,7 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         report = run_load(host, port, args.workers, args.duration,
                           args.seed_keys, args.seed, warmup=args.warmup,
-                          mix=args.mix)
+                          mix=args.mix, arrivals=args.arrivals,
+                          rate=args.rate, drop_after=args.drop_after)
     finally:
         if handle is not None:
             handle.stop()
@@ -248,16 +352,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["config"]["spawned"] = True
         report["config"]["cache"] = args.cache
 
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    from repro.bench.envelope import _loadgen_metrics, write_report
+
+    write_report(args.out, "serve", report["config"],
+                 _loadgen_metrics(report), report)
 
     totals = report["totals"]
     latency = report["latency_ms"]
+    loop_desc = ("closed loop" if args.arrivals == "closed"
+                 else f"open loop, {args.rate:.0f}/s offered")
     print(f"{totals['requests']} requests in {totals['elapsed_s']:.2f}s "
           f"-> {totals['qps']:.0f} QPS "
-          f"({args.workers} workers, closed loop)")
+          f"({args.workers} workers, {loop_desc})")
     print(f"latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
           f"p99={latency['p99']:.2f} max={latency['max']:.2f}")
+    if args.arrivals == "poisson":
+        offered = totals["offered"]
+        dropped = totals["dropped"]
+        share = (dropped / offered * 100.0) if offered else 0.0
+        print(f"offered {offered}, dropped {dropped} ({share:.1f}%) "
+              f"after {args.drop_after:.2f}s behind schedule")
     if totals["errors"]:
         print(f"errors: {totals['errors']}")
     print(f"report written to {args.out}")

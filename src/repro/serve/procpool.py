@@ -1,0 +1,660 @@
+"""Process-per-shard execution: N worker processes, one warehouse each.
+
+The thread backend (:class:`~repro.serve.sharded.ShardedWarehouse`) shares
+one interpreter, so the GIL caps aggregate throughput at roughly one core
+no matter how many shards exist.  This module escapes that: each shard's
+:class:`~repro.core.warehouse.TemporalWarehouse` — trees, buffer pools,
+file-backed storage, caches, and write epoch — is owned *outright* by one
+worker process, and the parent routes statements over a pickle-light
+request/response pipe.
+
+What crosses the boundary (and what never does)
+-----------------------------------------------
+Requests are ``(rid, method, args)`` tuples; responses are ``(rid, ok,
+payload, now)``.  Arguments are plain model dataclasses
+(:class:`~repro.core.model.KeyRange`, :class:`~repro.core.model.Interval`),
+numbers, and :class:`LoadEvent` rows.  :class:`~repro.core.aggregates.Aggregate`
+descriptors carry lambdas, which do not pickle — the parent substitutes an
+:class:`_AggRef` name token and the worker resolves it against the library
+registry, so both sides always execute the *same* descriptor object.
+Results are aggregates (floats), :class:`~repro.core.rta.RTAResult`,
+:class:`~repro.core.warehouse.QueryPlan`, tuples, ingest reports, cache
+snapshots — all plain dataclasses.  Tree pages, buffer pools, and
+warehouses never cross; :meth:`TemporalWarehouse.__reduce__` enforces
+that at the pickle layer.
+
+Workers start via the ``spawn`` method (never ``fork``: the parent runs
+an asyncio loop plus reader threads, and forking a threaded process is
+undefined behavior).  A spawned worker imports the library fresh, builds
+its warehouse from the :class:`ShardSpec`, and sends a hello carrying its
+pid and clock before serving.
+
+Shared-scan query batching
+--------------------------
+A worker is single-threaded, so requests queue in its pipe while it
+executes.  Instead of answering one read per wakeup, the worker drains up
+to ``scan_batch`` *consecutive read-only* requests and answers them in
+one pass with a :class:`~repro.core.cache.PointMemo` attached: the
+Theorem 1 reduction probes tree boundaries that repeat across overlapping
+rectangles, so descents computed for the first query answer the rest from
+memory.  Batching never reorders: requests execute in arrival order and a
+write ends the batch (it arrived after every read in it).  With read-path
+caching enabled the shard's persistent memo serves the same role; the
+temporary memo is only attached when caching is off.
+
+Failure semantics
+-----------------
+A worker death (crash, kill -9) surfaces as EOF on the pipe: the parent's
+reader thread fails every pending request with a typed
+:class:`~repro.errors.ShardDownError` (code ``SHARD_DOWN``), and later
+statements routed to that shard fail fast with the same code.  Other
+shards keep serving.  For durable deployments every acknowledged update
+is in the shard's WAL, so :meth:`ProcessShardedWarehouse.respawn` recovers
+the shard by replaying the log in a fresh worker.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import multiprocessing
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.aggregates import AVG, Aggregate, COUNT, MAX, MIN, SUM
+from repro.core.cache import CacheConfig
+from repro.core.model import Interval, KeyRange, MAX_KEY
+from repro.errors import ShardDownError, error_from_payload, error_payload
+from repro.serve.sharded import (
+    ShardRouter,
+    _ShardedAggregates,
+    load_or_freeze_layout,
+    shard_dir_name,
+)
+
+#: Aggregate descriptors resolvable by name on the worker side.
+_AGGREGATES: Dict[str, Aggregate] = {
+    a.name: a for a in (SUM, COUNT, AVG, MIN, MAX)
+}
+
+#: Warehouse methods that never mutate — eligible for shared-scan batching.
+_READ_METHODS = frozenset({
+    "aggregate", "aggregate_all", "sum", "count", "avg", "min", "max",
+    "snapshot", "tuples_in", "history", "explain", "cache_snapshot",
+    "page_count", "check_invariants",
+})
+
+#: Worker-level control methods (handled by the loop, not the warehouse).
+_SHUTDOWN = "__shutdown__"
+_STATS = "__stats__"
+_EXPLAIN_TRACE = "__explain_trace__"
+
+#: Memo capacity for the temporary shared-scan memo (caching off).
+_BATCH_MEMO_ENTRIES = 4096
+
+
+@dataclass(frozen=True)
+class _AggRef:
+    """Wire token for an :class:`Aggregate` (its lambdas do not pickle)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to (re)build its shard's warehouse.
+
+    Pickled into the spawn handshake; contains only plain values, so a
+    spec also fully describes how to *respawn* a shard after a crash.
+    """
+
+    index: int
+    key_space: Tuple[int, int]
+    page_capacity: int = 32
+    buffer_pages: int = 64
+    strong_factor: float = 0.9
+    start_time: int = 1
+    buffer_policy: str = "lru"
+    durable_dir: Optional[str] = None
+    fsync: bool = False
+    cache_config: Optional[CacheConfig] = None
+    scan_batch: int = 8
+
+
+def _build_warehouse(spec: ShardSpec):
+    """Construct (or recover) the shard warehouse described by ``spec``."""
+    from repro.core.warehouse import TemporalWarehouse
+
+    if spec.durable_dir is not None:
+        warehouse = TemporalWarehouse.open_durable(
+            spec.durable_dir, buffer_pages=spec.buffer_pages,
+            fsync=spec.fsync, key_space=spec.key_space,
+            page_capacity=spec.page_capacity,
+            strong_factor=spec.strong_factor,
+            start_time=spec.start_time,
+            buffer_policy=spec.buffer_policy)
+    else:
+        warehouse = TemporalWarehouse(
+            key_space=spec.key_space, page_capacity=spec.page_capacity,
+            buffer_pages=spec.buffer_pages,
+            strong_factor=spec.strong_factor,
+            start_time=spec.start_time,
+            buffer_policy=spec.buffer_policy)
+    if spec.cache_config is not None:
+        # The worker is single-threaded: no lock overhead on cache paths.
+        warehouse.enable_cache(spec.cache_config, thread_safe=False)
+    return warehouse
+
+
+def _resolve_args(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Swap :class:`_AggRef` tokens back for real descriptors."""
+    return tuple(
+        _AGGREGATES[a.name] if isinstance(a, _AggRef) else a for a in args
+    )
+
+
+def _worker_main(conn, spec: ShardSpec) -> None:
+    """The worker process entry point (must be importable for spawn).
+
+    Protocol: send one hello — ``("hello", pid, now)`` on success or
+    ``("fail", payload)`` if the warehouse cannot be built — then serve
+    ``(rid, method, args)`` requests until EOF or ``__shutdown__``.
+    """
+    try:
+        warehouse = _build_warehouse(spec)
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        try:
+            conn.send(("fail", error_payload(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("hello", os.getpid(), warehouse.now))
+    stats = {
+        "requests": 0, "reads": 0, "writes": 0, "errors": 0,
+        "shared_batches": 0, "batched_reads": 0,
+    }
+    memoized = spec.cache_config is not None and spec.cache_config.memo_entries > 0
+    pending: deque = deque()
+    running = True
+    while running:
+        if not pending:
+            try:
+                pending.append(conn.recv())
+            except (EOFError, OSError):
+                break
+        rid, method, args = pending.popleft()
+        if method == _SHUTDOWN:
+            warehouse.close()
+            _respond(conn, rid, True, "closed", warehouse.now)
+            running = False
+            continue
+        if method in _READ_METHODS and spec.scan_batch > 1:
+            batch = [(rid, method, args)]
+            # Drain whatever reads are already queued behind this one;
+            # stop at the first write (it must run after them) or when
+            # the pipe is momentarily empty.
+            while len(batch) < spec.scan_batch and not pending \
+                    and conn.poll(0):
+                try:
+                    nxt = conn.recv()
+                except (EOFError, OSError):
+                    running = False
+                    break
+                if nxt[1] in _READ_METHODS:
+                    batch.append(nxt)
+                else:
+                    pending.append(nxt)
+                    break
+            _serve_read_batch(conn, warehouse, batch, stats, memoized)
+            continue
+        stats["requests"] += 1
+        if method == _STATS:
+            payload = dict(stats, pid=os.getpid(), now=warehouse.now,
+                           shard=spec.index)
+            _respond(conn, rid, True, payload, warehouse.now)
+            continue
+        if method == _EXPLAIN_TRACE:
+            _serve_explain_trace(conn, warehouse, rid, args, stats)
+            continue
+        stats["writes"] += 1
+        _serve_one(conn, warehouse, rid, method, args, stats)
+        if method == "enable_cache":
+            config = args[0] if args else None
+            memoized = bool(config and config.memo_entries)
+        elif method == "disable_cache":
+            memoized = False
+    conn.close()
+
+
+def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool) -> None:
+    """Answer a run of read requests in one shared pass.
+
+    With no persistent memo attached (caching off), a temporary
+    :class:`~repro.core.cache.PointMemo` is installed for the batch so
+    repeated MVSBT boundary descents are shared, then detached — leaving
+    the uncached single-request path byte-identical to before.
+    """
+    shared = len(batch) > 1
+    temp_memo = shared and not memoized
+    if temp_memo:
+        warehouse.aggregates.enable_memo(_BATCH_MEMO_ENTRIES,
+                                         thread_safe=False)
+    try:
+        for rid, method, args in batch:
+            stats["requests"] += 1
+            stats["reads"] += 1
+            _serve_one(conn, warehouse, rid, method, args, stats)
+    finally:
+        if temp_memo:
+            warehouse.aggregates.disable_memo()
+    if shared:
+        stats["shared_batches"] += 1
+        stats["batched_reads"] += len(batch) - 1
+
+
+def _serve_one(conn, warehouse, rid, method: str, args, stats) -> None:
+    """Execute one warehouse method and ship the result (or the error)."""
+    try:
+        if method.startswith("_"):
+            raise AttributeError(f"method {method!r} is not exposed")
+        result = getattr(warehouse, method)(*_resolve_args(args))
+    except BaseException as exc:  # noqa: BLE001 — boundary: all -> payload
+        stats["errors"] += 1
+        _respond(conn, rid, False, error_payload(exc), warehouse.now)
+        return
+    _respond(conn, rid, True, result, warehouse.now)
+
+
+def _serve_explain_trace(conn, warehouse, rid, args, stats) -> None:
+    """EXPLAIN with span shipping: trace the query in the worker and ship
+    the span tree as plain JSONL-shape records (never Span objects)."""
+    from repro.obs.explain import explain_query
+    from repro.obs.tracefile import span_to_record
+
+    try:
+        key_range, interval, agg = _resolve_args(args)
+        report = explain_query(warehouse, key_range, interval, agg)
+        payload = {"plan": report.plan, "result": report.result,
+                   "record": span_to_record(report.root),
+                   "cache": report.cache}
+    except BaseException as exc:  # noqa: BLE001 — boundary: all -> payload
+        stats["errors"] += 1
+        _respond(conn, rid, False, error_payload(exc), warehouse.now)
+        return
+    stats["reads"] += 1
+    _respond(conn, rid, True, payload, warehouse.now)
+
+
+def _respond(conn, rid, ok: bool, payload, now: int) -> None:
+    try:
+        conn.send((rid, ok, payload, now))
+    except (OSError, BrokenPipeError):
+        pass  # parent went away; the loop will see EOF next
+
+
+class ShardClient:
+    """The parent-side handle of one worker process.
+
+    Owns the pipe, a reader thread matching responses to futures, and the
+    liveness state.  Thread-safe: any number of parent threads may issue
+    :meth:`call`/:meth:`call_async` concurrently (sends are serialized,
+    responses are matched by request id).
+    """
+
+    def __init__(self, spec: ShardSpec, ctx) -> None:
+        self.spec = spec
+        self._conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child, spec),
+            name=f"repro-shard-{spec.index:02d}", daemon=True)
+        self.process.start()
+        # Close the parent's copy of the child end: the worker's death
+        # must deliver EOF to the reader thread, not a silent hang.
+        child.close()
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, concurrent.futures.Future] = {}
+        self._pending_lock = threading.Lock()
+        self._rid = itertools.count(1)
+        self._dead = False
+        self.pid: Optional[int] = None
+        self.last_now = 0
+        self._reader: Optional[threading.Thread] = None
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until the worker's hello arrives (warehouse built)."""
+        try:
+            if not self._conn.poll(timeout):
+                raise TimeoutError(f"no hello within {timeout}s")
+            hello = self._conn.recv()
+        except (EOFError, OSError, TimeoutError) as exc:
+            self._dead = True
+            raise ShardDownError(
+                f"shard {self.spec.index} worker failed to start: {exc}"
+            ) from None
+        if hello[0] != "hello":
+            self._dead = True
+            raise error_from_payload(hello[1])
+        _tag, self.pid, self.last_now = hello
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"repro-shard-{self.spec.index:02d}-reader")
+        self._reader.start()
+
+    # -- response plumbing -------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                rid, ok, payload, now = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            if now > self.last_now:
+                self.last_now = now
+            with self._pending_lock:
+                future = self._pending.pop(rid, None)
+            if future is None:
+                continue
+            if ok:
+                future.set_result(payload)
+            else:
+                future.set_exception(error_from_payload(payload))
+        self._mark_dead()
+
+    def _down_error(self) -> ShardDownError:
+        return ShardDownError(
+            f"shard {self.spec.index} worker (pid {self.pid}) is down; "
+            "respawn to recover via WAL replay")
+
+    def _mark_dead(self) -> None:
+        self._dead = True
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(self._down_error())
+
+    @property
+    def dead(self) -> bool:
+        """True once the worker exited (detected via pipe EOF)."""
+        return self._dead or not self.process.is_alive()
+
+    # -- request API -------------------------------------------------------------------
+
+    def call_async(self, method: str,
+                   *args: Any) -> "concurrent.futures.Future":
+        """Send one request; the future resolves to the worker's answer
+        (or raises its typed error, or :class:`ShardDownError`)."""
+        if self._dead:
+            raise self._down_error()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._send_lock:
+            rid = next(self._rid)
+            with self._pending_lock:
+                self._pending[rid] = future
+            try:
+                self._conn.send((rid, method, args))
+            except (OSError, BrokenPipeError, ValueError):
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                self._mark_dead()
+                raise self._down_error() from None
+        return future
+
+    def call(self, method: str, *args: Any,
+             timeout: Optional[float] = None) -> Any:
+        """Send one request and wait for its answer."""
+        return self.call_async(method, *args).result(timeout)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the worker to close its warehouse and exit (best effort)."""
+        try:
+            self.call_async(_SHUTDOWN)
+        except ShardDownError:
+            pass
+
+    def reap(self, timeout: float = 30.0) -> None:
+        """Join the worker, escalating to terminate if it lingers."""
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(5.0)
+        self._mark_dead()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: request shutdown, then reap."""
+        self.request_shutdown()
+        self.reap(timeout)
+
+
+class ProcessShardedWarehouse(ShardRouter):
+    """The process-per-shard backend: same API, N cores.
+
+    Routing, scatter-gather arithmetic, and bulk-load partitioning come
+    from :class:`~repro.serve.sharded.ShardRouter` — identical code to the
+    thread backend, which is what makes answers byte-identical between
+    ``--executor thread`` and ``--executor process``.  Only the two hooks
+    differ: both become RPCs to the owning worker.
+
+    No parent-side shard locks exist (or are needed): each worker is
+    single-threaded, its pipe is FIFO, and a client that awaits its write
+    acknowledgements before reading observes its own writes.  ``AS OF``
+    reads at or before a shard's clock touch only closed versions, so
+    cross-client interleavings keep snapshot semantics.
+
+    Parameters mirror :class:`~repro.serve.sharded.ShardedWarehouse`, plus
+    ``durable_dir`` (per-shard WAL + checkpoints under
+    ``<dir>/shard-NN``, layout frozen in the same ``layout.json`` — a
+    directory created by one backend reopens under the other),
+    ``cache_config`` (workers attach their own read-path caches; parent
+    processes hold no cache state), and ``scan_batch`` (shared-scan batch
+    ceiling per worker; 1 disables batching).
+    """
+
+    def __init__(self, shards: int = 4,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 page_capacity: int = 32, buffer_pages: int = 64,
+                 strong_factor: float = 0.9, start_time: int = 1,
+                 buffer_policy: str = "lru",
+                 durable_dir: Optional[str] = None,
+                 fsync: bool = False,
+                 cache_config: Optional[CacheConfig] = None,
+                 scan_batch: int = 8,
+                 start_timeout: float = 60.0) -> None:
+        if durable_dir is not None:
+            key_space, boundaries = load_or_freeze_layout(
+                durable_dir, shards, key_space)
+        else:
+            boundaries = self._split(key_space, shards)
+        self.key_space = key_space
+        self.boundaries = boundaries
+        self.aggregates = _ShardedAggregates(self)
+        self._specs = [
+            ShardSpec(
+                index=i, key_space=(lo, hi), page_capacity=page_capacity,
+                buffer_pages=buffer_pages, strong_factor=strong_factor,
+                start_time=start_time, buffer_policy=buffer_policy,
+                durable_dir=(os.path.join(durable_dir, shard_dir_name(i))
+                             if durable_dir else None),
+                fsync=fsync, cache_config=cache_config,
+                scan_batch=scan_batch)
+            for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
+        ]
+        self._ctx = multiprocessing.get_context("spawn")
+        self._durable_dir = durable_dir
+        self._closed = False
+        # Start every worker first, then collect hellos: spawn imports
+        # overlap across cores instead of serializing.
+        self._clients = [ShardClient(spec, self._ctx)
+                         for spec in self._specs]
+        try:
+            for client in self._clients:
+                client.wait_ready(start_timeout)
+        except Exception:
+            self.close()
+            raise
+
+    # -- backend hooks -----------------------------------------------------------------
+
+    @staticmethod
+    def _wire(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(
+            _AggRef(a.name) if isinstance(a, Aggregate) else a for a in args
+        )
+
+    def _shard_query(self, index: int, method: str, *args: Any) -> Any:
+        return self._clients[index].call(method, *self._wire(args))
+
+    def _shard_write(self, index: int, method: str, *args: Any) -> Any:
+        # The worker is single-threaded and its pipe is FIFO — exclusive
+        # access is structural, no parent-side lock required.
+        return self._clients[index].call(method, *self._wire(args))
+
+    @property
+    def now(self) -> int:
+        """The most recent time any shard has seen (from response clocks:
+        every worker reply carries its warehouse's ``now``)."""
+        return max(client.last_now for client in self._clients)
+
+    # -- parallel fan-out --------------------------------------------------------------
+
+    def _load_shards(self, partitions, batch_size: int):
+        """Drive every shard's :class:`~repro.core.ingest.BatchLoader`
+        concurrently — each partition loads in its own process."""
+        futures = [
+            self._clients[index].call_async("load_events", events,
+                                            batch_size)
+            for index, events in partitions
+        ]
+        return [future.result() for future in futures]
+
+    def checkpoint(self) -> None:
+        """Checkpoint every live shard concurrently.
+
+        Dead shards are skipped rather than failing the drain: their WALs
+        already hold every acknowledged update, so respawn recovery covers
+        them.
+        """
+        futures = []
+        for client in self._clients:
+            try:
+                futures.append(client.call_async("checkpoint"))
+            except ShardDownError:
+                continue
+        for future in futures:
+            try:
+                future.result()
+            except ShardDownError:
+                continue
+
+    # -- read-path caching -------------------------------------------------------------
+
+    def enable_cache(self, config: Optional[CacheConfig] = None) -> None:
+        """Attach read-path caches inside every worker (single-threaded,
+        so the lock-free cache variants)."""
+        config = config or CacheConfig()
+        for client in self._clients:
+            client.call("enable_cache", config, False)
+
+    def disable_cache(self) -> None:
+        """Detach every worker's read-path caches."""
+        for client in self._clients:
+            client.call("disable_cache")
+
+    # -- observability -----------------------------------------------------------------
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """One row per shard: worker counters, pid, clock, liveness.
+
+        Dead workers report ``{"shard": i, "alive": False}`` instead of
+        raising, so metrics stay exportable mid-outage.
+        """
+        rows: List[Dict[str, Any]] = []
+        futures: List[Tuple[int, Any]] = []
+        for index, client in enumerate(self._clients):
+            try:
+                futures.append((index, client.call_async(_STATS)))
+            except ShardDownError:
+                futures.append((index, None))
+        for index, future in futures:
+            if future is None:
+                rows.append({"shard": index, "alive": False})
+                continue
+            try:
+                row = future.result(10.0)
+            except (ShardDownError, concurrent.futures.TimeoutError):
+                rows.append({"shard": index, "alive": False})
+                continue
+            rows.append(dict(row, alive=True))
+        return rows
+
+    def explain_trace(self, key_range: KeyRange, interval: Interval,
+                      aggregate: Aggregate = SUM) -> List[Dict[str, Any]]:
+        """Per-shard EXPLAIN with shipped span trees.
+
+        Each intersecting worker traces the query locally and ships the
+        span tree as schema-valid JSONL records (see
+        :func:`repro.obs.tracefile.span_to_record`); the parent never
+        receives live :class:`~repro.obs.tracer.Span` objects.  Rows carry
+        ``shard``, ``key_range``, ``plan``, ``result``, ``record``.
+        """
+        rows = []
+        for index, part in self.parts_for(key_range):
+            payload = self._clients[index].call(
+                _EXPLAIN_TRACE, part, interval, _AggRef(aggregate.name))
+            rows.append(dict(payload, shard=index, key_range=part))
+        return rows
+
+    # -- worker lifecycle --------------------------------------------------------------
+
+    def shard_pid(self, index: int) -> Optional[int]:
+        """The worker pid owning shard ``index`` (for ops and tests)."""
+        return self._clients[index].pid
+
+    def shard_alive(self, index: int) -> bool:
+        """Whether shard ``index``'s worker is currently serving."""
+        return not self._clients[index].dead
+
+    def respawn(self, index: int, start_timeout: float = 60.0) -> int:
+        """Replace shard ``index``'s worker with a fresh process.
+
+        Durable shards recover their state via checkpoint + WAL replay in
+        :meth:`TemporalWarehouse.open_durable` — every update acknowledged
+        before the crash was logged first, so nothing acknowledged is
+        lost.  In-memory shards come back empty (there is nothing to
+        replay from).  Returns the new worker's pid.
+        """
+        old = self._clients[index]
+        old.request_shutdown()
+        old.reap(timeout=5.0)
+        client = ShardClient(self._specs[index], self._ctx)
+        client.wait_ready(start_timeout)
+        self._clients[index] = client
+        return client.pid  # type: ignore[return-value]
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Stop every worker: request shutdown in parallel, then reap.
+
+        Idempotent.  Workers close their warehouses (releasing WAL
+        handles) before exiting; stragglers are terminated.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            client.request_shutdown()
+        for client in self._clients:
+            client.reap()

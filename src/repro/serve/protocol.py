@@ -22,6 +22,15 @@ Ops:
 ``sleep``
     Hold an execution slot for ``seconds`` (diagnostics: makes admission
     control and timeouts testable; subject to both).
+``load``
+    Bulk-ingest a chronologically sorted batch of ``[op, key, value,
+    time]`` rows (``events`` field, optional ``batch_size``).  The batch
+    is partitioned by shard key range; under the process executor every
+    partition loads concurrently in its own worker.  Returns the merged
+    ingest report.
+``respawn``
+    Replace a dead shard worker (``shard`` field; process executor
+    only).  Durable shards recover via WAL replay in the fresh worker.
 ``shutdown``
     Begin graceful shutdown: drain in-flight work, checkpoint, exit.
 
@@ -43,7 +52,8 @@ from repro.errors import ProtocolError
 PROTOCOL_VERSION = 1
 
 #: Every op the server understands.
-OPS = ("query", "snapshot", "metrics", "ping", "sleep", "shutdown")
+OPS = ("query", "snapshot", "metrics", "ping", "sleep", "load", "respawn",
+       "shutdown")
 
 
 def encode(message: Dict[str, Any]) -> bytes:

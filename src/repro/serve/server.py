@@ -87,6 +87,8 @@ class ServerConfig:
     cache_result_entries: int = 4096   # per-shard result-cache capacity
     cache_memo_entries: int = 8192     # per-shard MVSBT path-memo capacity
     buffer_policy: str = "2q"          # scan-resistant pools (fresh shards)
+    executor: str = "thread"           # "thread" (default) or "process"
+    scan_batch: int = 8                # procpool shared-scan batch ceiling
 
 
 @dataclass
@@ -104,26 +106,7 @@ class TQLServer:
                  warehouse: Optional[ShardedWarehouse] = None) -> None:
         self.config = config or ServerConfig()
         if warehouse is None:
-            if self.config.durable_dir is not None:
-                warehouse = ShardedWarehouse.open_durable(
-                    self.config.durable_dir, shards=self.config.shards,
-                    key_space=self.config.key_space,
-                    page_capacity=self.config.page_capacity,
-                    buffer_pages=self.config.buffer_pages,
-                    thread_safe=True, fsync=self.config.fsync,
-                    buffer_policy=self.config.buffer_policy)
-            else:
-                warehouse = ShardedWarehouse(
-                    shards=self.config.shards,
-                    key_space=self.config.key_space,
-                    page_capacity=self.config.page_capacity,
-                    buffer_pages=self.config.buffer_pages,
-                    thread_safe=True,
-                    buffer_policy=self.config.buffer_policy)
-            if self.config.cache:
-                warehouse.enable_cache(CacheConfig(
-                    result_entries=self.config.cache_result_entries,
-                    memo_entries=self.config.cache_memo_entries))
+            warehouse = self._build_warehouse(self.config)
         self.warehouse = warehouse
         self.registry = MetricsRegistry()
         self.metrics = ServerMetrics(self.registry)
@@ -141,6 +124,53 @@ class TQLServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_task: Optional[asyncio.Task] = None
         self._connections: set = set()
+
+    @staticmethod
+    def _build_warehouse(config: ServerConfig):
+        """The configured execution backend, caches attached.
+
+        ``executor="thread"`` (default) shares one interpreter across the
+        reader pool; ``"process"`` runs one worker process per shard
+        (:class:`~repro.serve.procpool.ProcessShardedWarehouse`), with the
+        read-path caches living inside the workers.
+        """
+        cache_config = None
+        if config.cache:
+            cache_config = CacheConfig(
+                result_entries=config.cache_result_entries,
+                memo_entries=config.cache_memo_entries)
+        if config.executor == "process":
+            from repro.serve.procpool import ProcessShardedWarehouse
+
+            return ProcessShardedWarehouse(
+                shards=config.shards, key_space=config.key_space,
+                page_capacity=config.page_capacity,
+                buffer_pages=config.buffer_pages,
+                buffer_policy=config.buffer_policy,
+                durable_dir=config.durable_dir, fsync=config.fsync,
+                cache_config=cache_config,
+                scan_batch=config.scan_batch)
+        if config.executor != "thread":
+            raise ValueError(
+                f"unknown executor {config.executor!r}; "
+                "expected 'thread' or 'process'")
+        if config.durable_dir is not None:
+            warehouse = ShardedWarehouse.open_durable(
+                config.durable_dir, shards=config.shards,
+                key_space=config.key_space,
+                page_capacity=config.page_capacity,
+                buffer_pages=config.buffer_pages,
+                thread_safe=True, fsync=config.fsync,
+                buffer_policy=config.buffer_policy)
+        else:
+            warehouse = ShardedWarehouse(
+                shards=config.shards, key_space=config.key_space,
+                page_capacity=config.page_capacity,
+                buffer_pages=config.buffer_pages, thread_safe=True,
+                buffer_policy=config.buffer_policy)
+        if cache_config is not None:
+            warehouse.enable_cache(cache_config)
+        return warehouse
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -263,7 +293,12 @@ class TQLServer:
             return "pong", session.snapshot
         if op == "metrics":
             self._publish_cache_gauges()
+            self._publish_procpool_gauges()
             return self.registry.to_json(), None
+        if op == "load":
+            return await self._load(message), None
+        if op == "respawn":
+            return self._respawn(message), None
         if op == "snapshot":
             session.snapshot = self.warehouse.now
             return session.snapshot, session.snapshot
@@ -306,6 +341,81 @@ class TQLServer:
         for shard in self._touched_shards(statement):
             self.metrics.shard_queries(shard).inc()
         return result, as_of
+
+    async def _load(self, message: Dict[str, Any]) -> Any:
+        """The bulk-ingest op: fan a sorted event batch out to the shards.
+
+        Holds *every* shard's writer lock (in index order) so the load
+        cannot interleave with single-statement DML; under the process
+        backend the per-shard partitions then stream through their
+        workers' :class:`~repro.core.ingest.BatchLoader` concurrently —
+        the parallel bulk-load path.  Events are ``[op, key, value, time]``
+        rows, chronologically sorted across the whole batch.
+        """
+        events = message.get("events")
+        if not isinstance(events, list):
+            raise ProtocolError('op "load" needs an "events" array')
+        batch_size = message.get("batch_size", 1024)
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ProtocolError('"batch_size" must be a positive integer')
+
+        from contextlib import AsyncExitStack
+
+        async with AsyncExitStack() as stack:
+            for lock in self._writer_locks:
+                await stack.enter_async_context(lock)
+            report = await self._admitted(
+                lambda: self.warehouse.load_events(events, batch_size))
+            await self._maybe_checkpoint()
+        for shard in range(self.warehouse.shard_count):
+            self.metrics.shard_writes(shard).inc()
+        return {
+            "events": report.events, "inserts": report.inserts,
+            "deletes": report.deletes, "batches": report.batches,
+            "flushed_pages": report.flushed_pages,
+        }
+
+    def _respawn(self, message: Dict[str, Any]) -> Any:
+        """Replace a dead shard worker (process backend only).
+
+        Durable shards recover via checkpoint + WAL replay inside the
+        fresh worker; returns the new worker's pid.
+        """
+        respawn = getattr(self.warehouse, "respawn", None)
+        if respawn is None:
+            raise ProtocolError(
+                'op "respawn" requires the process executor')
+        shard = message.get("shard")
+        if not isinstance(shard, int) or \
+                not 0 <= shard < self.warehouse.shard_count:
+            raise ProtocolError(
+                f'"shard" must be an integer in [0, '
+                f'{self.warehouse.shard_count})')
+        return {"shard": shard, "pid": respawn(shard)}
+
+    def _publish_procpool_gauges(self) -> None:
+        """Aggregate worker-process counters into the parent registry.
+
+        Process backend only (no-op otherwise): each worker's request
+        counters, shared-scan batching stats, and liveness surface as
+        ``repro_procpool_<counter>{shard=N}`` gauges, so one ``metrics``
+        op shows the whole pool without touching worker internals.
+        """
+        worker_stats = getattr(self.warehouse, "worker_stats", None)
+        if worker_stats is None:
+            return
+        for row in worker_stats():
+            shard = str(row.get("shard", ""))
+            for counter in ("requests", "reads", "writes", "errors",
+                            "shared_batches", "batched_reads"):
+                if counter in row:
+                    self.registry.gauge(
+                        f"repro_procpool_{counter}",
+                        f"shard worker counter {counter}",
+                        {"shard": shard}).set(row[counter])
+            self.registry.gauge(
+                "repro_procpool_alive", "shard worker liveness",
+                {"shard": shard}).set(1 if row.get("alive") else 0)
 
     def _publish_cache_gauges(self) -> None:
         """Mirror merged cache counters into the exported registry.

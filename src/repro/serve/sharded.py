@@ -1,17 +1,23 @@
 """Key-range sharding: N :class:`TemporalWarehouse` shards behind one API.
 
-:class:`ShardedWarehouse` partitions the key space into ``shards``
-contiguous half-open ranges, owns one :class:`TemporalWarehouse` per
-range, and re-exposes the warehouse surface (updates, aggregates,
-snapshots, history, timeline, EXPLAIN) by routing:
+Two execution backends share one routing and gather layer:
 
-* **updates** go to exactly the shard owning the key;
-* **aggregate queries** scatter over the shards whose range intersects
-  the query rectangle, clip the key range to each shard, and gather:
-  SUM/COUNT add, AVG recombines per-shard SUM and COUNT totals (never
-  per-shard averages), MIN/MAX take the extremum of non-empty shards.
-  Additive gathers are exact — each tuple lives in exactly one shard, so
-  the per-shard partial aggregates partition the single-warehouse answer.
+* :class:`ShardRouter` — the backend-agnostic core.  It owns the partition
+  boundaries, routes updates to the owning shard, scatters aggregate
+  queries over the shards whose range intersects the query rectangle, and
+  gathers: SUM/COUNT add, AVG recombines per-shard SUM and COUNT totals
+  (never per-shard averages), MIN/MAX take the extremum of non-empty
+  shards.  Additive gathers are exact — each tuple lives in exactly one
+  shard, so the per-shard partial aggregates partition the
+  single-warehouse answer.  The gather arithmetic (including iteration
+  order) lives *only* here, which is what makes answers byte-identical
+  across backends.  Backends supply two hooks: ``_shard_query(index,
+  method, *args)`` and ``_shard_write(index, method, *args)``.
+* :class:`ShardedWarehouse` — the in-process backend: one
+  :class:`TemporalWarehouse` per range in this process, shared-thread
+  execution.  :class:`~repro.serve.procpool.ProcessShardedWarehouse` is
+  the process-per-shard backend; it implements the same hooks over a
+  request/response pipe.
 
 Concurrency (``thread_safe=True``, the mode :mod:`repro.serve.server`
 runs) is single-writer / multi-reader *per shard*: updates take the
@@ -29,10 +35,11 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.aggregates import Aggregate, AVG, COUNT, MAX, MIN, SUM
 from repro.core.cache import CacheConfig, CacheSnapshot
+from repro.core.ingest import DEFAULT_BATCH_SIZE, IngestReport, coerce_events
 from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
 from repro.core.rta import RTAResult
 from repro.core.warehouse import QueryPlan, TemporalWarehouse
@@ -55,7 +62,7 @@ class _ShardedAggregates:
     """Duck-types the slice of :class:`~repro.core.rta.RTAIndex` the TQL
     executor uses (``timeline``), gathering bucket-wise over shards."""
 
-    def __init__(self, owner: "ShardedWarehouse") -> None:
+    def __init__(self, owner: "ShardRouter") -> None:
         self._owner = owner
 
     def timeline(self, key_range: KeyRange, interval: Interval,
@@ -80,52 +87,41 @@ class _ShardedAggregates:
         ]
 
 
-class ShardedWarehouse:
-    """N key-range-partitioned warehouses answering as one.
+class ShardRouter:
+    """Routing and exact scatter-gather over key-range partitions.
 
-    Parameters
-    ----------
-    shards:
-        Number of partitions (boundaries split the key space evenly).
-    key_space:
-        Half-open key domain, divided among the shards.
-    thread_safe:
-        Install per-shard readers-writer locks and buffer-pool locking;
-        required whenever more than one thread touches the instance.
-    page_capacity / buffer_pages / strong_factor / start_time / buffer_policy:
-        Forwarded to every underlying :class:`TemporalWarehouse`.
+    Subclasses own the shards (local objects or worker processes) and
+    implement:
+
+    * ``_shard_query(index, method, *args)`` — invoke ``method`` on shard
+      ``index``'s :class:`TemporalWarehouse` under shared (read) access;
+    * ``_shard_write(index, method, *args)`` — the same under exclusive
+      (write) access;
+    * ``now`` — the most recent time any shard has seen.
+
+    Arguments cross the hook as plain model dataclasses
+    (:class:`KeyRange`, :class:`Interval`) plus :class:`Aggregate`
+    descriptors; remote backends serialize descriptors by name (their
+    ``combine`` lambdas never cross a process boundary).
     """
 
-    def __init__(self, shards: int = 4,
-                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
-                 page_capacity: int = 32, buffer_pages: int = 64,
-                 strong_factor: float = 0.9, start_time: int = 1,
-                 thread_safe: bool = False,
-                 buffer_policy: str = "lru") -> None:
-        self.key_space = key_space
-        self.boundaries = self._split(key_space, shards)
-        self.shards: List[TemporalWarehouse] = [
-            TemporalWarehouse(key_space=(lo, hi),
-                              page_capacity=page_capacity,
-                              buffer_pages=buffer_pages,
-                              strong_factor=strong_factor,
-                              start_time=start_time,
-                              buffer_policy=buffer_policy)
-            for lo, hi in zip(self.boundaries, self.boundaries[1:])
-        ]
-        self.aggregates = _ShardedAggregates(self)
-        self._durable_dir: Optional[str] = None
-        self._finish_init(thread_safe)
+    key_space: Tuple[int, int]
+    boundaries: List[int]
 
-    def _finish_init(self, thread_safe: bool) -> None:
-        self.thread_safe = thread_safe
-        self.locks: List[ReadWriteLock] = [
-            ReadWriteLock() for _ in self.shards
-        ]
-        if thread_safe:
-            for shard in self.shards:
-                shard.tuples.pool.enable_locking()
-                shard.aggregates.pool.enable_locking()
+    # -- backend hooks -----------------------------------------------------------------
+
+    def _shard_query(self, index: int, method: str, *args: Any) -> Any:
+        raise NotImplementedError
+
+    def _shard_write(self, index: int, method: str, *args: Any) -> Any:
+        raise NotImplementedError
+
+    @property
+    def now(self) -> int:
+        """The most recent time any shard has seen."""
+        raise NotImplementedError
+
+    # -- routing -----------------------------------------------------------------------
 
     @staticmethod
     def _split(key_space: Tuple[int, int], shards: int) -> List[int]:
@@ -138,11 +134,9 @@ class ShardedWarehouse:
             )
         return [lo + (hi - lo) * i // shards for i in range(shards + 1)]
 
-    # -- routing -----------------------------------------------------------------------
-
     @property
     def shard_count(self) -> int:
-        return len(self.shards)
+        return len(self.boundaries) - 1
 
     def shard_index(self, key: int) -> int:
         """The shard owning ``key``; raises on out-of-domain keys."""
@@ -171,43 +165,64 @@ class ShardedWarehouse:
 
     def insert(self, key: int, value: float, t: int) -> None:
         """Insert a tuple alive from ``t`` into the owning shard."""
-        index = self.shard_index(key)
-        if self.thread_safe:
-            with self.locks[index].write_locked():
-                self.shards[index].insert(key, value, t)
-        else:
-            self.shards[index].insert(key, value, t)
+        self._shard_write(self.shard_index(key), "insert", key, value, t)
 
     def delete(self, key: int, t: int) -> float:
         """Logically delete the alive tuple with ``key`` at ``t``."""
-        index = self.shard_index(key)
-        if self.thread_safe:
-            with self.locks[index].write_locked():
-                return self.shards[index].delete(key, t)
-        return self.shards[index].delete(key, t)
+        return self._shard_write(self.shard_index(key), "delete", key, t)
 
     def update(self, key: int, value: float, t: int) -> None:
         """Replace the alive tuple's value at ``t`` (one shard, atomic
-        under that shard's write lock)."""
-        index = self.shard_index(key)
-        if self.thread_safe:
-            with self.locks[index].write_locked():
-                self.shards[index].update(key, value, t)
-        else:
-            self.shards[index].update(key, value, t)
+        under that shard's exclusive access)."""
+        self._shard_write(self.shard_index(key), "update", key, value, t)
 
-    @property
-    def now(self) -> int:
-        """The most recent time any shard has seen."""
-        return max(shard.now for shard in self.shards)
+    def load_events(self, events: Sequence[Any],
+                    batch_size: int = DEFAULT_BATCH_SIZE) -> IngestReport:
+        """Bulk-apply a chronologically sorted update batch, shard-wise.
+
+        Events are ``(op, key, value, time)`` tuples or any objects with
+        those attributes (see :func:`repro.core.ingest.coerce_events`).
+        The batch is partitioned by shard key range and each partition is
+        driven through the shard's :class:`~repro.core.ingest.BatchLoader`
+        — a per-shard subsequence of a sorted stream is itself sorted, so
+        partitioning preserves the loader's chronological contract.
+        Backends may drive the per-shard loads concurrently
+        (:meth:`_load_shards`); the merged :class:`IngestReport` is
+        returned either way.
+        """
+        coerced = coerce_events(events)
+        last = None
+        for event in coerced:
+            if last is not None and event.time < last:
+                raise QueryError(
+                    f"LOAD batch not chronological: t={event.time} "
+                    f"after t={last}"
+                )
+            last = event.time
+        partitions: Dict[int, List[Any]] = {}
+        for event in coerced:
+            partitions.setdefault(self.shard_index(event.key),
+                                  []).append(event)
+        reports = self._load_shards(sorted(partitions.items()), batch_size)
+        merged = IngestReport()
+        for report in reports:
+            merged.events += report.events
+            merged.inserts += report.inserts
+            merged.deletes += report.deletes
+            merged.batches += report.batches
+            merged.flushed_pages += report.flushed_pages
+        return merged
+
+    def _load_shards(self, partitions: List[Tuple[int, List[Any]]],
+                     batch_size: int) -> List[IngestReport]:
+        """Drive each shard's loader; sequential by default, backends with
+        real parallelism override."""
+        return [
+            self._shard_write(index, "load_events", events, batch_size)
+            for index, events in partitions
+        ]
 
     # -- query API ---------------------------------------------------------------------
-
-    def _on_shard(self, index: int, fn):
-        if self.thread_safe:
-            with self.locks[index].read_locked():
-                return fn(self.shards[index])
-        return fn(self.shards[index])
 
     def aggregate(self, key_range: KeyRange, interval: Interval,
                   aggregate: Aggregate = SUM) -> Optional[float]:
@@ -218,8 +233,7 @@ class ShardedWarehouse:
             return total.avg
         if aggregate.name in (MIN.name, MAX.name):
             extrema = [
-                self._on_shard(i, lambda s, r=part: s.aggregate(
-                    r, interval, aggregate))
+                self._shard_query(i, "aggregate", part, interval, aggregate)
                 for i, part in parts
             ]
             extrema = [x for x in extrema if x is not None]
@@ -229,8 +243,7 @@ class ShardedWarehouse:
         if aggregate.name not in (SUM.name, COUNT.name):
             raise QueryError(f"unknown aggregate {aggregate.name!r}")
         return sum(
-            self._on_shard(i, lambda s, r=part: s.aggregate(
-                r, interval, aggregate))
+            self._shard_query(i, "aggregate", part, interval, aggregate)
             for i, part in parts
         )
 
@@ -240,8 +253,7 @@ class ShardedWarehouse:
         total_sum = 0.0
         total_count = 0.0
         for i, part in self.parts_for(key_range):
-            partial = self._on_shard(
-                i, lambda s, r=part: s.aggregate_all(r, interval))
+            partial = self._shard_query(i, "aggregate_all", part, interval)
             total_sum += partial.sum
             total_count += partial.count
         return RTAResult(sum=total_sum, count=total_count)
@@ -274,8 +286,7 @@ class ShardedWarehouse:
         so concatenation is already sorted."""
         out: List[Tuple[int, float]] = []
         for i, part in self.parts_for(key_range):
-            out.extend(self._on_shard(
-                i, lambda s, r=part: s.snapshot(r, t)))
+            out.extend(self._shard_query(i, "snapshot", part, t))
         return out
 
     def tuples_in(self, key_range: KeyRange,
@@ -283,14 +294,12 @@ class ShardedWarehouse:
         """Every logical tuple whose key and lifespan hit the rectangle."""
         out: List[TemporalTuple] = []
         for i, part in self.parts_for(key_range):
-            out.extend(self._on_shard(
-                i, lambda s, r=part: s.tuples_in(r, interval)))
+            out.extend(self._shard_query(i, "tuples_in", part, interval))
         return out
 
     def history(self, key: int) -> List[TemporalTuple]:
         """All versions a key ever had (routes to the owning shard)."""
-        index = self.shard_index(key)
-        return self._on_shard(index, lambda s: s.history(key))
+        return self._shard_query(self.shard_index(key), "history", key)
 
     # -- planner -----------------------------------------------------------------------
 
@@ -299,11 +308,105 @@ class ShardedWarehouse:
         """Each intersecting shard's planner decision for the rectangle."""
         return [
             ShardPlan(shard=i, key_range=part,
-                      plan=self._on_shard(
-                          i, lambda s, r=part: s.explain(r, interval,
-                                                         aggregate)))
+                      plan=self._shard_query(i, "explain", part, interval,
+                                             aggregate))
             for i, part in self.parts_for(key_range)
         ]
+
+    # -- read-path caching -------------------------------------------------------------
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        """Cache counters merged across all shards (one row per layer)."""
+        snapshot = CacheSnapshot()
+        for index in range(self.shard_count):
+            snapshot.merge(self._shard_query(index, "cache_snapshot"))
+        return snapshot
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def page_count(self) -> int:
+        """Total pages across all shards."""
+        return sum(self._shard_query(index, "page_count")
+                   for index in range(self.shard_count))
+
+    def check_invariants(self) -> None:
+        """Audit every shard."""
+        for index in range(self.shard_count):
+            self._shard_query(index, "check_invariants")
+
+    def checkpoint(self) -> None:
+        """Checkpoint every shard (under its exclusive access)."""
+        for index in range(self.shard_count):
+            self._shard_write(index, "checkpoint")
+
+
+class ShardedWarehouse(ShardRouter):
+    """N key-range-partitioned warehouses answering as one, in-process.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions (boundaries split the key space evenly).
+    key_space:
+        Half-open key domain, divided among the shards.
+    thread_safe:
+        Install per-shard readers-writer locks and buffer-pool locking;
+        required whenever more than one thread touches the instance.
+    page_capacity / buffer_pages / strong_factor / start_time / buffer_policy:
+        Forwarded to every underlying :class:`TemporalWarehouse`.
+    """
+
+    def __init__(self, shards: int = 4,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 page_capacity: int = 32, buffer_pages: int = 64,
+                 strong_factor: float = 0.9, start_time: int = 1,
+                 thread_safe: bool = False,
+                 buffer_policy: str = "lru") -> None:
+        self.key_space = key_space
+        self.boundaries = self._split(key_space, shards)
+        self.shards: List[TemporalWarehouse] = [
+            TemporalWarehouse(key_space=(lo, hi),
+                              page_capacity=page_capacity,
+                              buffer_pages=buffer_pages,
+                              strong_factor=strong_factor,
+                              start_time=start_time,
+                              buffer_policy=buffer_policy)
+            for lo, hi in zip(self.boundaries, self.boundaries[1:])
+        ]
+        self._durable_dir: Optional[str] = None
+        self._finish_init(thread_safe)
+
+    def _finish_init(self, thread_safe: bool) -> None:
+        self.aggregates = _ShardedAggregates(self)
+        self.thread_safe = thread_safe
+        self.locks: List[ReadWriteLock] = [
+            ReadWriteLock() for _ in self.shards
+        ]
+        if thread_safe:
+            for shard in self.shards:
+                shard.tuples.pool.enable_locking()
+                shard.aggregates.pool.enable_locking()
+
+    # -- backend hooks -----------------------------------------------------------------
+
+    def _shard_query(self, index: int, method: str, *args: Any) -> Any:
+        fn = getattr(self.shards[index], method)
+        if self.thread_safe:
+            with self.locks[index].read_locked():
+                return fn(*args)
+        return fn(*args)
+
+    def _shard_write(self, index: int, method: str, *args: Any) -> Any:
+        fn = getattr(self.shards[index], method)
+        if self.thread_safe:
+            with self.locks[index].write_locked():
+                return fn(*args)
+        return fn(*args)
+
+    @property
+    def now(self) -> int:
+        """The most recent time any shard has seen."""
+        return max(shard.now for shard in self.shards)
 
     # -- read-path caching -------------------------------------------------------------
 
@@ -322,24 +425,6 @@ class ShardedWarehouse:
         """Detach every shard's read-path cache."""
         for shard in self.shards:
             shard.disable_cache()
-
-    def cache_snapshot(self) -> CacheSnapshot:
-        """Cache counters merged across all shards (one row per layer)."""
-        snapshot = CacheSnapshot()
-        for shard in self.shards:
-            snapshot.merge(shard.cache_snapshot())
-        return snapshot
-
-    # -- maintenance -------------------------------------------------------------------
-
-    def page_count(self) -> int:
-        """Total pages across all shards."""
-        return sum(shard.page_count() for shard in self.shards)
-
-    def check_invariants(self) -> None:
-        """Audit every shard."""
-        for shard in self.shards:
-            shard.check_invariants()
 
     # -- durability --------------------------------------------------------------------
 
@@ -360,47 +445,26 @@ class ShardedWarehouse:
         ``buffer_policy`` applies to freshly created shards; shards
         restored from a checkpoint keep the default eviction policy.
         """
-        import json
-        import os
+        key_space, boundaries = load_or_freeze_layout(directory, shards,
+                                                      key_space)
 
-        os.makedirs(directory, exist_ok=True)
-        layout_path = os.path.join(directory, _LAYOUT_FILE)
-        if os.path.exists(layout_path):
-            with open(layout_path) as fh:
-                layout = json.load(fh)
-            key_space = tuple(layout["key_space"])
-            boundaries = list(layout["boundaries"])
-        else:
-            boundaries = cls._split(key_space, shards)
-            with open(layout_path, "w") as fh:
-                json.dump({"key_space": list(key_space),
-                           "boundaries": boundaries}, fh)
+        import os
 
         warehouse = cls.__new__(cls)
         warehouse.key_space = key_space
         warehouse.boundaries = boundaries
         warehouse.shards = [
             TemporalWarehouse.open_durable(
-                os.path.join(directory, f"shard-{i:02d}"),
+                os.path.join(directory, shard_dir_name(i)),
                 buffer_pages=buffer_pages, fsync=fsync,
                 key_space=(lo, hi), page_capacity=page_capacity,
                 strong_factor=strong_factor, start_time=start_time,
                 buffer_policy=buffer_policy)
             for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
         ]
-        warehouse.aggregates = _ShardedAggregates(warehouse)
         warehouse._durable_dir = directory
         warehouse._finish_init(thread_safe)
         return warehouse
-
-    def checkpoint(self) -> None:
-        """Checkpoint every shard (under its write lock if thread-safe)."""
-        for index, shard in enumerate(self.shards):
-            if self.thread_safe:
-                with self.locks[index].write_locked():
-                    shard.checkpoint()
-            else:
-                shard.checkpoint()
 
     @property
     def closed(self) -> bool:
@@ -411,3 +475,33 @@ class ShardedWarehouse:
         """Close every shard (idempotent)."""
         for shard in self.shards:
             shard.close()
+
+
+def shard_dir_name(index: int) -> str:
+    """On-disk directory name of shard ``index`` (shared by backends)."""
+    return f"shard-{index:02d}"
+
+
+def load_or_freeze_layout(directory: str, shards: int,
+                          key_space: Tuple[int, int]
+                          ) -> Tuple[Tuple[int, int], List[int]]:
+    """Read ``layout.json`` (or write it on first open) and return the
+    frozen ``(key_space, boundaries)``.
+
+    Both durable backends go through this, so a directory created by one
+    executor reopens identically under the other.
+    """
+    import json
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    layout_path = os.path.join(directory, _LAYOUT_FILE)
+    if os.path.exists(layout_path):
+        with open(layout_path) as fh:
+            layout = json.load(fh)
+        return tuple(layout["key_space"]), list(layout["boundaries"])
+    boundaries = ShardRouter._split(key_space, shards)
+    with open(layout_path, "w") as fh:
+        json.dump({"key_space": list(key_space),
+                   "boundaries": boundaries}, fh)
+    return key_space, boundaries

@@ -123,6 +123,14 @@ class FileDiskManager(DiskManager):
     Page *capacity* (record count) is a property of the owning index, so
     :meth:`read` requires the caller-supplied capacity hint given at
     construction via ``default_capacity`` or per-page via ``capacity_of``.
+
+    Ownership is **per process**: the free set, known-id set, and capacity
+    map live only in the constructing process's memory, so a manager
+    reached from any other process (a fork, an unpickled warehouse) would
+    silently desynchronize from the file.  Every physical operation
+    therefore asserts the caller's pid matches the constructing pid —
+    the procpool backend relies on exactly this discipline, rebuilding
+    storage inside each worker instead of sharing handles.
     """
 
     def __init__(self, path: str, page_bytes: int = DEFAULT_PAGE_BYTES,
@@ -138,9 +146,18 @@ class FileDiskManager(DiskManager):
         self._freed: set[int] = set()
         self._known: set[int] = set()
         self._capacities: Dict[int, int] = {}
+        self._owner_pid = os.getpid()
         # Create or truncate: a manager owns its file for its lifetime.
         with open(self.path, "wb"):
             pass
+
+    def _check_owner(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise StorageError(
+                f"FileDiskManager for {self.path!r} is owned by pid "
+                f"{self._owner_pid}, not {os.getpid()}; storage never "
+                "crosses process boundaries — rebuild it in the worker"
+            )
 
     def _register(self, page: Page) -> None:
         self._known.add(page.page_id)
@@ -151,6 +168,7 @@ class FileDiskManager(DiskManager):
         return page_id * self.page_bytes
 
     def read(self, page_id: int) -> Page:
+        self._check_owner()
         if page_id not in self._known or page_id in self._freed:
             raise PageNotFoundError(page_id)
         if self.decoded_cache is not None:
@@ -180,6 +198,7 @@ class FileDiskManager(DiskManager):
         return page
 
     def write(self, page: Page) -> None:
+        self._check_owner()
         if page.page_id in self._freed:
             raise PageNotFoundError(page.page_id)
         image = encode_page(page.kind, page.records, self.page_bytes)
@@ -197,6 +216,7 @@ class FileDiskManager(DiskManager):
                               bytes=len(image))
 
     def free(self, page_id: int) -> None:
+        self._check_owner()
         if page_id not in self._known or page_id in self._freed:
             raise PageNotFoundError(page_id)
         if self.decoded_cache is not None:

@@ -1,0 +1,116 @@
+"""The consolidated BENCH_*.json envelope and its legacy sniffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import main as analyze_main
+from repro.bench.envelope import (
+    SCHEMA_VERSION,
+    envelope,
+    load_all,
+    load_report,
+    normalize,
+    write_report,
+)
+
+LEGACY_INGEST = {
+    "scale": 0.003,
+    "events": 3000,
+    "competitors": {
+        "two-MVSBT": {"cpu_speedup": 2.7,
+                      "sequential": {"cpu_s": 1.0}, "batched": {"cpu_s": 0.4}},
+        "MVBT": {"cpu_speedup": 2.4,
+                 "sequential": {"cpu_s": 1.0}, "batched": {"cpu_s": 0.42}},
+    },
+}
+
+LEGACY_SERVE = {
+    "config": {"workers": 8, "duration_s": 5.0},
+    "totals": {"requests": 2966, "qps": 1481.4, "errors": {},
+               "elapsed_s": 2.0},
+    "latency_ms": {"p50": 4.9, "p95": 9.1, "p99": 11.1, "mean": 5.3,
+                   "max": 20.0},
+}
+
+LEGACY_CACHE = {
+    "scale": 0.003,
+    "keys": 300,
+    "direct": {"speedup": 135.4, "warm_qps": 371793.0,
+               "uncached_qps": 2744.0, "byte_identical": True},
+    "loadgen": {"speedup": 1.86},
+}
+
+
+class TestNormalize:
+    def test_ingest_shape_sniffed(self):
+        report = normalize(LEGACY_INGEST)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["bench"] == "ingest"
+        assert report["metrics"]["cpu_speedup[two-MVSBT]"] == 2.7
+        assert report["config"]["events"] == 3000
+        assert report["raw"] == LEGACY_INGEST
+
+    def test_serve_shape_sniffed(self):
+        report = normalize(LEGACY_SERVE)
+        assert report["bench"] == "serve"
+        assert report["metrics"]["qps"] == 1481.4
+        assert report["metrics"]["p99_ms"] == 11.1
+        assert report["config"]["workers"] == 8
+
+    def test_cache_shape_sniffed(self):
+        report = normalize(LEGACY_CACHE)
+        assert report["bench"] == "cache"
+        assert report["metrics"]["warm_speedup"] == 135.4
+        assert report["metrics"]["loadgen_speedup"] == 1.86
+
+    def test_envelope_passes_through(self):
+        wrapped = envelope("multicore", {"shards": 4}, {"speedup": 2.1},
+                           {"anything": True})
+        assert normalize(wrapped) == wrapped
+
+    def test_unknown_shape_keeps_raw(self):
+        report = normalize({"mystery": 1}, source="mystery")
+        assert report["bench"] == "mystery"
+        assert report["metrics"] == {}
+        assert report["raw"] == {"mystery": 1}
+
+    def test_nested_metrics_rejected(self):
+        with pytest.raises(TypeError):
+            envelope("x", {}, {"nested": {"no": 1}}, {})
+
+
+class TestFiles:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_multicore.json"
+        written = write_report(path, "multicore", {"shards": 4},
+                               {"speedup": 2.5}, {"detail": [1, 2]})
+        assert load_report(path) == written
+
+    def test_load_all_orders_by_introducing_pr(self, tmp_path):
+        (tmp_path / "BENCH_serve.json").write_text(json.dumps(LEGACY_SERVE))
+        (tmp_path / "BENCH_cache.json").write_text(json.dumps(LEGACY_CACHE))
+        (tmp_path / "BENCH_ingest.json").write_text(
+            json.dumps(LEGACY_INGEST))
+        names = list(load_all(tmp_path))
+        assert names == ["BENCH_ingest.json", "BENCH_serve.json",
+                         "BENCH_cache.json"]
+
+
+class TestAnalyzeCli:
+    def test_bench_subcommand_prints_trajectory(self, tmp_path, capsys):
+        (tmp_path / "BENCH_ingest.json").write_text(
+            json.dumps(LEGACY_INGEST))
+        write_report(tmp_path / "BENCH_multicore.json", "multicore",
+                     {"shards": 4}, {"speedup": 2.5, "thread_qps": 1000.0},
+                     {})
+        assert analyze_main(["bench", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ingest" in out and "multicore" in out
+        assert "cpu_speedup[two-MVSBT]" in out
+        assert "speedup" in out
+
+    def test_bench_subcommand_empty_dir_fails(self, tmp_path, capsys):
+        assert analyze_main(["bench", "--dir", str(tmp_path)]) == 1

@@ -1,0 +1,74 @@
+"""Open-loop (Poisson) arrivals in the load generator.
+
+The accounting identity is the contract: every measured arrival the
+schedule generates is either answered (a latency sample), dropped (the
+loop fell more than ``drop_after`` behind schedule), or errored —
+``offered == requests + dropped + sum(errors)`` exactly.  A rate far
+beyond one worker's closed-loop capacity must therefore show drops
+instead of silently slowing the offered load (coordinated omission).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServerConfig, serve_in_thread
+
+KEYS = 40
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = serve_in_thread(ServerConfig(shards=2, key_space=(1, KEYS + 1)))
+    yield handle
+    handle.stop()
+
+
+def _identity(report):
+    totals = report["totals"]
+    return (totals["requests"] + totals["dropped"]
+            + sum(totals["errors"].values()))
+
+
+class TestOpenLoop:
+    def test_poisson_accounting(self, server):
+        report = run_load(server.host, server.port, workers=2,
+                          duration=1.0, seed_keys=KEYS, seed=7,
+                          arrivals="poisson", rate=100.0)
+        totals = report["totals"]
+        assert report["config"]["arrivals"] == "poisson"
+        assert report["config"]["rate"] == 100.0
+        assert totals["offered"] > 0
+        assert totals["offered"] == _identity(report)
+        # A modest rate is comfortably served: nearly all arrivals land.
+        assert totals["requests"] > 0.5 * totals["offered"]
+        assert report["latency_ms"]["p50"] > 0.0
+
+    def test_overload_drops_instead_of_slowing(self, server):
+        # One worker, zero lateness tolerance, a rate far above its
+        # closed-loop capacity: the schedule keeps arriving regardless,
+        # so lateness shows up as drops — never as a reduced offer.
+        report = run_load(server.host, server.port, workers=1,
+                          duration=1.0, seed_keys=KEYS, seed=8,
+                          skip_seed=True, arrivals="poisson",
+                          rate=5000.0, drop_after=0.0)
+        totals = report["totals"]
+        assert totals["dropped"] > 0
+        assert totals["offered"] == _identity(report)
+
+    def test_closed_loop_reports_zero_drops(self, server):
+        report = run_load(server.host, server.port, workers=1,
+                          duration=0.5, seed_keys=KEYS, seed=9,
+                          skip_seed=True)
+        totals = report["totals"]
+        assert totals["dropped"] == 0
+        assert totals["offered"] == _identity(report)
+
+    def test_validation(self, server):
+        with pytest.raises(ValueError):
+            run_load(server.host, server.port, workers=1, duration=0.1,
+                     seed_keys=KEYS, seed=1, arrivals="uniform")
+        with pytest.raises(ValueError):
+            run_load(server.host, server.port, workers=1, duration=0.1,
+                     seed_keys=KEYS, seed=1, arrivals="poisson", rate=0.0)

@@ -1,0 +1,113 @@
+"""kill -9 of a single shard worker: detection, isolation, recovery.
+
+The failure contract of the process backend, end to end:
+
+* the parent detects the dead worker through pipe EOF (no polling) and
+  fails requests routed to it with the typed ``SHARD_DOWN`` error;
+* the other shards keep answering — one worker's death never poisons
+  its siblings;
+* ``respawn`` builds a fresh worker that recovers the shard's state by
+  WAL replay from the durable directory, after which answers match the
+  pre-kill baseline exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.model import Interval, KeyRange
+from repro.errors import ShardDownError
+from repro.serve.client import Client, ServerReplyError
+from repro.serve.procpool import ProcessShardedWarehouse
+from repro.serve.server import ServerConfig, serve_in_thread
+
+KEYS = 100
+LOW = KeyRange(1, 51)    # shard 0 of a two-way split of [1, 101)
+HIGH = KeyRange(51, 101)  # shard 1
+
+
+def _wait_dead(warehouse, index: int, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not warehouse.shard_alive(index):
+            return
+        time.sleep(0.02)
+    pytest.fail(f"shard {index} still alive {timeout}s after SIGKILL")
+
+
+def _seed(warehouse) -> int:
+    events = [("insert", key, float(key), 1 + key % 7)
+              for key in range(1, KEYS + 1)]
+    events.sort(key=lambda e: e[3])
+    warehouse.load_events(events)
+    return warehouse.now
+
+
+class TestKillWorker:
+    def test_shard_down_is_typed_and_isolated(self, tmp_path):
+        warehouse = ProcessShardedWarehouse(
+            shards=2, key_space=(1, KEYS + 1),
+            durable_dir=str(tmp_path / "wh"))
+        try:
+            now = _seed(warehouse)
+            interval = Interval(1, now + 1)
+            baseline_all = repr(warehouse.sum(KeyRange(1, KEYS + 1),
+                                              interval))
+            baseline_low = repr(warehouse.sum(LOW, interval))
+
+            victim_pid = warehouse.shard_pid(1)
+            os.kill(victim_pid, signal.SIGKILL)
+            _wait_dead(warehouse, 1)
+
+            with pytest.raises(ShardDownError) as excinfo:
+                warehouse.sum(HIGH, interval)
+            assert excinfo.value.code == "SHARD_DOWN"
+
+            # A scatter over both shards fails the same way...
+            with pytest.raises(ShardDownError):
+                warehouse.sum(KeyRange(1, KEYS + 1), interval)
+            # ...but the surviving shard alone still answers.
+            assert repr(warehouse.sum(LOW, interval)) == baseline_low
+
+            new_pid = warehouse.respawn(1)
+            assert new_pid != victim_pid
+            assert warehouse.shard_alive(1)
+
+            # WAL replay in the fresh worker restored the shard exactly.
+            assert repr(warehouse.sum(KeyRange(1, KEYS + 1), interval)) \
+                == baseline_all
+        finally:
+            warehouse.close()
+
+    def test_server_returns_shard_down_and_respawns(self, tmp_path):
+        handle = serve_in_thread(ServerConfig(
+            shards=2, key_space=(1, KEYS + 1), executor="process",
+            cache=False, durable_dir=str(tmp_path / "wh")))
+        try:
+            warehouse = handle.server.warehouse
+            with Client(handle.host, handle.port, timeout=30) as client:
+                for i in range(1, 11):
+                    client.execute(
+                        f"INSERT KEY {i * 10} VALUE 3.0 AT {i}")
+                client.repin()
+                baseline = client.execute(
+                    "SELECT SUM(value) WHERE key IN [1, 101)")
+
+                os.kill(warehouse.shard_pid(0), signal.SIGKILL)
+                _wait_dead(warehouse, 0)
+
+                with pytest.raises(ServerReplyError) as excinfo:
+                    client.execute(
+                        "SELECT SUM(value) WHERE key IN [1, 101)")
+                assert excinfo.value.code == "SHARD_DOWN"
+
+                respawned = client.respawn(0)
+                assert respawned["shard"] == 0
+                assert client.execute(
+                    "SELECT SUM(value) WHERE key IN [1, 101)") == baseline
+        finally:
+            handle.stop()

@@ -1,0 +1,106 @@
+"""Fairness properties of the writer-preferring readers-writer lock.
+
+Two starvation hazards, one test each:
+
+* a steady stream of overlapping readers must not starve a queued
+  writer — writer preference means *new* readers wait as soon as a
+  writer is queued, so writer wait is bounded by the queries already
+  inside;
+* writers must keep making progress under a continuous mixed load —
+  100 write acquisitions interleaved with looping readers all complete,
+  none times out, and the shared/exclusive invariants hold at every
+  acquisition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.rwlock import ReadWriteLock
+
+
+def _spin_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return predicate()
+
+
+def test_new_readers_wait_behind_queued_writer():
+    """A queued writer fences new readers: no reader starvation of it."""
+    lock = ReadWriteLock()
+    assert lock.acquire_read()
+
+    writer_acquired = threading.Event()
+
+    def writer() -> None:
+        assert lock.acquire_write(timeout=5.0)
+        writer_acquired.set()
+        lock.release_write()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    assert _spin_until(lambda: lock._writers_waiting == 1)
+
+    # The writer is queued, so a *new* reader must not slip in ahead of
+    # it — writer preference is exactly this refusal.
+    assert lock.acquire_read(timeout=0.2) is False
+    assert not writer_acquired.is_set()
+
+    # The reader already inside finishes; the writer (not the rejected
+    # reader) goes next, and afterwards readers flow again.
+    lock.release_read()
+    assert writer_acquired.wait(timeout=5.0)
+    thread.join(timeout=5.0)
+    assert lock.acquire_read(timeout=5.0)
+    lock.release_read()
+
+
+def test_writers_progress_under_mixed_load():
+    """100 write acquisitions complete against looping readers."""
+    lock = ReadWriteLock()
+    stop = threading.Event()
+    violations = []
+    write_count = 0
+    write_lock = threading.Lock()
+
+    def reader() -> None:
+        while not stop.is_set():
+            if not lock.acquire_read(timeout=5.0):
+                violations.append("reader timed out")
+                return
+            if lock.writer_active:
+                violations.append("reader overlapped a writer")
+            time.sleep(0.0005)
+            lock.release_read()
+
+    def writer(acquisitions: int) -> None:
+        nonlocal write_count
+        for _ in range(acquisitions):
+            if not lock.acquire_write(timeout=5.0):
+                violations.append("writer starved (timed out)")
+                return
+            if lock.readers != 0:
+                violations.append("writer overlapped readers")
+            time.sleep(0.0005)
+            lock.release_write()
+            with write_lock:
+                write_count += 1
+
+    readers = [threading.Thread(target=reader, daemon=True)
+               for _ in range(6)]
+    writers = [threading.Thread(target=writer, args=(50,), daemon=True)
+               for _ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join(timeout=30.0)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=5.0)
+
+    assert not violations, violations
+    assert write_count == 100
