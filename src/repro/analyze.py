@@ -71,11 +71,15 @@ def _page_walk(index) -> Dict[str, Any]:
     for page_id in index.page_ids():
         page = index.pool.fetch(page_id)
         pages += 1
-        records += len(page.records)
-        alive += sum(1 for rec in page.records if rec.alive)
+        # Columnar pages (buffered MVSBT ingest) are described without
+        # being converted back to object records.
+        recs = page.records if page.records is not None \
+            else page.cache.to_records()
+        records += len(recs)
+        alive += sum(1 for rec in recs if rec.alive)
         level = page.meta.get("level", 0)
         by_level[level] = by_level.get(level, 0) + 1
-        fill_total += len(page.records) / page.capacity
+        fill_total += len(recs) / page.capacity
     return {
         "pages": pages,
         "records": records,

@@ -100,6 +100,9 @@ class IngestReport:
     batches: int = 0
     #: Dirty pages written across all ``flush_batch`` calls.
     flushed_pages: int = 0
+    #: Events absorbed while at least one buffer-tree ingest window was
+    #: open (``mode="buffered"``); summable across shard reports.
+    buffered_events: int = 0
 
 
 class BatchLoader:
@@ -112,6 +115,14 @@ class BatchLoader:
         its underlying trees and buffer pools are discovered automatically.
     batch_size:
         Events applied between two coalesced write-backs.
+    mode:
+        ``"direct"`` (default) uses the incremental batch kernels;
+        ``"buffered"`` additionally opens a buffer-tree ingest window
+        (:meth:`~repro.mvsbt.tree.MVSBT.begin_buffered`) on every tree
+        that supports one.  Buffered trees absorb updates into bounded
+        in-page buffers and flush them downward in sorted batches; the
+        write-back happens once, streamed at window close, instead of
+        once per chunk.  Answers are byte-identical either way.
 
     The loader is also a context manager: entering opens the batch window
     (on every discovered tree and pool) for manual event application,
@@ -119,28 +130,49 @@ class BatchLoader:
     """
 
     def __init__(self, target: Any,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 mode: str = "direct") -> None:
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        if mode not in ("direct", "buffered"):
+            raise ValueError(f"unknown ingest mode {mode!r}")
         self.target = target
         self.batch_size = batch_size
+        self.mode = mode
         self._trees = _discover_trees(target)
         self._pools = _discover_pools(target, self._trees)
+        self._buffered: List[Any] = []
 
     # -- window management ------------------------------------------------------
 
     def __enter__(self) -> "BatchLoader":
+        self._buffered = []
         for tree in self._trees:
+            if self.mode == "buffered" and hasattr(tree, "begin_buffered"):
+                try:
+                    tree.begin_buffered()
+                except ValueError:
+                    # A buffered window is already open on this tree
+                    # (nested loaders); fall back to the batch kernel —
+                    # inserts route through the outer window's buffer.
+                    tree.begin_batch()
+                else:
+                    self._buffered.append(tree)
+                    continue
             tree.begin_batch()
         for pool in self._pools:
             pool.begin_batch()
         return self
 
     def __exit__(self, *exc: object) -> None:
+        buffered, self._buffered = self._buffered, []
         for pool in self._pools:
             pool.end_batch()
         for tree in self._trees:
-            tree.end_batch()
+            if tree in buffered:
+                tree.end_buffered()
+            else:
+                tree.end_batch()
 
     # -- bulk application -------------------------------------------------------
 
@@ -186,15 +218,21 @@ class BatchLoader:
         return report
 
     def _apply_chunk(self, chunk: List[Any], report: IngestReport) -> None:
+        # Buffered windows defer all write-back to the streaming flush at
+        # window close; a per-chunk flush would write sealed pages that
+        # the very next chunk dirties again.
+        flush = not self._buffered
         tracer = self._tracer()
         if tracer.enabled:
             with tracer.span("ingest.chunk", events=len(chunk)):
                 self._apply_events(chunk, report)
-                with tracer.span("ingest.flush"):
-                    self._flush_pools(report)
+                if flush:
+                    with tracer.span("ingest.flush"):
+                        self._flush_pools(report)
             return
         self._apply_events(chunk, report)
-        self._flush_pools(report)
+        if flush:
+            self._flush_pools(report)
 
     def _apply_events(self, chunk: List[Any], report: IngestReport) -> None:
         """Route one chunk's events through the target's update API."""
@@ -208,6 +246,8 @@ class BatchLoader:
                 report.deletes += 1
         report.events += len(chunk)
         report.batches += 1
+        if self._buffered:
+            report.buffered_events += len(chunk)
 
     def _flush_pools(self, report: IngestReport) -> None:
         """One coalesced write-back per discovered pool."""
@@ -216,9 +256,10 @@ class BatchLoader:
 
 
 def batch_replay(target: Any, events: Iterable[Any],
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> IngestReport:
-    """One-shot convenience: ``BatchLoader(target, batch_size).load(events)``."""
-    return BatchLoader(target, batch_size).load(events)
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 mode: str = "direct") -> IngestReport:
+    """One-shot convenience: ``BatchLoader(target, batch_size, mode).load(events)``."""
+    return BatchLoader(target, batch_size, mode=mode).load(events)
 
 
 def _discover_trees(target: Any) -> List[Any]:

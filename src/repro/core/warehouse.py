@@ -137,22 +137,38 @@ class TemporalWarehouse:
         self.delete(key, t)
         self.insert(key, value, t)
 
-    def load_events(self, events, batch_size: Optional[int] = None):
+    def load_events(self, events, batch_size: Optional[int] = None,
+                    mode: str = "direct"):
         """Bulk-apply a chronological event batch via the batch kernels.
 
         Thin wrapper over :class:`~repro.core.ingest.BatchLoader` — page
         contents come out bit-identical to event-at-a-time ingestion, but
         page search state is maintained incrementally and write-backs are
-        coalesced.  Updates still reach the WAL one event at a time
-        (``insert``/``delete`` below are the loader's only entry points),
-        so durability is unchanged.  Returns the
+        coalesced.  ``mode="buffered"`` additionally opens buffer-tree
+        ingest windows on the aggregate MVSBTs (the tuple MVBT keeps the
+        batch kernel); query *answers* stay byte-identical, page I/O
+        schedules do not.  Updates still reach the WAL one event at a
+        time (``insert``/``delete`` below are the loader's only entry
+        points) in either mode, so durability is unchanged — a crash
+        mid-flush recovers by WAL replay.  Returns the
         :class:`~repro.core.ingest.IngestReport`.
         """
         from repro.core.ingest import (BatchLoader, DEFAULT_BATCH_SIZE,
                                        coerce_events)
 
-        loader = BatchLoader(self, batch_size or DEFAULT_BATCH_SIZE)
+        loader = BatchLoader(self, batch_size or DEFAULT_BATCH_SIZE,
+                             mode=mode)
         return loader.load(coerce_events(events))
+
+    def load_events_packed(self, blob: bytes,
+                           batch_size: Optional[int] = None,
+                           mode: str = "direct"):
+        """:meth:`load_events` over a :func:`~repro.storage.serialization.pack_events`
+        blob — the procpool LOAD RPC ships one packed columnar buffer per
+        shard instead of a list of per-event tuples."""
+        from repro.storage.serialization import unpack_events
+
+        return self.load_events(unpack_events(blob), batch_size, mode)
 
     def __reduce__(self):
         # Warehouses hold buffer pools, file handles and lambdas; shipping

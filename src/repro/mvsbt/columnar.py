@@ -1,0 +1,249 @@
+"""Columnar page blocks for the buffered MVSBT ingestion path.
+
+During a buffered-ingest window (see :mod:`repro.mvsbt.buffered`) every
+page touched by the router descent is *sealed*: its per-record objects are
+exploded into parallel scalar arrays held in a :class:`ColumnarBlock`
+parked in ``Page.cache``, and ``Page.records`` is set to ``None`` so any
+code path that was not taught about the window fails loudly instead of
+reading half a page.  The block is the page — same rectangles, same
+record order — just stored column-major so the hot ingest kernels touch
+plain ints and floats instead of dataclass instances.
+
+Two representation details the kernels rely on:
+
+* **Tombstones.**  Rows are never physically deleted (later rows are
+  referenced by index from the alive list and the closes map), so a
+  removal sets ``ends[i] = starts[i]``.  An empty interval can never be
+  observed (``alive_at`` is ``start <= t < end``), is excluded from the
+  closes map, and is dropped on materialization — exactly mirroring the
+  physical ``records.remove`` of the object kernels, including record
+  order, because surviving rows keep their positions.
+* **Alive index.**  ``alive`` holds the row indices of the alive records
+  sorted by ``low`` (Property 1 tiling makes the lows strictly
+  increasing) with ``alive_lows`` the parallel bisect key list — the
+  columnar twin of :class:`repro.mvsbt.pageops._AliveMirror`, maintained
+  incrementally instead of being version-validated.
+
+``pending`` is the leaf-level update buffer of the buffer-tree design:
+deposited ``(key, t, value)`` triples waiting for their amortized apply.
+Interior blocks never buffer (their mutations are applied on arrival, see
+the module docstring of :mod:`repro.mvsbt.buffered` for why).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import NOW
+from repro.mvsbt.records import (
+    LEAF_KIND,
+    MVSBTIndexRecord,
+    MVSBTLeafRecord,
+)
+from repro.storage.page import Page
+
+
+class ColumnarBlock:
+    """One page's records as struct-of-arrays plus derived ingest state."""
+
+    __slots__ = (
+        "leaf",
+        "lows",
+        "highs",
+        "starts",
+        "ends",
+        "values",
+        "childs",
+        "alive",
+        "alive_lows",
+        "closes",
+        "pending",
+        "count",
+    )
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.lows: List[int] = []
+        self.highs: List[int] = []
+        self.starts: List[int] = []
+        self.ends: List[int] = []
+        self.values: List[float] = []
+        #: Child page ids; ``None`` for leaf blocks.
+        self.childs: Optional[List[int]] = None if leaf else []
+        #: Row indices of alive records, sorted by ``low``.
+        self.alive: List[int] = []
+        #: ``lows[row]`` for each alive row (the bisect key list).
+        self.alive_lows: List[int] = []
+        #: Lazily built ``(low, high) -> row`` map of the latest-closed
+        #: dead record per key range (time-merge candidate probing).
+        self.closes: Optional[Dict[Tuple[int, int], int]] = None
+        #: Leaf update buffer: deposited ``(key, t, value)`` triples.
+        self.pending: List[Tuple[int, int, float]] = []
+        #: Physical (non-tombstone) row count — the overflow metric,
+        #: equal to ``len(page.records)`` of the object representation.
+        self.count = 0
+
+    # -- conversion --------------------------------------------------------------
+
+    @classmethod
+    def from_page(cls, page: Page) -> "ColumnarBlock":
+        """Explode ``page.records`` into a block (record order preserved)."""
+        block = cls(page.kind == LEAF_KIND)
+        lows, highs = block.lows, block.highs
+        starts, ends, values = block.starts, block.ends, block.values
+        childs = block.childs
+        for rec in page.records:
+            lows.append(rec.low)
+            highs.append(rec.high)
+            starts.append(rec.start)
+            ends.append(rec.end)
+            values.append(rec.value)
+            if childs is not None:
+                childs.append(rec.child)
+        block.count = len(lows)
+        block.rebuild_alive()
+        return block
+
+    def rebuild_alive(self) -> None:
+        """Recompute the alive index from the arrays (seal/prune time)."""
+        ends, lows = self.ends, self.lows
+        rows = sorted(
+            (r for r in range(len(ends)) if ends[r] == NOW),
+            key=lows.__getitem__,
+        )
+        self.alive = rows
+        self.alive_lows = [lows[r] for r in rows]
+
+    def to_records(self) -> list:
+        """Rebuild the object-record list, dropping tombstoned rows.
+
+        Surviving rows keep their relative order, so the result matches
+        what the object kernels' physical appends/removals would have
+        produced for the same mutation sequence.
+        """
+        lows, highs = self.lows, self.highs
+        starts, ends, values = self.starts, self.ends, self.values
+        childs = self.childs
+        records: list = []
+        if childs is None:
+            for r in range(len(lows)):
+                if starts[r] != ends[r]:
+                    records.append(MVSBTLeafRecord(
+                        lows[r], highs[r], starts[r], ends[r], values[r]))
+        else:
+            for r in range(len(lows)):
+                if starts[r] != ends[r]:
+                    records.append(MVSBTIndexRecord(
+                        lows[r], highs[r], starts[r], ends[r], values[r],
+                        childs[r]))
+        return records
+
+    def to_rows(self) -> Tuple[int, list]:
+        """Codec-ordered flat field list of the non-tombstone rows.
+
+        Returns ``(count, flat)`` where ``flat`` is every surviving row's
+        fields concatenated in the page codec's field order — the input
+        :func:`repro.storage.serialization.encode_page_flat` turns into a
+        page image with one bulk ``struct.pack`` instead of a per-record
+        encode loop.  Byte-identical to encoding :meth:`to_records`.
+        """
+        lows, highs = self.lows, self.highs
+        starts, ends, values = self.starts, self.ends, self.values
+        childs = self.childs
+        flat: list = []
+        extend = flat.extend
+        count = 0
+        if childs is None:
+            for r in range(len(lows)):
+                if starts[r] != ends[r]:
+                    extend((lows[r], highs[r], starts[r], ends[r],
+                            values[r]))
+                    count += 1
+        else:
+            for r in range(len(lows)):
+                if starts[r] != ends[r]:
+                    extend((lows[r], highs[r], starts[r], ends[r],
+                            values[r], childs[r]))
+                    count += 1
+        return count, flat
+
+    # -- row primitives -----------------------------------------------------------
+
+    def append_row(self, low: int, high: int, start: int, end: int,
+                   value: float, child: int = -1) -> int:
+        """Append one record row; returns its index."""
+        self.lows.append(low)
+        self.highs.append(high)
+        self.starts.append(start)
+        self.ends.append(end)
+        self.values.append(value)
+        if self.childs is not None:
+            self.childs.append(child)
+        self.count += 1
+        return len(self.lows) - 1
+
+    def tombstone(self, row: int) -> None:
+        """Logically remove ``row`` (the columnar ``records.remove``)."""
+        self.ends[row] = self.starts[row]
+        self.count -= 1
+
+    def build_closes(self) -> Dict[Tuple[int, int], int]:
+        """(Re)build and memoize the latest-closed-dead-row map."""
+        closes: Dict[Tuple[int, int], int] = {}
+        lows, highs = self.lows, self.highs
+        starts, ends = self.starts, self.ends
+        for r in range(len(ends)):
+            e = ends[r]
+            if e == NOW or starts[r] == e:
+                continue
+            key_range = (lows[r], highs[r])
+            cur = closes.get(key_range)
+            if cur is None or e > ends[cur]:
+                closes[key_range] = r
+        self.closes = closes
+        return closes
+
+    def scan(self, key: int, t: int) -> Tuple[float, Optional[int]]:
+        """``PagePointQuery`` over the arrays (logical mode).
+
+        Returns the page's contribution at ``(key, t)`` and the row index
+        of the containing record (``None`` breaks tiling upstream).
+        Tombstones fail the aliveness test by construction.
+        """
+        acc = 0.0
+        containing: Optional[int] = None
+        lows, highs = self.lows, self.highs
+        starts, ends, values = self.starts, self.ends, self.values
+        for r in range(len(lows)):
+            if starts[r] <= t < ends[r]:
+                low = lows[r]
+                if low <= key:
+                    acc += values[r]
+                    if key < highs[r]:
+                        containing = r
+        return acc, containing
+
+
+def seal_page(page: Page) -> ColumnarBlock:
+    """Convert ``page`` to columnar representation (idempotent).
+
+    ``page.records`` becomes ``None`` — any unguarded object-path access
+    during the window raises immediately instead of misreading the page.
+    """
+    block = page.cache
+    if type(block) is ColumnarBlock:
+        return block
+    block = ColumnarBlock.from_page(page)
+    page.cache = block
+    page.records = None
+    return block
+
+
+def materialize_page(page: Page) -> None:
+    """Restore ``page`` to the object-record representation."""
+    block = page.cache
+    if type(block) is not ColumnarBlock:
+        return
+    page.records = block.to_records()
+    page.cache = None
+    page.mark_dirty()

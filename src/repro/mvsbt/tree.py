@@ -45,6 +45,7 @@ from typing import List, Optional, Tuple
 from repro.core.model import MAX_KEY, NOW
 from repro.errors import InvariantViolation, QueryError, TimeOrderError
 from repro.mvsbt import pageops as ops
+from repro.mvsbt.columnar import materialize_page
 from repro.mvsbt.records import (
     INDEX_KIND,
     LEAF_KIND,
@@ -141,6 +142,10 @@ class MVSBT:
     #: Insertion epoch the memo validates open-frontier entries against;
     #: only bumped while a memo is attached.
     _memo_epoch = 0
+    #: Active :class:`repro.mvsbt.buffered.MVSBTIngestBuffer` while a
+    #: buffered-ingest window is open (see :meth:`begin_buffered`); a class
+    #: attribute for the same ``cls.__new__`` reason as ``memo``.
+    _buffer = None
 
     def __init__(self, pool: BufferPool, config: Optional[MVSBTConfig] = None,
                  key_space: Tuple[int, int] = (1, MAX_KEY + 1),
@@ -184,6 +189,53 @@ class MVSBT:
             raise ValueError("end_batch() without matching begin_batch()")
         self._batch_depth -= 1
 
+    def begin_buffered(self, intake_limit: Optional[int] = None,
+                       pending_limit: Optional[int] = None):
+        """Open a buffered-ingest window (buffer-tree path; not nestable).
+
+        Insertions are absorbed by a root intake buffer and routed through
+        columnar page kernels with per-leaf update buffers; queries cross a
+        drain barrier that force-flushes only their search path.  Answers
+        are identical to the direct path at every point of the window.
+        Requires the logical (delta) value semantics.  Returns the
+        attached :class:`~repro.mvsbt.buffered.MVSBTIngestBuffer`.
+        """
+        from repro.mvsbt.buffered import (
+            DEFAULT_INTAKE_LIMIT,
+            DEFAULT_PENDING_LIMIT,
+            MVSBTIngestBuffer,
+        )
+
+        if self._buffer is not None:
+            raise ValueError("begin_buffered() inside an open window")
+        self._buffer = MVSBTIngestBuffer(
+            self,
+            intake_limit or DEFAULT_INTAKE_LIMIT,
+            pending_limit or DEFAULT_PENDING_LIMIT,
+        )
+        # The window keeps its working set resident (pages touched by the
+        # router are pinned until finalize); a pool batch window keeps the
+        # victim scan amortized O(1) while the pool over-commits, and
+        # coalesces the write-backs into the closing flush.
+        self.pool.begin_batch()
+        return self._buffer
+
+    def end_buffered(self) -> None:
+        """Close the buffered window: drain and flush every pending buffer.
+
+        Frontier (alive) pages are restored to object records; historical
+        pages written during the window stay columnar — the query descent
+        and the page codecs read both representations.
+        """
+        if self._buffer is None:
+            raise ValueError("end_buffered() without begin_buffered()")
+        buffer = self._buffer
+        self._buffer = None
+        try:
+            buffer.finalize()
+        finally:
+            self.pool.end_batch()
+
     def enable_memo(self, capacity: int = 8192,
                     thread_safe: bool = False) -> None:
         """Attach a point-query memo (see :mod:`repro.core.cache`).
@@ -208,6 +260,9 @@ class MVSBT:
         below the bottom it covers the whole key space.  Zero values are
         accepted and skipped (they change no point).
         """
+        if self._buffer is not None:
+            self._buffer.add(key, t, value)
+            return
         tracer = self.pool.tracer
         if tracer.enabled:
             with tracer.span("mvsbt.insert", key=key, t=t, value=value):
@@ -266,6 +321,8 @@ class MVSBT:
 
     def query(self, key: int, t: int) -> float:
         """``V(key, t)`` — Appendix A's ``PointQuery``/``PagePointQuery``."""
+        if self._buffer is not None:
+            return self._buffer.query(key, t)
         if not (self.key_space[0] <= key < self.key_space[1]):
             raise QueryError(f"key {key} outside key space {self.key_space}")
         if t < self.start_time:
@@ -326,10 +383,27 @@ class MVSBT:
                     page = self.pool.fetch(pid)
                     span.attrs["level"] = page.meta["level"]
                     span.attrs["kind"] = page.kind
-                    delta, containing = self._scan_page(page, key, t, logical)
             else:
                 page = self.pool.fetch(pid)
-                delta, containing = self._scan_page(page, key, t, logical)
+            if page.records is None:
+                # Columnar page left behind by a buffered-ingest window
+                # (block semantics are logical; buffered ingest requires
+                # the logical value mode).
+                delta, row = page.cache.scan(key, t)
+                acc += delta
+                pages += 1
+                if row is None:
+                    raise InvariantViolation(
+                        f"page {page.page_id} does not cover key {key} "
+                        f"at t={t}"
+                    )
+                if page.kind == LEAF_KIND:
+                    if self.metrics is not None:
+                        self.metrics.descent_pages.observe(pages)
+                    return acc
+                pid = page.cache.childs[row]
+                continue
+            delta, containing = self._scan_page(page, key, t, logical)
             acc += delta
             pages += 1
             if containing is None:
@@ -738,6 +812,10 @@ class MVSBT:
         """Checkpoint the tree (pages + structure) into ``directory``."""
         from repro.storage.checkpoint import write_checkpoint
 
+        if self._buffer is not None:
+            # Pending leaf updates must land in the page images; columnar
+            # pages themselves checkpoint fine (encode_page_image).
+            self._buffer.flush_all_pending()
         write_checkpoint(self.pool, self.state(), directory)
 
     @classmethod
@@ -756,6 +834,11 @@ class MVSBT:
 
     def page_ids(self) -> set[int]:
         """Every page reachable from any registered root."""
+        if self._buffer is not None:
+            # The intake may still hold updates whose routing allocates
+            # pages; the per-leaf pending buffers cannot (the deposit
+            # guard proves their flush never splits).
+            self._buffer.drain()
         seen: set[int] = set()
         for entry in self.roots.entries():
             stack = [entry.root_id]
@@ -766,7 +849,14 @@ class MVSBT:
                 seen.add(pid)
                 page = self.pool.fetch(pid)
                 if page.kind == INDEX_KIND:
-                    stack.extend(rec.child for rec in page.records)
+                    if page.records is None:
+                        block = page.cache
+                        starts, ends = block.starts, block.ends
+                        childs = block.childs
+                        stack.extend(childs[r] for r in range(len(childs))
+                                     if starts[r] != ends[r])
+                    else:
+                        stack.extend(rec.child for rec in page.records)
         return seen
 
     def page_count(self) -> int:
@@ -792,6 +882,8 @@ class MVSBT:
         lemma3_bound = -(-cfg.strong_bound // 2)  # ceil(f*b / 2)
         for pid in self.page_ids():
             page = self.pool.fetch(pid)
+            if page.records is None:
+                materialize_page(page)
             assert len(page.records) <= cfg.capacity, (
                 f"page {pid} holds {len(page.records)} > b={cfg.capacity}"
             )

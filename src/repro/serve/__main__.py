@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process executor: max consecutive reads a "
                              "shard worker answers in one shared-scan "
                              "pass (1 disables batching)")
+    parser.add_argument("--ingest", choices=("direct", "buffered"),
+                        default="direct",
+                        help="default LOAD mode: direct batch kernels, or "
+                             "the buffer-tree ingest path (amortized bulk "
+                             "inserts; per-request \"mode\" overrides)")
     return parser
 
 
@@ -98,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_memo_entries=args.cache_memo_entries,
         buffer_policy=args.buffer_policy,
         executor=args.executor, scan_batch=args.scan_batch,
+        ingest=args.ingest,
     )
     return asyncio.run(amain(config))
 

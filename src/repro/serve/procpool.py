@@ -174,7 +174,7 @@ def _worker_main(conn, spec: ShardSpec) -> None:
     conn.send(("hello", os.getpid(), warehouse.now))
     stats = {
         "requests": 0, "reads": 0, "writes": 0, "errors": 0,
-        "shared_batches": 0, "batched_reads": 0,
+        "shared_batches": 0, "batched_reads": 0, "load_bytes": 0,
     }
     memoized = spec.cache_config is not None and spec.cache_config.memo_entries > 0
     pending: deque = deque()
@@ -220,6 +220,10 @@ def _worker_main(conn, spec: ShardSpec) -> None:
             _serve_explain_trace(conn, warehouse, rid, args, stats)
             continue
         stats["writes"] += 1
+        if method == "load_events_packed" and args:
+            # Bytes-on-pipe for the packed LOAD fan-out (one columnar
+            # blob per shard; surfaces as a repro_procpool_* gauge).
+            stats["load_bytes"] += len(args[0])
         _serve_one(conn, warehouse, rid, method, args, stats)
         if method == "enable_cache":
             config = args[0] if args else None
@@ -526,12 +530,22 @@ class ProcessShardedWarehouse(ShardRouter):
 
     # -- parallel fan-out --------------------------------------------------------------
 
-    def _load_shards(self, partitions, batch_size: int):
+    def _load_shards(self, partitions, batch_size: int, mode: str):
         """Drive every shard's :class:`~repro.core.ingest.BatchLoader`
-        concurrently — each partition loads in its own process."""
+        concurrently — each partition loads in its own process.
+
+        Each partition crosses the pipe as one
+        :func:`~repro.storage.serialization.pack_events` columnar blob
+        (four packed arrays) instead of a list of pickled per-event
+        tuples; the worker counts the bytes-on-pipe in its ``load_bytes``
+        stat and unpacks straight into its loader.
+        """
+        from repro.storage.serialization import pack_events
+
         futures = [
-            self._clients[index].call_async("load_events", events,
-                                            batch_size)
+            self._clients[index].call_async("load_events_packed",
+                                            pack_events(events),
+                                            batch_size, mode)
             for index, events in partitions
         ]
         return [future.result() for future in futures]

@@ -59,6 +59,7 @@ from repro.tql.parser import (
     DeleteStatement,
     HistoryStatement,
     InsertStatement,
+    LoadStatement,
     SelectStatement,
     SnapshotStatement,
     parse,
@@ -89,6 +90,8 @@ class ServerConfig:
     buffer_policy: str = "2q"          # scan-resistant pools (fresh shards)
     executor: str = "thread"           # "thread" (default) or "process"
     scan_batch: int = 8                # procpool shared-scan batch ceiling
+    ingest: str = "direct"             # default LOAD mode ("buffered" opts
+                                       # into the buffer-tree ingest path)
 
 
 @dataclass
@@ -318,6 +321,26 @@ class TQLServer:
         if not isinstance(tql, str):
             raise ProtocolError('op "query" needs a "tql" string field')
         statement = parse(tql)
+        if isinstance(statement, LoadStatement):
+            # A LOAD statement is an all-shards write: hold every writer
+            # lock (index order) exactly like the "load" op, so it cannot
+            # interleave with single-statement DML.  A plain LOAD follows
+            # the server's --ingest default; LOAD BUFFERED is explicit.
+            from contextlib import AsyncExitStack
+            from dataclasses import replace as _replace
+
+            if not statement.buffered and self.config.ingest == "buffered":
+                statement = _replace(statement, buffered=True)
+
+            async with AsyncExitStack() as stack:
+                for lock in self._writer_locks:
+                    await stack.enter_async_context(lock)
+                result = await self._admitted(
+                    lambda: tql_executor.execute(self.warehouse, statement))
+                await self._maybe_checkpoint()
+            for shard in range(self.warehouse.shard_count):
+                self.metrics.shard_writes(shard).inc()
+            return result, None
         if isinstance(statement, (InsertStatement, DeleteStatement)):
             shard = self.warehouse.shard_index(statement.key)
             writer_lock = self._writer_locks[shard]
@@ -358,6 +381,9 @@ class TQLServer:
         batch_size = message.get("batch_size", 1024)
         if not isinstance(batch_size, int) or batch_size < 1:
             raise ProtocolError('"batch_size" must be a positive integer')
+        mode = message.get("mode", self.config.ingest)
+        if mode not in ("direct", "buffered"):
+            raise ProtocolError('"mode" must be "direct" or "buffered"')
 
         from contextlib import AsyncExitStack
 
@@ -365,7 +391,8 @@ class TQLServer:
             for lock in self._writer_locks:
                 await stack.enter_async_context(lock)
             report = await self._admitted(
-                lambda: self.warehouse.load_events(events, batch_size))
+                lambda: self.warehouse.load_events(events, batch_size,
+                                                   mode))
             await self._maybe_checkpoint()
         for shard in range(self.warehouse.shard_count):
             self.metrics.shard_writes(shard).inc()
@@ -373,6 +400,7 @@ class TQLServer:
             "events": report.events, "inserts": report.inserts,
             "deletes": report.deletes, "batches": report.batches,
             "flushed_pages": report.flushed_pages,
+            "buffered_events": report.buffered_events,
         }
 
     def _respawn(self, message: Dict[str, Any]) -> Any:
@@ -407,7 +435,8 @@ class TQLServer:
         for row in worker_stats():
             shard = str(row.get("shard", ""))
             for counter in ("requests", "reads", "writes", "errors",
-                            "shared_batches", "batched_reads"):
+                            "shared_batches", "batched_reads",
+                            "load_bytes"):
                 if counter in row:
                     self.registry.gauge(
                         f"repro_procpool_{counter}",

@@ -177,7 +177,8 @@ class ShardRouter:
         self._shard_write(self.shard_index(key), "update", key, value, t)
 
     def load_events(self, events: Sequence[Any],
-                    batch_size: int = DEFAULT_BATCH_SIZE) -> IngestReport:
+                    batch_size: int = DEFAULT_BATCH_SIZE,
+                    mode: str = "direct") -> IngestReport:
         """Bulk-apply a chronologically sorted update batch, shard-wise.
 
         Events are ``(op, key, value, time)`` tuples or any objects with
@@ -186,6 +187,8 @@ class ShardRouter:
         driven through the shard's :class:`~repro.core.ingest.BatchLoader`
         — a per-shard subsequence of a sorted stream is itself sorted, so
         partitioning preserves the loader's chronological contract.
+        ``mode="buffered"`` selects the buffer-tree ingest path inside
+        each shard warehouse (byte-identical answers, amortized CPU).
         Backends may drive the per-shard loads concurrently
         (:meth:`_load_shards`); the merged :class:`IngestReport` is
         returned either way.
@@ -203,7 +206,8 @@ class ShardRouter:
         for event in coerced:
             partitions.setdefault(self.shard_index(event.key),
                                   []).append(event)
-        reports = self._load_shards(sorted(partitions.items()), batch_size)
+        reports = self._load_shards(sorted(partitions.items()), batch_size,
+                                    mode)
         merged = IngestReport()
         for report in reports:
             merged.events += report.events
@@ -211,14 +215,16 @@ class ShardRouter:
             merged.deletes += report.deletes
             merged.batches += report.batches
             merged.flushed_pages += report.flushed_pages
+            merged.buffered_events += report.buffered_events
         return merged
 
     def _load_shards(self, partitions: List[Tuple[int, List[Any]]],
-                     batch_size: int) -> List[IngestReport]:
+                     batch_size: int, mode: str) -> List[IngestReport]:
         """Drive each shard's loader; sequential by default, backends with
         real parallelism override."""
         return [
-            self._shard_write(index, "load_events", events, batch_size)
+            self._shard_write(index, "load_events", events, batch_size,
+                              mode)
             for index, events in partitions
         ]
 

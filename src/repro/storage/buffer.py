@@ -418,7 +418,7 @@ class BufferPool:
                 # any) so a re-read skips the decode.  Dirty victims are
                 # parked by the write-back above.
                 decoded = getattr(self.disk, "decoded_cache", None)
-                if decoded is not None:
+                if decoded is not None and victim.records is not None:
                     decoded.put(victim_id, victim.kind, victim.records,
                                 victim.capacity)
 

@@ -32,7 +32,7 @@ from repro.storage.serialization import (
     PAGE_HEADER_BYTES,
     codec_for,
     decode_page,
-    encode_page,
+    encode_page_image,
 )
 
 PAGES_FILE = "pages.dat"
@@ -78,7 +78,7 @@ def write_checkpoint(pool: BufferPool, index_meta: Dict[str, Any],
     with open(os.path.join(directory, PAGES_FILE), "wb") as fh:
         for slot, page_id in enumerate(page_ids):
             page = pool.fetch(page_id)
-            fh.write(encode_page(page.kind, page.records, page_bytes))
+            fh.write(encode_page_image(page, page_bytes))
             pages_meta[str(page_id)] = {
                 "slot": slot,
                 "capacity": page.capacity,

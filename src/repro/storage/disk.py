@@ -23,7 +23,7 @@ from repro.storage.serialization import (
     DEFAULT_PAGE_BYTES,
     DecodedPageCache,
     decode_page,
-    encode_page,
+    encode_page_image,
 )
 
 
@@ -201,12 +201,12 @@ class FileDiskManager(DiskManager):
         self._check_owner()
         if page.page_id in self._freed:
             raise PageNotFoundError(page.page_id)
-        image = encode_page(page.kind, page.records, self.page_bytes)
+        image = encode_page_image(page, self.page_bytes)
         self._capacities[page.page_id] = page.capacity
         with open(self.path, "r+b") as fh:
             fh.seek(self._offset(page.page_id))
             fh.write(image)
-        if self.decoded_cache is not None:
+        if self.decoded_cache is not None and page.records is not None:
             # The records now match the bytes just written; park them so a
             # post-eviction re-read skips the decode.
             self.decoded_cache.put(page.page_id, page.kind, page.records,

@@ -107,6 +107,110 @@ def encode_page(page_kind: str, records: Sequence[Any], page_bytes: int) -> byte
     return image.ljust(page_bytes, b"\0")
 
 
+def encode_page_flat(page_kind: str, count: int, flat: Sequence[Any],
+                     page_bytes: int) -> bytes:
+    """Bulk twin of :func:`encode_page` for columnar page state.
+
+    ``flat`` holds ``count`` records' fields concatenated in the codec's
+    field order (see ``ColumnarBlock.to_rows``); the whole body is packed
+    by one ``struct.pack`` call.  Little-endian formats have no padding,
+    so the image is byte-identical to the record-at-a-time encoder's.
+    """
+    codec = codec_for(page_kind)
+    kind_raw = page_kind.encode("ascii")[:16].ljust(16, b"\0")
+    header = kind_raw + struct.pack("<I", count) + b"\0" * 12
+    body = struct.pack("<" + codec.fmt[1:] * count, *flat) if count else b""
+    image = header + body
+    if len(image) > page_bytes:
+        raise ValueError(
+            f"{count} records of kind {page_kind!r} exceed "
+            f"{page_bytes} B page"
+        )
+    return image.ljust(page_bytes, b"\0")
+
+
+def encode_page_image(page: Any, page_bytes: int) -> bytes:
+    """Encode a page in whichever representation it currently holds.
+
+    Object pages go through :func:`encode_page`; a page whose ``records``
+    is ``None`` parks its state in ``page.cache`` — any object exposing
+    ``to_rows()`` (the MVSBT's columnar ingest blocks) — and is encoded in
+    bulk via :func:`encode_page_flat`.
+    """
+    records = page.records
+    if records is None:
+        count, flat = page.cache.to_rows()
+        return encode_page_flat(page.kind, count, flat, page_bytes)
+    return encode_page(page.kind, records, page_bytes)
+
+
+#: ``pack_events`` wire magic + version (guards against foreign blobs).
+_EVENTS_MAGIC = b"rpev1\0"
+
+
+def pack_events(events: Sequence[Any]) -> bytes:
+    """Pack an update-event batch into one columnar binary blob.
+
+    Events are anything with ``op``/``key``/``value``/``time`` attributes
+    or bare ``(op, key, value, time)`` sequences.  Layout: magic, ``<I``
+    count, ``count`` op bytes (1 insert / 0 delete), then the keys,
+    values and times as contiguous ``<q``/``<d``/``<q`` arrays — four
+    ``struct.pack`` calls however large the batch, which is what lets a
+    procpool LOAD ship a shard's partition as one buffer instead of a
+    list of pickled tuples.
+    """
+    ops = bytearray()
+    keys: List[int] = []
+    values: List[float] = []
+    times: List[int] = []
+    for row in events:
+        if hasattr(row, "op"):
+            op, key = row.op, row.key
+            value, time = getattr(row, "value", 0.0), row.time
+        else:
+            op, key, value, time = row
+        if op == "insert":
+            ops.append(1)
+        elif op == "delete":
+            ops.append(0)
+        else:
+            raise ValueError(f"unknown event op {op!r}")
+        keys.append(int(key))
+        values.append(float(value))
+        times.append(int(time))
+    n = len(ops)
+    return b"".join((
+        _EVENTS_MAGIC,
+        struct.pack("<I", n),
+        bytes(ops),
+        struct.pack(f"<{n}q", *keys),
+        struct.pack(f"<{n}d", *values),
+        struct.pack(f"<{n}q", *times),
+    ))
+
+
+def unpack_events(blob: bytes) -> List[Tuple[str, int, float, int]]:
+    """Inverse of :func:`pack_events`: plain ``(op, key, value, time)`` rows.
+
+    Returns bare tuples (no ingest-layer import) that
+    :func:`repro.core.ingest.coerce_events` accepts directly.
+    """
+    if blob[:len(_EVENTS_MAGIC)] != _EVENTS_MAGIC:
+        raise ValueError("not a pack_events blob (bad magic)")
+    offset = len(_EVENTS_MAGIC)
+    (n,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    ops = blob[offset:offset + n]
+    offset += n
+    keys = struct.unpack_from(f"<{n}q", blob, offset)
+    offset += 8 * n
+    values = struct.unpack_from(f"<{n}d", blob, offset)
+    offset += 8 * n
+    times = struct.unpack_from(f"<{n}q", blob, offset)
+    return [("insert" if ops[i] else "delete", keys[i], values[i], times[i])
+            for i in range(n)]
+
+
 def decode_page(raw: bytes) -> Tuple[str, list]:
     """Inverse of :func:`encode_page`: returns ``(kind, records)``."""
     kind = raw[:16].rstrip(b"\0").decode("ascii")

@@ -38,6 +38,7 @@ from repro.tql.parser import (
     ExplainStatement,
     HistoryStatement,
     InsertStatement,
+    LoadStatement,
     SelectStatement,
     SnapshotStatement,
     parse,
@@ -123,6 +124,11 @@ def execute(warehouse: TemporalWarehouse,
         value = warehouse.delete(statement.key, statement.at)
         return (f"deleted key {statement.key} at t={statement.at} "
                 f"(value was {value})")
+    if isinstance(statement, LoadStatement):
+        mode = "buffered" if statement.buffered else "direct"
+        report = warehouse.load_events(statement.events, mode=mode)
+        return (f"loaded {report.events} events ({report.inserts} inserts, "
+                f"{report.deletes} deletes, mode={mode})")
     raise QueryError(f"cannot execute {type(statement).__name__}")
 
 

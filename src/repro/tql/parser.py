@@ -2,8 +2,11 @@
 
 Grammar (keywords case-insensitive; ``[a, b)`` denotes half-open)::
 
-    statement  := explain | select | snapshot | history
+    statement  := explain | select | snapshot | history | load
     explain    := EXPLAIN select
+    load       := LOAD [BUFFERED] loadevent (',' loadevent)*
+    loadevent  := INSERT KEY INT VALUE NUMBER AT INT
+                | DELETE KEY INT AT INT
     select     := SELECT aggspec WHERE predicates
                 | SELECT aggspec                      -- no filter: whole space
     aggspec    := (SUM|AVG|MIN|MAX) '(' VALUE ')'
@@ -92,8 +95,22 @@ class ExplainStatement:
     select: SelectStatement
 
 
+@dataclass(frozen=True)
+class LoadStatement:
+    """``LOAD [BUFFERED] INSERT ..., DELETE ...`` — a bulk event batch.
+
+    ``events`` holds plain ``(op, key, value, time)`` rows in statement
+    order; ``BUFFERED`` selects the buffer-tree ingest path (byte-
+    identical answers, amortized CPU).
+    """
+
+    events: Tuple[Tuple[str, int, float, int], ...]
+    buffered: bool = False
+
+
 Statement = (SelectStatement, SnapshotStatement, HistoryStatement,
-             InsertStatement, DeleteStatement, ExplainStatement)
+             InsertStatement, DeleteStatement, ExplainStatement,
+             LoadStatement)
 
 
 class _Parser:
@@ -152,11 +169,13 @@ class _Parser:
             result = self._insert()
         elif self._accept("DELETE"):
             result = self._delete()
+        elif self._accept("LOAD"):
+            result = self._load()
         else:
             token = self._current
             raise TQLSyntaxError(
-                f"expected SELECT, EXPLAIN, SNAPSHOT, HISTORY, INSERT or "
-                f"DELETE, found {token.text or 'end of input'!r}"
+                f"expected SELECT, EXPLAIN, SNAPSHOT, HISTORY, INSERT, "
+                f"DELETE or LOAD, found {token.text or 'end of input'!r}"
             )
         self._take("EOF")
         return result
@@ -279,6 +298,25 @@ class _Parser:
         key = self._int()
         self._take("AT")
         return DeleteStatement(key=key, at=self._int())
+
+    def _load(self) -> LoadStatement:
+        buffered = self._accept("BUFFERED") is not None
+        events: List[Tuple[str, int, float, int]] = []
+        while True:
+            if self._accept("INSERT"):
+                row = self._insert()
+                events.append(("insert", row.key, row.value, row.at))
+            elif self._accept("DELETE"):
+                row = self._delete()
+                events.append(("delete", row.key, 0.0, row.at))
+            else:
+                raise TQLSyntaxError(
+                    f"expected INSERT or DELETE in LOAD, found "
+                    f"{self._current.text or 'end of input'!r}"
+                )
+            if self._accept(",") is None:
+                break
+        return LoadStatement(events=tuple(events), buffered=buffered)
 
 
 def parse(text: str):

@@ -14,6 +14,7 @@ from repro.tql.parser import (
     DeleteStatement,
     HistoryStatement,
     InsertStatement,
+    LoadStatement,
     SelectStatement,
     SnapshotStatement,
 )
@@ -69,4 +70,14 @@ def render(statement) -> str:
                 f"AT {statement.at}")
     if isinstance(statement, DeleteStatement):
         return f"DELETE KEY {statement.key} AT {statement.at}"
+    if isinstance(statement, LoadStatement):
+        rows = []
+        for op, key, value, time in statement.events:
+            if op == "insert":
+                rows.append(render(InsertStatement(key=key, value=value,
+                                                   at=time)))
+            else:
+                rows.append(render(DeleteStatement(key=key, at=time)))
+        keyword = "LOAD BUFFERED" if statement.buffered else "LOAD"
+        return f"{keyword} " + ", ".join(rows)
     raise QueryError(f"cannot render {type(statement).__name__}")

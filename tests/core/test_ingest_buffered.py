@@ -1,0 +1,257 @@
+"""Metamorphic tests for buffered (buffer-tree) warehouse ingestion.
+
+Buffered twins vs direct twins fed the identical chronological stream:
+every aggregate answer (SUM/COUNT/AVG/MIN/MAX), every AS OF snapshot,
+and the closed on-disk page images must be byte-identical.  EXPLAIN
+plans are captured from both twins but *not* asserted equal — the
+buffered path legitimately changes I/O statistics (sealed-page routing
+reads fewer pages), so plan cost estimates and page counts may differ
+while answers may not.  A kill mid-flush must recover every applied
+event from the WAL.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchSettings, build_rta_index
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.ingest import BatchLoader, batch_replay
+from repro.core.model import Interval, KeyRange
+from repro.core.warehouse import TemporalWarehouse
+from repro.storage.serialization import encode_page_image
+from repro.workloads.datasets import paper_config
+from repro.workloads.generator import generate_dataset
+from repro.workloads.queries import (
+    QueryRectangleConfig,
+    generate_query_rectangles,
+)
+
+SETTINGS = BenchSettings()
+AGGREGATES = (SUM, COUNT, AVG, MIN, MAX)
+PAGE_BYTES = 4096
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(paper_config("uniform-long", scale=0.001))
+
+
+@pytest.fixture(scope="module")
+def rects(dataset):
+    return generate_query_rectangles(QueryRectangleConfig(
+        qrs=0.05, count=12, key_space=dataset.config.key_space,
+        time_space=dataset.config.time_space, seed=1729,
+    ))
+
+
+def replay_sequential(target, events):
+    for event in events:
+        if event.op == "insert":
+            target.insert(event.key, event.value, event.time)
+        else:
+            target.delete(event.key, event.time)
+
+
+def canonical_tree_dump(tree):
+    """Tree structure with page IDs relabeled in DFS visit order.
+
+    The RTA index runs four MVSBTs over ONE pool; buffered flush batches
+    legitimately reorder page *allocations* across the trees, so raw page
+    IDs (and the child pointers embedded in index records) are not
+    comparable across twins.  Everything else must be: records decode
+    through the page codecs (representation-independent), child pointers
+    are canonicalized, and record payloads compare by repr.
+    """
+    from repro.storage.serialization import decode_page
+
+    tree.pool.flush_all()
+    relabel = {}
+    pages = []
+
+    def visit(pid):
+        if pid in relabel:
+            return relabel[pid]
+        relabel[pid] = len(relabel)
+        mine = relabel[pid]
+        kind, records = decode_page(
+            encode_page_image(tree.pool.fetch(pid), PAGE_BYTES))
+        rows = []
+        for record in records:
+            if kind == "mvsbt-index":
+                rows.append((record.low, record.high, record.start,
+                             record.end, record.value, visit(record.child)))
+            else:
+                rows.append(repr(record))
+        pages.append((mine, kind, tuple(rows)))
+        return mine
+
+    roots = tuple((entry.start, visit(entry.root_id))
+                  for entry in tree.roots.entries())
+    return roots, tuple(sorted(pages))
+
+
+def answers(warehouse, rects):
+    """repr() of every aggregate over every rectangle — byte-level
+    equality of the observable results."""
+    out = []
+    for rect in rects:
+        for aggregate in AGGREGATES:
+            out.append(repr(warehouse.aggregate(rect.range, rect.interval,
+                                                aggregate)))
+    return out
+
+
+class TestBufferedWarehouseTwins:
+    def test_rta_tree_structures_identical(self, dataset):
+        reference = build_rta_index(SETTINGS, dataset,
+                                    aggregates=(SUM, COUNT))
+        buffered = build_rta_index(SETTINGS, dataset,
+                                   aggregates=(SUM, COUNT))
+        replay_sequential(reference, dataset.events)
+        batch_replay(buffered, dataset.events, mode="buffered")
+        for name, (ref_lkst, ref_lklt) in reference.trees().items():
+            buf_lkst, buf_lklt = buffered.trees()[name]
+            assert canonical_tree_dump(buf_lkst) == canonical_tree_dump(
+                ref_lkst)
+            assert canonical_tree_dump(buf_lklt) == canonical_tree_dump(
+                ref_lklt)
+            assert buf_lkst.counters == ref_lkst.counters
+            assert buf_lklt.counters == ref_lklt.counters
+        assert (buffered.pool.disk.live_page_count
+                == reference.pool.disk.live_page_count)
+
+    def test_all_aggregates_identical(self, dataset, rects):
+        reference = TemporalWarehouse(key_space=dataset.config.key_space)
+        buffered = TemporalWarehouse(key_space=dataset.config.key_space)
+        replay_sequential(reference, dataset.events)
+        report = buffered.load_events(dataset.events, mode="buffered")
+        assert report.buffered_events > 0
+        assert answers(buffered, rects) == answers(reference, rects)
+
+    def test_as_of_snapshots_identical(self, dataset):
+        reference = TemporalWarehouse(key_space=dataset.config.key_space)
+        buffered = TemporalWarehouse(key_space=dataset.config.key_space)
+        replay_sequential(reference, dataset.events)
+        buffered.load_events(dataset.events, mode="buffered")
+        lo, hi = dataset.config.key_space
+        whole = KeyRange(lo, hi)
+        horizon = reference.now
+        for at in range(1, horizon + 1, max(1, horizon // 12)):
+            assert buffered.snapshot(whole, at) == reference.snapshot(
+                whole, at)
+
+    def test_explain_page_counts_reported_separately(self, dataset, rects):
+        """Plans are captured from both twins; answers must match, plan
+        statistics are allowed to differ (and are not asserted equal)."""
+        reference = TemporalWarehouse(key_space=dataset.config.key_space)
+        buffered = TemporalWarehouse(key_space=dataset.config.key_space)
+        replay_sequential(reference, dataset.events)
+        buffered.load_events(dataset.events, mode="buffered")
+        plans = []
+        for rect in rects[:4]:
+            ref_plan = reference.explain(rect.range, rect.interval, SUM)
+            buf_plan = buffered.explain(rect.range, rect.interval, SUM)
+            plans.append((ref_plan, buf_plan))
+            assert repr(buffered.sum(rect.range, rect.interval)) == repr(
+                reference.sum(rect.range, rect.interval))
+        assert all(ref is not None and buf is not None
+                   for ref, buf in plans)
+
+    def test_mid_window_reads_stay_live(self, dataset, rects):
+        """Queries issued while the buffered window is open observe every
+        event applied so far — the drain barrier, end to end."""
+        reference = TemporalWarehouse(key_space=dataset.config.key_space)
+        buffered = TemporalWarehouse(key_space=dataset.config.key_space)
+        loader = BatchLoader(buffered, mode="buffered")
+        events = dataset.events
+        step = max(1, len(events) // 6)
+        with loader:
+            for lo in range(0, len(events), step):
+                chunk = events[lo:lo + step]
+                loader.load(chunk)
+                replay_sequential(reference, chunk)
+                for rect in rects[:4]:
+                    assert repr(buffered.sum(rect.range, rect.interval)) \
+                        == repr(reference.sum(rect.range, rect.interval))
+        assert answers(buffered, rects) == answers(reference, rects)
+
+
+class TestKillDuringFlush:
+    def test_wal_replay_recovers_abandoned_window(self, tmp_path, dataset):
+        """Crash mid-window: the buffered window is never closed, dirty
+        pages and pending buffers are lost, but the WAL holds one record
+        per applied event — replay must reconstruct every answer."""
+        directory = str(tmp_path / "wh")
+        key_space = dataset.config.key_space
+        events = dataset.events[:800]
+        durable = TemporalWarehouse.open_durable(
+            directory, key_space=key_space, page_capacity=8)
+        loader = BatchLoader(durable, mode="buffered")
+        loader.__enter__()
+        loader.load(events)
+        # Simulated kill: abandon the window (no __exit__, no checkpoint,
+        # no flush) and drop the log handle the way a dead process would.
+        durable.close()
+
+        recovered = TemporalWarehouse.open_durable(
+            directory, key_space=key_space, page_capacity=8)
+        reference = TemporalWarehouse(key_space=key_space, page_capacity=8)
+        replay_sequential(reference, events)
+        whole = KeyRange(*key_space)
+        horizon = reference.now
+        for t1 in range(1, horizon, max(1, horizon // 8)):
+            interval = Interval(t1, horizon + 1)
+            for aggregate in AGGREGATES:
+                assert repr(recovered.aggregate(whole, interval, aggregate)) \
+                    == repr(reference.aggregate(whole, interval, aggregate))
+        assert recovered.snapshot(whole, horizon) == reference.snapshot(
+            whole, horizon)
+        recovered.close()
+
+    def test_clean_close_after_buffered_load_checkpoints(self, tmp_path,
+                                                         dataset):
+        events = dataset.events[:400]
+        directory = str(tmp_path / "wh")
+        key_space = dataset.config.key_space
+        durable = TemporalWarehouse.open_durable(
+            directory, key_space=key_space, page_capacity=8)
+        durable.load_events(events, mode="buffered")
+        durable.checkpoint()
+        durable.close()
+
+        recovered = TemporalWarehouse.open_durable(
+            directory, key_space=key_space, page_capacity=8)
+        reference = TemporalWarehouse(key_space=key_space, page_capacity=8)
+        replay_sequential(reference, events)
+        whole = KeyRange(*key_space)
+        interval = Interval(1, reference.now + 1)
+        assert repr(recovered.sum(whole, interval)) == repr(
+            reference.sum(whole, interval))
+        assert repr(recovered.count(whole, interval)) == repr(
+            reference.count(whole, interval))
+        recovered.close()
+
+
+class TestBufferedLoaderProtocol:
+    def test_report_counts_buffered_events(self, dataset):
+        index = build_rta_index(SETTINGS, dataset, aggregates=(SUM, COUNT))
+        report = batch_replay(index, dataset.events, mode="buffered")
+        assert report.events == len(dataset.events)
+        assert report.buffered_events == len(dataset.events)
+
+    def test_direct_mode_reports_zero_buffered(self, dataset):
+        index = build_rta_index(SETTINGS, dataset, aggregates=(SUM, COUNT))
+        report = batch_replay(index, dataset.events[:100])
+        assert report.buffered_events == 0
+
+    def test_rejects_unknown_mode(self, dataset):
+        index = build_rta_index(SETTINGS, dataset, aggregates=(SUM, COUNT))
+        with pytest.raises(ValueError, match="mode"):
+            BatchLoader(index, mode="turbo")
+
+    def test_windows_closed_after_buffered_load(self, dataset):
+        index = build_rta_index(SETTINGS, dataset, aggregates=(SUM, COUNT))
+        batch_replay(index, dataset.events[:200], mode="buffered")
+        assert not index.pool.in_batch
+        for lkst, lklt in index.trees().values():
+            assert lkst._buffer is None
+            assert lklt._buffer is None

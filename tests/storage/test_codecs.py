@@ -5,13 +5,22 @@ these codecs; a drift between a record class and its struct layout would
 corrupt reopened indexes silently, so every kind is exercised explicitly.
 """
 
+import struct
+
 import pytest
 
 from repro.core.model import NOW
 from repro.mvbt.entries import IndexEntry, LeafEntry
 from repro.mvsbt.records import MVSBTIndexRecord, MVSBTLeafRecord
 from repro.sbtree.node import SBRecord
-from repro.storage.serialization import codec_for, decode_page, encode_page
+from repro.storage.serialization import (
+    codec_for,
+    decode_page,
+    encode_page,
+    encode_page_flat,
+    pack_events,
+    unpack_events,
+)
 
 CASES = [
     ("sbtree-leaf", SBRecord(start=1, end=NOW, value=2.5)),
@@ -64,3 +73,74 @@ def test_float_precision_preserved():
     codec = codec_for("mvbt-leaf")
     record = LeafEntry(key=1, start=1, end=2, value=0.1 + 0.2)
     assert codec.decode(codec.encode(record)).value == record.value
+
+
+@pytest.mark.parametrize("kind,record", CASES[:-1],
+                         ids=[f"{k}-{i}"
+                              for i, (k, _) in enumerate(CASES[:-1])])
+def test_flat_encoder_is_byte_identical(kind, record):
+    """One bulk struct.pack over concatenated fields must produce the
+    exact bytes of the record-at-a-time encoder (the columnar flush
+    path's correctness rests on this)."""
+    codec = codec_for(kind)
+    records = [record] * 3
+    flat = []
+    for rec in records:
+        flat.extend(struct.unpack(codec.fmt, codec.encode(rec)))
+    assert (encode_page_flat(kind, len(records), flat, page_bytes=512)
+            == encode_page(kind, records, page_bytes=512))
+
+
+def test_flat_encoder_empty_page():
+    assert (encode_page_flat("mvsbt-leaf", 0, [], page_bytes=256)
+            == encode_page("mvsbt-leaf", [], page_bytes=256))
+
+
+def test_flat_encoder_overflow_raises():
+    codec = codec_for("mvsbt-leaf")
+    flat = list(struct.unpack(
+        codec.fmt,
+        codec.encode(MVSBTLeafRecord(low=1, high=2, start=1, end=2,
+                                     value=0.0)))) * 100
+    with pytest.raises(ValueError, match="exceed"):
+        encode_page_flat("mvsbt-leaf", 100, flat, page_bytes=256)
+
+
+class TestEventWireFormat:
+    """pack_events/unpack_events — the procpool LOAD fan-out codec."""
+
+    EVENTS = [
+        ("insert", 10, 2.5, 1),
+        ("delete", 10, 0.0, 7),
+        ("insert", 999999999, -0.125, 7),
+        ("insert", 1, 0.1 + 0.2, 1000000),
+    ]
+
+    def test_round_trip_bare_tuples(self):
+        assert unpack_events(pack_events(self.EVENTS)) == self.EVENTS
+
+    def test_round_trip_attr_objects(self):
+        class Row:
+            def __init__(self, op, key, value, time):
+                self.op, self.key = op, key
+                self.value, self.time = value, time
+
+        rows = [Row(*event) for event in self.EVENTS]
+        assert unpack_events(pack_events(rows)) == self.EVENTS
+
+    def test_empty_batch(self):
+        assert unpack_events(pack_events([])) == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_events(b"not-a-blob" + b"\0" * 64)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown event op"):
+            pack_events([("upsert", 1, 1.0, 1)])
+
+    def test_one_contiguous_buffer(self):
+        # magic + count + n ops + n*(8+8+8) column bytes, nothing else.
+        blob = pack_events(self.EVENTS)
+        n = len(self.EVENTS)
+        assert len(blob) == 6 + 4 + n + 24 * n

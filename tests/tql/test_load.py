@@ -1,0 +1,88 @@
+"""Tests for TQL ``LOAD [BUFFERED]`` bulk-ingest statements."""
+
+import pytest
+
+from repro.core.warehouse import TemporalWarehouse
+from repro.tql import execute, parse, render
+from repro.tql.parser import LoadStatement, TQLSyntaxError
+
+
+@pytest.fixture()
+def warehouse():
+    return TemporalWarehouse(key_space=(1, 1001), page_capacity=8)
+
+
+class TestParsing:
+    def test_load(self):
+        stmt = parse("LOAD INSERT KEY 1 VALUE 2.5 AT 3, "
+                     "DELETE KEY 1 AT 9")
+        assert stmt == LoadStatement(
+            events=(("insert", 1, 2.5, 3), ("delete", 1, 0.0, 9)),
+            buffered=False,
+        )
+
+    def test_load_buffered(self):
+        stmt = parse("load buffered insert key 7 value -1 at 2")
+        assert stmt.buffered
+        assert stmt.events == (("insert", 7, -1.0, 2),)
+
+    def test_empty_load_rejected(self):
+        with pytest.raises(TQLSyntaxError, match="INSERT or DELETE"):
+            parse("LOAD")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(TQLSyntaxError):
+            parse("LOAD INSERT KEY 1 VALUE 1 AT 1,")
+
+    def test_select_inside_load_rejected(self):
+        with pytest.raises(TQLSyntaxError):
+            parse("LOAD SELECT SUM(value)")
+
+    def test_render_round_trip(self):
+        stmt = LoadStatement(
+            events=(("insert", 5, 1.25, 2), ("insert", 8, 3.0, 2),
+                    ("delete", 5, 0.0, 6)),
+            buffered=True,
+        )
+        assert parse(render(stmt)) == stmt
+        assert render(stmt).startswith("LOAD BUFFERED ")
+        direct = LoadStatement(events=stmt.events)
+        assert parse(render(direct)) == direct
+
+
+class TestExecution:
+    EVENTS = ("INSERT KEY 100 VALUE 5 AT 10, "
+              "INSERT KEY 200 VALUE 7 AT 12, "
+              "DELETE KEY 100 AT 20")
+
+    def test_load_matches_single_statements(self, warehouse):
+        message = execute(warehouse, f"LOAD {self.EVENTS}")
+        assert "loaded 3 events" in message
+        assert "2 inserts" in message and "1 deletes" in message
+        reference = TemporalWarehouse(key_space=(1, 1001), page_capacity=8)
+        for text in self.EVENTS.split(", "):
+            execute(reference, text)
+        for query in ("SELECT SUM(value)", "SELECT COUNT(*) WHERE time AT 15",
+                      "SELECT AVG(value) WHERE time DURING [10, 30)"):
+            assert repr(execute(warehouse, query)) == repr(
+                execute(reference, query))
+
+    def test_buffered_matches_direct(self, warehouse):
+        execute(warehouse, f"LOAD BUFFERED {self.EVENTS}")
+        reference = TemporalWarehouse(key_space=(1, 1001), page_capacity=8)
+        execute(reference, f"LOAD {self.EVENTS}")
+        for query in ("SELECT SUM(value)", "SELECT COUNT(*)",
+                      "SNAPSHOT AT 15"):
+            assert repr(execute(warehouse, query)) == repr(
+                execute(reference, query))
+
+    def test_mode_is_reported(self, warehouse):
+        assert "mode=buffered" in execute(
+            warehouse, "LOAD BUFFERED INSERT KEY 1 VALUE 1 AT 1")
+        assert "mode=direct" in execute(
+            warehouse, "LOAD INSERT KEY 2 VALUE 1 AT 2")
+
+    def test_out_of_order_load_rejected(self, warehouse):
+        with pytest.raises(ValueError, match="chronological"):
+            execute(warehouse, "LOAD INSERT KEY 1 VALUE 1 AT 9, "
+                               "INSERT KEY 2 VALUE 1 AT 3")
