@@ -1,0 +1,251 @@
+"""Telemetry plane: does observability pay for itself at defaults?
+
+PR 7 threads request telemetry through every request — latency
+histograms split queue-wait vs execution, a probabilistic trace sampler,
+a slow-query ring, a Prometheus ``/metrics`` endpoint.  All of it is
+branch-guarded so the off-path costs one pointer check; this bench
+proves the *on*-path is also affordable and actually works end to end.
+
+Two drives against process-executor servers seeded identically:
+
+* **baseline** — telemetry defaults (no sampling, no metrics port, no
+  slow-query log): the PR-5 serving configuration.
+* **telemetry** — ``--trace-sample-rate 0.1`` with a rotating JSONL
+  sink, ``--metrics-port 0``, and a slow-query threshold.  After the
+  drive the bench verifies the plane delivered: the ``/metrics`` scrape
+  contains per-op histograms **and** the aggregated per-worker
+  ``repro_procpool_*`` registries; the trace file holds request roots
+  whose ``worker.*`` child spans carry the same trace ID (proof the ID
+  crossed the process boundary); the slowlog is non-empty.
+
+The gate: telemetry QPS within **5%** of baseline.  Short drives on a
+shared host are noisy — no-op config changes swing +-4% run to run, and
+whichever side runs *second* in a pair inherits the host's warmed (or
+trashed) state.  The bench therefore runs ``REPRO_TELEMETRY_ROUNDS``
+(default 6) paired rounds, *alternating which side drives first*, and
+gates on the **median** of the per-round QPS ratios: alternation cancels
+position bias, pairing cancels slow host drift, and the median discards
+the transient stalls that wreck any single round.
+``REPRO_TELEMETRY_GATE=0`` acknowledges a report-only run on hosts too
+noisy even for that; ``=1`` forces the gate.
+``REPRO_TELEMETRY_SECONDS`` (default 2.0) sets the per-round drive time.
+
+Writes ``benchmarks/results/BENCH_telemetry.json`` in the consolidated
+envelope (see :mod:`repro.bench.envelope`); the telemetry drive carries
+SLO accounting so ``python -m repro.analyze bench`` can rank it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.bench.envelope import write_report
+from repro.bench.reporting import Table
+from repro.serve.client import Client
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServerConfig, serve_in_thread
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SEED = 2026
+SHARDS = 4
+WORKERS = 4
+SAMPLE_RATE = 0.1
+SLOW_MS = 50.0
+SLO_MS = 250.0
+SLO_TARGET = 0.99
+OVERHEAD_LIMIT = 0.05
+
+
+def _duration() -> float:
+    return float(os.environ.get("REPRO_TELEMETRY_SECONDS", "2.0"))
+
+
+def _rounds() -> int:
+    return max(1, int(os.environ.get("REPRO_TELEMETRY_ROUNDS", "6")))
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _gate_state() -> "tuple[bool, str]":
+    """(enforced, reason) for the <= 5% overhead assertion."""
+    override = os.environ.get("REPRO_TELEMETRY_GATE")
+    if override == "1":
+        return True, "enforced/REPRO_TELEMETRY_GATE=1"
+    if override == "0":
+        return False, "skipped/REPRO_TELEMETRY_GATE=0"
+    return True, "enforced"
+
+
+def _drive(config: ServerConfig, keys: int, duration: float,
+           slo: bool) -> dict:
+    """Spawn a server, seed it, run the measured load, tear it down."""
+    handle = serve_in_thread(config)
+    try:
+        report = run_load(
+            handle.host, handle.port, WORKERS, duration, keys, SEED,
+            warmup=min(0.5, duration / 4), mix="read-hot",
+            slo_ms=SLO_MS if slo else None, slo_target=SLO_TARGET)
+        if slo:
+            # One deliberately slow request so the slowlog check below
+            # cannot depend on the tail of a short drive.
+            with Client(handle.host, handle.port) as client:
+                client.sleep(SLOW_MS / 1000.0 * 3)
+                report["slowlog"] = client.slowlog()
+                report["metrics_text"] = client.metrics_text()
+            address = handle.server.metrics_address
+            assert address is not None, "metrics HTTP endpoint not bound"
+            url = f"http://{address[0]}:{address[1]}/metrics"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                report["scrape"] = response.read().decode("utf-8")
+    finally:
+        handle.stop()
+    return report
+
+
+def _verify_scrape(scrape: str) -> None:
+    """The HTTP exposition carries router and worker-side series."""
+    for needle in ("repro_serve_op_latency_seconds_bucket",
+                   "repro_serve_op_phase_seconds",
+                   "repro_procpool_requests",
+                   'shard="0"'):
+        assert needle in scrape, f"/metrics scrape lacks {needle!r}"
+
+
+def _verify_traces(path: Path) -> "tuple[int, int]":
+    """(request roots, cross-process worker spans with matching IDs)."""
+    roots = 0
+    worker_spans = 0
+    with open(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("name") != "request":
+                continue
+            roots += 1
+            trace_id = record["attrs"].get("trace_id")
+            assert trace_id, "sampled request root lacks a trace ID"
+            for child in record.get("children", ()):
+                if not child["name"].startswith("worker."):
+                    continue
+                assert child["attrs"].get("trace_id") == trace_id, (
+                    "worker span did not inherit the request trace ID")
+                worker_spans += 1
+    assert roots > 0, f"no sampled request roots in {path}"
+    assert worker_spans > 0, (
+        "no worker.* child spans crossed the process boundary")
+    return roots, worker_spans
+
+
+def test_telemetry_overhead(scale, record_table):
+    enforced, gate = _gate_state()
+    keys = max(200, int(10_000 * scale))
+    duration = _duration()
+    rounds = _rounds()
+
+    def config(**telemetry) -> ServerConfig:
+        return ServerConfig(shards=SHARDS, key_space=(1, keys + 1),
+                            executor="process", **telemetry)
+
+    base_rounds = []
+    telem_rounds = []
+    trace_roots = worker_spans = 0
+    baseline = telemetry = slowlog = None
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as tmp:
+        for round_no in range(rounds):
+            trace_path = Path(tmp) / f"traces-{round_no}.jsonl"
+            telemetry_config = config(
+                trace_sample_rate=SAMPLE_RATE, trace_path=str(trace_path),
+                metrics_port=0, slow_ms=SLOW_MS)
+            # Alternate which side drives first: the second drive of a
+            # pair inherits the host's warmed (or trashed) state, and
+            # alternation spreads that bias evenly across both sides.
+            if round_no % 2 == 0:
+                baseline = _drive(config(), keys, duration, slo=False)
+                telemetry = _drive(telemetry_config, keys, duration,
+                                   slo=True)
+            else:
+                telemetry = _drive(telemetry_config, keys, duration,
+                                   slo=True)
+                baseline = _drive(config(), keys, duration, slo=False)
+            base_rounds.append(baseline["totals"]["qps"])
+            telem_rounds.append(telemetry["totals"]["qps"])
+
+            _verify_scrape(telemetry.pop("scrape"))
+            _verify_scrape(telemetry.pop("metrics_text"))
+            slowlog = telemetry.pop("slowlog")
+            assert slowlog["total"] >= 1 and slowlog["entries"], (
+                "slow-query log stayed empty despite a deliberate "
+                "slow request")
+            roots, spans = _verify_traces(trace_path)
+            trace_roots += roots
+            worker_spans += spans
+
+    # Gate on the median of per-round paired ratios: pairing cancels
+    # slow host drift, the median discards transient stalls, and the
+    # alternating order above cancels position bias.
+    ratios = [t / max(b, 1e-9)
+              for b, t in zip(base_rounds, telem_rounds)]
+    overhead = 1.0 - _median(ratios)
+    base_qps = max(base_rounds)
+    telem_qps = max(telem_rounds)
+    slo = telemetry["slo"]
+
+    table = Table(
+        title=(f"Telemetry overhead, {SHARDS}-shard process executor, "
+               f"{WORKERS} drivers, read-hot, median of {rounds} "
+               f"order-alternated {duration:.1f}s paired rounds"),
+        columns=("side", "best_qps", "overhead", "sampled", "slow"),
+    )
+    table.add(side="baseline", best_qps=round(base_qps), overhead="-",
+              sampled="-", slow="-")
+    table.add(side="telemetry", best_qps=round(telem_qps),
+              overhead=f"{overhead * 100.0:+.1f}%",
+              sampled=f"{trace_roots} traces / {worker_spans} worker spans",
+              slow=slowlog["total"])
+    table.note(f"sample rate {SAMPLE_RATE}, slow-query threshold "
+               f"{SLOW_MS:.0f}ms, SLO {SLO_MS:.0f}ms@{SLO_TARGET}: "
+               f"burn {slo['burn']:.2f}x "
+               f"({'met' if slo['met'] else 'missed'}); the <= "
+               f"{OVERHEAD_LIMIT:.0%} gate is "
+               f"{'enforced' if enforced else 'reported only'}")
+    record_table("telemetry_overhead", table)
+
+    write_report(
+        RESULTS_DIR / "BENCH_telemetry.json", "telemetry",
+        {"shards": SHARDS, "workers": WORKERS, "keys": keys,
+         "duration_s": duration, "rounds": rounds, "mix": "read-hot",
+         "executor": "process", "trace_sample_rate": SAMPLE_RATE,
+         "slow_ms": SLOW_MS, "slo_ms": SLO_MS, "slo_target": SLO_TARGET,
+         "gate": gate},
+        {"baseline_qps": base_qps, "telemetry_qps": telem_qps,
+         "overhead_frac": overhead, "trace_roots": trace_roots,
+         "worker_spans": worker_spans, "slow_entries": slowlog["total"],
+         "slo_attained": slo["attained"], "slo_burn": slo["burn"],
+         "slo_met": slo["met"], "gate_enforced": enforced},
+        {"gate": gate, "round_qps": {"baseline": base_rounds,
+                                     "telemetry": telem_rounds},
+         "round_ratios": ratios,
+         "baseline": baseline, "telemetry": telemetry})
+
+    if enforced:
+        assert overhead <= OVERHEAD_LIMIT, (
+            f"telemetry lost {overhead:.1%} QPS vs baseline (median of "
+            f"{rounds} paired rounds, limit {OVERHEAD_LIMIT:.0%}); rerun "
+            "with REPRO_TELEMETRY_GATE=0 to acknowledge a noisy host")
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-p", "no:cacheprovider"]))

@@ -10,20 +10,25 @@ Supported: :class:`~repro.mvsbt.tree.MVSBT`, :class:`~repro.mvbt.tree.MVBT`,
 :class:`~repro.core.rta.RTAIndex`,
 :class:`~repro.core.warehouse.TemporalWarehouse`.
 
-The module is also a small CLI over trace and benchmark files::
+The module is also a small CLI over trace files, benchmark reports, and
+live servers::
 
     python -m repro.analyze traces out.jsonl --top 10   # hottest spans
     python -m repro.analyze schema                       # print the schema
     python -m repro.analyze schema --check docs/trace_schema.json
     python -m repro.analyze bench                        # perf trajectory
+    python -m repro.analyze slowlog --port 7654          # slow-query ring
 
 ``traces`` ranks the spans of a ``--trace`` JSONL file (bench phases or
 EXPLAIN span trees alike) by physical I/O and by CPU; ``schema --check``
 fails when a checked-in schema copy drifts from the one the code
 enforces; ``bench`` reads every ``BENCH_*.json`` under
 ``benchmarks/results`` (legacy shapes are upgraded in memory — see
-:mod:`repro.bench.envelope`) and prints the headline metrics of each
-benchmark family in the order the PRs introduced them.
+:mod:`repro.bench.envelope`), prints the headline metrics of each
+benchmark family in the order the PRs introduced them, and — when any
+run carries SLO metrics (loadgen ``--slo-ms``) — ranks those runs by
+error-budget burn; ``slowlog`` pulls a live server's slow-query ring
+(the ``slowlog`` protocol op) and tabulates the entries, newest first.
 """
 
 from __future__ import annotations
@@ -250,6 +255,65 @@ def _cmd_schema(check: Optional[str]) -> int:
     return 1
 
 
+def _clip(text: str, width: int) -> str:
+    """Truncate ``text`` to ``width`` with an ellipsis marker."""
+    if len(text) > width:
+        return text[:width - 1] + "…"
+    return text
+
+
+def _explain_cell(explain: Any) -> str:
+    """One-word rendering of a slowlog entry's captured EXPLAIN."""
+    if explain is None:
+        return "-"
+    if isinstance(explain, dict) and "error" in explain:
+        code = (explain["error"] or {}).get("code", "?")
+        return f"error[{code}]"
+    if isinstance(explain, list):
+        return f"{len(explain)} shard(s)"
+    return "?"
+
+
+def slowlog_table(entries: Iterable[Dict[str, Any]], total: int) -> "Table":
+    """Tabulate ``slowlog`` op entries (newest first)."""
+    from repro.bench.reporting import Table
+
+    entries = list(entries)
+    table = Table(
+        title=f"slow-query log ({len(entries)} shown of {total} total)",
+        columns=("request", "op", "status", "ms", "queue_ms", "exec_ms",
+                 "trace", "explain", "tql"),
+    )
+    for entry in entries:
+        trace_id = entry.get("trace_id")
+        table.add(request=entry.get("request_id", "?"),
+                  op=entry.get("op", "?"),
+                  status=entry.get("status", "?"),
+                  ms=round(entry.get("elapsed_ms", 0.0), 2),
+                  queue_ms=round(entry.get("queue_ms", 0.0), 2),
+                  exec_ms=round(entry.get("exec_ms", 0.0), 2),
+                  trace=(trace_id[:8] if trace_id else "-"),
+                  explain=_explain_cell(entry.get("explain")),
+                  tql=_clip(entry.get("tql") or "-", 40))
+    return table
+
+
+def _cmd_slowlog(host: str, port: int, limit: Optional[int]) -> int:
+    """The ``slowlog`` subcommand: pull and print a live server's ring."""
+    from repro.serve.client import Client
+
+    with Client(host, port) as client:
+        payload = client.slowlog(limit=limit)
+    entries = payload.get("entries", [])
+    total = payload.get("total", len(entries))
+    if not entries:
+        print(f"{host}:{port}: slow-query log is empty "
+              f"({total} slow requests ever recorded)")
+        return 0
+    print(slowlog_table(entries, total).render())
+    return 0
+
+
 def _metric_value(value: Any) -> str:
     """Render one flat metric for the bench table."""
     if isinstance(value, bool):
@@ -289,7 +353,40 @@ def _cmd_bench(directory: str) -> int:
     table.note("legacy payloads are upgraded in memory to the v1 "
                "envelope; raw numbers stay in each file's raw section")
     print(table.render())
+
+    slo_rows = [(filename, report) for filename, report in reports.items()
+                if "slo_attained" in report.get("metrics", {})]
+    if slo_rows:
+        print()
+        print(_slo_ranking_table(slo_rows).render())
     return 0
+
+
+def _slo_ranking_table(rows: "List[tuple]") -> "Table":
+    """Rank SLO-carrying bench runs: compliant first, least burn first."""
+    from repro.bench.reporting import Table
+
+    def rank(item: "tuple") -> "tuple":
+        metrics = item[1].get("metrics", {})
+        return (not metrics.get("slo_met", False),
+                metrics.get("slo_burn", float("inf")))
+
+    table = Table(
+        title="SLO compliance ranking",
+        columns=("rank", "file", "bench", "attained", "burn", "verdict"),
+    )
+    for position, (filename, report) in enumerate(sorted(rows, key=rank), 1):
+        metrics = report.get("metrics", {})
+        attained = metrics.get("slo_attained", 0.0)
+        burn = metrics.get("slo_burn", float("inf"))
+        table.add(rank=position, file=filename,
+                  bench=report.get("bench", "unknown"),
+                  attained=f"{attained * 100.0:.2f}%",
+                  burn=f"{burn:.2f}x",
+                  verdict="MET" if metrics.get("slo_met") else "MISSED")
+    table.note("burn = (1 - attained) / (1 - target): the consumed share "
+               "of the error budget; above 1.0x the SLO is blown")
+    return table
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -313,11 +410,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--dir", default="benchmarks/results",
                        help="directory of BENCH_*.json files "
                             "(default benchmarks/results)")
+    slowlog = sub.add_parser("slowlog",
+                             help="tabulate a live server's slow-query "
+                                  "ring (the slowlog protocol op)")
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=7654)
+    slowlog.add_argument("--limit", type=int, default=None,
+                         help="cap on entries returned (newest first)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.command == "traces":
         return _cmd_traces(args.file, args.top)
     if args.command == "bench":
         return _cmd_bench(args.dir)
+    if args.command == "slowlog":
+        return _cmd_slowlog(args.host, args.port, args.limit)
     return _cmd_schema(args.check)
 
 

@@ -44,6 +44,7 @@ BENCH_PR = {
     "serve": 3,
     "cache": 4,
     "multicore": 5,
+    "telemetry": 7,
 }
 
 
@@ -91,6 +92,11 @@ def _loadgen_metrics(data: Mapping[str, Any]) -> Dict[str, Any]:
         metrics["offered"] = totals["offered"]
     if "dropped" in totals:
         metrics["dropped"] = totals["dropped"]
+    slo = data.get("slo") or {}
+    if slo:
+        metrics["slo_attained"] = slo.get("attained")
+        metrics["slo_burn"] = slo.get("burn")
+        metrics["slo_met"] = slo.get("met")
     return {k: v for k, v in metrics.items() if v is not None}
 
 

@@ -15,11 +15,17 @@ the trees publish into an attached registry (see
 
 Like the tracer, metrics are opt-in: unattached objects hold ``None`` and
 skip all bookkeeping with a single branch.
+
+Registry lookup and every instrument mutation are thread-safe: the serve
+layer publishes from the asyncio loop, the reader thread pool, and the
+``/metrics`` HTTP thread at once, so :meth:`MetricsRegistry._get` and
+``Counter.inc`` / ``Gauge.set`` / ``Histogram.observe`` all take a lock.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -34,35 +40,46 @@ def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in (labels or {}).items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition rules:
+    backslash, double quote, and newline must be escaped."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_text(items: LabelItems) -> str:
     if not items:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in items)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in items)
     return "{" + body + "}"
 
 
 class Counter:
     """Monotonically increasing value (events, I/Os, operations)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (residency, heights, fill factors)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
@@ -70,7 +87,8 @@ class Gauge:
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -80,7 +98,7 @@ class Histogram:
     rest.  Observations update per-bucket counts, ``count`` and ``sum``.
     """
 
-    __slots__ = ("buckets", "counts", "count", "sum")
+    __slots__ = ("buckets", "counts", "count", "sum", "_lock")
 
     def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
@@ -89,12 +107,20 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
+        """Record one observation.
+
+        A value exactly on a bucket's upper bound counts in that bucket
+        (``le`` is an inclusive bound, Prometheus semantics): bisect_left
+        lands on the index of the matching bound.
+        """
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket cumulative counts (the ``le`` series), ending at +Inf."""
@@ -119,22 +145,35 @@ class MetricsRegistry:
         self._meta: Dict[str, Tuple[str, str]] = {}
         #: (name, label items) -> instrument
         self._instruments: Dict[Tuple[str, LabelItems], Any] = {}
+        #: Guards _meta/_instruments: publishers run on the asyncio loop,
+        #: the reader pool, and the /metrics HTTP thread concurrently.
+        self._lock = threading.Lock()
 
     def _get(self, kind: str, name: str, help_text: str,
              labels: Optional[Mapping[str, str]], factory) -> Any:
-        known = self._meta.get(name)
-        if known is None:
-            self._meta[name] = (kind, help_text)
-        elif known[0] != kind:
-            raise ValueError(
-                f"metric {name!r} is a {known[0]}, requested as {kind}"
-            )
         key = (name, _label_items(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[key] = instrument
+        with self._lock:
+            known = self._meta.get(name)
+            if known is None:
+                self._meta[name] = (kind, help_text)
+            elif known[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {known[0]}, requested as {kind}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
         return instrument
+
+    def _snapshot(self) -> Tuple[Dict[str, Tuple[str, str]],
+                                 List[Tuple[Tuple[str, LabelItems], Any]]]:
+        """A stable view for the exporters: meta copy + sorted series."""
+        with self._lock:
+            meta = dict(self._meta)
+            instruments = sorted(self._instruments.items(),
+                                 key=lambda kv: (kv[0][0], kv[0][1]))
+        return meta, instruments
 
     def counter(self, name: str, help_text: str = "",
                 labels: Optional[Mapping[str, str]] = None) -> Counter:
@@ -157,13 +196,12 @@ class MetricsRegistry:
 
     def to_json(self) -> Dict[str, Any]:
         """The whole registry as a JSON-safe dict (stable ordering)."""
+        meta, instruments = self._snapshot()
         out: Dict[str, Any] = {}
-        for name in sorted(self._meta):
-            kind, help_text = self._meta[name]
+        for name in sorted(meta):
+            kind, help_text = meta[name]
             series = []
-            for (metric, items), instrument in sorted(
-                    self._instruments.items(),
-                    key=lambda kv: (kv[0][0], kv[0][1])):
+            for (metric, items), instrument in instruments:
                 if metric != name:
                     continue
                 entry: Dict[str, Any] = {"labels": dict(items)}
@@ -199,15 +237,14 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """The Prometheus text exposition format (sorted, deterministic)."""
+        meta, instruments = self._snapshot()
         lines: List[str] = []
-        for name in sorted(self._meta):
-            kind, help_text = self._meta[name]
+        for name in sorted(meta):
+            kind, help_text = meta[name]
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
-            for (metric, items), instrument in sorted(
-                    self._instruments.items(),
-                    key=lambda kv: (kv[0][0], kv[0][1])):
+            for (metric, items), instrument in instruments:
                 if metric != name:
                     continue
                 if kind == "histogram":
@@ -298,15 +335,19 @@ LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 class ServerMetrics:
     """Instruments the :mod:`repro.serve` query server publishes into.
 
-    Covers the admission-control and per-shard surface the ``METRICS``
-    protocol verb exposes: request counts by op, end-to-end latency,
-    in-flight and queued request gauges, rejections by reason, and
-    per-shard query/write counters.  Per-label counter handles are cached
-    so the request hot path never re-hashes registry keys.
+    Covers the admission-control and per-shard surface the ``metrics`` and
+    ``metrics_text`` protocol ops expose: request counts by op, end-to-end
+    latency, per-op latency split into queue-wait and execution phases,
+    per-shard execution-time histograms, in-flight and queued request
+    gauges, rejections by reason, sampled-trace and slow-request counters,
+    and per-shard query/write counters.  Per-label instrument handles are
+    cached so the request hot path never re-hashes registry keys.
     """
 
     __slots__ = ("registry", "latency", "queue_depth", "inflight",
-                 "_requests", "_rejected", "_shard_queries", "_shard_writes")
+                 "traces_sampled", "slow_requests", "_requests", "_rejected",
+                 "_op_latency", "_op_phase", "_shard_seconds",
+                 "_shard_queries", "_shard_writes")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
@@ -318,10 +359,57 @@ class ServerMetrics:
             "requests waiting for an execution slot")
         self.inflight = registry.gauge(
             "repro_serve_inflight", "requests currently executing")
+        self.traces_sampled = registry.counter(
+            "repro_serve_traces_sampled_total",
+            "requests recorded by the sampled tracer")
+        self.slow_requests = registry.counter(
+            "repro_serve_slow_requests_total",
+            "requests captured by the slow-query log")
         self._requests: Dict[str, Counter] = {}
         self._rejected: Dict[str, Counter] = {}
+        self._op_latency: Dict[str, Histogram] = {}
+        self._op_phase: Dict[Tuple[str, str], Histogram] = {}
+        self._shard_seconds: Dict[int, Histogram] = {}
         self._shard_queries: Dict[int, Counter] = {}
         self._shard_writes: Dict[int, Counter] = {}
+
+    def op_latency(self, op: str) -> Histogram:
+        """The ``repro_serve_op_latency_seconds{op=...}`` histogram."""
+        histogram = self._op_latency.get(op)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "repro_serve_op_latency_seconds",
+                "end-to-end request latency by op", {"op": op},
+                buckets=LATENCY_BUCKETS)
+            self._op_latency[op] = histogram
+        return histogram
+
+    def op_phase(self, op: str, phase: str) -> Histogram:
+        """The ``repro_serve_op_phase_seconds{op=...,phase=...}`` histogram.
+
+        ``phase`` is ``"queue"`` (time waiting for an admission slot) or
+        ``"exec"`` (time on a reader-pool thread / shard worker).
+        """
+        histogram = self._op_phase.get((op, phase))
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "repro_serve_op_phase_seconds",
+                "request latency split into queue-wait and execution",
+                {"op": op, "phase": phase}, buckets=LATENCY_BUCKETS)
+            self._op_phase[(op, phase)] = histogram
+        return histogram
+
+    def shard_seconds(self, shard: int) -> Histogram:
+        """The ``repro_serve_shard_seconds{shard=...}`` histogram:
+        execution time attributed to each shard a request touched."""
+        histogram = self._shard_seconds.get(shard)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "repro_serve_shard_seconds",
+                "execution seconds attributed to each touched shard",
+                {"shard": str(shard)}, buckets=LATENCY_BUCKETS)
+            self._shard_seconds[shard] = histogram
+        return histogram
 
     def request(self, op: str) -> Counter:
         """The ``repro_serve_requests_total{op=...}`` counter."""

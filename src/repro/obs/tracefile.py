@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import IO, Any, Dict, Iterable, Iterator, List, Union
+import threading
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.obs.tracer import Span
 
@@ -150,6 +151,160 @@ def write_trace(records: Iterable[RecordLike], target: Union[str, IO[str]]
         with open(target, "w") as fh:
             return emit(fh)
     return emit(target)
+
+
+#: Queue sentinel telling an async sink's writer thread to exit.
+_SINK_CLOSE = object()
+
+
+class TraceSink:
+    """Append-only rotating JSONL sink for sampled server traces.
+
+    The serving stack emits one record per sampled request from whatever
+    thread finished it, so appends are serialized under a lock and every
+    record is validated on the way out — a sink file always conforms to
+    :data:`TRACE_RECORD_SCHEMA`.  When the active file would exceed
+    ``max_bytes`` it is rotated to ``<path>.1`` (replacing any previous
+    rotation), bounding disk use at roughly two generations.
+
+    ``async_writes=True`` moves validation, serialization, and the disk
+    append onto a dedicated writer thread: :meth:`write` only enqueues,
+    so a latency-sensitive caller (the server's event loop) never blocks
+    on JSON encoding or disk.  The queue is bounded; when the writer
+    falls behind, new records are *dropped* (counted in :attr:`dropped`)
+    rather than stalling request handling — telemetry must never become
+    the bottleneck it exists to find.  :meth:`close` drains whatever was
+    already enqueued before closing the file.
+
+    ``validate=False`` skips the per-record schema check, for producers
+    that emit via :func:`span_to_record` and therefore conform by
+    construction (the server); readers still validate on load, so a
+    malformed file cannot slip through an analysis pipeline.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 max_bytes: int = 64 * 1024 * 1024,
+                 async_writes: bool = False,
+                 queue_entries: int = 1024,
+                 validate: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.validate = validate
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = open(self.path, "a")
+        self._size = self._fh.tell()
+        self.written = 0
+        self.rotations = 0
+        #: Records rejected because the async queue was full (or a queued
+        #: record failed validation after the caller had moved on).
+        self.dropped = 0
+        self._closed = False
+        self._queue: Optional["queue.Queue"] = None
+        self._thread: Optional[threading.Thread] = None
+        if async_writes:
+            import queue
+
+            self._queue = queue.Queue(maxsize=queue_entries)
+            self._thread = threading.Thread(
+                target=self._drain, name="trace-sink", daemon=True)
+            self._thread.start()
+
+    def write(self, record: RecordLike) -> None:
+        """Append one record (span or dict); thread-safe.
+
+        Synchronous sinks validate and hit the disk before returning;
+        async sinks enqueue and return immediately (dropping the record
+        if the queue is full).  Raises :class:`ValueError` once closed.
+        """
+        if self._closed:
+            raise ValueError("TraceSink is closed")
+        if self._queue is not None:
+            import queue
+
+            try:
+                self._queue.put_nowait(record)
+            except queue.Full:
+                self.dropped += 1
+            return
+        self._write_now(record)
+
+    def _write_now(self, record: RecordLike, flush: bool = True) -> None:
+        if isinstance(record, Span):
+            record = span_to_record(record)
+        if self.validate:
+            validate_record(record)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("TraceSink is closed")
+            if self._size and self._size + len(line) > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            if flush:
+                self._fh.flush()
+            self._size += len(line)
+            self.written += 1
+
+    def _rotate(self) -> None:
+        """Move the active file to ``<path>.1`` (replacing any previous
+        rotation) and start a fresh one.  Caller holds the lock."""
+        self._fh.close()
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "a")
+        self._size = 0
+        self.rotations += 1
+
+    def _flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def _drain(self) -> None:
+        """Writer-thread loop: dequeue until the close sentinel arrives.
+
+        Bursts are written with one flush at the end instead of one per
+        record.  A record that fails validation or serialization is
+        counted in :attr:`dropped` — the thread must survive one bad
+        record."""
+        import queue
+
+        while True:
+            item = self._queue.get()
+            while True:
+                if item is _SINK_CLOSE:
+                    self._flush()
+                    return
+                try:
+                    self._write_now(item, flush=False)
+                except Exception:  # noqa: BLE001 — writer thread must not die
+                    self.dropped += 1
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            self._flush()
+
+    def close(self) -> None:
+        """Flush and close; further writes raise.
+
+        An async sink finishes writing everything already enqueued first.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(_SINK_CLOSE)
+            self._thread.join(timeout=30.0)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
 
 def read_trace(path: str, validate: bool = True) -> List[Dict[str, Any]]:

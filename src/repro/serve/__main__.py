@@ -70,6 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default LOAD mode: direct batch kernels, or "
                              "the buffer-tree ingest path (amortized bulk "
                              "inserts; per-request \"mode\" overrides)")
+    parser.add_argument("--trace-sample-rate", type=float, default=0.0,
+                        help="fraction of requests recorded by the "
+                             "distributed tracer (0.0 disables sampling; "
+                             "per-request \"trace\": true always records)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="rotating JSONL sink for sampled traces "
+                             "(schema: docs/trace_schema.json)")
+    parser.add_argument("--trace-max-bytes", type=int,
+                        default=64 * 1024 * 1024,
+                        help="rotate the trace sink beyond this size")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="serve Prometheus text exposition on "
+                             "http://HOST:PORT/metrics (0: ephemeral, "
+                             "resolved in the METRICS line)")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="log requests slower than this many ms to "
+                             "the slow-query ring (slowlog op; captures "
+                             "EXPLAIN span trees for SELECTs)")
+    parser.add_argument("--slowlog-entries", type=int, default=128,
+                        help="slow-query ring capacity")
     return parser
 
 
@@ -78,6 +98,9 @@ async def amain(config: ServerConfig) -> int:
     server = TQLServer(config)
     host, port = await server.start()
     print(f"LISTENING {host} {port}", flush=True)
+    if server.metrics_address is not None:
+        metrics_host, metrics_port = server.metrics_address
+        print(f"METRICS {metrics_host} {metrics_port}", flush=True)
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         loop.add_signal_handler(
@@ -104,6 +127,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         buffer_policy=args.buffer_policy,
         executor=args.executor, scan_batch=args.scan_batch,
         ingest=args.ingest,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_path=args.trace_out, trace_max_bytes=args.trace_max_bytes,
+        metrics_port=args.metrics_port, slow_ms=args.slow_ms,
+        slowlog_entries=args.slowlog_entries,
     )
     return asyncio.run(amain(config))
 

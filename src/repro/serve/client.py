@@ -56,6 +56,8 @@ class Client:
         self.hello: Dict[str, Any] = self._read_line()
         #: The session's pinned snapshot time (updated by :meth:`repin`).
         self.snapshot: int = int(self.hello.get("snapshot", 0))
+        #: Trace ID of the last :meth:`execute` response, when sampled.
+        self.last_trace_id: Optional[str] = None
 
     # -- low-level ---------------------------------------------------------------------
 
@@ -83,12 +85,22 @@ class Client:
 
     # -- protocol ops ------------------------------------------------------------------
 
-    def execute(self, tql: str, as_of: Optional[int] = None) -> Any:
-        """Run one TQL statement; returns the decoded ``result``."""
+    def execute(self, tql: str, as_of: Optional[int] = None,
+                trace: bool = False) -> Any:
+        """Run one TQL statement; returns the decoded ``result``.
+
+        ``trace=True`` forces the server to sample this request (the
+        per-request override of ``--trace-sample-rate``); the assigned
+        trace ID lands in :attr:`last_trace_id`.
+        """
         message: Dict[str, Any] = {"op": "query", "tql": tql}
         if as_of is not None:
             message["as_of"] = as_of
-        return self.request(message)["result"]
+        if trace:
+            message["trace"] = True
+        response = self.request(message)
+        self.last_trace_id = response.get("trace_id")
+        return response["result"]
 
     def ping(self) -> bool:
         """Liveness probe."""
@@ -102,6 +114,19 @@ class Client:
     def metrics(self) -> Dict[str, Any]:
         """The server's metrics registry as JSON."""
         return self.request({"op": "metrics"})["result"]
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format (same body
+        the ``--metrics-port`` HTTP endpoint serves)."""
+        return self.request({"op": "metrics_text"})["result"]
+
+    def slowlog(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Recent slow-request entries (newest first) plus the running
+        total; ``limit`` caps the entries returned."""
+        message: Dict[str, Any] = {"op": "slowlog"}
+        if limit is not None:
+            message["limit"] = limit
+        return self.request(message)["result"]
 
     def sleep(self, seconds: float) -> str:
         """Occupy one execution slot for ``seconds`` (diagnostics)."""

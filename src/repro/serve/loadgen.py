@@ -27,6 +27,14 @@ The run reports throughput (QPS), latency percentiles (p50/p95/p99), and
 (open loop) drop counts to stdout, and writes the raw numbers plus the
 server's final metrics snapshot to ``BENCH_serve.json`` in the
 consolidated bench-report envelope (see :mod:`repro.bench.report`).
+
+``--slo-ms T --slo-target F`` adds SLO accounting: the run computes the
+fraction of offered requests answered within ``T`` milliseconds
+(``slo_attained`` — errors and dropped arrivals count as misses), the
+error-budget **burn fraction** ``(1 - attained) / (1 - target)`` (1.0
+means the run consumed exactly its budget; above 1.0 the SLO is blown),
+and a pass/fail ``slo_met``.  ``python -m repro.analyze bench`` ranks
+runs by these numbers.
 """
 
 from __future__ import annotations
@@ -198,11 +206,41 @@ class _Worker(threading.Thread):
                     (time.perf_counter() - next_at) * 1000.0)
 
 
+def slo_summary(latencies_ms: List[float], offered: int,
+                slo_ms: float, target: float) -> Dict[str, Any]:
+    """SLO attainment, burn fraction, and verdict for one run.
+
+    ``attained`` is the fraction of *offered* requests answered within
+    ``slo_ms`` — errors and dropped arrivals are misses, not exclusions.
+    ``burn`` is the consumed share of the error budget:
+    ``(1 - attained) / (1 - target)``; 1.0 means the budget is exactly
+    spent, above 1.0 the SLO is blown.  A 100% target leaves no budget,
+    so any miss burns infinitely.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"SLO target must be in (0, 1], got {target}")
+    within = sum(1 for value in latencies_ms if value <= slo_ms)
+    attained = (within / offered) if offered else 1.0
+    budget = 1.0 - target
+    if budget > 0.0:
+        burn = (1.0 - attained) / budget
+    else:
+        burn = 0.0 if attained >= 1.0 else float("inf")
+    return {
+        "slo_ms": slo_ms,
+        "target": target,
+        "attained": attained,
+        "burn": burn,
+        "met": attained >= target,
+    }
+
+
 def run_load(host: str, port: int, workers: int, duration: float,
              seed_keys: int, seed: int, warmup: float = 0.0,
              mix: str = "uniform", skip_seed: bool = False,
              arrivals: str = "closed", rate: float = 0.0,
-             drop_after: float = 1.0) -> Dict[str, Any]:
+             drop_after: float = 1.0, slo_ms: Optional[float] = None,
+             slo_target: float = 0.99) -> Dict[str, Any]:
     """Seed, drive the load, and gather the report payload.
 
     ``warmup`` seconds of identical load run first and are excluded from
@@ -219,6 +257,9 @@ def run_load(host: str, port: int, workers: int, duration: float,
     then measured from scheduled arrival and arrivals missed by more
     than ``drop_after`` seconds are counted in ``totals["dropped"]``
     rather than sent.
+
+    ``slo_ms`` (with ``slo_target``) adds an ``"slo"`` section to the
+    report — see :func:`slo_summary`.
     """
     if arrivals not in ("closed", "poisson"):
         raise ValueError(f"unknown arrival discipline {arrivals!r}")
@@ -254,7 +295,7 @@ def run_load(host: str, port: int, workers: int, duration: float,
     requests = len(latencies)
     offered = sum(worker.offered for worker in pool)
     dropped = sum(worker.dropped for worker in pool)
-    return {
+    report: Dict[str, Any] = {
         "config": {"host": host, "port": port, "workers": workers,
                    "duration_s": duration, "seed_keys": seed_keys,
                    "seed": seed, "warmup_s": warmup, "mix": mix,
@@ -278,6 +319,12 @@ def run_load(host: str, port: int, workers: int, duration: float,
         },
         "server_metrics": metrics,
     }
+    if slo_ms is not None:
+        report["config"]["slo_ms"] = slo_ms
+        report["config"]["slo_target"] = slo_target
+        report["slo"] = slo_summary(latencies, offered, slo_ms,
+                                    slo_target)
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -312,6 +359,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="rectangle distribution: fresh random "
                              "(uniform) or 90%% repeated working set "
                              "(read-hot)")
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="latency SLO threshold in ms; enables SLO "
+                             "accounting (attainment, burn fraction)")
+    parser.add_argument("--slo-target", type=float, default=0.99,
+                        help="fraction of offered requests that must "
+                             "meet --slo-ms (default 0.99)")
     parser.add_argument("--seed-keys", type=int, default=200,
                         help="keys inserted before measuring (default 200)")
     parser.add_argument("--seed", type=int, default=42)
@@ -343,7 +396,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_load(host, port, args.workers, args.duration,
                           args.seed_keys, args.seed, warmup=args.warmup,
                           mix=args.mix, arrivals=args.arrivals,
-                          rate=args.rate, drop_after=args.drop_after)
+                          rate=args.rate, drop_after=args.drop_after,
+                          slo_ms=args.slo_ms, slo_target=args.slo_target)
     finally:
         if handle is not None:
             handle.stop()
@@ -374,6 +428,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"after {args.drop_after:.2f}s behind schedule")
     if totals["errors"]:
         print(f"errors: {totals['errors']}")
+    slo = report.get("slo")
+    if slo is not None:
+        print(f"SLO {slo['slo_ms']:.1f}ms@{slo['target']:.4g}: "
+              f"attained {slo['attained'] * 100.0:.2f}%, "
+              f"budget burn {slo['burn']:.2f}x -> "
+              f"{'MET' if slo['met'] else 'MISSED'}")
     print(f"report written to {args.out}")
     return 0
 

@@ -74,6 +74,7 @@ from repro.serve.sharded import (
     load_or_freeze_layout,
     shard_dir_name,
 )
+from repro.serve.telemetry import current_context
 
 #: Aggregate descriptors resolvable by name on the worker side.
 _AGGREGATES: Dict[str, Aggregate] = {
@@ -91,6 +92,8 @@ _READ_METHODS = frozenset({
 _SHUTDOWN = "__shutdown__"
 _STATS = "__stats__"
 _EXPLAIN_TRACE = "__explain_trace__"
+_TRACED = "__traced__"
+_REGISTRY = "__registry__"
 
 #: Memo capacity for the temporary shared-scan memo (caching off).
 _BATCH_MEMO_ENTRIES = 4096
@@ -191,7 +194,7 @@ def _worker_main(conn, spec: ShardSpec) -> None:
             _respond(conn, rid, True, "closed", warehouse.now)
             running = False
             continue
-        if method in _READ_METHODS and spec.scan_batch > 1:
+        if _batchable_read(method, args) and spec.scan_batch > 1:
             batch = [(rid, method, args)]
             # Drain whatever reads are already queued behind this one;
             # stop at the first write (it must run after them) or when
@@ -203,12 +206,13 @@ def _worker_main(conn, spec: ShardSpec) -> None:
                 except (EOFError, OSError):
                     running = False
                     break
-                if nxt[1] in _READ_METHODS:
+                if _batchable_read(nxt[1], nxt[2]):
                     batch.append(nxt)
                 else:
                     pending.append(nxt)
                     break
-            _serve_read_batch(conn, warehouse, batch, stats, memoized)
+            _serve_read_batch(conn, warehouse, batch, stats, memoized,
+                              spec.index)
             continue
         stats["requests"] += 1
         if method == _STATS:
@@ -218,6 +222,12 @@ def _worker_main(conn, spec: ShardSpec) -> None:
             continue
         if method == _EXPLAIN_TRACE:
             _serve_explain_trace(conn, warehouse, rid, args, stats)
+            continue
+        if method == _TRACED:
+            _serve_traced(conn, warehouse, rid, args, stats, spec.index)
+            continue
+        if method == _REGISTRY:
+            _serve_registry(conn, warehouse, rid, stats)
             continue
         stats["writes"] += 1
         if method == "load_events_packed" and args:
@@ -233,7 +243,24 @@ def _worker_main(conn, spec: ShardSpec) -> None:
     conn.close()
 
 
-def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool) -> None:
+def _batchable_read(method: str, args) -> bool:
+    """Can this request join a shared-scan read batch?
+
+    Plain reads always can.  A light-traced read (``_TRACED`` wrapping a
+    read method, no ``detail``) can too: batch entries execute
+    sequentially, so its watch-only I/O deltas stay exact.  Deep-traced
+    reads attach pool tracers and run alone — a sampled request must
+    not fragment everyone else's batches, but an explicit ``"trace":
+    true`` asked for full instrumentation.
+    """
+    if method in _READ_METHODS:
+        return True
+    return (method == _TRACED and args[0] in _READ_METHODS
+            and not args[2].get("detail"))
+
+
+def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool,
+                      shard: int) -> None:
     """Answer a run of read requests in one shared pass.
 
     With no persistent memo attached (caching off), a temporary
@@ -248,6 +275,11 @@ def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool) -> None:
                                          thread_safe=False)
     try:
         for rid, method, args in batch:
+            if method == _TRACED:
+                # Light-traced read riding the batch: does its own
+                # request/read accounting and span bookkeeping.
+                _serve_traced(conn, warehouse, rid, args, stats, shard)
+                continue
             stats["requests"] += 1
             stats["reads"] += 1
             _serve_one(conn, warehouse, rid, method, args, stats)
@@ -289,6 +321,111 @@ def _serve_explain_trace(conn, warehouse, rid, args, stats) -> None:
         _respond(conn, rid, False, error_payload(exc), warehouse.now)
         return
     stats["reads"] += 1
+    _respond(conn, rid, True, payload, warehouse.now)
+
+
+#: Cached ``discover_pools`` result for this worker's warehouse — the
+#: worker owns exactly one warehouse for its whole life, so the light
+#: tracing path (every sampled request) need not re-walk it.
+_POOL_CACHE: "Optional[list]" = None
+
+
+def _worker_pools(warehouse) -> "list":
+    global _POOL_CACHE
+    if _POOL_CACHE is None:
+        from repro.obs.attach import discover_pools
+
+        _POOL_CACHE = discover_pools(warehouse)
+    return _POOL_CACHE
+
+
+def _serve_traced(conn, warehouse, rid, args, stats, shard: int) -> None:
+    """Execute one warehouse method under a fresh tracer and ship both
+    the result and the worker-side span tree.
+
+    This is the distributed-tracing leg of a sampled request: the parent
+    forwards ``(method, args, trace_ctx)`` where ``trace_ctx`` carries
+    the router span's ``trace_id``/``parent_span_id``; the worker roots a
+    ``worker.<method>`` span carrying that lineage plus its own fresh
+    span ID.  Two depths:
+
+    * **light** (the default — probabilistically sampled requests): raw
+      ``IOStats`` counter deltas and CPU time read around the call — no
+      tracer, no span objects — so the single worker record still
+      carries exact physical/logical I/O and CPU, at the cost of two
+      counter snapshots.  Sampling at production rates must not tax the
+      requests it measures.
+    * **deep** (``trace_ctx["detail"]`` — the per-request ``"trace":
+      true`` override): the full :func:`~repro.obs.attach.traced`
+      attachment; every tree descent, buffer probe, and disk read nests
+      beneath the worker span.
+
+    Attaching a tracer here is safe precisely because the worker is
+    single-threaded — nothing else can race the span stack.  Responds
+    ``(result, record)``.
+    """
+    import time
+
+    from repro.serve.telemetry import new_span_id
+
+    inner_method, inner_args, trace_ctx = args
+    stats["requests"] += 1
+    read = inner_method in _READ_METHODS
+    stats["reads" if read else "writes"] += 1
+    try:
+        if inner_method.startswith("_"):
+            raise AttributeError(f"method {inner_method!r} is not exposed")
+        fn = getattr(warehouse, inner_method)
+        lineage = dict(trace_id=trace_ctx.get("trace_id"),
+                       parent_span_id=trace_ctx.get("parent_span_id"),
+                       span_id=new_span_id(), shard=shard, pid=os.getpid())
+        if trace_ctx.get("detail"):
+            from repro.obs.attach import traced
+            from repro.obs.tracefile import span_to_record
+
+            with traced(warehouse) as tracer:
+                with tracer.span(f"worker.{inner_method}", **lineage):
+                    result = fn(*_resolve_args(inner_args))
+            record = span_to_record(tracer.last_root)
+        else:
+            pools = _worker_pools(warehouse)
+            before = [(p.stats.reads, p.stats.writes, p.stats.logical_reads)
+                      for _, p in pools]
+            cpu_started = time.process_time()
+            result = fn(*_resolve_args(inner_args))
+            cpu_s = time.process_time() - cpu_started
+            reads = writes = logical = 0
+            for (r0, w0, l0), (_, pool) in zip(before, pools):
+                stats_now = pool.stats
+                reads += stats_now.reads - r0
+                writes += stats_now.writes - w0
+                logical += stats_now.logical_reads - l0
+            record = {"name": f"worker.{inner_method}", "attrs": lineage,
+                      "reads": reads, "writes": writes,
+                      "logical_reads": logical, "cpu_s": cpu_s}
+    except BaseException as exc:  # noqa: BLE001 — boundary: all -> payload
+        stats["errors"] += 1
+        _respond(conn, rid, False, error_payload(exc), warehouse.now)
+        return
+    _respond(conn, rid, True, (result, record), warehouse.now)
+
+
+def _serve_registry(conn, warehouse, rid, stats) -> None:
+    """Snapshot the worker's warehouse into a metrics registry and ship
+    it as JSON — pool IOStats, tree counters, and cache counters — so the
+    parent's ``/metrics`` exposition can aggregate per-worker registries
+    without any shared memory."""
+    from repro.obs.metrics import MetricsRegistry, snapshot_into
+
+    stats["requests"] += 1
+    try:
+        registry = MetricsRegistry()
+        snapshot_into(registry, warehouse)
+        payload = registry.to_json()
+    except BaseException as exc:  # noqa: BLE001 — boundary: all -> payload
+        stats["errors"] += 1
+        _respond(conn, rid, False, error_payload(exc), warehouse.now)
+        return
     _respond(conn, rid, True, payload, warehouse.now)
 
 
@@ -515,12 +652,38 @@ class ProcessShardedWarehouse(ShardRouter):
         )
 
     def _shard_query(self, index: int, method: str, *args: Any) -> Any:
-        return self._clients[index].call(method, *self._wire(args))
+        return self._shard_call(index, method, args)
 
     def _shard_write(self, index: int, method: str, *args: Any) -> Any:
         # The worker is single-threaded and its pipe is FIFO — exclusive
         # access is structural, no parent-side lock required.
-        return self._clients[index].call(method, *self._wire(args))
+        return self._shard_call(index, method, args)
+
+    def _shard_call(self, index: int, method: str,
+                    args: Tuple[Any, ...]) -> Any:
+        """One worker RPC, telemetry-aware.
+
+        With no request context installed this is the plain pickle-light
+        call.  Under an active context the RPC's wall time is attributed
+        to the shard; when the request is *sampled* the call is upgraded
+        to the ``__traced__`` verb — the worker executes the method under
+        a tracer rooted in the request's trace ID and ships the span tree
+        back alongside the result (see :func:`_serve_traced`).
+        """
+        ctx = current_context()
+        if ctx is None:
+            return self._clients[index].call(method, *self._wire(args))
+        import time
+        started = time.perf_counter()
+        try:
+            if ctx.sampled:
+                result, record = self._clients[index].call(
+                    _TRACED, method, self._wire(args), ctx.trace_context())
+                ctx.add_record(record)
+                return result
+            return self._clients[index].call(method, *self._wire(args))
+        finally:
+            ctx.note_shard(index, time.perf_counter() - started)
 
     @property
     def now(self) -> int:
@@ -608,6 +771,29 @@ class ProcessShardedWarehouse(ShardRouter):
                 rows.append({"shard": index, "alive": False})
                 continue
             rows.append(dict(row, alive=True))
+        return rows
+
+    def worker_registries(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """Each live worker's metrics registry snapshot, as JSON.
+
+        Workers run :func:`repro.obs.metrics.snapshot_into` over their
+        own warehouse (pool IOStats, tree counters, cache counters) and
+        ship the registry's ``to_json()`` form; rows are ``(shard,
+        payload)``.  Dead or unresponsive workers are skipped — a scrape
+        must survive a mid-outage shard.
+        """
+        futures: List[Tuple[int, Any]] = []
+        for index, client in enumerate(self._clients):
+            try:
+                futures.append((index, client.call_async(_REGISTRY)))
+            except ShardDownError:
+                continue
+        rows: List[Tuple[int, Dict[str, Any]]] = []
+        for index, future in futures:
+            try:
+                rows.append((index, future.result(10.0)))
+            except (ShardDownError, concurrent.futures.TimeoutError):
+                continue
         return rows
 
     def explain_trace(self, key_range: KeyRange, interval: Interval,

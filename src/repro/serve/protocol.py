@@ -17,6 +17,15 @@ Ops:
     return it.
 ``metrics``
     The server's metrics registry as JSON.
+``metrics_text``
+    The same registry rendered in the Prometheus text exposition format
+    (one string result) — identical to what the ``--metrics-port`` HTTP
+    endpoint serves at ``/metrics``.
+``slowlog``
+    Recent slow-request entries (newest first; optional ``limit``
+    field): request ID, op, TQL, latency with its queue/exec split,
+    trace ID when sampled, and the captured EXPLAIN span tree + cache
+    outcome.  Populated when the server runs with ``--slow-ms``.
 ``ping``
     Liveness probe; returns ``"pong"``.
 ``sleep``
@@ -54,8 +63,8 @@ from repro.errors import ProtocolError
 PROTOCOL_VERSION = 1
 
 #: Every op the server understands.
-OPS = ("query", "snapshot", "metrics", "ping", "sleep", "load", "respawn",
-       "shutdown")
+OPS = ("query", "snapshot", "metrics", "metrics_text", "slowlog", "ping",
+       "sleep", "load", "respawn", "shutdown")
 
 
 def encode(message: Dict[str, Any]) -> bytes:
@@ -75,9 +84,17 @@ def decode(line: bytes) -> Dict[str, Any]:
         raise ProtocolError("request must be a JSON object")
     op = message.get("op")
     if op not in OPS:
-        raise ProtocolError(
-            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        # Carry the request id on the exception: decode fails before the
+        # server ever sees the message, and without the id the error
+        # response cannot be correlated by a pipelining client.
+        request_id = message.get("id")
+        suffix = (f" (request {request_id!r})"
+                  if request_id is not None else "")
+        exc = ProtocolError(
+            f"unknown op {op!r}{suffix}; expected one of {', '.join(OPS)}"
         )
+        exc.request_id = request_id
+        raise exc
     return message
 
 

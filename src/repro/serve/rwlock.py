@@ -11,13 +11,49 @@ writer queue holds it exclusive.
 Writer preference (new readers wait once a writer is queued) keeps a
 steady read load from starving ingest; readers already inside finish
 first, which bounds writer wait by the longest running query.
+
+Contention is observable: :meth:`ReadWriteLock.attach_metrics` wires the
+lock into a :class:`~repro.obs.metrics.MetricsRegistry`, after which every
+acquisition records its wait time in a per-side histogram
+(``repro_rwlock_wait_seconds{side="read"|"write", ...}``) and the current
+holder counts surface as gauges (``repro_rwlock_holders``) — replacing the
+racy :attr:`readers` / :attr:`writer_active` accessors as the only window
+into lock pressure.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping, Optional
+
+#: Wait-time buckets in seconds: most acquisitions are uncontended
+#: (microseconds); the tail is bounded by the longest running query.
+WAIT_BUCKETS = (0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+class _LockMetrics:
+    """Instrument handles one lock publishes into (created on attach)."""
+
+    __slots__ = ("read_wait", "write_wait", "read_holders", "write_holders")
+
+    def __init__(self, registry, labels: Mapping[str, str]) -> None:
+        self.read_wait = registry.histogram(
+            "repro_rwlock_wait_seconds",
+            "seconds spent waiting to acquire the shard RW lock",
+            {**labels, "side": "read"}, buckets=WAIT_BUCKETS)
+        self.write_wait = registry.histogram(
+            "repro_rwlock_wait_seconds",
+            "seconds spent waiting to acquire the shard RW lock",
+            {**labels, "side": "write"}, buckets=WAIT_BUCKETS)
+        self.read_holders = registry.gauge(
+            "repro_rwlock_holders", "current holders of the shard RW lock",
+            {**labels, "side": "read"})
+        self.write_holders = registry.gauge(
+            "repro_rwlock_holders", "current holders of the shard RW lock",
+            {**labels, "side": "write"})
 
 
 class ReadWriteLock:
@@ -28,6 +64,17 @@ class ReadWriteLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._metrics: Optional[_LockMetrics] = None
+
+    def attach_metrics(self, registry, labels:
+                       Optional[Mapping[str, str]] = None) -> None:
+        """Publish wait-time histograms and holder gauges into ``registry``.
+
+        ``labels`` (e.g. ``{"shard": "2"}``) distinguish locks sharing one
+        registry.  Until attached, acquisitions skip all bookkeeping with
+        a single branch, so the uninstrumented path costs nothing extra.
+        """
+        self._metrics = _LockMetrics(registry, labels or {})
 
     # -- shared (reader) side --------------------------------------------------
 
@@ -36,6 +83,8 @@ class ReadWriteLock:
 
         Returns ``False`` if ``timeout`` (seconds) elapsed first.
         """
+        metrics = self._metrics
+        waited = time.perf_counter() if metrics is not None else 0.0
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: not self._writer_active and not self._writers_waiting,
@@ -44,6 +93,9 @@ class ReadWriteLock:
             if not ok:
                 return False
             self._readers += 1
+            if metrics is not None:
+                metrics.read_wait.observe(time.perf_counter() - waited)
+                metrics.read_holders.set(self._readers)
             return True
 
     def release_read(self) -> None:
@@ -52,6 +104,8 @@ class ReadWriteLock:
             if self._readers <= 0:
                 raise RuntimeError("release_read without acquire_read")
             self._readers -= 1
+            if self._metrics is not None:
+                self._metrics.read_holders.set(self._readers)
             if self._readers == 0:
                 self._cond.notify_all()
 
@@ -68,6 +122,8 @@ class ReadWriteLock:
 
     def acquire_write(self, timeout: float = None) -> bool:
         """Take the lock exclusive; blocks until all readers drain."""
+        metrics = self._metrics
+        waited = time.perf_counter() if metrics is not None else 0.0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -78,6 +134,9 @@ class ReadWriteLock:
                 if not ok:
                     return False
                 self._writer_active = True
+                if metrics is not None:
+                    metrics.write_wait.observe(time.perf_counter() - waited)
+                    metrics.write_holders.set(1)
                 return True
             finally:
                 self._writers_waiting -= 1
@@ -88,6 +147,8 @@ class ReadWriteLock:
             if not self._writer_active:
                 raise RuntimeError("release_write without acquire_write")
             self._writer_active = False
+            if self._metrics is not None:
+                self._metrics.write_holders.set(0)
             self._cond.notify_all()
 
     @contextmanager

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,8 +53,18 @@ from repro.errors import (
     error_payload,
 )
 from repro.obs.metrics import MetricsRegistry, ServerMetrics
+from repro.obs.tracefile import TraceSink
 from repro.serve import protocol
 from repro.serve.sharded import ShardedWarehouse
+from repro.serve.telemetry import (
+    MetricsHTTPServer,
+    RequestContext,
+    Sampler,
+    SlowQueryLog,
+    clear_context,
+    clip_tql,
+    set_context,
+)
 from repro.tql import executor as tql_executor
 from repro.tql.parser import (
     DeleteStatement,
@@ -92,6 +103,14 @@ class ServerConfig:
     scan_batch: int = 8                # procpool shared-scan batch ceiling
     ingest: str = "direct"             # default LOAD mode ("buffered" opts
                                        # into the buffer-tree ingest path)
+    trace_sample_rate: float = 0.0     # fraction of requests traced (0: only
+                                       # per-request "trace": true overrides)
+    trace_path: Optional[str] = None   # JSONL sink for sampled traces
+    trace_max_bytes: int = 64 * 1024 * 1024  # sink rotation threshold
+    metrics_port: Optional[int] = None  # /metrics HTTP port (0: ephemeral)
+    slow_ms: Optional[float] = None    # slow-query threshold (None: off)
+    slowlog_entries: int = 128         # slow-query ring capacity
+    slowlog_explain: bool = True       # capture EXPLAIN for slow SELECTs
 
 
 @dataclass
@@ -127,6 +146,24 @@ class TQLServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown_task: Optional[asyncio.Task] = None
         self._connections: set = set()
+        # -- telemetry plane -----------------------------------------------------------
+        self._request_ids = itertools.count(1)
+        self._sampler = Sampler(self.config.trace_sample_rate)
+        # Async writes: the event loop only enqueues; JSON encoding and
+        # the disk append happen on the sink's own thread.  Records come
+        # from span_to_record, so they conform by construction and the
+        # per-record schema check is skipped (readers still validate).
+        self._trace_sink: Optional[TraceSink] = (
+            TraceSink(self.config.trace_path, self.config.trace_max_bytes,
+                      async_writes=True, validate=False)
+            if self.config.trace_path else None)
+        self.slowlog = SlowQueryLog(self.config.slowlog_entries)
+        self._metrics_http: Optional[MetricsHTTPServer] = None
+        self._bg_tasks: set = set()
+        # Thread-backend shard locks publish their contention into the
+        # exported registry (the process backend has no parent-side locks).
+        for index, lock in enumerate(getattr(warehouse, "locks", []) or []):
+            lock.attach_metrics(self.registry, {"shard": str(index)})
 
     @staticmethod
     def _build_warehouse(config: ServerConfig):
@@ -178,10 +215,27 @@ class TQLServer:
     # -- lifecycle ---------------------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting; returns the actual (host, port)."""
+        """Bind and start accepting; returns the actual (host, port).
+
+        When ``metrics_port`` is configured the ``/metrics`` exposition
+        endpoint comes up alongside the protocol socket (its resolved
+        port is :attr:`metrics_address`).
+        """
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.config.host, self.config.metrics_port,
+                self._render_metrics_text)
+            self._metrics_http.start()
         return self.address
+
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """The bound ``/metrics`` (host, port), or ``None`` when off."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.host, self._metrics_http.port
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -222,12 +276,21 @@ class TQLServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._bg_tasks:
+            # Slow-query EXPLAIN captures touch the warehouse; let them
+            # finish (or fail) before it closes underneath them.
+            await asyncio.gather(*list(self._bg_tasks),
+                                 return_exceptions=True)
         loop = asyncio.get_running_loop()
         if self.config.durable_dir is not None:
             await loop.run_in_executor(self._pool,
                                        self.warehouse.checkpoint)
         self.warehouse.close()
         self._pool.shutdown(wait=False)
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+        if self._trace_sink is not None:
+            self._trace_sink.close()
         self._stopped.set()
 
     # -- connection handling -----------------------------------------------------------
@@ -272,24 +335,174 @@ class TQLServer:
     async def _respond(self, line: bytes,
                        session: _Session) -> Dict[str, Any]:
         request_id = None
+        ctx: Optional[RequestContext] = None
         started = time.perf_counter()
         try:
             message = protocol.decode(line)
             request_id = message.get("id")
-            result, snapshot = await self._dispatch(message, session)
-            elapsed = (time.perf_counter() - started) * 1000.0
-            self.metrics.latency.observe(elapsed / 1000.0)
-            return protocol.ok_response(request_id, result,
-                                        snapshot=snapshot,
-                                        elapsed_ms=elapsed)
+            if request_id is None:
+                # Server-assigned fallback: every request is correlatable
+                # in traces, the slowlog, and error responses even when
+                # the client did not number it.
+                request_id = f"srv-{next(self._request_ids)}"
+            ctx = RequestContext(str(request_id), message["op"])
+            forced = message.get("trace") is True
+            if forced or self._sampler.sample():
+                # Only the explicit override pays for deep page-level
+                # worker spans; probabilistic samples stay light.
+                ctx.begin_sampling(detail=forced)
+            result, snapshot = await self._dispatch(message, session, ctx)
+            elapsed = time.perf_counter() - started
+            self._finish_request(ctx, elapsed, "ok")
+            response = protocol.ok_response(request_id, result,
+                                            snapshot=snapshot,
+                                            elapsed_ms=elapsed * 1000.0)
+            if ctx.trace_id is not None:
+                response["trace_id"] = ctx.trace_id
+            return response
         except Exception as exc:  # noqa: BLE001 — boundary: all -> payload
-            self.metrics.latency.observe(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            if ctx is not None:
+                self._finish_request(ctx, elapsed, "error")
+            else:
+                self.metrics.latency.observe(elapsed)
+            if request_id is None:
+                # protocol.decode failed before the id was extracted; the
+                # unknown-op path stashes it on the exception.
+                request_id = getattr(exc, "request_id", None)
             return protocol.error_response(request_id, error_payload(exc))
+
+    def _finish_request(self, ctx: RequestContext, elapsed: float,
+                        status: str) -> None:
+        """Post-request accounting: histograms, trace sink, slowlog."""
+        self.metrics.latency.observe(elapsed)
+        self.metrics.op_latency(ctx.op).observe(elapsed)
+        self.metrics.op_phase(ctx.op, "queue").observe(ctx.queue_s)
+        self.metrics.op_phase(ctx.op, "exec").observe(ctx.exec_s)
+        for shard, seconds in ctx.shard_seconds.items():
+            self.metrics.shard_seconds(shard).observe(seconds)
+        if ctx.sampled:
+            self.metrics.traces_sampled.inc()
+            if self._trace_sink is not None:
+                try:
+                    self._trace_sink.write(self._request_record(
+                        ctx, elapsed, status))
+                except ValueError:
+                    pass  # sink closed mid-drain; the trace is lost, not the response
+        slow_ms = self.config.slow_ms
+        if slow_ms is not None and elapsed * 1000.0 >= slow_ms:
+            self._record_slow(ctx, elapsed, status)
+
+    @staticmethod
+    def _request_record(ctx: RequestContext, elapsed: float,
+                        status: str) -> Dict[str, Any]:
+        """The root span record of one sampled request (JSONL shape).
+
+        I/O and CPU totals aggregate the child records (worker spans
+        carry real page-level attribution; thread-backend shard records
+        carry CPU only); wall-clock figures live in ``attrs`` because
+        the record schema's ``cpu_s`` means CPU, not latency.
+        """
+        attrs: Dict[str, Any] = {
+            "op": ctx.op, "request_id": ctx.request_id,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "status": status,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "queue_ms": round(ctx.queue_s * 1000.0, 3),
+            "exec_ms": round(ctx.exec_s * 1000.0, 3),
+        }
+        if ctx.tql is not None:
+            attrs["tql"] = clip_tql(ctx.tql)
+        children = ctx.records
+        return {
+            "name": "request",
+            "attrs": attrs,
+            "reads": sum(c.get("reads", 0) for c in children),
+            "writes": sum(c.get("writes", 0) for c in children),
+            "logical_reads": sum(c.get("logical_reads", 0)
+                                 for c in children),
+            "cpu_s": sum(c.get("cpu_s", 0.0) for c in children),
+            **({"children": children} if children else {}),
+        }
+
+    def _record_slow(self, ctx: RequestContext, elapsed: float,
+                     status: str) -> None:
+        """Capture one slow request into the ring, then (for SELECT
+        aggregates) schedule the post-hoc EXPLAIN capture."""
+        self.metrics.slow_requests.inc()
+        entry: Dict[str, Any] = {
+            "request_id": ctx.request_id, "op": ctx.op, "status": status,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "queue_ms": round(ctx.queue_s * 1000.0, 3),
+            "exec_ms": round(ctx.exec_s * 1000.0, 3),
+            "shard_seconds": {str(shard): round(seconds, 6)
+                              for shard, seconds
+                              in ctx.shard_seconds.items()},
+            "trace_id": ctx.trace_id,
+            "tql": clip_tql(ctx.tql),
+            "explain": None,
+        }
+        self.slowlog.add(entry)
+        if (ctx.explain_args is not None and self.config.slowlog_explain
+                and not self._draining):
+            task = asyncio.ensure_future(
+                self._capture_slow_explain(entry, ctx.explain_args))
+            self._bg_tasks.add(task)
+            task.add_done_callback(self._bg_tasks.discard)
+
+    async def _capture_slow_explain(self, entry: Dict[str, Any],
+                                    explain_args: tuple) -> None:
+        """Fill a slowlog entry's EXPLAIN span tree + cache outcome.
+
+        Runs after the response went out (the client never waits on it)
+        on the reader pool.  Both backends expose the same
+        ``explain_trace`` row shape; the thread backend traces each shard
+        under its write lock, so this is deliberately off the hot path —
+        as is the rectangle resolution itself (``explain_args`` holds the
+        raw parsed statement).
+        """
+        statement, as_of = explain_args
+        loop = asyncio.get_running_loop()
+
+        def capture() -> Any:
+            key_range, interval = tql_executor._resolve_rectangle(
+                self.warehouse, statement, as_of)
+            aggregate = tql_executor._aggregate_named(statement.agg.name)
+            return self.warehouse.explain_trace(key_range, interval,
+                                                aggregate)
+
+        try:
+            rows = await loop.run_in_executor(self._pool, capture)
+        except Exception as exc:  # noqa: BLE001 — diagnostics must not raise
+            entry["explain"] = {"error": error_payload(exc)}
+            return
+        entry["explain"] = [
+            {"shard": row["shard"],
+             "key_range": [row["key_range"].low, row["key_range"].high],
+             "plan": str(row["plan"].plan
+                         if hasattr(row["plan"], "plan") else row["plan"]),
+             "record": row["record"],
+             "cache": row.get("cache")}
+            for row in rows
+        ]
+
+    def _render_metrics_text(self) -> str:
+        """The full Prometheus exposition: registry + derived gauges.
+
+        Called per scrape from the ``/metrics`` HTTP thread and by the
+        ``metrics_text`` op; every publisher it touches (cache snapshot
+        RPCs, worker stats, worker registries, the registry itself) is
+        thread-safe.
+        """
+        self._publish_cache_gauges()
+        self._publish_procpool_gauges()
+        self._publish_worker_registries()
+        return self.registry.render_prometheus()
 
     # -- dispatch ----------------------------------------------------------------------
 
-    async def _dispatch(self, message: Dict[str, Any],
-                        session: _Session) -> Tuple[Any, Optional[int]]:
+    async def _dispatch(self, message: Dict[str, Any], session: _Session,
+                        ctx: RequestContext) -> Tuple[Any, Optional[int]]:
         op = message["op"]
         self.metrics.request(op).inc()
         if op == "ping":
@@ -298,8 +511,18 @@ class TQLServer:
             self._publish_cache_gauges()
             self._publish_procpool_gauges()
             return self.registry.to_json(), None
+        if op == "metrics_text":
+            return self._render_metrics_text(), None
+        if op == "slowlog":
+            limit = message.get("limit")
+            if limit is not None and (not isinstance(limit, int)
+                                      or limit < 0):
+                raise ProtocolError('"limit" must be a non-negative '
+                                    'integer')
+            return {"entries": self.slowlog.entries(limit),
+                    "total": self.slowlog.total}, None
         if op == "load":
-            return await self._load(message), None
+            return await self._load(message, ctx), None
         if op == "respawn":
             return self._respawn(message), None
         if op == "snapshot":
@@ -310,16 +533,17 @@ class TQLServer:
             return "draining", None
         if op == "sleep":
             seconds = float(message.get("seconds", 0.0))
-            await self._admitted(lambda: time.sleep(seconds))
+            await self._admitted(lambda: time.sleep(seconds), ctx)
             return f"slept {seconds}s", None
         # op == "query"
-        return await self._query(message, session)
+        return await self._query(message, session, ctx)
 
-    async def _query(self, message: Dict[str, Any],
-                     session: _Session) -> Tuple[Any, Optional[int]]:
+    async def _query(self, message: Dict[str, Any], session: _Session,
+                     ctx: RequestContext) -> Tuple[Any, Optional[int]]:
         tql = message.get("tql")
         if not isinstance(tql, str):
             raise ProtocolError('op "query" needs a "tql" string field')
+        ctx.tql = tql
         statement = parse(tql)
         if isinstance(statement, LoadStatement):
             # A LOAD statement is an all-shards write: hold every writer
@@ -336,7 +560,8 @@ class TQLServer:
                 for lock in self._writer_locks:
                     await stack.enter_async_context(lock)
                 result = await self._admitted(
-                    lambda: tql_executor.execute(self.warehouse, statement))
+                    lambda: tql_executor.execute(self.warehouse, statement),
+                    ctx)
                 await self._maybe_checkpoint()
             for shard in range(self.warehouse.shard_count):
                 self.metrics.shard_writes(shard).inc()
@@ -349,7 +574,7 @@ class TQLServer:
                 async with writer_lock:
                     result = await self._admitted(
                         lambda: tql_executor.execute(self.warehouse,
-                                                     statement))
+                                                     statement), ctx)
                 self.metrics.shard_writes(shard).inc()
                 await self._maybe_checkpoint()
                 return result
@@ -358,14 +583,32 @@ class TQLServer:
         as_of = message.get("as_of", session.snapshot)
         if not isinstance(as_of, int) or as_of < 0:
             raise ProtocolError('"as_of" must be a non-negative integer')
+        self._note_explainable(statement, as_of, ctx)
         result = await self._admitted(
             lambda: tql_executor.execute(self.warehouse, statement,
-                                         as_of=as_of))
+                                         as_of=as_of), ctx)
         for shard in self._touched_shards(statement):
             self.metrics.shard_queries(shard).inc()
         return result, as_of
 
-    async def _load(self, message: Dict[str, Any]) -> Any:
+    def _note_explainable(self, statement: Any, as_of: int,
+                          ctx: RequestContext) -> None:
+        """Stash a plain SELECT aggregate so a slow request can be re-run
+        under EXPLAIN after the fact.
+
+        Only the parsed statement is stashed — rectangle resolution is
+        deferred to :meth:`_capture_slow_explain`, because this runs on
+        every read request's hot path and almost none of them end up
+        slow."""
+        if self.config.slow_ms is None or not self.config.slowlog_explain:
+            return
+        if not isinstance(statement, SelectStatement) \
+                or statement.agg.timeline_buckets is not None:
+            return
+        ctx.explain_args = (statement, as_of)
+
+    async def _load(self, message: Dict[str, Any],
+                    ctx: RequestContext) -> Any:
         """The bulk-ingest op: fan a sorted event batch out to the shards.
 
         Holds *every* shard's writer lock (in index order) so the load
@@ -392,7 +635,7 @@ class TQLServer:
                 await stack.enter_async_context(lock)
             report = await self._admitted(
                 lambda: self.warehouse.load_events(events, batch_size,
-                                                   mode))
+                                                   mode), ctx)
             await self._maybe_checkpoint()
         for shard in range(self.warehouse.shard_count):
             self.metrics.shard_writes(shard).inc()
@@ -446,6 +689,29 @@ class TQLServer:
                 "repro_procpool_alive", "shard worker liveness",
                 {"shard": shard}).set(1 if row.get("alive") else 0)
 
+    def _publish_worker_registries(self) -> None:
+        """Aggregate per-worker metrics *registries* into the parent's.
+
+        Process backend only (no-op otherwise).  Each worker snapshots
+        its warehouse into a fresh registry — pool IOStats, tree
+        counters, cache counters — and ships it as JSON; every series is
+        republished here with a ``shard`` label, so one ``/metrics``
+        scrape carries e.g. ``repro_pool_reads{pool="tuples",shard="2"}``
+        for every worker process.
+        """
+        registries = getattr(self.warehouse, "worker_registries", None)
+        if registries is None:
+            return
+        for shard, payload in registries():
+            for name, metric in payload.items():
+                for entry in metric.get("series", ()):
+                    if "value" not in entry:
+                        continue  # worker snapshots only ship gauges
+                    labels = dict(entry.get("labels", {}))
+                    labels["shard"] = str(shard)
+                    self.registry.gauge(name, metric.get("help", ""),
+                                        labels).set(entry["value"])
+
     def _publish_cache_gauges(self) -> None:
         """Mirror merged cache counters into the exported registry.
 
@@ -496,15 +762,23 @@ class TQLServer:
 
     # -- admission control -------------------------------------------------------------
 
-    async def _admitted(self, fn) -> Any:
+    async def _admitted(self, fn, ctx: Optional[RequestContext] = None
+                        ) -> Any:
         """Run ``fn`` in the thread pool under a slot, queue, and timeout.
 
         The slot is released when the worker *finishes*, not when the
         response goes out — a timed-out request keeps occupying capacity
         until its thread returns, so admission control reflects true load.
+
+        With a :class:`RequestContext`, the time from here to slot grant
+        is the request's *queue* phase and the time inside ``fn`` its
+        *exec* phase; the context is installed in the executing thread's
+        telemetry slot so the shard backends can attribute time (and,
+        when sampled, trace context) to their shard calls.
         """
         if self._draining:
             raise ServerShuttingDownError("server is draining for shutdown")
+        admission_started = time.perf_counter()
         async with self._admission:
             if self._inflight >= self.config.max_inflight:
                 if self._queued >= self.config.max_queue:
@@ -526,6 +800,9 @@ class TQLServer:
                         "server is draining for shutdown")
             self._inflight += 1
             self.metrics.inflight.set(self._inflight)
+        if ctx is not None:
+            ctx.queue_s += time.perf_counter() - admission_started
+            fn = self._contextualized(fn, ctx)
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(self._pool, fn)
         future.add_done_callback(self._release_slot)
@@ -537,6 +814,25 @@ class TQLServer:
             raise RequestTimeoutError(
                 f"request exceeded {self.config.request_timeout}s; "
                 "still completing in the background") from None
+
+    @staticmethod
+    def _contextualized(fn, ctx: RequestContext):
+        """Wrap a pooled callable with telemetry bookkeeping.
+
+        ``loop.run_in_executor`` does not propagate contextvars, so the
+        request context rides a plain thread-local set here — inside the
+        pool thread — and cleared before the thread returns to the pool.
+        The wall time inside ``fn`` is the request's exec phase.
+        """
+        def run() -> Any:
+            set_context(ctx)
+            started = time.perf_counter()
+            try:
+                return fn()
+            finally:
+                ctx.exec_s += time.perf_counter() - started
+                clear_context()
+        return run
 
     def _release_slot(self, future: "asyncio.Future") -> None:
         if future.cancelled():

@@ -45,6 +45,7 @@ from repro.core.rta import RTAResult
 from repro.core.warehouse import QueryPlan, TemporalWarehouse
 from repro.errors import QueryError, ShardRoutingError
 from repro.serve.rwlock import ReadWriteLock
+from repro.serve.telemetry import current_context
 
 _LAYOUT_FILE = "layout.json"
 
@@ -397,22 +398,97 @@ class ShardedWarehouse(ShardRouter):
 
     def _shard_query(self, index: int, method: str, *args: Any) -> Any:
         fn = getattr(self.shards[index], method)
-        if self.thread_safe:
-            with self.locks[index].read_locked():
-                return fn(*args)
-        return fn(*args)
+        ctx = current_context()
+        if ctx is None:
+            if self.thread_safe:
+                with self.locks[index].read_locked():
+                    return fn(*args)
+            return fn(*args)
+        return self._shard_telemetered(ctx, index, method, fn, args,
+                                       write=False)
 
     def _shard_write(self, index: int, method: str, *args: Any) -> Any:
         fn = getattr(self.shards[index], method)
-        if self.thread_safe:
-            with self.locks[index].write_locked():
-                return fn(*args)
-        return fn(*args)
+        ctx = current_context()
+        if ctx is None:
+            if self.thread_safe:
+                with self.locks[index].write_locked():
+                    return fn(*args)
+            return fn(*args)
+        return self._shard_telemetered(ctx, index, method, fn, args,
+                                       write=True)
+
+    def _shard_telemetered(self, ctx, index: int, method: str, fn, args,
+                           write: bool) -> Any:
+        """One shard call under an active request context.
+
+        Always attributes wall time to the shard; when the request is
+        sampled, additionally appends a ``shard.<method>`` span record.
+        A tracer is *not* attached here — the shard warehouses are shared
+        across reader threads and a tracer's span stack would race — so
+        thread-backend traces carry per-shard-call timing, not page-level
+        children (the process backend's single-threaded workers do carry
+        them).
+        """
+        import time
+
+        from repro.serve.telemetry import shard_record
+
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        try:
+            if self.thread_safe:
+                lock = self.locks[index]
+                with (lock.write_locked() if write else lock.read_locked()):
+                    return fn(*args)
+            return fn(*args)
+        finally:
+            ctx.note_shard(index, time.perf_counter() - started)
+            if ctx.sampled:
+                ctx.add_record(shard_record(
+                    f"shard.{method}", index,
+                    time.process_time() - cpu_started, ctx,
+                    backend="thread"))
 
     @property
     def now(self) -> int:
         """The most recent time any shard has seen."""
         return max(shard.now for shard in self.shards)
+
+    # -- observability -----------------------------------------------------------------
+
+    def explain_trace(self, key_range: KeyRange, interval: Interval,
+                      aggregate: Aggregate = SUM) -> List[Dict[str, Any]]:
+        """Per-shard EXPLAIN with span trees, thread-backend edition.
+
+        Same row shape as
+        :meth:`repro.serve.procpool.ProcessShardedWarehouse.explain_trace`
+        (``shard``, ``key_range``, ``plan``, ``result``, ``record``,
+        ``cache``), so the slow-query log works identically under both
+        executors.  Tracing must attach to the shard's pools, which is
+        only safe with no concurrent readers — each shard is therefore
+        traced under its *write* lock, making this a diagnostics path,
+        not a hot one.
+        """
+        from repro.obs.explain import explain_query
+        from repro.obs.tracefile import span_to_record
+
+        rows: List[Dict[str, Any]] = []
+        for index, part in self.parts_for(key_range):
+            shard = self.shards[index]
+
+            def run(shard=shard, part=part):
+                report = explain_query(shard, part, interval, aggregate)
+                return {"plan": report.plan, "result": report.result,
+                        "record": span_to_record(report.root),
+                        "cache": report.cache}
+            if self.thread_safe:
+                with self.locks[index].write_locked():
+                    payload = run()
+            else:
+                payload = run()
+            rows.append(dict(payload, shard=index, key_range=part))
+        return rows
 
     # -- read-path caching -------------------------------------------------------------
 

@@ -1,0 +1,123 @@
+"""Histogram and exposition edge cases the serving plane depends on.
+
+The ``/metrics`` endpoint's correctness rests on Prometheus semantics:
+``le`` is inclusive, the overflow bucket is ``+Inf``, label values are
+escaped, and concurrent observation from reader threads never drops a
+count (the registry is shared by the event loop, the reader pool, and
+the HTTP scrape thread).
+"""
+
+import math
+import threading
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestBucketBoundaries:
+    def test_value_on_bound_counts_in_that_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)  # exactly on the 2.0 bound: le="2" is inclusive
+        assert h.counts[0] == 0
+        assert h.counts[1] == 1
+        assert h.counts[2] == 0
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1e9)
+        assert h.counts[-1] == 1
+        assert h.cumulative_counts() == [0, 0, 1]
+
+    def test_below_first_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-5.0)  # pathological but must not crash
+        assert h.counts[0] == 2
+
+    def test_cumulative_is_monotone_and_ends_at_count(self):
+        h = Histogram(buckets=DEFAULT_BUCKETS)
+        for value in (0.5, 3.0, 7.0, 1e6, 42.0):
+            h.observe(value)
+        cumulative = h.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == h.count == 5
+
+    def test_sum_tracks_exact_values(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(2.75)
+        assert math.isclose(h.sum, 3.0)
+
+
+class TestInfRendering:
+    def test_prometheus_inf_bucket_spelling(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_test_seconds", "t", buckets=(1.0,))
+        h.observe(5.0)
+        text = registry.render_prometheus()
+        assert 'le="+Inf"} 1' in text
+        assert 'le="1"} 0' in text
+
+    def test_json_inf_bucket_spelling(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", "t",
+                           buckets=(1.0,)).observe(5.0)
+        payload = json.loads(registry.render_json())
+        les = [b["le"] for b in
+               payload["repro_test_seconds"]["series"][0]["buckets"]]
+        assert les == [1.0, "+Inf"]
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "t",
+                         {"tql": 'SELECT "x" \\ \n tail'}).inc()
+        text = registry.render_prometheus()
+        assert r'tql="SELECT \"x\" \\ \n tail"' in text
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "t", {"op": "a"}).inc()
+        registry.counter("repro_test_total", "t", {"op": "b"}).inc(2)
+        text = registry.render_prometheus()
+        assert 'repro_test_total{op="a"} 1' in text
+        assert 'repro_test_total{op="b"} 2' in text
+
+
+class TestThreadSafety:
+    def test_concurrent_observation_drops_nothing(self):
+        h = Histogram(buckets=DEFAULT_BUCKETS)
+        per_thread = 5000
+
+        def pound():
+            for n in range(per_thread):
+                h.observe(float(n % 300))
+
+        threads = [threading.Thread(target=pound) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 8 * per_thread
+        assert h.cumulative_counts()[-1] == h.count
+
+    def test_concurrent_instrument_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("repro_race_total", "t",
+                                         {"op": "x"}))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)

@@ -1,0 +1,109 @@
+"""Slow-query log end to end: capture, EXPLAIN enrichment, rendering.
+
+A server with ``slow_ms=0`` treats every request as slow, so the ring
+fills deterministically; the EXPLAIN capture runs as a background task
+after the response is sent, so tests poll for it.
+"""
+
+import time
+
+import pytest
+
+from repro.analyze import _explain_cell, slowlog_table
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig, serve_in_thread
+
+KEY_SPACE = (1, 1001)
+
+
+def _wait_for_explain(client, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        entries = client.slowlog()["entries"]
+        select_entries = [e for e in entries
+                          if e["op"] == "query" and e["tql"]
+                          and e["tql"].startswith("SELECT")]
+        if select_entries and select_entries[0]["explain"] is not None:
+            return select_entries[0]
+        time.sleep(0.05)
+    raise AssertionError("EXPLAIN capture never completed")
+
+
+@pytest.fixture
+def server():
+    handle = serve_in_thread(ServerConfig(
+        shards=2, key_space=KEY_SPACE, page_capacity=8, slow_ms=0.0))
+    yield handle
+    handle.stop()
+
+
+class TestSlowCapture:
+    def test_every_request_captured_at_zero_threshold(self, server):
+        with Client(server.host, server.port) as c:
+            c.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+            payload = c.slowlog()
+        # The INSERT at minimum (the slowlog op itself lands after).
+        assert payload["total"] >= 1
+        ops = {e["op"] for e in payload["entries"]}
+        assert "query" in ops
+
+    def test_entry_shape(self, server):
+        with Client(server.host, server.port) as c:
+            c.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+            entry = c.slowlog()["entries"][0]
+        for key in ("request_id", "op", "status", "elapsed_ms", "queue_ms",
+                    "exec_ms", "shard_seconds", "trace_id", "tql",
+                    "explain"):
+            assert key in entry
+
+    def test_select_gets_explain_span_tree(self, server):
+        with Client(server.host, server.port) as c:
+            c.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+            c.execute("INSERT KEY 800 VALUE 2.0 AT 1")
+            c.repin()
+            c.execute("SELECT SUM(value) WHERE key IN [1, 1001)")
+            entry = _wait_for_explain(c)
+        rows = entry["explain"]
+        assert isinstance(rows, list) and len(rows) == 2
+        for row in rows:
+            assert row["record"]["name"]  # a span tree, JSONL shape
+            assert "plan" in row
+
+    def test_non_select_has_no_explain(self, server):
+        with Client(server.host, server.port) as c:
+            c.execute("INSERT KEY 5 VALUE 1.0 AT 1")
+            time.sleep(0.2)
+            entries = c.slowlog()["entries"]
+        inserts = [e for e in entries
+                   if e["tql"] and e["tql"].startswith("INSERT")]
+        assert inserts and all(e["explain"] is None for e in inserts)
+
+
+class TestSlowlogRendering:
+    def _entry(self, **overrides):
+        entry = {
+            "request_id": "r-1", "op": "query", "status": "ok",
+            "elapsed_ms": 12.5, "queue_ms": 1.0, "exec_ms": 11.5,
+            "shard_seconds": {"0": 0.01}, "trace_id": "ab" * 16,
+            "tql": "SELECT SUM(value) WHERE key IN [1, 1001)",
+            "explain": None,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_table_renders_all_columns(self):
+        table = slowlog_table([self._entry()], total=3)
+        text = table.render()
+        assert "r-1" in text and "query" in text
+        assert "abababab" in text  # 8-char trace id prefix
+        assert "SELECT SUM(value)" in text
+
+    def test_explain_cell_states(self):
+        assert _explain_cell(None) == "-"
+        assert _explain_cell({"error": {"code": "QUERY"}}) == \
+            "error[QUERY]"
+        assert _explain_cell([{"shard": 0}, {"shard": 1}]) == "2 shard(s)"
+
+    def test_missing_trace_id_renders_dash(self):
+        table = slowlog_table([self._entry(trace_id=None)], total=1)
+        assert table.render()  # must not raise
