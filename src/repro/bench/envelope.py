@@ -45,6 +45,7 @@ BENCH_PR = {
     "cache": 4,
     "multicore": 5,
     "telemetry": 7,
+    "cluster": 8,
 }
 
 
@@ -92,6 +93,9 @@ def _loadgen_metrics(data: Mapping[str, Any]) -> Dict[str, Any]:
         metrics["offered"] = totals["offered"]
     if "dropped" in totals:
         metrics["dropped"] = totals["dropped"]
+    if "retries" in totals:
+        metrics["retries"] = totals["retries"]
+        metrics["retried_ok"] = totals.get("retried_ok", 0)
     slo = data.get("slo") or {}
     if slo:
         metrics["slo_attained"] = slo.get("attained")

@@ -465,6 +465,35 @@ class TemporalWarehouse:
     _CKPT_META_FILE = "warehouse.json"
 
     @classmethod
+    def current_checkpoint(cls, directory: str
+                           ) -> "Tuple[Optional[str], int]":
+        """Resolve the live checkpoint of a durable directory.
+
+        Returns ``(checkpoint_dir, covered_seq)`` for the checkpoint the
+        ``CURRENT`` pointer names, or ``(None, 0)`` when the directory has
+        never been checkpointed.  Read-only: safe to call from a process
+        that does not own the directory (WAL-shipping replicas and shard
+        cloning use it to rebase onto the owner's latest state).
+        """
+        import json
+        import os
+
+        current_path = os.path.join(directory, cls._CURRENT_FILE)
+        if not os.path.exists(current_path):
+            return None, 0
+        with open(current_path) as fh:
+            name = fh.read().strip()
+        candidate = os.path.join(directory, "checkpoints", name)
+        if not os.path.exists(os.path.join(candidate, "tuples")):
+            return None, 0
+        last_seq = 0
+        meta_path = os.path.join(candidate, cls._CKPT_META_FILE)
+        if os.path.exists(meta_path):
+            with open(meta_path) as fh:
+                last_seq = int(json.load(fh)["wal_last_seq"])
+        return candidate, last_seq
+
+    @classmethod
     def open_durable(cls, directory: str, buffer_pages: int = 64,
                      fsync: bool = False,
                      **fresh_kwargs) -> "TemporalWarehouse":
@@ -484,25 +513,12 @@ class TemporalWarehouse:
         mid-checkpoint leaves ``CURRENT`` pointing at the previous good
         checkpoint.
         """
-        import json
         import os
 
         from repro.storage.wal import WriteAheadLog
 
         wal = WriteAheadLog(directory, fsync=fsync)
-        last_seq = 0
-        checkpoint_dir = None
-        current_path = os.path.join(directory, cls._CURRENT_FILE)
-        if os.path.exists(current_path):
-            with open(current_path) as fh:
-                name = fh.read().strip()
-            candidate = os.path.join(directory, "checkpoints", name)
-            if os.path.exists(os.path.join(candidate, "tuples")):
-                checkpoint_dir = candidate
-                meta_path = os.path.join(candidate, cls._CKPT_META_FILE)
-                if os.path.exists(meta_path):
-                    with open(meta_path) as fh:
-                        last_seq = int(json.load(fh)["wal_last_seq"])
+        checkpoint_dir, last_seq = cls.current_checkpoint(directory)
         if checkpoint_dir is None:
             # Legacy layout: a bare in-place "checkpoint" directory whose
             # WAL was truncated at checkpoint time (replay-all is sound).
@@ -567,6 +583,35 @@ class TemporalWarehouse:
         legacy = os.path.join(self._durable_dir, "checkpoint")
         if os.path.exists(os.path.join(legacy, "tuples")):
             shutil.rmtree(legacy, ignore_errors=True)
+
+    def wal_seq(self) -> int:
+        """Highest WAL sequence number this warehouse has appended.
+
+        ``0`` for in-memory warehouses.  The cluster router uses this as
+        the acked-write watermark when deciding whether a WAL-shipped
+        replica is caught up enough to serve a read-your-writes query.
+        """
+        return self._wal.last_seq if self._wal is not None else 0
+
+    def attach_wal(self, directory: str, fsync: bool = False,
+                   last_seq: int = 0) -> None:
+        """Attach an update log, making this warehouse the durable writer
+        for ``directory``.
+
+        This is the promotion step of replica failover: a WAL-shipping
+        replica that has applied the dead primary's log through
+        ``last_seq`` attaches the same directory and continues the
+        sequence numbering, so subsequent recoveries replay one unbroken
+        history.  No-op protection is the caller's job — attaching two
+        live writers to one directory corrupts the log.
+        """
+        from repro.storage.wal import WriteAheadLog
+
+        wal = WriteAheadLog(directory, fsync=fsync)
+        wal.bump_seq(last_seq)
+        self._wal = wal
+        self._durable_dir = directory
+        self._closed = False
 
     @property
     def closed(self) -> bool:

@@ -63,6 +63,18 @@ class ConcurrentAccessError(BufferPoolError):
     code = "CONCURRENT_ACCESS"
 
 
+class WALTruncatedError(StorageError):
+    """A WAL tail cursor fell behind a checkpoint truncation.
+
+    Raised by :class:`~repro.storage.wal.WALCursor` when the log no longer
+    holds the records after the cursor's position (the primary checkpointed
+    and truncated past it).  The reader must *rebase*: reload the primary's
+    current checkpoint and resume tailing from the sequence it covers.
+    """
+
+    code = "WAL_TRUNCATED"
+
+
 class IndexError_(ReproError):
     """Base class for index-structure errors (named to avoid shadowing
     the builtin :class:`IndexError`)."""
@@ -153,6 +165,30 @@ class ShardDownError(ServerError):
     """
 
     code = "SHARD_DOWN"
+
+
+class ShardRedirectError(ServerError):
+    """A statement was routed with a shard map the cluster has since
+    replaced (split, merge, or promotion swapped the topology).
+
+    Always retriable: re-resolving against the current topology routes
+    the statement correctly, and :class:`repro.serve.client.Client`
+    does so transparently.
+    """
+
+    code = "SHARD_REDIRECT"
+
+
+class ReplicaLagError(ServerError):
+    """A read-your-writes read reached a replica that could not catch up
+    to the required WAL sequence in time.
+
+    The cluster router treats this as a soft failure and falls back to
+    the next read target (ultimately the primary); it only surfaces to
+    clients when no target can satisfy the read.
+    """
+
+    code = "REPLICA_LAG"
 
 
 def error_payload(exc: BaseException) -> Dict[str, str]:

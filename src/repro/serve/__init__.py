@@ -9,6 +9,10 @@ one thread) using the temporal store at once.  The pieces:
 * :mod:`repro.serve.procpool` — :class:`ProcessShardedWarehouse`, the
   process-per-shard backend (``--executor process``): one worker process
   owns each shard outright, escaping the GIL for multi-core serving;
+* :mod:`repro.serve.cluster` — :class:`ClusterWarehouse`, the elastic
+  cluster plane over the process backend: online shard split/merge,
+  WAL-shipped read replicas (:mod:`repro.serve.replica`), and router
+  failover (``--replicas`` / ``--autosplit``);
 * :mod:`repro.serve.rwlock` — the per-shard readers-writer lock behind
   single-writer / multi-reader concurrency;
 * :mod:`repro.serve.server` — the asyncio TCP server: newline-delimited
@@ -36,6 +40,9 @@ _EXPORTS = {
     "ShardPlan": "repro.serve.sharded",
     "ProcessShardedWarehouse": "repro.serve.procpool",
     "ShardSpec": "repro.serve.procpool",
+    "ClusterWarehouse": "repro.serve.cluster",
+    "ClusterPlanner": "repro.serve.cluster",
+    "ReplicaSpec": "repro.serve.replica",
     "ReadWriteLock": "repro.serve.rwlock",
     "ServerConfig": "repro.serve.server",
     "TQLServer": "repro.serve.server",

@@ -90,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "EXPLAIN span trees for SELECTs)")
     parser.add_argument("--slowlog-entries", type=int, default=128,
                         help="slow-query ring capacity")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="WAL-shipped read replicas per shard group "
+                             "(>0 selects the elastic cluster backend; "
+                             "needs --executor process and --durable-dir)")
+    parser.add_argument("--autosplit", action="store_true",
+                        help="cluster planner: split a shard group's key "
+                             "range online when it runs hot (needs "
+                             "--executor process and --durable-dir)")
+    parser.add_argument("--split-qps", type=float, default=64.0,
+                        help="autosplit trigger: per-group request rate "
+                             "(req/s) above which the hottest group is "
+                             "split (default 64)")
+    parser.add_argument("--planner-interval", type=float, default=0.5,
+                        help="cluster planner tick seconds (stats scrape, "
+                             "replica respawn, autosplit checks)")
     return parser
 
 
@@ -131,6 +146,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_path=args.trace_out, trace_max_bytes=args.trace_max_bytes,
         metrics_port=args.metrics_port, slow_ms=args.slow_ms,
         slowlog_entries=args.slowlog_entries,
+        replicas=args.replicas, autosplit=args.autosplit,
+        split_qps=args.split_qps,
+        planner_interval=args.planner_interval,
     )
     return asyncio.run(amain(config))
 

@@ -18,10 +18,17 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
 from repro.serve import protocol
+
+#: Error codes the client may retry transparently: the statement did not
+#: apply (a dead worker rejects before logging; a redirect never reaches
+#: one), so a single re-send against the healed/refreshed topology is
+#: safe for reads and writes alike.
+RETRIABLE_CODES = frozenset({"SHARD_DOWN", "SHARD_REDIRECT"})
 
 
 class ServerReplyError(ReproError):
@@ -42,12 +49,30 @@ class Client:
         Server address.
     timeout:
         Socket timeout in seconds for connect and for each reply.
+    retries:
+        Transparent re-sends of a request answered ``SHARD_DOWN`` or
+        ``SHARD_REDIRECT`` (both mean "the statement never applied;
+        the route has moved or is healing").  The default single retry
+        makes cluster failover and splits invisible to callers; set 0
+        to surface every routing error.  Attempts are counted in
+        :attr:`retries_sent` / :attr:`retries_recovered` so harnesses
+        (the load generator's envelope) can report them.
+    retry_backoff:
+        Sleep before each retry, doubling per attempt (gives a healing
+        primary its respawn window).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7654,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 1,
+                 retry_backoff: float = 0.05) -> None:
         self.host = host
         self.port = port
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        #: Retry attempts sent (lifetime of this client).
+        self.retries_sent = 0
+        #: Retry attempts that turned a routing error into a success.
+        self.retries_recovered = 0
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rb")
@@ -70,18 +95,32 @@ class Client:
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw protocol message; returns the raw response dict.
 
-        Raises :class:`ServerReplyError` on an ``"ok": false`` response.
+        Retriable routing errors (see :data:`RETRIABLE_CODES`) are
+        re-sent up to ``retries`` times before raising; every failure
+        raises :class:`ServerReplyError`.
         """
+        for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self.retries_sent += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            response = self._send_once(message)
+            if response.get("ok", False):
+                if attempt > 0:
+                    self.retries_recovered += 1
+                return response
+            error = response.get("error") or {}
+            code = error.get("code", "INTERNAL")
+            if code not in RETRIABLE_CODES or attempt >= self.retries:
+                raise ServerReplyError(code, error.get("message",
+                                                       "unknown error"))
+        raise AssertionError("unreachable")  # loop always returns/raises
+
+    def _send_once(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self._next_id += 1
         message = dict(message)
         message.setdefault("id", self._next_id)
         self._sock.sendall(protocol.encode(message))
-        response = self._read_line()
-        if not response.get("ok", False):
-            error = response.get("error") or {}
-            raise ServerReplyError(error.get("code", "INTERNAL"),
-                                   error.get("message", "unknown error"))
-        return response
+        return self._read_line()
 
     # -- protocol ops ------------------------------------------------------------------
 
@@ -157,6 +196,31 @@ class Client:
     def respawn(self, shard: int) -> Dict[str, Any]:
         """Replace a dead shard worker (process executor only)."""
         return self.request({"op": "respawn", "shard": shard})["result"]
+
+    def topology(self) -> Dict[str, Any]:
+        """The cluster routing table: group spans, worker pids/liveness,
+        and split/merge/failover counters (cluster backend only)."""
+        return self.request({"op": "topology"})["result"]
+
+    def split(self, gid: int, at: Optional[int] = None) -> Dict[str, Any]:
+        """Split shard group ``gid`` at key ``at`` (default midpoint)."""
+        message: Dict[str, Any] = {"op": "split", "gid": gid}
+        if at is not None:
+            message["at"] = at
+        return self.request(message)["result"]
+
+    def merge(self, gid_a: int, gid_b: int) -> Dict[str, Any]:
+        """Merge two adjacent shard groups into one."""
+        return self.request({"op": "merge",
+                             "gids": [gid_a, gid_b]})["result"]
+
+    def promote(self, gid: int,
+                replica: Optional[int] = None) -> Dict[str, Any]:
+        """Hand group ``gid``'s write role to one of its replicas."""
+        message: Dict[str, Any] = {"op": "promote", "gid": gid}
+        if replica is not None:
+            message["replica"] = replica
+        return self.request(message)["result"]
 
     def shutdown(self) -> str:
         """Ask the server to drain, checkpoint, and stop."""

@@ -1,0 +1,1183 @@
+"""Elastic cluster plane: dynamic topology over process-per-shard workers.
+
+:class:`ClusterWarehouse` extends the process backend
+(:mod:`repro.serve.procpool`) with the three capabilities a static shard
+map lacks:
+
+* **online split/merge** — a hot key range is split by checkpointing the
+  owning primary, cloning that checkpoint into a new shard directory
+  (a file copy — no tree rebuild), spawning a fresh worker over the
+  clone, shipping the WAL tail for the upper half of the range, and
+  atomically swapping the routing table under the cluster's
+  writer-preferring :class:`~repro.serve.rwlock.ReadWriteLock`.  Merge is
+  the symmetric cold path: rebuild the two groups' logical update history
+  from their temporal tuples, bulk-load it into a fresh worker, swap.
+* **read replicas via WAL shipping** — each shard group runs N
+  :mod:`~repro.serve.replica` workers that tail the primary's durable log
+  and serve version-pinned reads; the router fences every replica read
+  with the group's acked-write watermark, preserving read-your-writes.
+* **failover** — a dead primary (pipe EOF, kill -9) redirects reads to a
+  caught-up replica while a background respawn replays the WAL; if the
+  respawn fails, a replica is *promoted* to writer.  Mid-loadgen SIGKILL
+  of a primary is therefore invisible to clients.
+
+Stable group ids, not positional indexes
+----------------------------------------
+The procpool identifies shards by position in a frozen boundary list.
+A dynamic topology cannot: splits insert ranges and merges remove them.
+Shard groups therefore carry a **gid** — a monotonically increasing id
+allocated at creation and never reused.  Routing resolves a key to a gid
+against an immutable :class:`Topology` snapshot (swapped atomically under
+the topology lock), and queries in flight across a swap still resolve
+their gid to a live worker: a split leaves the parent group serving the
+lower half with its full pre-split data (range-clipped queries mask the
+rest), so stale-topology reads remain *exact* — the same
+partial-persistence argument that makes scatter-gather snapshot reads
+sound in :mod:`repro.serve.sharded`.
+
+Locking discipline (deadlock-free by construction)
+--------------------------------------------------
+Every write path (``insert``/``delete``/``update``/``load_events``) holds
+the topology lock **shared** for its whole duration — routing decision
+through worker acknowledgement — plus a per-group mutex ordered *after*
+the topology lock.  A topology swap (split/merge) takes the topology lock
+**exclusive**, which alone drains and excludes all writers; it never
+acquires group mutexes, so the lock order is acyclic.  The shared hold is
+also the buffered-ingest drain barrier: a split cannot interleave a
+``LOAD`` window, it waits for the whole batch to land.  Reads take no
+locks at all — they read one volatile topology reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aggregates import Aggregate, SUM
+from repro.core.cache import CacheConfig, CacheSnapshot
+from repro.core.ingest import DEFAULT_BATCH_SIZE, IngestReport
+from repro.core.model import Interval, KeyRange, MAX_KEY, NOW
+from repro.errors import (
+    QueryError,
+    ReplicaLagError,
+    ShardDownError,
+    ShardRedirectError,
+    ShardRoutingError,
+    StorageError,
+)
+from repro.serve.procpool import (
+    ShardClient,
+    ShardSpec,
+    _AggRef,
+    _EXPLAIN_TRACE,
+    _REGISTRY,
+    _STATS,
+    rate_since,
+)
+from repro.serve.replica import (
+    _PROMOTE,
+    _REPLICA_READ,
+    _SYNC,
+    REPLICA_READS,
+    ReplicaSpec,
+)
+from repro.serve.rwlock import ReadWriteLock
+from repro.serve.sharded import ShardRouter, _ShardedAggregates
+from repro.serve.telemetry import current_context
+from repro.storage.wal import WALCursor
+
+#: Topology persistence file under the cluster's durable root.
+TOPOLOGY_FILE = "cluster.json"
+
+#: Read methods served only by primaries (cache/maintenance surfaces that
+#: describe the writer's state, not the logical data).
+_PRIMARY_ONLY_READS = frozenset({
+    "cache_snapshot", "page_count", "check_invariants", "wal_seq",
+})
+
+
+class ShardGroup:
+    """One key range's worker set: a primary plus its WAL-shipped
+    replicas, with the group-local write bookkeeping."""
+
+    __slots__ = ("gid", "lo", "hi", "wh_key_space", "dirname", "primary",
+                 "replicas", "acked_seq", "write_lock", "heal_lock",
+                 "qps", "rr")
+
+    def __init__(self, gid: int, lo: int, hi: int,
+                 wh_key_space: Tuple[int, int], dirname: str,
+                 primary: ShardClient) -> None:
+        self.gid = gid
+        self.lo = lo
+        self.hi = hi
+        #: The warehouse-level key space the workers were built with; a
+        #: split narrows routing (``lo``/``hi``) but never the warehouse
+        #: domain, so clones stay loadable.
+        self.wh_key_space = wh_key_space
+        self.dirname = dirname
+        self.primary = primary
+        self.replicas: List[ShardClient] = []
+        #: WAL sequence covering every acknowledged write to this group —
+        #: the read-your-writes fence shipped with each replica read.
+        self.acked_seq = 0
+        #: Serializes writers within the group (writers hold the topology
+        #: lock shared, so two writers to one group race without this).
+        self.write_lock = threading.Lock()
+        #: Serializes failover healing (respawn/promote) of the primary.
+        self.heal_lock = threading.Lock()
+        #: Request rate observed by the last stats scrape (planner input).
+        self.qps = 0.0
+        #: Round-robin cursor over read targets.
+        self.rr = 0
+
+
+class Topology:
+    """An immutable routing snapshot: swapped as one reference, so
+    lock-free readers see either the old map or the new one, never a
+    half-updated mix."""
+
+    __slots__ = ("version", "entries", "boundaries")
+
+    def __init__(self, version: int,
+                 entries: List[Tuple[int, int, int]]) -> None:
+        self.version = version
+        #: ``(gid, lo, hi)`` per group, ascending by ``lo``, contiguous.
+        self.entries = entries
+        self.boundaries = [lo for _, lo, _ in entries]
+        self.boundaries.append(entries[-1][2])
+
+
+class ClusterWarehouse(ShardRouter):
+    """The elastic process-per-shard backend.
+
+    Requires a ``durable_dir``: replication *is* the per-shard WAL (the
+    shipping channel) and splits clone checkpoints, so a memory-only
+    cluster has nothing to ship or clone.  The public query/update API is
+    the :class:`~repro.serve.sharded.ShardRouter` surface — answers are
+    byte-identical to the other backends — plus the cluster verbs
+    (:meth:`split`, :meth:`merge`, :meth:`promote`, :meth:`topology_info`)
+    and the :class:`ClusterPlanner` autosplit thread.
+
+    Parameters beyond the procpool's: ``replicas`` (per group),
+    ``autosplit`` (start the planner), ``split_qps`` /
+    ``split_min_share`` / ``split_cooldown`` / ``max_groups`` (planner
+    policy), ``planner_interval`` (tick period; the planner also respawns
+    dead replicas), ``merge_qps`` (optional automerge threshold for
+    adjacent cold groups; ``None`` keeps merge manual).
+    """
+
+    def __init__(self, shards: int = 4,
+                 key_space: Tuple[int, int] = (1, MAX_KEY + 1),
+                 page_capacity: int = 32, buffer_pages: int = 64,
+                 strong_factor: float = 0.9, start_time: int = 1,
+                 buffer_policy: str = "lru",
+                 durable_dir: Optional[str] = None,
+                 fsync: bool = False,
+                 cache_config: Optional[CacheConfig] = None,
+                 scan_batch: int = 8,
+                 replicas: int = 1,
+                 autosplit: bool = False,
+                 split_qps: float = 64.0,
+                 split_min_share: float = 0.45,
+                 split_cooldown: float = 3.0,
+                 max_groups: int = 16,
+                 merge_qps: Optional[float] = None,
+                 planner_interval: float = 0.5,
+                 sync_timeout: float = 10.0,
+                 start_timeout: float = 60.0) -> None:
+        if durable_dir is None:
+            raise ValueError(
+                "ClusterWarehouse requires durable_dir: WAL shipping and "
+                "checkpoint cloning need an on-disk log")
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context("spawn")
+        self._root = durable_dir
+        self._shape = dict(
+            page_capacity=page_capacity, buffer_pages=buffer_pages,
+            strong_factor=strong_factor, start_time=start_time,
+            buffer_policy=buffer_policy, fsync=fsync,
+            cache_config=cache_config, scan_batch=scan_batch)
+        self.replica_count = replicas
+        self._sync_timeout = sync_timeout
+        self._start_timeout = start_timeout
+        self.aggregates = _ShardedAggregates(self)
+        #: Writers shared / topology swaps exclusive (see module docs).
+        self._topology_lock = ReadWriteLock()
+        #: Serializes split/merge/checkpoint admin (checkpoint truncates
+        #: the WAL a concurrent split would still be shipping from).
+        self._admin_lock = threading.Lock()
+        self._groups_by_gid: Dict[int, ShardGroup] = {}
+        self._rate_state: Dict[Any, Tuple[float, int]] = {}
+        self.splits = 0
+        self.merges = 0
+        self.failovers = 0
+        self.promotions = 0
+        self._last_split = 0.0
+        self._closed = False
+        self._planner: Optional[ClusterPlanner] = None
+
+        layout = self._read_topology_file()
+        if layout is None:
+            boundaries = self._split(key_space, shards)
+            self.key_space = key_space
+            self._next_gid = shards
+            plan = [(gid, lo, hi, (lo, hi), _group_dir_name(gid))
+                    for gid, (lo, hi) in enumerate(
+                        zip(boundaries, boundaries[1:]))]
+            version = 1
+        else:
+            self.key_space = tuple(layout["key_space"])
+            self._next_gid = layout["next_gid"]
+            plan = [(g["gid"], g["span"][0], g["span"][1],
+                     tuple(g["key_space"]), g["dir"])
+                    for g in layout["groups"]]
+            version = layout["version"]
+
+        # Spawn every primary first, then collect hellos (spawn imports
+        # overlap across cores), then the replicas the same way.
+        groups: List[ShardGroup] = []
+        try:
+            for gid, lo, hi, wh_ks, dirname in plan:
+                client = self._spawn_primary(gid, wh_ks, dirname)
+                groups.append(ShardGroup(gid, lo, hi, wh_ks, dirname,
+                                         client))
+            for group in groups:
+                group.primary.wait_ready(start_timeout)
+                self._groups_by_gid[group.gid] = group
+            self._install_topology(groups, version=version)
+            self._persist_topology()
+            for group in groups:
+                group.acked_seq = group.primary.call("wal_seq")
+                self._spawn_replicas(group)
+        except Exception:
+            for group in groups:
+                for client in [group.primary] + group.replicas:
+                    client.request_shutdown()
+                    client.reap(5.0)
+            raise
+        if autosplit or replicas > 0 or merge_qps is not None:
+            self._planner = ClusterPlanner(
+                self, interval=planner_interval, autosplit=autosplit,
+                split_qps=split_qps, split_min_share=split_min_share,
+                split_cooldown=split_cooldown, max_groups=max_groups,
+                merge_qps=merge_qps)
+            self._planner.start()
+
+    # -- topology bookkeeping ----------------------------------------------------------
+
+    def _read_topology_file(self) -> Optional[Dict[str, Any]]:
+        path = os.path.join(self._root, TOPOLOGY_FILE)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fh:
+            return json.load(fh)
+
+    def _install_topology(self, groups: Sequence[ShardGroup],
+                          version: int) -> None:
+        ordered = sorted(groups, key=lambda g: g.lo)
+        self._topology = Topology(
+            version, [(g.gid, g.lo, g.hi) for g in ordered])
+
+    def _persist_topology(self) -> None:
+        topo = self._topology
+        payload = {
+            "version": topo.version,
+            "key_space": list(self.key_space),
+            "next_gid": self._next_gid,
+            "groups": [
+                {"gid": gid, "span": [lo, hi],
+                 "key_space": list(self._groups_by_gid[gid].wh_key_space),
+                 "dir": self._groups_by_gid[gid].dirname}
+                for gid, lo, hi in topo.entries
+            ],
+        }
+        path = os.path.join(self._root, TOPOLOGY_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    @property
+    def boundaries(self) -> List[int]:
+        """Current partition boundaries (a snapshot; splits change it)."""
+        return self._topology.boundaries
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped by every split/merge swap."""
+        return self._topology.version
+
+    def shard_index(self, key: int) -> int:
+        """The **gid** owning ``key`` under the current topology."""
+        lo, hi = self.key_space
+        if not lo <= key < hi:
+            raise ShardRoutingError(
+                f"key {key} outside key space [{lo}, {hi})")
+        topo = self._topology
+        return topo.entries[bisect_right(topo.boundaries, key) - 1][0]
+
+    def parts_for(self, key_range: KeyRange) -> List[Tuple[int, KeyRange]]:
+        """``(gid, clipped key range)`` pairs under the current topology."""
+        topo = self._topology
+        parts: List[Tuple[int, KeyRange]] = []
+        for gid, lo, hi in topo.entries:
+            clipped = key_range.intersection(KeyRange(lo, hi))
+            if clipped is not None:
+                parts.append((gid, clipped))
+        return parts
+
+    def _group(self, gid: int) -> ShardGroup:
+        group = self._groups_by_gid.get(gid)
+        if group is None:
+            raise ShardRedirectError(
+                f"shard group {gid} was retired by a topology change; "
+                "re-route against the current topology and retry")
+        return group
+
+    # -- worker spawning ---------------------------------------------------------------
+
+    def _primary_spec(self, gid: int, wh_key_space: Tuple[int, int],
+                      dirname: str) -> ShardSpec:
+        shape = self._shape
+        return ShardSpec(
+            index=gid, key_space=tuple(wh_key_space),
+            page_capacity=shape["page_capacity"],
+            buffer_pages=shape["buffer_pages"],
+            strong_factor=shape["strong_factor"],
+            start_time=shape["start_time"],
+            buffer_policy=shape["buffer_policy"],
+            durable_dir=os.path.join(self._root, dirname),
+            fsync=shape["fsync"], cache_config=shape["cache_config"],
+            scan_batch=shape["scan_batch"])
+
+    def _spawn_primary(self, gid: int, wh_key_space: Tuple[int, int],
+                       dirname: str) -> ShardClient:
+        return ShardClient(self._primary_spec(gid, wh_key_space, dirname),
+                           self._ctx, name=f"repro-group-{gid:02d}")
+
+    def _replica_spec(self, group: ShardGroup,
+                      replica_id: int) -> ReplicaSpec:
+        from repro.serve.replica import ReplicaSpec
+
+        shape = self._shape
+        return ReplicaSpec(
+            gid=group.gid, replica_id=replica_id,
+            primary_dir=os.path.join(self._root, group.dirname),
+            key_space=tuple(group.wh_key_space),
+            page_capacity=shape["page_capacity"],
+            buffer_pages=shape["buffer_pages"],
+            strong_factor=shape["strong_factor"],
+            start_time=shape["start_time"],
+            buffer_policy=shape["buffer_policy"],
+            fsync=shape["fsync"], sync_timeout=self._sync_timeout)
+
+    def _spawn_replicas(self, group: ShardGroup) -> None:
+        from repro.serve.replica import _replica_main
+
+        fresh: List[ShardClient] = []
+        for replica_id in range(self.replica_count - len(group.replicas)):
+            spec = self._replica_spec(group, len(group.replicas)
+                                      + replica_id)
+            fresh.append(ShardClient(
+                spec, self._ctx, main=_replica_main,
+                name=f"repro-group-{group.gid:02d}-r{spec.replica_id}"))
+        for client in fresh:
+            client.wait_ready(self._start_timeout)
+            group.replicas.append(client)
+
+    def ensure_replicas(self) -> int:
+        """Reap dead replicas and respawn up to the configured count
+        (the planner calls this every tick; tests call it directly).
+        Returns the number of workers spawned."""
+        spawned = 0
+        for group in list(self._groups_by_gid.values()):
+            dead = [c for c in group.replicas if c.dead]
+            for client in dead:
+                client.reap(1.0)
+                group.replicas.remove(client)
+            before = len(group.replicas)
+            self._spawn_replicas(group)
+            spawned += len(group.replicas) - before
+        return spawned
+
+    # -- failover ----------------------------------------------------------------------
+
+    def _ensure_primary(self, group: ShardGroup) -> None:
+        """Make the group's primary usable again: respawn it (checkpoint +
+        WAL replay restores every acked write), or — if the respawn
+        fails — promote a caught-up replica to writer.  Serialized per
+        group; concurrent detectors block here and find it healed."""
+        with group.heal_lock:
+            if not group.primary.dead:
+                return
+            self.failovers += 1
+            old = group.primary
+            try:
+                client = self._spawn_primary(group.gid, group.wh_key_space,
+                                             group.dirname)
+                client.wait_ready(self._start_timeout)
+                group.primary = client
+            except Exception:
+                self._promote_in_group(group)
+            old.reap(1.0)
+            # Re-derive the acked watermark from the healed primary: its
+            # log is the authority on what was durably acknowledged.
+            group.acked_seq = max(group.acked_seq,
+                                  group.primary.call("wal_seq"))
+
+    def _promote_in_group(self, group: ShardGroup) -> None:
+        """Promote the first caught-up replica to writer (heal-path; the
+        caller holds ``group.heal_lock``)."""
+        last_exc: Optional[BaseException] = None
+        for client in list(group.replicas):
+            if client.dead:
+                continue
+            try:
+                client.call(_PROMOTE, timeout=self._sync_timeout + 30.0)
+            except Exception as exc:  # noqa: BLE001 — try the next one
+                last_exc = exc
+                continue
+            group.replicas.remove(client)
+            group.primary = client
+            self.promotions += 1
+            return
+        raise ShardDownError(
+            f"group {group.gid}: primary is down, respawn failed, and no "
+            f"replica could be promoted ({last_exc})")
+
+    def _note_primary_down(self, group: ShardGroup) -> None:
+        """Kick a background heal so reads keep flowing to replicas while
+        the primary restarts (single-flight via the heal lock)."""
+        thread = threading.Thread(
+            target=self._heal_quietly, args=(group,), daemon=True,
+            name=f"repro-heal-{group.gid:02d}")
+        thread.start()
+
+    def _heal_quietly(self, group: ShardGroup) -> None:
+        try:
+            self._ensure_primary(group)
+        except Exception:  # noqa: BLE001 — next caller retries/raises
+            pass
+
+    def promote(self, gid: int, replica: Optional[int] = None
+                ) -> Dict[str, Any]:
+        """Operator-initiated promotion: retire the current primary (if
+        alive) and hand the group to one of its replicas."""
+        group = self._group(gid)
+        with self._admin_lock, group.heal_lock:
+            if not group.replicas:
+                raise QueryError(f"group {gid} has no replicas to promote")
+            candidates = [c for c in group.replicas if not c.dead]
+            if replica is not None:
+                candidates = [c for c in candidates
+                              if c.spec.replica_id == replica]
+            if not candidates:
+                raise ShardDownError(
+                    f"group {gid}: no live replica to promote")
+            old = group.primary
+            if not old.dead:
+                # Drain in-flight writes, close the WAL, then hand over.
+                old.request_shutdown()
+                old.reap(10.0)
+            chosen = candidates[0]
+            payload = chosen.call(_PROMOTE,
+                                  timeout=self._sync_timeout + 30.0)
+            group.replicas.remove(chosen)
+            group.primary = chosen
+            self.promotions += 1
+            group.acked_seq = max(group.acked_seq, payload["applied_seq"])
+        self._spawn_replicas(group)
+        return {"gid": gid, "pid": payload["pid"],
+                "applied_seq": payload["applied_seq"]}
+
+    # -- backend hooks (reads) ---------------------------------------------------------
+
+    @staticmethod
+    def _wire(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(
+            _AggRef(a.name) if isinstance(a, Aggregate) else a
+            for a in args)
+
+    def _shard_query(self, gid: int, method: str, *args: Any) -> Any:
+        ctx = current_context()
+        if ctx is None:
+            return self._group_read(self._group(gid), method, args)
+        started = time.perf_counter()
+        try:
+            return self._group_read(self._group(gid), method, args)
+        finally:
+            ctx.note_shard(gid, time.perf_counter() - started)
+
+    def _read_targets(self, group: ShardGroup,
+                      method: str) -> List[Tuple[str, ShardClient]]:
+        if method not in REPLICA_READS or not group.replicas:
+            return [("primary", group.primary)]
+        pool: List[Tuple[str, ShardClient]] = [("primary", group.primary)]
+        pool.extend(("replica", c) for c in group.replicas)
+        group.rr = (group.rr + 1) % len(pool)  # benign data race
+        start = group.rr
+        return pool[start:] + pool[:start]
+
+    def _group_read(self, group: ShardGroup, method: str,
+                    args: Tuple[Any, ...]) -> Any:
+        """One read, failover-aware.
+
+        Targets rotate round-robin over the primary and every replica;
+        replica reads are fenced at the group's acked watermark so a
+        session always sees its own writes.  A dead or lagging target
+        falls through to the next; a dead primary additionally kicks a
+        background respawn.  Only when *every* target fails does the
+        read block on a synchronous heal (respawn-or-promote).
+        """
+        wired = self._wire(args)
+        last_exc: Optional[BaseException] = None
+        for role, client in self._read_targets(group, method):
+            if client.dead:
+                if role == "primary":
+                    self._note_primary_down(group)
+                continue
+            try:
+                if role == "replica":
+                    return client.call(_REPLICA_READ, method, wired,
+                                       group.acked_seq)
+                return client.call(method, *wired)
+            except (ShardDownError, ReplicaLagError) as exc:
+                last_exc = exc
+                if role == "primary":
+                    self._note_primary_down(group)
+                continue
+        try:
+            self._ensure_primary(group)
+        except ShardDownError:
+            raise last_exc or ShardDownError(
+                f"group {group.gid} has no serving worker")
+        return group.primary.call(method, *wired)
+
+    # -- backend hooks (writes) --------------------------------------------------------
+
+    def _shard_write(self, gid: int, method: str, *args: Any) -> Any:
+        # Only reached through the base-class update API below when a
+        # subclass misses an override; route it with full fencing.
+        return self._routed_write(method, args)
+
+    def insert(self, key: int, value: float, t: int) -> None:
+        self._routed_write("insert", (key, value, t), key=key, events=1)
+
+    def delete(self, key: int, t: int) -> float:
+        return self._routed_write("delete", (key, t), key=key, events=1)
+
+    def update(self, key: int, value: float, t: int) -> None:
+        # delete + insert, both logged by the owning primary.
+        self._routed_write("update", (key, value, t), key=key, events=2)
+
+    def _routed_write(self, method: str, args: Tuple[Any, ...],
+                      key: Optional[int] = None,
+                      events: int = 1) -> Any:
+        """Route one DML statement under the topology read lock.
+
+        Holding the lock shared from routing through acknowledgement is
+        what makes the split swap (exclusive) a true barrier: a write
+        either lands wholly before the swap (and the split ships it to
+        the child) or routes against the new topology.  Writes to a dead
+        primary block on the heal path — respawn replays the WAL, so the
+        retry applies to a state containing every previously acked write.
+        """
+        if key is None:
+            key = args[0]
+        ctx = current_context()
+        started = time.perf_counter() if ctx is not None else 0.0
+        gid = -1
+        try:
+            with self._topology_lock.read_locked():
+                gid = self.shard_index(key)
+                group = self._group(gid)
+                with group.write_lock:
+                    return self._primary_write(group, method, args, events)
+        finally:
+            if ctx is not None:
+                ctx.note_shard(gid, time.perf_counter() - started)
+
+    def _primary_write(self, group: ShardGroup, method: str,
+                       args: Tuple[Any, ...], events: int) -> Any:
+        if group.primary.dead:
+            self._ensure_primary(group)
+        try:
+            result = group.primary.call(method, *self._wire(args))
+        except ShardDownError:
+            # The worker died under this write; ambiguous whether it
+            # logged before dying.  Heal and retry once — a duplicate
+            # apply surfaces as a typed 1TNF error rather than silence.
+            self._ensure_primary(group)
+            result = group.primary.call(method, *self._wire(args))
+        group.acked_seq += events
+        return result
+
+    def load_events(self, events: Sequence[Any],
+                    batch_size: int = DEFAULT_BATCH_SIZE,
+                    mode: str = "direct") -> IngestReport:
+        """Bulk load under the topology read lock — the drain barrier
+        that fences splits away from buffered-ingest windows."""
+        with self._topology_lock.read_locked():
+            return super().load_events(events, batch_size, mode)
+
+    def _load_shards(self, partitions: List[Tuple[int, List[Any]]],
+                     batch_size: int, mode: str) -> List[IngestReport]:
+        """Per-group parallel LOAD fan-out (runs under the topology read
+        lock taken by :meth:`load_events`)."""
+        from repro.storage.serialization import pack_events
+
+        resolved: List[Tuple[ShardGroup, int, Any]] = []
+        for gid, group_events in partitions:
+            group = self._group(gid)
+            group.write_lock.acquire()
+            try:
+                if group.primary.dead:
+                    self._ensure_primary(group)
+                future = group.primary.call_async(
+                    "load_events_packed", pack_events(group_events),
+                    batch_size, mode)
+            except BaseException:
+                group.write_lock.release()
+                raise
+            resolved.append((group, len(group_events), future))
+        reports: List[IngestReport] = []
+        failure: Optional[BaseException] = None
+        for group, _count, future in resolved:
+            try:
+                report = future.result()
+                group.acked_seq += report.events
+                reports.append(report)
+            except BaseException as exc:  # noqa: BLE001 — release all
+                failure = failure or exc
+            finally:
+                group.write_lock.release()
+        if failure is not None:
+            raise failure
+        return reports
+
+    @property
+    def now(self) -> int:
+        """The most recent time any group's primary has seen."""
+        return max((g.primary.last_now
+                    for g in self._groups_by_gid.values()), default=0)
+
+    # -- split -------------------------------------------------------------------------
+
+    def split(self, gid: int, at: Optional[int] = None) -> Dict[str, Any]:
+        """Split group ``gid``'s range at key ``at`` (default: midpoint).
+
+        Phases: (1) checkpoint the parent primary; (2) clone that
+        checkpoint — a directory copy — as the child shard's first
+        checkpoint; (3) spawn the child worker over the clone; (4) ship
+        the parent's WAL tail filtered to the upper half; (5) take the
+        topology lock exclusive, ship the final sliver of tail (writers
+        are drained, so it cannot grow under us), and swap the routing
+        table: parent keeps ``[lo, at)``, child serves ``[at, hi)``.
+        Bulk work happens in phases 1–4 with writers still flowing; the
+        exclusive window only covers the sliver and the swap.
+
+        The child's warehouse keeps the parent's full key space — its
+        clone holds the lower half's history too, which is simply never
+        queried (range-clipped routing masks it), keeping stale-topology
+        reads exact during the handoff.
+        """
+        with self._admin_lock:
+            group = self._group(gid)
+            lo, hi = group.lo, group.hi
+            if hi - lo < 2:
+                raise QueryError(
+                    f"group {gid} spans [{lo}, {hi}) and cannot split")
+            if at is None:
+                at = (lo + hi) // 2
+            if not lo < at < hi:
+                raise QueryError(
+                    f"split point {at} outside group {gid}'s open span "
+                    f"({lo}, {hi})")
+            if group.primary.dead:
+                self._ensure_primary(group)
+            group.primary.call("checkpoint")
+            new_gid = self._next_gid
+            self._next_gid += 1
+            dirname = _group_dir_name(new_gid)
+            parent_dir = os.path.join(self._root, group.dirname)
+            child_dir = os.path.join(self._root, dirname)
+            covered = clone_shard_state(parent_dir, child_dir)
+            child = self._spawn_primary(new_gid, group.wh_key_space,
+                                        dirname)
+            child.wait_ready(self._start_timeout)
+            cursor = WALCursor(parent_dir, after_seq=covered)
+            upper = KeyRange(at, hi)
+            # Two bulk rounds with writers still flowing shrink the tail
+            # the exclusive window has to ship.
+            self._ship_tail(cursor, child, upper)
+            self._ship_tail(cursor, child, upper)
+            with self._topology_lock.write_locked():
+                self._ship_tail(cursor, child, upper)
+                child_group = ShardGroup(new_gid, at, hi,
+                                         group.wh_key_space, dirname,
+                                         child)
+                child_group.acked_seq = child.call("wal_seq")
+                group.hi = at
+                self._groups_by_gid[new_gid] = child_group
+                self._install_topology(
+                    list(self._groups_by_gid.values()),
+                    version=self._topology.version + 1)
+                self._persist_topology()
+                self.splits += 1
+                self._last_split = time.monotonic()
+            self._spawn_replicas(child_group)
+        return {"parent": gid, "child": new_gid, "at": at,
+                "version": self._topology.version}
+
+    @staticmethod
+    def _ship_tail(cursor: WALCursor, child: ShardClient,
+                   key_range: KeyRange) -> int:
+        """Replay the parent's fresh WAL records whose keys fall in
+        ``key_range`` into the child via its (logged) bulk loader.
+
+        A key-filtered subsequence of a chronological stream is itself
+        chronological, and the child's clone predates every shipped
+        record, so the loader's time-order contract holds.
+        """
+        shipped = 0
+        while True:
+            records = cursor.poll()
+            if not records:
+                return shipped
+            rows = [(e.op, e.key, e.value, e.time) for _seq, e in records
+                    if key_range.low <= e.key < key_range.high]
+            if rows:
+                child.call("load_events", rows)
+                shipped += len(rows)
+
+    # -- merge -------------------------------------------------------------------------
+
+    def merge(self, gid_a: int, gid_b: int) -> Dict[str, Any]:
+        """Merge two *adjacent* groups into a fresh one (the cold path).
+
+        Under the exclusive topology lock (writers drained): reconstruct
+        both groups' logical update histories from their temporal tuples
+        — each tuple ``(k, [s, e), v)`` becomes ``insert@s`` (+
+        ``delete@e`` when closed) — interleave them in time order with
+        deletes before inserts at equal instants (1TNF-safe), bulk-load
+        into a brand-new worker, and swap both groups out for the merged
+        one.  Logical content determines every answer, so the merged
+        group answers identically; physical page images differ (it is a
+        freshly built tree).
+        """
+        with self._admin_lock:
+            a, b = self._group(gid_a), self._group(gid_b)
+            if a.lo > b.lo:
+                a, b = b, a
+            if a.hi != b.lo:
+                raise QueryError(
+                    f"groups {a.gid} [{a.lo},{a.hi}) and {b.gid} "
+                    f"[{b.lo},{b.hi}) are not adjacent")
+            with self._topology_lock.write_locked():
+                for group in (a, b):
+                    if group.primary.dead:
+                        self._ensure_primary(group)
+                history = (self._logical_history(a)
+                           + self._logical_history(b))
+                history.sort(key=lambda row: (row[3], row[0] != "delete",
+                                              row[1]))
+                new_gid = self._next_gid
+                self._next_gid += 1
+                dirname = _group_dir_name(new_gid)
+                wh_ks = (min(a.wh_key_space[0], b.wh_key_space[0]),
+                         max(a.wh_key_space[1], b.wh_key_space[1]))
+                merged = self._spawn_primary(new_gid, wh_ks, dirname)
+                merged.wait_ready(self._start_timeout)
+                if history:
+                    merged.call("load_events", history)
+                merged_group = ShardGroup(new_gid, a.lo, b.hi, wh_ks,
+                                          dirname, merged)
+                merged_group.acked_seq = merged.call("wal_seq")
+                del self._groups_by_gid[a.gid]
+                del self._groups_by_gid[b.gid]
+                self._groups_by_gid[new_gid] = merged_group
+                self._install_topology(
+                    list(self._groups_by_gid.values()),
+                    version=self._topology.version + 1)
+                self._persist_topology()
+                self.merges += 1
+                for group in (a, b):
+                    for client in [group.primary] + group.replicas:
+                        client.request_shutdown()
+            self._spawn_replicas(merged_group)
+        return {"merged": [a.gid, b.gid], "gid": new_gid,
+                "version": self._topology.version}
+
+    def _logical_history(self, group: ShardGroup
+                         ) -> List[Tuple[str, int, float, int]]:
+        horizon = max(group.primary.last_now + 1, 2)
+        tuples = group.primary.call(
+            "tuples_in", KeyRange(group.lo, group.hi),
+            Interval(1, horizon))
+        events: List[Tuple[str, int, float, int]] = []
+        for row in tuples:
+            start, end = row.interval.start, row.interval.end
+            events.append(("insert", row.key, row.value, start))
+            if end != NOW and end > start:
+                events.append(("delete", row.key, row.value, end))
+        return events
+
+    # -- maintenance / observability ---------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Checkpoint every live primary (serialized against splits:
+        truncation must not race a split still shipping the tail)."""
+        with self._admin_lock:
+            futures = []
+            for group in list(self._groups_by_gid.values()):
+                if group.primary.dead:
+                    continue
+                try:
+                    futures.append(group.primary.call_async("checkpoint"))
+                except ShardDownError:
+                    continue
+            for future in futures:
+                try:
+                    future.result()
+                except ShardDownError:
+                    continue
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        snapshot = CacheSnapshot()
+        for gid, _lo, _hi in self._topology.entries:
+            snapshot.merge(self._shard_query(gid, "cache_snapshot"))
+        return snapshot
+
+    def page_count(self) -> int:
+        return sum(self._shard_query(gid, "page_count")
+                   for gid, _lo, _hi in self._topology.entries)
+
+    def check_invariants(self) -> None:
+        for gid, _lo, _hi in self._topology.entries:
+            self._shard_query(gid, "check_invariants")
+
+    def enable_cache(self, config: Optional[CacheConfig] = None) -> None:
+        """Enable the read-path caches on every group primary."""
+        config = config or CacheConfig()
+        for group in self._groups_by_gid.values():
+            group.primary.call("enable_cache", config, False)
+
+    def disable_cache(self) -> None:
+        """Disable and drop the read-path caches on every primary."""
+        for group in self._groups_by_gid.values():
+            group.primary.call("disable_cache")
+
+    def explain_trace(self, key_range: KeyRange, interval: Interval,
+                      aggregate: Aggregate = SUM) -> List[Dict[str, Any]]:
+        """Per-group EXPLAIN with shipped span trees (primary-only)."""
+        rows = []
+        for gid, part in self.parts_for(key_range):
+            payload = self._group(gid).primary.call(
+                _EXPLAIN_TRACE, part, interval, _AggRef(aggregate.name))
+            rows.append(dict(payload, shard=gid, key_range=part))
+        return rows
+
+    def topology_info(self) -> Dict[str, Any]:
+        """The routing table plus per-group worker liveness — the wire
+        payload of the ``topology`` protocol op."""
+        topo = self._topology
+        groups = []
+        for gid, lo, hi in topo.entries:
+            group = self._groups_by_gid[gid]
+            groups.append({
+                "gid": gid, "span": [lo, hi], "dir": group.dirname,
+                "acked_seq": group.acked_seq,
+                "primary": {"pid": group.primary.pid,
+                            "alive": not group.primary.dead},
+                "replicas": [
+                    {"replica": c.spec.replica_id, "pid": c.pid,
+                     "alive": not c.dead}
+                    for c in group.replicas
+                ],
+            })
+        return {"version": topo.version,
+                "key_space": list(self.key_space),
+                "groups": groups,
+                "counters": {"splits": self.splits, "merges": self.merges,
+                             "failovers": self.failovers,
+                             "promotions": self.promotions}}
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """One row per primary and per replica.
+
+        Primary rows look like the procpool's (plus ``role`` and
+        ``acked_seq``); replica rows add ``replica``, ``applied_seq`` and
+        ``lag`` (primary WAL sequence minus applied).  The planner feeds
+        on the primary rows' ``qps``/``queue_depth``; ``/metrics`` turns
+        ``lag`` into the ``repro_cluster_replica_lag`` gauge.
+        """
+        rows: List[Dict[str, Any]] = []
+        scrape: List[Tuple[str, ShardGroup, Any, Any]] = []
+        for gid, _lo, _hi in self._topology.entries:
+            group = self._groups_by_gid.get(gid)
+            if group is None:
+                continue
+            for role, client in ([("primary", group.primary)]
+                                 + [("replica", c)
+                                    for c in group.replicas]):
+                if client.dead:
+                    scrape.append((role, group, client, None))
+                    continue
+                try:
+                    scrape.append((role, group, client,
+                                   client.call_async(_STATS)))
+                except ShardDownError:
+                    scrape.append((role, group, client, None))
+        primary_seq: Dict[int, int] = {}
+        for role, group, client, future in scrape:
+            gid = group.gid
+            if future is None:
+                row = {"shard": gid, "alive": False, "role": role}
+                if role == "replica":
+                    row["replica"] = client.spec.replica_id
+                rows.append(row)
+                continue
+            try:
+                payload = future.result(10.0)
+            except Exception:  # noqa: BLE001 — scrape survives outages
+                row = {"shard": gid, "alive": False, "role": role}
+                if role == "replica":
+                    row["replica"] = client.spec.replica_id
+                rows.append(row)
+                continue
+            key = (gid, role, payload.get("replica", -1))
+            qps = rate_since(self._rate_state, key, payload["requests"],
+                             time.monotonic())
+            row = dict(payload, alive=True, role=role, qps=qps,
+                       queue_depth=client.queue_depth)
+            if role == "primary":
+                primary_seq[gid] = payload.get("wal_seq", 0)
+                row["acked_seq"] = group.acked_seq
+                group.qps = qps
+            else:
+                base = primary_seq.get(gid, group.acked_seq)
+                row["lag"] = max(0, base - payload.get("applied_seq", 0))
+            rows.append(row)
+        return rows
+
+    def worker_registries(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """Live primaries' metrics registries (same shape as the
+        procpool's; replicas keep no caches worth scraping)."""
+        futures: List[Tuple[int, Any]] = []
+        for gid, _lo, _hi in self._topology.entries:
+            group = self._groups_by_gid.get(gid)
+            if group is None or group.primary.dead:
+                continue
+            try:
+                futures.append((gid, group.primary.call_async(_REGISTRY)))
+            except ShardDownError:
+                continue
+        rows: List[Tuple[int, Dict[str, Any]]] = []
+        for gid, future in futures:
+            try:
+                rows.append((gid, future.result(10.0)))
+            except Exception:  # noqa: BLE001 — scrape survives outages
+                continue
+        return rows
+
+    # -- probes (tests and the bench's byte-identical check) ---------------------------
+
+    def sync_replicas(self, gid: int,
+                      timeout: Optional[float] = None) -> List[int]:
+        """Block until every live replica of ``gid`` has applied the
+        primary's full log; returns their applied sequences."""
+        group = self._group(gid)
+        target = group.primary.call("wal_seq")
+        return [c.call(_SYNC, target,
+                       timeout if timeout is not None
+                       else self._sync_timeout)
+                for c in group.replicas if not c.dead]
+
+    def replica_probe(self, gid: int, replica: int, method: str,
+                      *args: Any) -> Any:
+        """Serve ``method`` from one specific replica, fenced at the
+        group's acked watermark."""
+        group = self._group(gid)
+        for client in group.replicas:
+            if client.spec.replica_id == replica and not client.dead:
+                return client.call(_REPLICA_READ, method,
+                                   self._wire(args), group.acked_seq)
+        raise ShardDownError(f"group {gid} has no live replica {replica}")
+
+    def primary_probe(self, gid: int, method: str, *args: Any) -> Any:
+        """Serve ``method`` from the group's primary, bypassing the
+        round-robin read rotation."""
+        return self._group(gid).primary.call(method, *self._wire(args))
+
+    # -- worker lifecycle --------------------------------------------------------------
+
+    def shard_pid(self, gid: int) -> Optional[int]:
+        """OS pid of group ``gid``'s primary worker process."""
+        return self._group(gid).primary.pid
+
+    def shard_alive(self, gid: int) -> bool:
+        """Whether group ``gid``'s primary worker is alive."""
+        return not self._group(gid).primary.dead
+
+    def respawn(self, gid: int, start_timeout: float = 60.0) -> int:
+        """Replace the group's primary with a fresh worker (graceful if
+        it is alive, heal-path if it is dead)."""
+        group = self._group(gid)
+        old = group.primary
+        if not old.dead:
+            old.request_shutdown()
+            old.reap(10.0)
+        self._ensure_primary(group)
+        return group.primary.pid  # type: ignore[return-value]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the planner and every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._planner is not None:
+            self._planner.stop()
+        clients: List[ShardClient] = []
+        for group in self._groups_by_gid.values():
+            clients.append(group.primary)
+            clients.extend(group.replicas)
+        for client in clients:
+            client.request_shutdown()
+        for client in clients:
+            client.reap()
+
+
+class ClusterPlanner(threading.Thread):
+    """The autosplit/maintenance daemon.
+
+    Every ``interval`` seconds it scrapes the per-group stats rows,
+    respawns dead replicas, and — when autosplit is on — splits the
+    hottest group once it clears the rate threshold *and* carries at
+    least ``split_min_share`` of the cluster's request rate (a uniformly
+    busy cluster gains nothing from splitting).  With ``merge_qps`` set,
+    two adjacent groups both colder than it are merged.  Ticks never
+    propagate exceptions: planning is advisory, serving is not.
+    """
+
+    def __init__(self, owner: ClusterWarehouse, interval: float,
+                 autosplit: bool, split_qps: float,
+                 split_min_share: float, split_cooldown: float,
+                 max_groups: int, merge_qps: Optional[float]) -> None:
+        super().__init__(daemon=True, name="repro-cluster-planner")
+        self.owner = owner
+        self.interval = interval
+        self.autosplit = autosplit
+        self.split_qps = split_qps
+        self.split_min_share = split_min_share
+        self.split_cooldown = split_cooldown
+        self.max_groups = max_groups
+        self.merge_qps = merge_qps
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        """Halt the planner loop and join the thread."""
+        self._halt.set()
+        self.join(timeout=10.0)
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 — advisory thread
+                continue
+
+    def tick(self) -> None:
+        """One planner round: respawn dead replicas, scrape worker
+        stats, and fire an autosplit/automerge if a group qualifies."""
+        owner = self.owner
+        if owner.closed:
+            return
+        owner.ensure_replicas()
+        rows = owner.worker_stats()
+        if not self.autosplit and self.merge_qps is None:
+            return
+        primaries = [r for r in rows
+                     if r.get("role") == "primary" and r.get("alive")]
+        if not primaries:
+            return
+        total_qps = sum(r["qps"] for r in primaries)
+        cooled = (time.monotonic() - owner._last_split
+                  >= self.split_cooldown)
+        if self.autosplit and cooled:
+            hot = max(primaries, key=lambda r: r["qps"])
+            share = hot["qps"] / total_qps if total_qps > 0 else 0.0
+            group = owner._groups_by_gid.get(hot["shard"])
+            if (group is not None
+                    and hot["qps"] >= self.split_qps
+                    and share >= self.split_min_share
+                    and len(primaries) < self.max_groups
+                    and group.hi - group.lo >= 2):
+                owner.split(group.gid)
+                return
+        if self.merge_qps is not None and cooled and len(primaries) > 1:
+            by_gid = {r["shard"]: r for r in primaries}
+            entries = owner._topology.entries
+            for (gid_a, _l1, _h1), (gid_b, _l2, _h2) in zip(
+                    entries, entries[1:]):
+                ra, rb = by_gid.get(gid_a), by_gid.get(gid_b)
+                if (ra is not None and rb is not None
+                        and ra["qps"] <= self.merge_qps
+                        and rb["qps"] <= self.merge_qps):
+                    owner.merge(gid_a, gid_b)
+                    owner._last_split = time.monotonic()
+                    return
+
+
+def _group_dir_name(gid: int) -> str:
+    """On-disk directory of group ``gid`` (same scheme the static
+    backends use, so an un-split cluster directory is procpool-shaped)."""
+    return f"shard-{gid:02d}"
+
+
+def clone_shard_state(src_dir: str, dst_dir: str) -> int:
+    """Copy ``src_dir``'s current checkpoint as ``dst_dir``'s first one.
+
+    The checkpoint directory is an immutable self-contained snapshot
+    (both trees' pages plus the covered-WAL-sequence metadata), so a
+    plain file copy is a consistent clone — no tree traversal, no page
+    decoding.  The clone's metadata is rewritten to cover sequence 0 of
+    the *child's own* (empty) log: the child starts a fresh WAL lineage,
+    and the parent's tail is shipped to it explicitly by the split.
+
+    Returns the parent WAL sequence the clone covers.  The caller must
+    hold the cluster admin lock so the parent cannot checkpoint again
+    (and garbage-collect ``src``'s checkpoint) mid-copy.
+    """
+    from repro.core.warehouse import TemporalWarehouse
+
+    ckpt_dir, covered = TemporalWarehouse.current_checkpoint(src_dir)
+    if ckpt_dir is None:
+        raise StorageError(
+            f"cannot clone {src_dir}: no checkpoint (checkpoint the "
+            "primary first)")
+    name = f"ckpt-{0:020d}"
+    target = os.path.join(dst_dir, "checkpoints", name)
+    shutil.rmtree(target, ignore_errors=True)
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    shutil.copytree(ckpt_dir, target)
+    meta = os.path.join(target, TemporalWarehouse._CKPT_META_FILE)
+    with open(meta, "w") as fh:
+        json.dump({"wal_last_seq": 0}, fh)
+    current = os.path.join(dst_dir, TemporalWarehouse._CURRENT_FILE)
+    tmp = current + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(name + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, current)
+    return covered

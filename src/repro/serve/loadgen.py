@@ -134,6 +134,12 @@ class _Worker(threading.Thread):
         #: Open-loop arrivals abandoned because the loop fell more than
         #: ``drop_after`` seconds behind schedule.
         self.dropped = 0
+        #: Transparent client retries sent (SHARD_DOWN/SHARD_REDIRECT —
+        #: cluster failover and topology changes absorbed by the client).
+        self.retries = 0
+        #: Retries that recovered: the statement succeeded on re-send,
+        #: so the failover/split stayed invisible to this worker.
+        self.retried_ok = 0
 
     def _statement(self) -> str:
         if self._hot is not None and self._rng.random() < self._hot_fraction:
@@ -151,6 +157,8 @@ class _Worker(threading.Thread):
                 self._run_open(client)
             else:
                 self._run_closed(client)
+            self.retries = client.retries_sent
+            self.retried_ok = client.retries_recovered
 
     def _run_closed(self, client: Client) -> None:
         while True:
@@ -306,6 +314,8 @@ def run_load(host: str, port: int, workers: int, duration: float,
             "offered": offered,
             "dropped": dropped,
             "errors": errors,
+            "retries": sum(worker.retries for worker in pool),
+            "retried_ok": sum(worker.retried_ok for worker in pool),
             "elapsed_s": elapsed,
             "qps": requests / elapsed if elapsed > 0 else 0.0,
         },
@@ -428,6 +438,9 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"after {args.drop_after:.2f}s behind schedule")
     if totals["errors"]:
         print(f"errors: {totals['errors']}")
+    if totals["retries"]:
+        print(f"transparent retries: {totals['retries']} sent, "
+              f"{totals['retried_ok']} recovered")
     slo = report.get("slo")
     if slo is not None:
         print(f"SLO {slo['slo_ms']:.1f}ms@{slo['target']:.4g}: "

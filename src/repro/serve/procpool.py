@@ -85,7 +85,7 @@ _AGGREGATES: Dict[str, Aggregate] = {
 _READ_METHODS = frozenset({
     "aggregate", "aggregate_all", "sum", "count", "avg", "min", "max",
     "snapshot", "tuples_in", "history", "explain", "cache_snapshot",
-    "page_count", "check_invariants",
+    "page_count", "check_invariants", "wal_seq",
 })
 
 #: Worker-level control methods (handled by the loop, not the warehouse).
@@ -159,6 +159,26 @@ def _resolve_args(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
     )
 
 
+def rate_since(state: Dict[Any, Tuple[float, int]], key: Any,
+               counter: int, now: float) -> float:
+    """Requests/second since the last observation of ``key``.
+
+    ``state`` maps key -> (monotonic time, counter) of the previous call
+    and is updated in place; the first observation (and a counter reset,
+    e.g. after a respawn) reports ``0.0``.  Shared by the procpool stats
+    scrape and the cluster split planner.
+    """
+    prev = state.get(key)
+    state[key] = (now, counter)
+    if prev is None:
+        return 0.0
+    elapsed = now - prev[0]
+    delta = counter - prev[1]
+    if elapsed <= 0.0 or delta < 0:
+        return 0.0
+    return round(delta / elapsed, 3)
+
+
 def _worker_main(conn, spec: ShardSpec) -> None:
     """The worker process entry point (must be importable for spawn).
 
@@ -217,7 +237,7 @@ def _worker_main(conn, spec: ShardSpec) -> None:
         stats["requests"] += 1
         if method == _STATS:
             payload = dict(stats, pid=os.getpid(), now=warehouse.now,
-                           shard=spec.index)
+                           shard=spec.index, wal_seq=warehouse.wal_seq())
             _respond(conn, rid, True, payload, warehouse.now)
             continue
         if method == _EXPLAIN_TRACE:
@@ -445,12 +465,16 @@ class ShardClient:
     responses are matched by request id).
     """
 
-    def __init__(self, spec: ShardSpec, ctx) -> None:
+    def __init__(self, spec, ctx, main=None,
+                 name: Optional[str] = None) -> None:
+        # ``main`` selects the worker entry point: the default primary
+        # loop, or e.g. the WAL-shipping replica loop from
+        # :mod:`repro.serve.replica`.  Any spec with an ``index`` works.
         self.spec = spec
         self._conn, child = ctx.Pipe()
         self.process = ctx.Process(
-            target=_worker_main, args=(child, spec),
-            name=f"repro-shard-{spec.index:02d}", daemon=True)
+            target=main or _worker_main, args=(child, spec),
+            name=name or f"repro-shard-{spec.index:02d}", daemon=True)
         self.process.start()
         # Close the parent's copy of the child end: the worker's death
         # must deliver EOF to the reader thread, not a silent hang.
@@ -521,6 +545,18 @@ class ShardClient:
     def dead(self) -> bool:
         """True once the worker exited (detected via pipe EOF)."""
         return self._dead or not self.process.is_alive()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests sent but not yet answered (the worker's backlog).
+
+        The worker is single-threaded, so this is exactly the number of
+        requests queued in its pipe plus the one executing — the split
+        planner's hot-shard signal and the
+        ``repro_procpool_shard_queue_depth`` gauge.
+        """
+        with self._pending_lock:
+            return len(self._pending)
 
     # -- request API -------------------------------------------------------------------
 
@@ -632,6 +668,9 @@ class ProcessShardedWarehouse(ShardRouter):
         self._ctx = multiprocessing.get_context("spawn")
         self._durable_dir = durable_dir
         self._closed = False
+        # Per-shard (monotonic time, requests) of the previous stats
+        # scrape, for the qps rate reported by :meth:`worker_stats`.
+        self._rate_state: Dict[int, Tuple[float, int]] = {}
         # Start every worker first, then collect hellos: spawn imports
         # overlap across cores instead of serializing.
         self._clients = [ShardClient(spec, self._ctx)
@@ -751,9 +790,14 @@ class ProcessShardedWarehouse(ShardRouter):
     def worker_stats(self) -> List[Dict[str, Any]]:
         """One row per shard: worker counters, pid, clock, liveness.
 
+        Live rows also carry ``queue_depth`` (requests in flight to that
+        worker right now) and ``qps`` — the request rate since the
+        previous :meth:`worker_stats` scrape (``0.0`` on the first one).
         Dead workers report ``{"shard": i, "alive": False}`` instead of
         raising, so metrics stay exportable mid-outage.
         """
+        import time
+
         rows: List[Dict[str, Any]] = []
         futures: List[Tuple[int, Any]] = []
         for index, client in enumerate(self._clients):
@@ -770,7 +814,11 @@ class ProcessShardedWarehouse(ShardRouter):
             except (ShardDownError, concurrent.futures.TimeoutError):
                 rows.append({"shard": index, "alive": False})
                 continue
-            rows.append(dict(row, alive=True))
+            scraped = time.monotonic()
+            qps = rate_since(self._rate_state, index, row["requests"],
+                             scraped)
+            rows.append(dict(row, alive=True, qps=qps,
+                             queue_depth=self._clients[index].queue_depth))
         return rows
 
     def worker_registries(self) -> List[Tuple[int, Dict[str, Any]]]:

@@ -42,6 +42,20 @@ Ops:
 ``respawn``
     Replace a dead shard worker (``shard`` field; process executor
     only).  Durable shards recover via WAL replay in the fresh worker.
+``topology``
+    The cluster routing table (cluster backend only): per-group key
+    spans, primary/replica pids and liveness, acked WAL sequences, and
+    the split/merge/failover/promotion counters.
+``split``
+    Split one shard group's key range online (``gid`` field, optional
+    ``at`` split key, default midpoint).  Returns the child group id
+    and the new topology version.
+``merge``
+    Merge two adjacent shard groups (``gids`` field, a two-element
+    array) into a fresh group serving the union span.
+``promote``
+    Hand a group's write role to one of its replicas (``gid`` field,
+    optional ``replica`` id).
 ``shutdown``
     Begin graceful shutdown: drain in-flight work, checkpoint, exit.
 
@@ -64,7 +78,8 @@ PROTOCOL_VERSION = 1
 
 #: Every op the server understands.
 OPS = ("query", "snapshot", "metrics", "metrics_text", "slowlog", "ping",
-       "sleep", "load", "respawn", "shutdown")
+       "sleep", "load", "respawn", "topology", "split", "merge",
+       "promote", "shutdown")
 
 
 def encode(message: Dict[str, Any]) -> bytes:

@@ -50,6 +50,7 @@ from repro.errors import (
     RequestTimeoutError,
     ServerBusyError,
     ServerShuttingDownError,
+    ShardDownError,
     error_payload,
 )
 from repro.obs.metrics import MetricsRegistry, ServerMetrics
@@ -111,6 +112,12 @@ class ServerConfig:
     slow_ms: Optional[float] = None    # slow-query threshold (None: off)
     slowlog_entries: int = 128         # slow-query ring capacity
     slowlog_explain: bool = True       # capture EXPLAIN for slow SELECTs
+    replicas: int = 0                  # WAL-shipped read replicas per shard
+                                       # group (>0 selects the cluster
+                                       # backend; needs process + durable)
+    autosplit: bool = False            # planner thread splits hot ranges
+    split_qps: float = 64.0            # autosplit trigger rate per group
+    planner_interval: float = 0.5      # cluster planner tick seconds
 
 
 @dataclass
@@ -135,8 +142,11 @@ class TQLServer:
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=max(self.config.readers, 1),
             thread_name_prefix="repro-serve")
-        self._writer_locks = [asyncio.Lock()
-                              for _ in range(warehouse.shard_count)]
+        # Keyed by shard id because the cluster backend's ids are stable
+        # gids, not positions: splits mint new ids and merges retire
+        # them, so locks are created on first use per id.
+        self._writer_locks: Dict[int, asyncio.Lock] = {
+            shard: asyncio.Lock() for shard in self._all_shard_ids()}
         self._admission = asyncio.Condition()
         self._inflight = 0
         self._queued = 0
@@ -165,6 +175,24 @@ class TQLServer:
         for index, lock in enumerate(getattr(warehouse, "locks", []) or []):
             lock.attach_metrics(self.registry, {"shard": str(index)})
 
+    def _all_shard_ids(self) -> list:
+        """Current shard ids, in routing order.
+
+        Positional ``range(shard_count)`` for the static backends;
+        resolved through the routing table for the cluster backend,
+        whose ids are gids that change across splits and merges.
+        """
+        from repro.core.model import KeyRange
+
+        warehouse = self.warehouse
+        if getattr(warehouse, "topology_info", None) is None:
+            return list(range(warehouse.shard_count))
+        return [shard for shard, _ in
+                warehouse.parts_for(KeyRange(*warehouse.key_space))]
+
+    def _writer_lock(self, shard: int) -> asyncio.Lock:
+        return self._writer_locks.setdefault(shard, asyncio.Lock())
+
     @staticmethod
     def _build_warehouse(config: ServerConfig):
         """The configured execution backend, caches attached.
@@ -179,6 +207,29 @@ class TQLServer:
             cache_config = CacheConfig(
                 result_entries=config.cache_result_entries,
                 memo_entries=config.cache_memo_entries)
+        if config.replicas > 0 or config.autosplit:
+            if config.executor != "process":
+                raise ValueError(
+                    "replicas/autosplit require the process executor "
+                    "(replication ships per-worker WALs)")
+            if config.durable_dir is None:
+                raise ValueError(
+                    "replicas/autosplit require --durable-dir: WAL "
+                    "shipping and checkpoint cloning are disk-based")
+            from repro.serve.cluster import ClusterWarehouse
+
+            return ClusterWarehouse(
+                shards=config.shards, key_space=config.key_space,
+                page_capacity=config.page_capacity,
+                buffer_pages=config.buffer_pages,
+                buffer_policy=config.buffer_policy,
+                durable_dir=config.durable_dir, fsync=config.fsync,
+                cache_config=cache_config,
+                scan_batch=config.scan_batch,
+                replicas=config.replicas,
+                autosplit=config.autosplit,
+                split_qps=config.split_qps,
+                planner_interval=config.planner_interval)
         if config.executor == "process":
             from repro.serve.procpool import ProcessShardedWarehouse
 
@@ -496,6 +547,7 @@ class TQLServer:
         """
         self._publish_cache_gauges()
         self._publish_procpool_gauges()
+        self._publish_cluster_gauges()
         self._publish_worker_registries()
         return self.registry.render_prometheus()
 
@@ -510,6 +562,7 @@ class TQLServer:
         if op == "metrics":
             self._publish_cache_gauges()
             self._publish_procpool_gauges()
+            self._publish_cluster_gauges()
             return self.registry.to_json(), None
         if op == "metrics_text":
             return self._render_metrics_text(), None
@@ -525,6 +578,15 @@ class TQLServer:
             return await self._load(message, ctx), None
         if op == "respawn":
             return self._respawn(message), None
+        if op == "topology":
+            info = getattr(self.warehouse, "topology_info", None)
+            if info is None:
+                raise ProtocolError(
+                    'op "topology" requires the cluster backend '
+                    '(--replicas or --autosplit)')
+            return info(), None
+        if op in ("split", "merge", "promote"):
+            return await self._cluster_op(op, message, ctx), None
         if op == "snapshot":
             session.snapshot = self.warehouse.now
             return session.snapshot, session.snapshot
@@ -556,19 +618,21 @@ class TQLServer:
             if not statement.buffered and self.config.ingest == "buffered":
                 statement = _replace(statement, buffered=True)
 
+            shards = self._all_shard_ids()
             async with AsyncExitStack() as stack:
-                for lock in self._writer_locks:
-                    await stack.enter_async_context(lock)
+                for shard in shards:
+                    await stack.enter_async_context(
+                        self._writer_lock(shard))
                 result = await self._admitted(
                     lambda: tql_executor.execute(self.warehouse, statement),
                     ctx)
                 await self._maybe_checkpoint()
-            for shard in range(self.warehouse.shard_count):
+            for shard in shards:
                 self.metrics.shard_writes(shard).inc()
             return result, None
         if isinstance(statement, (InsertStatement, DeleteStatement)):
             shard = self.warehouse.shard_index(statement.key)
-            writer_lock = self._writer_locks[shard]
+            writer_lock = self._writer_lock(shard)
 
             async def serialized() -> Any:
                 async with writer_lock:
@@ -630,14 +694,15 @@ class TQLServer:
 
         from contextlib import AsyncExitStack
 
+        shards = self._all_shard_ids()
         async with AsyncExitStack() as stack:
-            for lock in self._writer_locks:
-                await stack.enter_async_context(lock)
+            for shard in shards:
+                await stack.enter_async_context(self._writer_lock(shard))
             report = await self._admitted(
                 lambda: self.warehouse.load_events(events, batch_size,
                                                    mode), ctx)
             await self._maybe_checkpoint()
-        for shard in range(self.warehouse.shard_count):
+        for shard in shards:
             self.metrics.shard_writes(shard).inc()
         return {
             "events": report.events, "inserts": report.inserts,
@@ -657,12 +722,50 @@ class TQLServer:
             raise ProtocolError(
                 'op "respawn" requires the process executor')
         shard = message.get("shard")
-        if not isinstance(shard, int) or \
-                not 0 <= shard < self.warehouse.shard_count:
+        if not isinstance(shard, int) or shard < 0:
+            raise ProtocolError('"shard" must be a non-negative integer')
+        if shard not in self._all_shard_ids():
             raise ProtocolError(
-                f'"shard" must be an integer in [0, '
-                f'{self.warehouse.shard_count})')
+                f'"shard" must be one of {self._all_shard_ids()}')
         return {"shard": shard, "pid": respawn(shard)}
+
+    async def _cluster_op(self, op: str, message: Dict[str, Any],
+                          ctx: RequestContext) -> Any:
+        """Dispatch a topology-changing verb to the cluster backend.
+
+        Runs on the reader pool under admission control (splits move a
+        checkpoint's worth of bytes); the backend's own admin/topology
+        locks serialize it against writes and other admin verbs, so no
+        server-side writer locks are taken here.
+        """
+        warehouse = self.warehouse
+        if getattr(warehouse, "topology_info", None) is None:
+            raise ProtocolError(
+                f'op "{op}" requires the cluster backend '
+                '(--replicas or --autosplit)')
+        if op == "merge":
+            gids = message.get("gids")
+            if (not isinstance(gids, list) or len(gids) != 2
+                    or not all(isinstance(g, int) for g in gids)):
+                raise ProtocolError(
+                    'op "merge" needs a two-element integer "gids" array')
+            return await self._admitted(
+                lambda: warehouse.merge(gids[0], gids[1]), ctx)
+        gid = message.get("gid")
+        if not isinstance(gid, int) or gid < 0:
+            raise ProtocolError(f'op "{op}" needs a non-negative integer '
+                                '"gid" field')
+        if op == "split":
+            at = message.get("at")
+            if at is not None and not isinstance(at, int):
+                raise ProtocolError('"at" must be an integer split key')
+            return await self._admitted(lambda: warehouse.split(gid, at),
+                                        ctx)
+        replica = message.get("replica")
+        if replica is not None and not isinstance(replica, int):
+            raise ProtocolError('"replica" must be an integer id')
+        return await self._admitted(
+            lambda: warehouse.promote(gid, replica), ctx)
 
     def _publish_procpool_gauges(self) -> None:
         """Aggregate worker-process counters into the parent registry.
@@ -676,7 +779,11 @@ class TQLServer:
         if worker_stats is None:
             return
         for row in worker_stats():
-            shard = str(row.get("shard", ""))
+            labels = {"shard": str(row.get("shard", ""))}
+            if row.get("role") == "replica":
+                # Cluster replica rows share the primary's shard id; the
+                # replica label keeps the series distinct.
+                labels["replica"] = str(row.get("replica", ""))
             for counter in ("requests", "reads", "writes", "errors",
                             "shared_batches", "batched_reads",
                             "load_bytes"):
@@ -684,10 +791,45 @@ class TQLServer:
                     self.registry.gauge(
                         f"repro_procpool_{counter}",
                         f"shard worker counter {counter}",
-                        {"shard": shard}).set(row[counter])
+                        labels).set(row[counter])
+            if "qps" in row:
+                self.registry.gauge(
+                    "repro_procpool_shard_qps",
+                    "worker request rate since the last scrape (req/s)",
+                    labels).set(row["qps"])
+            if "queue_depth" in row:
+                self.registry.gauge(
+                    "repro_procpool_shard_queue_depth",
+                    "requests in flight on the worker pipe",
+                    labels).set(row["queue_depth"])
+            if "lag" in row:
+                self.registry.gauge(
+                    "repro_cluster_replica_lag",
+                    "primary WAL records not yet applied by the replica",
+                    labels).set(row["lag"])
             self.registry.gauge(
                 "repro_procpool_alive", "shard worker liveness",
-                {"shard": shard}).set(1 if row.get("alive") else 0)
+                labels).set(1 if row.get("alive") else 0)
+
+    def _publish_cluster_gauges(self) -> None:
+        """Topology-plane gauges (cluster backend only, no-op otherwise):
+        split/merge/failover/promotion counters, the topology version,
+        and the current group count."""
+        info = getattr(self.warehouse, "topology_info", None)
+        if info is None:
+            return
+        payload = info()
+        for name, value in payload["counters"].items():
+            self.registry.gauge(
+                f"repro_cluster_{name}",
+                f"cluster lifetime {name}", {}).set(value)
+        self.registry.gauge(
+            "repro_cluster_topology_version",
+            "monotonic topology version (bumped per split/merge)",
+            {}).set(payload["version"])
+        self.registry.gauge(
+            "repro_cluster_groups", "current shard group count",
+            {}).set(len(payload["groups"]))
 
     def _publish_worker_registries(self) -> None:
         """Aggregate per-worker metrics *registries* into the parent's.
@@ -720,7 +862,13 @@ class TQLServer:
         never appear when caching is disabled (the merged snapshot is
         empty), so the export stays byte-stable for cache-off runs.
         """
-        snapshot = self.warehouse.cache_snapshot()
+        try:
+            snapshot = self.warehouse.cache_snapshot()
+        except ShardDownError:
+            # A worker died mid-scrape; keep the last published values —
+            # the export must stay serviceable during an outage (liveness
+            # is reported by the procpool/cluster gauges, not this one).
+            return
         for layer, stats in snapshot.as_dict().items():
             for counter, value in stats.items():
                 self.registry.gauge(

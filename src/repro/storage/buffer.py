@@ -225,7 +225,7 @@ class BufferPool:
         page = self.disk.read(page_id)
         self.stats.reads += 1
         self._maybe_clean[page_id] = None
-        self._admit(page)
+        self._admit(page, keep=True)
         return page
 
     def allocate(self, capacity: int, kind: str = "raw") -> Page:
@@ -361,7 +361,7 @@ class BufferPool:
 
     # -- internals ----------------------------------------------------------------
 
-    def _admit(self, page: Page) -> None:
+    def _admit(self, page: Page, keep: bool = False) -> None:
         self._frames[page.page_id] = page
         self._frames.move_to_end(page.page_id)
         if self._probation is not None and \
@@ -370,7 +370,15 @@ class BufferPool:
             # re-reference earns protection.
             self._probation[page.page_id] = None
             self._probation.move_to_end(page.page_id)
-        self._evict_if_needed()
+        # A fetched page is clean and not yet pinned (callers pin only
+        # after fetch returns), so without the exclusion an over-committed
+        # pool whose other frames are all pinned or batch-deferred would
+        # evict the very page it is admitting — and the caller's pin()
+        # would then fail on a non-resident page.  A freshly *allocated*
+        # page deliberately stays evictable: with every other frame pinned
+        # it spills (written back immediately) while the caller's
+        # reference stays usable.
+        self._evict_if_needed(keep=page.page_id if keep else None)
 
     def _touch_2q(self, page_id: int) -> None:
         """Segmented-LRU re-reference: promote, or refresh protection."""
@@ -384,9 +392,9 @@ class BufferPool:
             self._probation[demoted] = None
             self._probation.move_to_end(demoted)
 
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed(self, keep: Optional[int] = None) -> None:
         while len(self._frames) > self.capacity:
-            victim_id = self._pick_victim()
+            victim_id = self._pick_victim(keep)
             if victim_id is None:
                 # No evictable victim (everything pinned, or dirty inside a
                 # batch window); allow transient over-commit rather than
@@ -422,7 +430,7 @@ class BufferPool:
                     decoded.put(victim_id, victim.kind, victim.records,
                                 victim.capacity)
 
-    def _pick_victim(self) -> Optional[int]:
+    def _pick_victim(self, keep: Optional[int] = None) -> Optional[int]:
         if not self._batch_depth:
             if self._probation is not None:
                 # Scan resistance: once-touched pages (probation) go
@@ -430,11 +438,11 @@ class BufferPool:
                 # probationary page is pinned or probation is empty.
                 for segment in (self._probation, self._protected):
                     for pid in segment:  # OrderedDict iterates LRU-first
-                        if self._pins.get(pid, 0) == 0:
+                        if pid != keep and self._pins.get(pid, 0) == 0:
                             return pid
                 return None
             for pid in self._frames:  # OrderedDict iterates LRU-first
-                if self._pins.get(pid, 0) == 0:
+                if pid != keep and self._pins.get(pid, 0) == 0:
                     return pid
             return None
         # Batch window: only clean pages are evictable; walk the candidate
@@ -442,21 +450,29 @@ class BufferPool:
         # candidate that turned dirty is deferred — kept resident so later
         # events coalesce into flush_batch's single write — and counted
         # once per window in ``coalesced_writes``.
-        while self._maybe_clean:
-            pid = next(iter(self._maybe_clean))
-            del self._maybe_clean[pid]
-            page = self._frames.get(pid)
-            if page is None:
-                continue
-            if self._pins.get(pid, 0) > 0:
-                continue  # re-enters the candidate list on unpin
-            if page.dirty:
-                if pid not in self._batch_deferred:
-                    self._batch_deferred.add(pid)
-                    self.stats.coalesced_writes += 1
-                continue
-            return pid
-        return None
+        kept_candidate = False
+        try:
+            while self._maybe_clean:
+                pid = next(iter(self._maybe_clean))
+                del self._maybe_clean[pid]
+                if pid == keep:
+                    kept_candidate = True  # restored below, stays a candidate
+                    continue
+                page = self._frames.get(pid)
+                if page is None:
+                    continue
+                if self._pins.get(pid, 0) > 0:
+                    continue  # re-enters the candidate list on unpin
+                if page.dirty:
+                    if pid not in self._batch_deferred:
+                        self._batch_deferred.add(pid)
+                        self.stats.coalesced_writes += 1
+                    continue
+                return pid
+            return None
+        finally:
+            if kept_candidate:
+                self._maybe_clean[keep] = None
 
     # -- introspection ----------------------------------------------------------
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 from typing import Iterator, List, Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import StorageError, WALTruncatedError
 from repro.workloads.generator import UpdateEvent
 
 LOG_FILE = "updates.wal"
@@ -53,12 +53,35 @@ class WriteAheadLog:
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, LOG_FILE)
         self.fsync = fsync
+        # A crash mid-append can leave a torn final line.  Replay already
+        # ignores it (it was never acknowledged), but appending *after*
+        # it would glue the next record onto the fragment and stop every
+        # future replay at the merged garbage line — so the new owner
+        # trims it before appending.
+        self._trim_torn_tail()
         #: Highest sequence number ever appended (0 for a fresh log).
         #: Restored by scanning the existing file on open; a checkpoint
         #: owner that truncated the file re-seeds it via :meth:`bump_seq`.
         self.last_seq = self._scan_last_seq()
         # Line-buffered append handle; kept open across records.
         self._handle = open(self.path, "a", buffering=1)
+
+    def _trim_torn_tail(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            window = min(size, 4096)  # records are tens of bytes
+            fh.seek(size - window)
+            tail = fh.read(window)
+            if tail.endswith(b"\n"):
+                return
+            cut = tail.rfind(b"\n")
+            keep = size - window + (cut + 1 if cut >= 0 else 0)
+            fh.truncate(keep)
 
     def _scan_last_seq(self) -> int:
         if not os.path.exists(self.path):
@@ -168,3 +191,100 @@ class WriteAheadLog:
                                              float(value_raw), int(time_raw))
         except ValueError:
             return None
+
+
+class WALCursor:
+    """Read-only tail cursor over a log owned by *another* process.
+
+    This is the shipping half of WAL-based replication: a replica polls the
+    primary's log file through the shared filesystem (the log is the durable
+    record of every acked write, so it survives the primary's death) and
+    applies whatever new complete records have appeared since the last poll.
+
+    The cursor tracks a byte offset plus the highest sequence number it has
+    returned.  Three hazards of tailing a live file are handled here:
+
+    * **torn tail** — the writer may be mid-line; only ``\\n``-terminated
+      lines are consumed, a partial tail is buffered until the next poll;
+    * **checkpoint truncation** — the owner truncates the file after a
+      checkpoint.  A shrink below the cursor's offset restarts reading at
+      byte 0; sequence numbers keep increasing across truncations, so the
+      already-seen prefix (``seq <= self.seq``) is skipped idempotently;
+    * **lost records** — if the first fresh record's sequence jumps past
+      ``self.seq + 1`` the truncation discarded records this cursor never
+      saw.  :exc:`~repro.errors.WALTruncatedError` is raised and the reader
+      must rebase from the owner's current checkpoint (which by the
+      checkpoint protocol covers every truncated record).
+    """
+
+    def __init__(self, directory: str, after_seq: int = 0) -> None:
+        self.path = os.path.join(directory, LOG_FILE)
+        #: Highest sequence number returned so far (or the rebase floor).
+        self.seq = after_seq
+        self._offset = 0
+        self._remainder = b""
+        # First bytes of the file as of the last poll.  A truncation that
+        # regrows the file to >= our offset is invisible to the size
+        # check, but the rewritten head necessarily starts with a later
+        # sequence number, so a changed head means "restart at byte 0"
+        # (always safe: the seq check deduplicates rereads).
+        self._head = b""
+
+    def rebase(self, after_seq: int) -> None:
+        """Reposition after the reader reloaded a checkpoint covering
+        ``after_seq``; the next poll rereads the file from the start and
+        skips the covered prefix."""
+        self.seq = after_seq
+        self._offset = 0
+        self._remainder = b""
+
+    def poll(self) -> List[Tuple[int, UpdateEvent]]:
+        """Return the complete records appended since the last poll.
+
+        Raises :exc:`~repro.errors.WALTruncatedError` when records between
+        ``self.seq`` and the log's oldest surviving record were truncated
+        away, or when a complete-but-corrupt line is hit (both are healed
+        by rebasing from the owner's checkpoint).
+        """
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "rb") as fh:
+            head = fh.read(64)
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if self._offset and (size < self._offset
+                                 or head != self._head):
+                # Truncated under us (possibly rewritten to the same or a
+                # larger size): restart from the head; the seq check
+                # below deduplicates anything we already returned.
+                self._offset = 0
+                self._remainder = b""
+            self._head = head
+            if size == self._offset:
+                return []
+            fh.seek(self._offset)
+            chunk = fh.read()
+        self._offset += len(chunk)
+        lines = (self._remainder + chunk).split(b"\n")
+        self._remainder = lines.pop()  # b"" unless the final line is torn
+        out: List[Tuple[int, UpdateEvent]] = []
+        for raw in lines:
+            if not raw.strip():
+                continue
+            parsed = WriteAheadLog._parse(raw.decode("utf-8", "replace"),
+                                          self.seq + 1)
+            if parsed is None:
+                raise WALTruncatedError(
+                    f"unparseable record in {self.path} after seq "
+                    f"{self.seq}; rebase from checkpoint")
+            seq, event = parsed
+            if seq <= self.seq:
+                continue  # reread prefix after a truncation restart
+            if seq > self.seq + 1:
+                raise WALTruncatedError(
+                    f"log gap in {self.path}: cursor at seq {self.seq}, "
+                    f"next surviving record is {seq}; rebase from "
+                    f"checkpoint")
+            self.seq = seq
+            out.append((seq, event))
+        return out

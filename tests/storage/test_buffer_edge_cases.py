@@ -33,6 +33,24 @@ class TestPinnedOvercommit:
         # The spilled page's content is durably reachable.
         assert list(pool.fetch(extra.page_id)) == ["rec"]
 
+    def test_batch_fetch_never_evicts_the_page_it_admits(self):
+        # Regression: inside a batch window with the pool over capacity
+        # and every other candidate dirty-deferred, the victim scan used
+        # to pick the page fetch() was admitting — the caller's pin()
+        # then failed on a non-resident page (hit by buffered ingest
+        # right after a checkpoint repopulated the candidate list).
+        pool, pages = pool_with_pages(2, 4)
+        pool.begin_batch()
+        for page in pages[1:]:
+            fetched = pool.fetch(page.page_id)
+            fetched.add("dirt")
+            fetched.dirty = True
+        fetched = pool.fetch(pages[0].page_id)
+        assert pool.is_resident(pages[0].page_id)
+        pool.pin(pages[0].page_id)  # must not raise
+        pool.unpin(pages[0].page_id)
+        pool.end_batch()
+
     def test_fully_pinned_fetch_overcommits_transiently(self):
         pool, pages = pool_with_pages(2, 3)
         pool.fetch(pages[0].page_id)
