@@ -46,6 +46,7 @@ BENCH_PR = {
     "multicore": 5,
     "telemetry": 7,
     "cluster": 8,
+    "mvcc": 9,
 }
 
 

@@ -44,6 +44,36 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 #: Marker epoch for entries over closed intervals: valid forever.
 _CLOSED = -1
 
+#: Per-thread deferred-store state for optimistic (seqlock) readers.  A
+#: torn optimistic read must never publish into a shared cache: a closed
+#: entry is pinned *forever*, so one poisoned store would serve wrong
+#: answers until eviction.  While a thread is inside an optimistic read
+#: section every ``_VersionedLRU.store`` is parked here instead of
+#: applied; the reader commits the parked stores only after its epoch
+#: validation proves the traversal was untorn, or discards them.
+_deferred = threading.local()
+
+
+def begin_deferred_stores() -> None:
+    """Park this thread's cache stores until commit/discard (re-entrant
+    per thread only in the sense that the latest call wins — optimistic
+    read sections do not nest)."""
+    _deferred.pending = []
+
+
+def commit_deferred_stores() -> None:
+    """Apply the parked stores — call only after epoch validation."""
+    pending = getattr(_deferred, "pending", None)
+    _deferred.pending = None
+    if pending:
+        for lru, key, value, closed, epoch, extra in pending:
+            lru.store(key, value, closed=closed, epoch=epoch, extra=extra)
+
+
+def discard_deferred_stores() -> None:
+    """Drop the parked stores — the optimistic read was torn or failed."""
+    _deferred.pending = None
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -145,8 +175,19 @@ class _VersionedLRU:
 
     def store(self, key: Hashable, value: Any, *, closed: bool, epoch: int,
               extra: Any = None) -> None:
-        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        """Insert (or refresh) an entry, evicting the LRU tail if full.
+
+        Inside an optimistic read section (see
+        :func:`begin_deferred_stores`) the store is parked thread-locally
+        and only lands if the reader's epoch validation later commits it
+        — lookups keep reading the shared map directly, which is safe
+        because they can only observe *committed* entries.
+        """
         if self.capacity <= 0:
+            return
+        pending = getattr(_deferred, "pending", None)
+        if pending is not None:
+            pending.append((self, key, value, closed, epoch, extra))
             return
         lock = self._lock
         if lock is None:

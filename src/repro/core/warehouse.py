@@ -137,6 +137,57 @@ class TemporalWarehouse:
         self.delete(key, t)
         self.insert(key, value, t)
 
+    def apply_batch(self, ops) -> List[Tuple[str, object]]:
+        """Apply one commit group's ops with a single WAL flush.
+
+        ``ops`` is a sequence of ``("insert", key, value, t)`` /
+        ``("delete", key, t)`` tuples in acknowledgement order.  Each op
+        is applied with the same per-op semantics as :meth:`insert` /
+        :meth:`delete` — a rejected op (chronology violation, duplicate
+        key, missing key) does not abort the rest of the group, exactly
+        as N serial calls would behave.  The batch then hits the WAL via
+        one :meth:`~repro.storage.wal.WriteAheadLog.append_batch` call
+        (one write + flush + fsync for the whole group — the group-commit
+        amortization) and bumps :attr:`write_epoch` once, publishing the
+        group to epoch-validated readers as a single version step.
+
+        Returns one ``("ok", result)`` or ``("err", payload)`` pair per
+        op, where ``result`` is ``None`` for inserts and the deleted
+        value for deletes, and ``payload`` is an
+        :func:`repro.errors.error_payload` dict (picklable, so batches
+        survive the procpool RPC boundary).
+        """
+        from repro.errors import error_payload
+
+        results: List[Tuple[str, object]] = []
+        logged: List[Tuple[str, int, float, int]] = []
+        applied = False
+        for op in ops:
+            kind = op[0]
+            try:
+                if kind == "insert":
+                    _, key, value, t = op
+                    self.tuples.insert(key, value, t)
+                    self.aggregates.insert(key, value, t)
+                    logged.append(("insert", key, value, t))
+                    results.append(("ok", None))
+                elif kind == "delete":
+                    _, key, t = op
+                    value = self.tuples.delete(key, t)
+                    self.aggregates.delete(key, t)
+                    logged.append(("delete", key, value, t))
+                    results.append(("ok", value))
+                else:
+                    raise QueryError(f"unknown batch op {kind!r}")
+                applied = True
+            except Exception as exc:  # per-op isolation, like serial calls
+                results.append(("err", error_payload(exc)))
+        if applied:
+            self.write_epoch += 1
+            if self._wal is not None:
+                self._wal.append_batch(logged)
+        return results
+
     def load_events(self, events, batch_size: Optional[int] = None,
                     mode: str = "direct"):
         """Bulk-apply a chronological event batch via the batch kernels.

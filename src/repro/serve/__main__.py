@@ -102,9 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="autosplit trigger: per-group request rate "
                              "(req/s) above which the hottest group is "
                              "split (default 64)")
+    parser.add_argument("--merge-qps", type=float, default=None,
+                        help="cluster planner: automerge adjacent shard "
+                             "groups whose request rates both sit at or "
+                             "below this (req/s); unset disables "
+                             "automerge (needs --executor process and "
+                             "--durable-dir)")
     parser.add_argument("--planner-interval", type=float, default=0.5,
                         help="cluster planner tick seconds (stats scrape, "
                              "replica respawn, autosplit checks)")
+    parser.add_argument("--writers", type=int, default=1,
+                        help="concurrent-writer admission width: >1 "
+                             "batches same-shard DML into commit groups "
+                             "flushed with one WAL write per group "
+                             "(answers stay byte-identical to --writers 1)")
+    parser.add_argument("--no-mvcc", dest="mvcc", action="store_false",
+                        help="disable epoch-validated lock-free snapshot "
+                             "reads (thread executor); reads then take "
+                             "the per-shard read lock as before")
     return parser
 
 
@@ -149,6 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         replicas=args.replicas, autosplit=args.autosplit,
         split_qps=args.split_qps,
         planner_interval=args.planner_interval,
+        merge_qps=args.merge_qps, writers=args.writers, mvcc=args.mvcc,
     )
     return asyncio.run(amain(config))
 

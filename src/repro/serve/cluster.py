@@ -576,6 +576,42 @@ class ClusterWarehouse(ShardRouter):
         # delete + insert, both logged by the owning primary.
         self._routed_write("update", (key, value, t), key=key, events=2)
 
+    def apply_shard_batch(self, gid: int, ops: Sequence[Any]) -> List[Any]:
+        """Apply one commit group's ops, re-routing each by key.
+
+        ``gid`` is the routing hint the server computed at *enqueue*
+        time; a split or merge may have moved keys since, so every op is
+        re-routed under the topology read lock (the same fencing as
+        :meth:`_routed_write`).  Ops are partitioned per group with their
+        original positions, each partition is applied as one
+        ``apply_batch`` under that group's write lock (order within a
+        partition matches arrival order, so per-key ordering is
+        preserved), and the per-op results are reassembled in the
+        original order.
+        """
+        del gid  # routing hint only — re-resolved per op below
+        ctx = current_context()
+        with self._topology_lock.read_locked():
+            by_gid: Dict[int, List[Tuple[int, Any]]] = {}
+            for pos, op in enumerate(ops):
+                by_gid.setdefault(self.shard_index(op[1]), []).append(
+                    (pos, op))
+            results: List[Any] = [None] * len(ops)
+            for g in sorted(by_gid):
+                entries = by_gid[g]
+                group_ops = [op for _pos, op in entries]
+                group = self._group(g)
+                started = time.perf_counter() if ctx is not None else 0.0
+                with group.write_lock:
+                    group_results = self._primary_write(
+                        group, "apply_batch", (group_ops,),
+                        events=len(group_ops))
+                if ctx is not None:
+                    ctx.note_shard(g, time.perf_counter() - started)
+                for (pos, _op), res in zip(entries, group_results):
+                    results[pos] = res
+            return results
+
     def _routed_write(self, method: str, args: Tuple[Any, ...],
                       key: Optional[int] = None,
                       events: int = 1) -> Any:

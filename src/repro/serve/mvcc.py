@@ -1,0 +1,111 @@
+"""Seqlock epochs and stats for the MVCC read/write path.
+
+The MVSBT/MVBT are partially persistent: historical pages are immutable
+and only the open frontier is rewritten in place.  That is exactly the
+structure multiversion concurrency control exploits (Seeger et al.;
+Sela & Petrank for aggregate reads): a reader that observes a
+*consistent* frontier needs no lock at all, and consistency is checkable
+after the fact with a sequence lock.
+
+:class:`ShardEpoch` is that sequence lock, one per shard.  The writer —
+already exclusive per shard via the write lock or the server's commit
+group — brackets every mutation between :meth:`~ShardEpoch.begin_write`
+(bumps the word to odd) and :meth:`~ShardEpoch.end_write` (bumps it back
+to even).  A reader captures the word at entry, runs the full traversal
+against the shared tree with **no lock held**, and validates at exit:
+
+* captured word **odd** → a write was mid-flight; conflict.
+* word **changed** across the read → a write landed underneath the
+  traversal, which may therefore be torn; conflict.
+* otherwise the traversal saw one consistent version — the answer is
+  byte-identical to what the read lock would have produced.
+
+On conflict the reader retries (bounded) and finally falls back to the
+plain read lock, so progress is guaranteed even under a write storm;
+the fallback count is the honesty metric — the reader-isolation bench
+asserts it stays **zero** in the happy path.
+
+Mutating the word is a plain ``+= 1``: only the (exclusive) writer ever
+writes it, readers only load it, and the GIL orders the loads against
+the stores.  This is deliberately not a C-level atomic — the protocol
+needs writer-exclusivity anyway, which the existing locks provide.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+#: Default bounded-retry budget before an optimistic reader falls back
+#: to the read lock.  Six retries rides out several back-to-back commit
+#: groups without risking unbounded starvation on a write-saturated core.
+DEFAULT_READ_RETRIES = 6
+
+
+class ShardEpoch:
+    """One shard's seqlock word: odd while a write is in flight."""
+
+    __slots__ = ("_word",)
+
+    def __init__(self) -> None:
+        self._word = 0
+
+    def begin_write(self) -> None:
+        """Mark a write in flight (call with the shard write lock held)."""
+        self._word += 1
+
+    def end_write(self) -> None:
+        """Publish the write (word returns to even)."""
+        self._word += 1
+
+    def read_begin(self) -> int:
+        """Capture the word at read entry (odd means conflict already)."""
+        return self._word
+
+    def read_validate(self, started: int) -> bool:
+        """True iff a read that started at ``started`` saw a torn-free
+        frontier: the word was even at entry and unchanged at exit."""
+        return started % 2 == 0 and self._word == started
+
+    @property
+    def value(self) -> int:
+        return self._word
+
+
+class MVCCStats:
+    """Concurrency counters one sharded warehouse maintains.
+
+    ``optimistic`` — reads answered without any lock; ``retries`` —
+    conflict-driven re-traversals; ``fallbacks`` — reads that exhausted
+    the retry budget and took the read lock (0 in the happy path).
+    """
+
+    __slots__ = ("_lock", "optimistic", "retries", "fallbacks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.optimistic = 0
+        self.retries = 0
+        self.fallbacks = 0
+
+    def note_optimistic(self) -> None:
+        """Count one read answered lock-free (validated clean)."""
+        with self._lock:
+            self.optimistic += 1
+
+    def note_retry(self) -> None:
+        """Count one conflict-driven re-traversal."""
+        with self._lock:
+            self.retries += 1
+
+    def note_fallback(self) -> None:
+        """Count one read that gave up and took the read lock."""
+        with self._lock:
+            self.fallbacks += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """A consistent snapshot of the three counters."""
+        with self._lock:
+            return {"optimistic": self.optimistic, "retries": self.retries,
+                    "fallbacks": self.fallbacks}

@@ -61,6 +61,7 @@ from repro.serve.procpool import (
     _REGISTRY,
     _SHUTDOWN,
     _STATS,
+    _recv_request,
     _respond,
     _serve_explain_trace,
     _serve_one,
@@ -290,7 +291,7 @@ def _replica_main(conn, spec: ReplicaSpec) -> None:
                     pass  # mid-checkpoint flutter; next idle pass retries
             continue
         try:
-            rid, method, args = conn.recv()
+            rid, method, args = _recv_request(conn)
         except (EOFError, OSError):
             break
         stats["requests"] += 1

@@ -118,6 +118,14 @@ class ServerConfig:
     autosplit: bool = False            # planner thread splits hot ranges
     split_qps: float = 64.0            # autosplit trigger rate per group
     planner_interval: float = 0.5      # cluster planner tick seconds
+    merge_qps: Optional[float] = None  # automerge trigger: adjacent groups
+                                       # both under this rate merge back
+                                       # (cluster backend; None: off)
+    writers: int = 1                   # >1 admits concurrent DML through
+                                       # per-shard commit groups (group-
+                                       # commit WAL batching)
+    mvcc: bool = True                  # epoch-validated lock-free reads
+                                       # on the thread backend
 
 
 @dataclass
@@ -147,6 +155,14 @@ class TQLServer:
         # them, so locks are created on first use per id.
         self._writer_locks: Dict[int, asyncio.Lock] = {
             shard: asyncio.Lock() for shard in self._all_shard_ids()}
+        # Per-shard commit groups (writers > 1): queued ``(statement,
+        # future)`` pairs plus the inline-leader flag.  Touched only from
+        # the event loop, so plain dicts suffice.
+        self._commit_queues: Dict[int, list] = {}
+        self._commit_leader_active: Dict[int, bool] = {}
+        self._commit_groups = 0
+        self._commit_records = 0
+        self._commit_max_group = 0
         self._admission = asyncio.Condition()
         self._inflight = 0
         self._queued = 0
@@ -207,15 +223,16 @@ class TQLServer:
             cache_config = CacheConfig(
                 result_entries=config.cache_result_entries,
                 memo_entries=config.cache_memo_entries)
-        if config.replicas > 0 or config.autosplit:
+        if (config.replicas > 0 or config.autosplit
+                or config.merge_qps is not None):
             if config.executor != "process":
                 raise ValueError(
-                    "replicas/autosplit require the process executor "
-                    "(replication ships per-worker WALs)")
+                    "replicas/autosplit/automerge require the process "
+                    "executor (replication ships per-worker WALs)")
             if config.durable_dir is None:
                 raise ValueError(
-                    "replicas/autosplit require --durable-dir: WAL "
-                    "shipping and checkpoint cloning are disk-based")
+                    "replicas/autosplit/automerge require --durable-dir: "
+                    "WAL shipping and checkpoint cloning are disk-based")
             from repro.serve.cluster import ClusterWarehouse
 
             return ClusterWarehouse(
@@ -229,7 +246,8 @@ class TQLServer:
                 replicas=config.replicas,
                 autosplit=config.autosplit,
                 split_qps=config.split_qps,
-                planner_interval=config.planner_interval)
+                planner_interval=config.planner_interval,
+                merge_qps=config.merge_qps)
         if config.executor == "process":
             from repro.serve.procpool import ProcessShardedWarehouse
 
@@ -252,13 +270,15 @@ class TQLServer:
                 page_capacity=config.page_capacity,
                 buffer_pages=config.buffer_pages,
                 thread_safe=True, fsync=config.fsync,
-                buffer_policy=config.buffer_policy)
+                buffer_policy=config.buffer_policy,
+                mvcc=config.mvcc)
         else:
             warehouse = ShardedWarehouse(
                 shards=config.shards, key_space=config.key_space,
                 page_capacity=config.page_capacity,
                 buffer_pages=config.buffer_pages, thread_safe=True,
-                buffer_policy=config.buffer_policy)
+                buffer_policy=config.buffer_policy,
+                mvcc=config.mvcc)
         if cache_config is not None:
             warehouse.enable_cache(cache_config)
         return warehouse
@@ -491,6 +511,8 @@ class TQLServer:
                               in ctx.shard_seconds.items()},
             "trace_id": ctx.trace_id,
             "tql": clip_tql(ctx.tql),
+            "mvcc_retries": ctx.mvcc_retries,
+            "mvcc_fallbacks": ctx.mvcc_fallbacks,
             "explain": None,
         }
         self.slowlog.add(entry)
@@ -548,6 +570,7 @@ class TQLServer:
         self._publish_cache_gauges()
         self._publish_procpool_gauges()
         self._publish_cluster_gauges()
+        self._publish_mvcc_gauges()
         self._publish_worker_registries()
         return self.registry.render_prometheus()
 
@@ -563,6 +586,7 @@ class TQLServer:
             self._publish_cache_gauges()
             self._publish_procpool_gauges()
             self._publish_cluster_gauges()
+            self._publish_mvcc_gauges()
             return self.registry.to_json(), None
         if op == "metrics_text":
             return self._render_metrics_text(), None
@@ -632,6 +656,8 @@ class TQLServer:
             return result, None
         if isinstance(statement, (InsertStatement, DeleteStatement)):
             shard = self.warehouse.shard_index(statement.key)
+            if self.config.writers > 1:
+                return await self._group_commit(shard, statement, ctx), None
             writer_lock = self._writer_lock(shard)
 
             async def serialized() -> Any:
@@ -670,6 +696,90 @@ class TQLServer:
                 or statement.agg.timeline_buckets is not None:
             return
         ctx.explain_args = (statement, as_of)
+
+    # -- commit groups (writers > 1) -----------------------------------------------------
+
+    @staticmethod
+    def _batch_op(statement: Any) -> tuple:
+        """A parsed DML statement as a warehouse ``apply_batch`` op."""
+        if isinstance(statement, InsertStatement):
+            return ("insert", statement.key, statement.value, statement.at)
+        return ("delete", statement.key, statement.at)
+
+    @staticmethod
+    def _batch_result(statement: Any, value: Any) -> str:
+        """The response string for one batched op — byte-identical to
+        what :func:`repro.tql.executor.execute` returns serially."""
+        if isinstance(statement, InsertStatement):
+            return f"inserted key {statement.key} at t={statement.at}"
+        return (f"deleted key {statement.key} at t={statement.at} "
+                f"(value was {value})")
+
+    async def _group_commit(self, shard: int, statement: Any,
+                            ctx: RequestContext) -> Any:
+        """Admit one DML statement through the shard's commit group.
+
+        Enqueue ``(statement, future)``; if no leader is flushing this
+        shard, become the **inline leader** and drain groups until the
+        queue is empty.  Each group commits with *one* writer-lock
+        acquisition, one executor hop and — via
+        :meth:`~repro.core.warehouse.TemporalWarehouse.apply_batch` — one
+        WAL flush and one epoch bump, regardless of how many statements
+        piled up while the previous group was applying.  Per-shard
+        arrival order is preserved (the queue is FIFO and ops stay in
+        enqueue order inside the batch), so answers are byte-identical
+        to serial execution.  Followers just await their future.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._commit_queues.setdefault(shard, []).append(
+            (statement, future))
+        if not self._commit_leader_active.get(shard):
+            self._commit_leader_active[shard] = True
+            try:
+                while self._commit_queues.get(shard):
+                    group = self._commit_queues[shard]
+                    self._commit_queues[shard] = []
+                    await self._flush_commit_group(shard, group, ctx)
+            finally:
+                self._commit_leader_active[shard] = False
+        return await future
+
+    async def _flush_commit_group(self, shard: int, group: list,
+                                  ctx: RequestContext) -> None:
+        """Apply one drained group and publish each member's outcome.
+
+        A failed *admission* (busy/timeout/shutdown) fails the whole
+        group — none of its ops were applied.  A failed *op* inside an
+        admitted batch fails only its own future
+        (:meth:`~repro.core.warehouse.TemporalWarehouse.apply_batch`
+        isolates per-op errors exactly like serial execution would).
+        """
+        from repro.errors import error_from_payload
+
+        ops = [self._batch_op(stmt) for stmt, _ in group]
+        try:
+            async with self._writer_lock(shard):
+                results = await self._admitted(
+                    lambda: self.warehouse.apply_shard_batch(shard, ops),
+                    ctx)
+        except Exception as exc:  # noqa: BLE001 — fanned out per member
+            for _, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._commit_groups += 1
+        self._commit_records += len(group)
+        self._commit_max_group = max(self._commit_max_group, len(group))
+        self.metrics.shard_writes(shard).inc(len(group))
+        for (stmt, future), (status, payload) in zip(group, results):
+            if future.done():
+                continue
+            if status == "ok":
+                future.set_result(self._batch_result(stmt, payload))
+            else:
+                future.set_exception(error_from_payload(payload))
+        await self._maybe_checkpoint()
 
     async def _load(self, message: Dict[str, Any],
                     ctx: RequestContext) -> Any:
@@ -853,6 +963,43 @@ class TQLServer:
                     labels["shard"] = str(shard)
                     self.registry.gauge(name, metric.get("help", ""),
                                         labels).set(entry["value"])
+
+    def _publish_mvcc_gauges(self) -> None:
+        """Concurrency-plane gauges: per-shard write epochs, the
+        optimistic-read counters, and commit-group totals.
+
+        ``repro_shard_write_epoch{shard=N}`` is the cache-validation
+        epoch every update bumps — the baseline the MVCC counters diff
+        against.  Epochs and MVCC stats are thread-backend series (the
+        process backend's epochs live inside its workers); the
+        commit-group gauges are backend-independent.
+        """
+        shards = getattr(self.warehouse, "shards", None)
+        if shards is not None:
+            for index, shard in enumerate(shards):
+                self.registry.gauge(
+                    "repro_shard_write_epoch",
+                    "per-shard write epoch (bumped once per update or "
+                    "commit group)",
+                    {"shard": str(index)}).set(shard.write_epoch)
+        stats = getattr(self.warehouse, "mvcc_stats", None)
+        if stats is not None:
+            for name, value in stats.as_dict().items():
+                self.registry.gauge(
+                    f"repro_mvcc_reads_{name}",
+                    f"MVCC reader counter: {name}", {}).set(value)
+        self.registry.gauge(
+            "repro_commit_groups",
+            "commit groups flushed (writers > 1)", {}).set(
+                self._commit_groups)
+        self.registry.gauge(
+            "repro_commit_group_records",
+            "DML statements committed through groups", {}).set(
+                self._commit_records)
+        self.registry.gauge(
+            "repro_commit_group_max_size",
+            "largest commit group flushed", {}).set(
+                self._commit_max_group)
 
     def _publish_cache_gauges(self) -> None:
         """Mirror merged cache counters into the exported registry.

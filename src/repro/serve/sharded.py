@@ -33,6 +33,7 @@ cannot reflect a partially applied update (see ``docs/SERVING.md``).
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,7 @@ from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
 from repro.core.rta import RTAResult
 from repro.core.warehouse import QueryPlan, TemporalWarehouse
 from repro.errors import QueryError, ShardRoutingError
+from repro.serve.mvcc import DEFAULT_READ_RETRIES, MVCCStats, ShardEpoch
 from repro.serve.rwlock import ReadWriteLock
 from repro.serve.telemetry import current_context
 
@@ -176,6 +178,18 @@ class ShardRouter:
         """Replace the alive tuple's value at ``t`` (one shard, atomic
         under that shard's exclusive access)."""
         self._shard_write(self.shard_index(key), "update", key, value, t)
+
+    def apply_shard_batch(self, index: int,
+                          ops: Sequence[Tuple]) -> List[Tuple[str, Any]]:
+        """Apply one commit group's ops on shard ``index`` in one
+        exclusive acquisition (see
+        :meth:`repro.core.warehouse.TemporalWarehouse.apply_batch`).
+
+        The caller has already routed every op to ``index``; backends
+        whose routing can shift underneath a queued group (the cluster's
+        online splits) override this and re-route by key at commit time.
+        """
+        return self._shard_write(index, "apply_batch", list(ops))
 
     def load_events(self, events: Sequence[Any],
                     batch_size: int = DEFAULT_BATCH_SIZE,
@@ -359,6 +373,12 @@ class ShardedWarehouse(ShardRouter):
     thread_safe:
         Install per-shard readers-writer locks and buffer-pool locking;
         required whenever more than one thread touches the instance.
+    mvcc:
+        Serve reads through the epoch-validated optimistic path (see
+        :mod:`repro.serve.mvcc`): queries traverse with **no lock held**
+        and validate the shard's seqlock epoch at exit, retrying
+        (bounded) and falling back to the read lock only on conflict.
+        Requires ``thread_safe``; ignored without it.
     page_capacity / buffer_pages / strong_factor / start_time / buffer_policy:
         Forwarded to every underlying :class:`TemporalWarehouse`.
     """
@@ -368,7 +388,8 @@ class ShardedWarehouse(ShardRouter):
                  page_capacity: int = 32, buffer_pages: int = 64,
                  strong_factor: float = 0.9, start_time: int = 1,
                  thread_safe: bool = False,
-                 buffer_policy: str = "lru") -> None:
+                 buffer_policy: str = "lru",
+                 mvcc: bool = False) -> None:
         self.key_space = key_space
         self.boundaries = self._split(key_space, shards)
         self.shards: List[TemporalWarehouse] = [
@@ -381,14 +402,20 @@ class ShardedWarehouse(ShardRouter):
             for lo, hi in zip(self.boundaries, self.boundaries[1:])
         ]
         self._durable_dir: Optional[str] = None
-        self._finish_init(thread_safe)
+        self._finish_init(thread_safe, mvcc)
 
-    def _finish_init(self, thread_safe: bool) -> None:
+    def _finish_init(self, thread_safe: bool, mvcc: bool = False) -> None:
         self.aggregates = _ShardedAggregates(self)
         self.thread_safe = thread_safe
+        self.mvcc = bool(mvcc and thread_safe)
         self.locks: List[ReadWriteLock] = [
             ReadWriteLock() for _ in self.shards
         ]
+        self.epochs: List[ShardEpoch] = [
+            ShardEpoch() for _ in self.shards
+        ]
+        self.mvcc_stats = MVCCStats()
+        self.read_retries = DEFAULT_READ_RETRIES
         if thread_safe:
             for shard in self.shards:
                 shard.tuples.pool.enable_locking()
@@ -398,29 +425,110 @@ class ShardedWarehouse(ShardRouter):
 
     def _shard_query(self, index: int, method: str, *args: Any) -> Any:
         fn = getattr(self.shards[index], method)
-        ctx = current_context()
-        if ctx is None:
-            if self.thread_safe:
+        if self.mvcc:
+            def run():
+                return self._optimistic_query(index, fn, args)
+        elif self.thread_safe:
+            def run():
                 with self.locks[index].read_locked():
                     return fn(*args)
-            return fn(*args)
-        return self._shard_telemetered(ctx, index, method, fn, args,
-                                       write=False)
+        else:
+            def run():
+                return fn(*args)
+        ctx = current_context()
+        if ctx is None:
+            return run()
+        return self._shard_telemetered(ctx, index, method, run)
 
     def _shard_write(self, index: int, method: str, *args: Any) -> Any:
         fn = getattr(self.shards[index], method)
+        if self.thread_safe:
+            def run():
+                with self.locks[index].write_locked():
+                    if not self.mvcc:
+                        return fn(*args)
+                    # Seqlock bracket: odd while the trees mutate, even
+                    # once the write (or batch) is fully applied.
+                    epoch = self.epochs[index]
+                    epoch.begin_write()
+                    try:
+                        return fn(*args)
+                    finally:
+                        epoch.end_write()
+        else:
+            def run():
+                return fn(*args)
         ctx = current_context()
         if ctx is None:
-            if self.thread_safe:
-                with self.locks[index].write_locked():
-                    return fn(*args)
-            return fn(*args)
-        return self._shard_telemetered(ctx, index, method, fn, args,
-                                       write=True)
+            return run()
+        return self._shard_telemetered(ctx, index, method, run)
 
-    def _shard_telemetered(self, ctx, index: int, method: str, fn, args,
-                           write: bool) -> Any:
-        """One shard call under an active request context.
+    def _optimistic_query(self, index: int, fn, args) -> Any:
+        """One read with **no lock held**, validated by the shard epoch.
+
+        Capture the seqlock word, traverse, validate: unchanged-and-even
+        means the traversal saw one consistent version and its answer is
+        exactly what the read lock would have produced.  Conflicts retry
+        (bounded) and finally fall back to the read lock, so a write
+        storm cannot starve a reader forever.  Three subtleties:
+
+        * cache stores made during the traversal are parked thread-
+          locally and committed only after validation — a torn read must
+          never publish into a shared cache (closed entries are pinned
+          forever);
+        * an exception with the epoch *unchanged* is deterministic (a
+          genuine :class:`~repro.errors.QueryError`, say) and re-raised
+          immediately — only epoch-changed exceptions count as
+          conflicts;
+        * retries yield the GIL briefly so the in-flight writer can
+          finish its bracket.
+        """
+        from repro.core.cache import (begin_deferred_stores,
+                                      commit_deferred_stores,
+                                      discard_deferred_stores)
+
+        epoch = self.epochs[index]
+        stats = self.mvcc_stats
+        retries = 0
+        try:
+            for attempt in range(self.read_retries + 1):
+                if attempt:
+                    retries += 1
+                    stats.note_retry()
+                    time.sleep(0 if attempt < 3 else 0.0002)
+                started = epoch.read_begin()
+                if started % 2:
+                    continue  # a write is mid-bracket right now
+                begin_deferred_stores()
+                try:
+                    result = fn(*args)
+                except Exception:
+                    discard_deferred_stores()
+                    if epoch.read_validate(started):
+                        raise  # deterministic failure, not a torn read
+                    continue
+                if epoch.read_validate(started):
+                    commit_deferred_stores()
+                    stats.note_optimistic()
+                    return result
+                discard_deferred_stores()
+            # Retry budget exhausted: take the read lock (blocks behind
+            # the writer, guarantees progress).
+            stats.note_fallback()
+            ctx = current_context()
+            if ctx is not None:
+                ctx.mvcc_fallbacks += 1
+            with self.locks[index].read_locked():
+                return fn(*args)
+        finally:
+            if retries:
+                ctx = current_context()
+                if ctx is not None:
+                    ctx.mvcc_retries += retries
+
+    def _shard_telemetered(self, ctx, index: int, method: str, run) -> Any:
+        """One shard call (``run`` already wraps locking or the
+        optimistic path) under an active request context.
 
         Always attributes wall time to the shard; when the request is
         sampled, additionally appends a ``shard.<method>`` span record.
@@ -430,18 +538,12 @@ class ShardedWarehouse(ShardRouter):
         children (the process backend's single-threaded workers do carry
         them).
         """
-        import time
-
         from repro.serve.telemetry import shard_record
 
         started = time.perf_counter()
         cpu_started = time.process_time()
         try:
-            if self.thread_safe:
-                lock = self.locks[index]
-                with (lock.write_locked() if write else lock.read_locked()):
-                    return fn(*args)
-            return fn(*args)
+            return run()
         finally:
             ctx.note_shard(index, time.perf_counter() - started)
             if ctx.sampled:
@@ -517,7 +619,8 @@ class ShardedWarehouse(ShardRouter):
                      strong_factor: float = 0.9, start_time: int = 1,
                      thread_safe: bool = False,
                      fsync: bool = False,
-                     buffer_policy: str = "lru") -> "ShardedWarehouse":
+                     buffer_policy: str = "lru",
+                     mvcc: bool = False) -> "ShardedWarehouse":
         """Open (or create) a crash-recoverable sharded warehouse.
 
         The shard layout (count and boundaries) is frozen in
@@ -545,7 +648,7 @@ class ShardedWarehouse(ShardRouter):
             for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
         ]
         warehouse._durable_dir = directory
-        warehouse._finish_init(thread_safe)
+        warehouse._finish_init(thread_safe, mvcc)
         return warehouse
 
     @property

@@ -61,7 +61,8 @@ class RequestContext:
 
     __slots__ = ("request_id", "op", "sampled", "detail", "trace_id",
                  "span_id", "queue_s", "exec_s", "records",
-                 "shard_seconds", "tql", "explain_args")
+                 "shard_seconds", "tql", "explain_args",
+                 "mvcc_retries", "mvcc_fallbacks")
 
     def __init__(self, request_id: str, op: str) -> None:
         self.request_id = request_id
@@ -83,6 +84,10 @@ class RequestContext:
         #: aggregate — lets the slow-query log re-run it under EXPLAIN
         #: after the fact (resolution deferred off the hot path).
         self.explain_args: Optional[tuple] = None
+        #: Optimistic-read conflicts this request absorbed (MVCC path).
+        self.mvcc_retries = 0
+        #: Reads that exhausted retries and took the read lock.
+        self.mvcc_fallbacks = 0
 
     def begin_sampling(self, detail: bool = False) -> None:
         """Mark the request sampled and mint its trace/span IDs.

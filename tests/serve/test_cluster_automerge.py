@@ -1,0 +1,110 @@
+"""Planner-driven split-then-automerge against the topology oracle.
+
+The ``merge_qps`` knob is autosplit's inverse: when two *adjacent*
+groups both sit at or below the threshold, the planner folds them back
+into one.  This test drives the full cycle deterministically — manual
+``tick()`` calls, no timer races: a read burst makes one group hot
+enough to split, going quiet makes both children cold enough to merge —
+and checks every topology against a single-warehouse oracle for
+byte-identical answers.
+"""
+
+import pytest
+
+from repro.core.model import Interval, KeyRange
+from repro.core.warehouse import TemporalWarehouse
+from repro.serve.cluster import ClusterWarehouse
+
+KEYS = 60
+KEY_SPACE = (1, KEYS + 1)
+
+
+def _events():
+    return [("insert", key, float(key), key) for key in range(1, KEYS + 1)]
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    root = tmp_path_factory.mktemp("automerge")
+    warehouse = ClusterWarehouse(
+        shards=1, key_space=KEY_SPACE, durable_dir=str(root),
+        replicas=0, autosplit=True, split_qps=50.0, split_min_share=0.0,
+        split_cooldown=0.0, merge_qps=20.0,
+        planner_interval=3600.0)  # ticks are driven manually
+    warehouse.load_events(_events())
+    yield warehouse
+    warehouse.close()
+
+
+def _oracle():
+    warehouse = TemporalWarehouse(key_space=KEY_SPACE)
+    warehouse.load_events(_events())
+    return warehouse
+
+
+def _assert_matches_oracle(cluster, oracle):
+    interval = Interval(1, oracle.now + 1)
+    for key_range in (KeyRange(*KEY_SPACE), KeyRange(10, 40),
+                      KeyRange(25, 26)):
+        assert repr(cluster.sum(key_range, interval)) == \
+            repr(oracle.sum(key_range, interval))
+    assert repr(cluster.snapshot(KeyRange(*KEY_SPACE), oracle.now)) == \
+        repr(oracle.snapshot(KeyRange(*KEY_SPACE), oracle.now))
+
+
+def test_split_then_automerge_round_trip(cluster):
+    import time
+
+    oracle = _oracle()
+    planner = cluster._planner
+    assert planner is not None and planner.merge_qps == 20.0
+
+    # Tick 1: baseline scrape.  One group only, so the automerge arm
+    # (adjacent pairs) has nothing to consider and must not fire.
+    planner.tick()
+    assert len(cluster._topology.entries) == 1
+    assert cluster.merges == 0
+
+    # Burst of reads -> the lone group's scrape-to-scrape rate clears
+    # split_qps on the next tick, and the planner splits it.
+    interval = Interval(1, oracle.now + 1)
+    for _ in range(300):
+        cluster.sum(KeyRange(*KEY_SPACE), interval)
+    planner.tick()
+    assert cluster.splits == 1
+    assert len(cluster._topology.entries) == 2
+    version_after_split = cluster.topology_version
+    _assert_matches_oracle(cluster, oracle)
+
+    # Quiet period: the next scrape sees only the oracle-check reads
+    # spread over a real second — both groups well under merge_qps —
+    # and the planner merges them back.
+    time.sleep(1.2)
+    planner.tick()
+    assert cluster.merges == 1
+    assert len(cluster._topology.entries) == 1
+    assert cluster.topology_version > version_after_split
+    _assert_matches_oracle(cluster, oracle)
+
+    # The merged group keeps accepting writes with a correct clock.
+    t = oracle.now + 1
+    cluster.update(5, 500.0, t)
+    oracle.update(5, 500.0, t)
+    _assert_matches_oracle(cluster, oracle)
+
+
+def test_merge_qps_none_never_merges(tmp_path):
+    warehouse = ClusterWarehouse(
+        shards=2, key_space=KEY_SPACE, durable_dir=str(tmp_path),
+        replicas=0, autosplit=True, split_qps=1e9,
+        planner_interval=3600.0)
+    try:
+        warehouse.load_events(_events())
+        planner = warehouse._planner
+        assert planner is not None and planner.merge_qps is None
+        planner.tick()  # both groups idle: would merge if armed
+        planner.tick()
+        assert warehouse.merges == 0
+        assert len(warehouse._topology.entries) == 2
+    finally:
+        warehouse.close()

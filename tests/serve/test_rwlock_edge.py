@@ -1,0 +1,135 @@
+"""RW-lock edge cases: retry storms, timeout paths, metrics-less locks.
+
+Complements ``test_rwlock*.py``: the MVCC read path turns conflicted
+readers into re-acquisition storms (fallback reads + retries), so the
+lock must keep its writer-preference guarantee under rapid-fire shared
+acquisitions, and every timeout/failure path must leave the lock state
+clean — with or without :meth:`ReadWriteLock.attach_metrics`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.rwlock import ReadWriteLock
+
+
+class TestReaderRetryStorms:
+    def test_writer_admitted_under_reader_storm(self):
+        """A storm of short, re-acquiring readers (the MVCC fallback
+        pattern) must not starve a queued writer."""
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        admitted = threading.Event()
+
+        def storm():
+            while not stop.is_set():
+                if lock.acquire_read(timeout=0.05):
+                    lock.release_read()
+                # immediately re-acquire: no pause between retries
+
+        readers = [threading.Thread(target=storm, daemon=True)
+                   for _ in range(6)]
+        for thread in readers:
+            thread.start()
+        time.sleep(0.02)  # storm is live
+
+        def write():
+            with lock.write_locked():
+                admitted.set()
+
+        writer = threading.Thread(target=write, daemon=True)
+        writer.start()
+        ok = admitted.wait(5.0)
+        stop.set()
+        writer.join(5.0)
+        for thread in readers:
+            thread.join(5.0)
+        assert ok, "writer starved by reader retry storm"
+
+    def test_storm_readers_resume_after_writer(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            # While exclusive: timed reader attempts fail cleanly...
+            assert lock.acquire_read(timeout=0.01) is False
+            assert lock.acquire_read(timeout=0.01) is False
+        # ...and leave no residue once the writer releases.
+        assert lock.acquire_read(timeout=1.0) is True
+        assert lock.readers == 1
+        lock.release_read()
+        assert lock.readers == 0
+
+
+class TestTimeoutStateHygiene:
+    def test_write_timeout_unblocks_future_readers(self):
+        """A timed-out writer must roll back its queued-writer claim,
+        otherwise writer preference would block readers forever."""
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        try:
+            assert lock.acquire_write(timeout=0.02) is False
+        finally:
+            lock.release_read()
+        # The failed writer is fully dequeued: readers flow again.
+        assert lock.acquire_read(timeout=1.0) is True
+        lock.release_read()
+        # And a later writer still works.
+        assert lock.acquire_write(timeout=1.0) is True
+        lock.release_write()
+
+    def test_double_release_rejected_on_both_sides(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestMetricsNeverAttached:
+    def test_all_paths_work_without_registry(self):
+        """Every acquisition path — contended, timed out, storming —
+        must run with ``_metrics is None`` (the default) untouched."""
+        lock = ReadWriteLock()
+        assert lock._metrics is None
+        with lock.read_locked():
+            assert lock.readers == 1
+            assert lock.acquire_write(timeout=0.01) is False
+        with lock.write_locked():
+            assert lock.writer_active
+            assert lock.acquire_read(timeout=0.01) is False
+        done = []
+
+        def hammer():
+            for _ in range(50):
+                with lock.read_locked():
+                    pass
+            done.append(True)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(done) == 4
+        assert lock._metrics is None  # nothing lazily materialized
+
+    def test_late_attach_records_only_subsequent_waits(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            pass  # pre-attach traffic: invisible by design
+        registry = MetricsRegistry()
+        lock.attach_metrics(registry, {"shard": "0"})
+        rendered = registry.render_prometheus()
+        assert 'side="read"' in rendered
+        before = rendered.count("repro_rwlock_wait_seconds_count")
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        after = registry.render_prometheus()
+        # Both sides observed exactly their post-attach acquisitions.
+        assert 'repro_rwlock_holders{shard="0",side="read"} 0' in after \
+            or 'repro_rwlock_holders{side="read",shard="0"} 0' in after
+        assert before == rendered.count("repro_rwlock_wait_seconds_count")
