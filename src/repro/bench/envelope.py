@@ -47,6 +47,7 @@ BENCH_PR = {
     "telemetry": 7,
     "cluster": 8,
     "mvcc": 9,
+    "batchscan": 10,
 }
 
 
@@ -94,6 +95,11 @@ def _loadgen_metrics(data: Mapping[str, Any]) -> Dict[str, Any]:
         metrics["offered"] = totals["offered"]
     if "dropped" in totals:
         metrics["dropped"] = totals["dropped"]
+    if totals.get("bursts"):
+        metrics["bursts"] = totals["bursts"]
+        burst = data.get("config", {}).get("burst")
+        if burst:
+            metrics["burst"] = burst
     if "retries" in totals:
         metrics["retries"] = totals["retries"]
         metrics["retried_ok"] = totals.get("retried_ok", 0)

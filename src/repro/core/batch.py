@@ -1,0 +1,111 @@
+"""Shared accounting for the vectorized batch-query path.
+
+One :class:`BatchScanStats` instance rides along a warehouse (thread
+backend) or a procpool worker (process backend) and is fed by every
+layer of the batch read stack: :meth:`repro.mvsbt.tree.MVSBT.query_batch`
+credits probe/page numbers, :meth:`repro.core.warehouse.TemporalWarehouse.
+aggregate_batch` credits batch sizes, and the MVCC batch section of
+:class:`repro.serve.sharded.ShardedWarehouse` credits its once-per-batch
+epoch validations and per-query fallbacks.  The server publishes the
+snapshot as ``repro_batchscan_*`` gauges on ``/metrics``.
+
+The counters answer the honesty questions of the batch kernel:
+
+* ``pages_saved`` — page fetch+decodes the sweep avoided versus issuing
+  every probe as an independent root-to-leaf descent (the headline win).
+* ``probes_deduped`` — identical ``(key, t)`` probes collapsed per batch.
+* ``epoch_validations`` / ``epoch_fallbacks`` — seqlock hops taken per
+  batch; the bench asserts exactly one validation per batch and zero
+  fallbacks in the happy path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class BatchScanStats:
+    """Thread-safe counters for the batch-sweep read path."""
+
+    __slots__ = ("_lock", "batches", "batched_queries", "probes",
+                 "probes_deduped", "pages_fetched", "pages_saved",
+                 "epoch_validations", "epoch_fallbacks", "max_batch")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Sweeps executed (one ``aggregate_batch`` call each).
+        self.batches = 0
+        #: Queries answered through sweeps (sum of batch sizes).
+        self.batched_queries = 0
+        #: Theorem-1 boundary probes presented to ``query_batch``.
+        self.probes = 0
+        #: Probes collapsed by per-batch (key, t) dedup.
+        self.probes_deduped = 0
+        #: Pages actually fetched+decoded by sweeps.
+        self.pages_fetched = 0
+        #: Fetches avoided versus one descent per (possibly duplicate) probe.
+        self.pages_saved = 0
+        #: Seqlock validations performed for whole batches (one per batch
+        #: on the optimistic path).
+        self.epoch_validations = 0
+        #: Queries that fell back to a per-query locked read after the
+        #: batch validation tore.
+        self.epoch_fallbacks = 0
+        #: Largest batch observed (gauge, not a counter).
+        self.max_batch = 0
+
+    def note_batch(self, queries: int) -> None:
+        """Count one sweep answering ``queries`` queries."""
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += queries
+            if queries > self.max_batch:
+                self.max_batch = queries
+
+    def note_probes(self, probes: int, deduped: int,
+                    fetched: int, saved: int) -> None:
+        """Credit one tree sweep's probe and page accounting."""
+        with self._lock:
+            self.probes += probes
+            self.probes_deduped += deduped
+            self.pages_fetched += fetched
+            self.pages_saved += saved
+
+    def note_epoch_validation(self) -> None:
+        """Count one whole-batch seqlock validation."""
+        with self._lock:
+            self.epoch_validations += 1
+
+    def note_epoch_fallback(self, queries: int = 1) -> None:
+        """Count ``queries`` queries that took the per-query fallback."""
+        with self._lock:
+            self.epoch_fallbacks += queries
+
+    def as_dict(self) -> Dict[str, int]:
+        """A consistent snapshot of every counter."""
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "probes": self.probes,
+                "probes_deduped": self.probes_deduped,
+                "pages_fetched": self.pages_fetched,
+                "pages_saved": self.pages_saved,
+                "epoch_validations": self.epoch_validations,
+                "epoch_fallbacks": self.epoch_fallbacks,
+                "max_batch": self.max_batch,
+            }
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold another snapshot into this one (gather across workers)."""
+        with self._lock:
+            self.batches += other.get("batches", 0)
+            self.batched_queries += other.get("batched_queries", 0)
+            self.probes += other.get("probes", 0)
+            self.probes_deduped += other.get("probes_deduped", 0)
+            self.pages_fetched += other.get("pages_fetched", 0)
+            self.pages_saved += other.get("pages_saved", 0)
+            self.epoch_validations += other.get("epoch_validations", 0)
+            self.epoch_fallbacks += other.get("epoch_fallbacks", 0)
+            self.max_batch = max(self.max_batch, other.get("max_batch", 0))

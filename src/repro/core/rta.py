@@ -210,6 +210,102 @@ class RTAIndex:
             count=self._reduce(COUNT.name, key_range, interval),
         )
 
+    def query_batch(self, requests, stats=None) -> list:
+        """Many rectangle queries, one MVSBT sweep per involved tree.
+
+        ``requests`` is a sequence of ``(key_range, interval, aggregate)``
+        triples; the result list is byte-identical to calling
+        :meth:`query` for each.  Every request's Theorem-1 boundary
+        probes are collected per (aggregate, LKST/LKLT) tree, each tree
+        answers its whole probe set through
+        :meth:`~repro.mvsbt.tree.MVSBT.query_batch` (one frontier-ordered
+        traversal, pages fetched once per batch), and Equation (1) is
+        then evaluated per request in the exact serial operation order —
+        the float rounding matches :meth:`_reduce` bit for bit.  AVG
+        requests contribute the SUM and COUNT probe sets and divide, as
+        :meth:`aggregate_all` does; an aggregate of ``None`` requests the
+        full :class:`RTAResult` (the batch twin of
+        :meth:`aggregate_all`).  ``stats`` (a
+        :class:`repro.core.batch.BatchScanStats`) receives the probe and
+        page accounting of every sweep.
+        """
+        probe_lists: Dict[Tuple[str, str], list] = {}
+
+        def reduction(name: str, key_range: KeyRange,
+                      interval: Interval) -> Tuple[str, int, int]:
+            self._validate_rectangle(key_range, interval)
+            k1, k2 = key_range.low, key_range.high
+            t1, t3 = interval.start, interval.end - 1
+            lk = probe_lists.setdefault((name, "lkst"), [])
+            lt = probe_lists.setdefault((name, "lklt"), [])
+            i, j = len(lk), len(lt)
+            lk.extend(((k2, t3), (k1, t3)))
+            lt.extend(((k2, t3), (k1, t3), (k2, t1), (k1, t1)))
+            return name, i, j
+
+        plans = []
+        for key_range, interval, aggregate in requests:
+            if aggregate is None:
+                for name in (SUM.name, COUNT.name):
+                    if name not in self._lkst:
+                        raise QueryError(
+                            f"aggregate_all needs SUM and COUNT; "
+                            f"{name} missing"
+                        )
+                plans.append((
+                    "all",
+                    reduction(SUM.name, key_range, interval),
+                    reduction(COUNT.name, key_range, interval),
+                ))
+            elif aggregate.name == AVG.name:
+                for name in (SUM.name, COUNT.name):
+                    if name not in self._lkst:
+                        raise QueryError(
+                            f"aggregate_all needs SUM and COUNT; "
+                            f"{name} missing"
+                        )
+                plans.append((
+                    "avg",
+                    reduction(SUM.name, key_range, interval),
+                    reduction(COUNT.name, key_range, interval),
+                ))
+            else:
+                if aggregate.name not in self._lkst:
+                    raise QueryError(
+                        f"aggregate {aggregate.name} is not maintained by "
+                        "this index"
+                    )
+                plans.append((
+                    "one",
+                    reduction(aggregate.name, key_range, interval),
+                ))
+
+        values: Dict[Tuple[str, str], list] = {}
+        for (name, side), probes in probe_lists.items():
+            tree = (self._lkst if side == "lkst" else self._lklt)[name]
+            values[(name, side)] = tree.query_batch(probes, stats)
+
+        def evaluate(slot: Tuple[str, int, int]) -> float:
+            name, i, j = slot
+            lk = values[(name, "lkst")]
+            lt = values[(name, "lklt")]
+            result = lk[i] - lk[i + 1]
+            result += lt[j] - lt[j + 1]
+            result -= lt[j + 2] - lt[j + 3]
+            return result
+
+        results = []
+        for plan in plans:
+            if plan[0] == "all":
+                results.append(RTAResult(sum=evaluate(plan[1]),
+                                         count=evaluate(plan[2])))
+            elif plan[0] == "avg":
+                results.append(RTAResult(sum=evaluate(plan[1]),
+                                         count=evaluate(plan[2])).avg)
+            else:
+                results.append(evaluate(plan[1]))
+        return results
+
     def timeline(self, key_range: KeyRange, interval: Interval,
                  buckets: int, aggregate: Aggregate = SUM
                  ) -> list[Tuple[Interval, Optional[float]]]:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.aggregates import Aggregate, AVG, COUNT, MAX, MIN, SUM
+from repro.core.batch import BatchScanStats
 from repro.core.cache import CacheConfig, CacheSnapshot, ResultCache
 from repro.core.model import Interval, KeyRange, MAX_KEY, TemporalTuple
 from repro.core.rta import RTAIndex, RTAResult
@@ -89,11 +90,15 @@ class TemporalWarehouse:
     #: Write epoch open-present cache entries validate against; bumped by
     #: every update.  Class attribute so loaded warehouses start at 0.
     write_epoch = 0
+    #: Accounting for :meth:`aggregate_batch` sweeps; class attribute so
+    #: ``cls.__new__``-built warehouses degrade to unaccounted batches.
+    batch_stats = None
 
     def __init__(self, key_space: Tuple[int, int] = (1, MAX_KEY + 1),
                  page_capacity: int = 32, buffer_pages: int = 64,
                  strong_factor: float = 0.9, start_time: int = 1,
                  buffer_policy: str = "lru") -> None:
+        self.batch_stats = BatchScanStats()
         self.key_space = key_space
         self.tuples = MVBT(
             BufferPool(InMemoryDiskManager(), capacity=buffer_pages,
@@ -238,20 +243,30 @@ class TemporalWarehouse:
     # -- planner -----------------------------------------------------------------------
 
     def explain(self, key_range: KeyRange, interval: Interval,
-                aggregate: Aggregate = SUM) -> QueryPlan:
-        """The plan :meth:`aggregate` would choose, with cost estimates."""
+                aggregate: Aggregate = SUM,
+                tuples: Optional[float] = None) -> QueryPlan:
+        """The plan :meth:`aggregate` would choose, with cost estimates.
+
+        ``tuples`` short-circuits the planner's cardinality estimate with
+        a precomputed exact COUNT (the batch path computes every pending
+        query's estimate in one sweep); the decision is identical because
+        the estimate itself is exact either way.
+        """
         if aggregate.name in _ORDER:
+            if tuples is None:
+                tuples = self._estimate_tuples(key_range, interval)
             return QueryPlan(
                 plan="mvbt-scan",
                 reason=f"{aggregate.name} is not additive (open problem ii)",
                 mvsbt_cost_reads=float("inf"),
-                mvbt_cost_reads=self._scan_cost(key_range, interval),
-                estimated_tuples=self._estimate_tuples(key_range, interval),
+                mvbt_cost_reads=self._scan_cost(key_range, interval, tuples),
+                estimated_tuples=tuples,
             )
         if aggregate.name not in _ADDITIVE:
             raise QueryError(f"unknown aggregate {aggregate.name!r}")
         mvsbt_cost = self._mvsbt_cost(aggregate)
-        tuples = self._estimate_tuples(key_range, interval)
+        if tuples is None:
+            tuples = self._estimate_tuples(key_range, interval)
         scan_cost = self._scan_cost(key_range, interval, tuples)
         if scan_cost < mvsbt_cost:
             return QueryPlan(
@@ -304,6 +319,7 @@ class TemporalWarehouse:
         tracer = self.aggregates.pool.tracer
         metrics = self.metrics
         cache = self.result_cache
+        flight = None
         if cache is not None:
             epoch = self.write_epoch
             closed = interval.end <= self.now
@@ -319,37 +335,237 @@ class TemporalWarehouse:
                 if metrics is not None:
                     metrics.result_cache_hits.inc()
                 return hit[0]
+            # Single-flight: an identical miss already being computed by
+            # another thread is waited out, not recomputed — the follower
+            # re-reads the cache, so it only ever shares a committed value.
+            role, flight = cache.begin_flight(cache_key, epoch)
+            if role == "follower":
+                shared = cache.wait_flight(flight, cache_key, epoch)
+                flight = None
+                if shared is not None:
+                    if metrics is not None:
+                        metrics.result_cache_hits.inc()
+                    return shared[0]
+            elif role != "leader":
+                flight = None
+        try:
+            if metrics is not None:
+                ios_before = (self.tuples.pool.stats.total_ios
+                              + self.aggregates.pool.stats.total_ios)
+            if tracer.enabled:
+                with tracer.span("warehouse.aggregate",
+                                 aggregate=aggregate.name,
+                                 key_range=str(key_range),
+                                 interval=str(interval)) as span:
+                    if cache is not None:
+                        span.attrs["cache"] = "miss"
+                    with tracer.span("warehouse.plan"):
+                        plan = self.explain(key_range, interval, aggregate)
+                    span.attrs["plan"] = plan.plan
+                    with tracer.span("warehouse.execute", plan=plan.plan):
+                        result = self.run_plan(plan, key_range, interval,
+                                               aggregate)
+            else:
+                plan = self.explain(key_range, interval, aggregate)
+                result = self.run_plan(plan, key_range, interval, aggregate)
+            if cache is not None:
+                cache.store(cache_key, result, closed=closed, epoch=epoch)
+                if metrics is not None:
+                    metrics.result_cache_misses.inc()
+            if metrics is not None:
+                ios_after = (self.tuples.pool.stats.total_ios
+                             + self.aggregates.pool.stats.total_ios)
+                metrics.query_ios.observe(ios_after - ios_before)
+                if plan.plan == "mvsbt":
+                    metrics.plan_mvsbt.inc()
+                else:
+                    metrics.plan_mvbt_scan.inc()
+        finally:
+            if flight is not None:
+                cache.end_flight(cache_key, epoch, flight)
+        return result
+
+    def aggregate_batch(self, queries) -> List[object]:
+        """Answer many aggregate queries through one batched read sweep.
+
+        ``queries`` is a sequence of ``(key_range, interval, aggregate)``
+        triples.  Returns a list with one entry per query holding exactly
+        what :meth:`aggregate` would return for it — or, when that query
+        would raise, the raised exception instance itself: a failing
+        query fails only itself, and callers re-raise or report per
+        query.  An aggregate of ``None`` requests :meth:`aggregate_all`
+        semantics for that slot (an :class:`~repro.core.rta.RTAResult`,
+        no cache, no planner — the sharded router's AVG gather needs the
+        per-shard partials).
+
+        Three passes: every query probes the result cache first (hits
+        drop out immediately, and identical survivor triples collapse to
+        one executed slot whose answer fans out); the survivors' planner
+        cardinality
+        estimates are computed with one
+        :meth:`~repro.core.rta.RTAIndex.query_batch` COUNT sweep; then
+        all mvsbt-planned queries are answered by a second sweep — each
+        MVSBT page fetched and decoded once per batch — while mvbt-scan
+        queries retrieve individually.  Cache stores happen after the
+        sweeps against the per-query epoch captured before execution
+        (parking in the calling thread's deferred-store section when one
+        is open).  Answers are byte-identical to serial
+        :meth:`aggregate` calls.
+        """
+        queries = list(queries)
+        n = len(queries)
+        results: List[object] = [None] * n
+        errored = [False] * n
+        metrics = self.metrics
+        cache = self.result_cache
+        stats = self.batch_stats
+        if stats is not None:
+            stats.note_batch(n)
         if metrics is not None:
             ios_before = (self.tuples.pool.stats.total_ios
                           + self.aggregates.pool.stats.total_ios)
-        if tracer.enabled:
-            with tracer.span("warehouse.aggregate", aggregate=aggregate.name,
-                             key_range=str(key_range),
-                             interval=str(interval)) as span:
-                if cache is not None:
-                    span.attrs["cache"] = "miss"
-                with tracer.span("warehouse.plan"):
-                    plan = self.explain(key_range, interval, aggregate)
-                span.attrs["plan"] = plan.plan
-                with tracer.span("warehouse.execute", plan=plan.plan):
-                    result = self.run_plan(plan, key_range, interval,
-                                           aggregate)
-        else:
-            plan = self.explain(key_range, interval, aggregate)
-            result = self.run_plan(plan, key_range, interval, aggregate)
+
+        # Pass 1: per-query cache probe (epoch and closedness captured
+        # before any execution, as the serial path does).
+        pending: List[int] = []
+        meta: dict = {}
+        for qi, (key_range, interval, aggregate) in enumerate(queries):
+            if cache is not None and aggregate is not None:
+                epoch = self.write_epoch
+                closed = interval.end <= self.now
+                cache_key = ResultCache.key(aggregate.name, key_range,
+                                            interval)
+                hit = cache.lookup(cache_key, epoch)
+                if hit is not None:
+                    results[qi] = hit[0]
+                    if metrics is not None:
+                        metrics.result_cache_hits.inc()
+                    continue
+                meta[qi] = (cache_key, epoch, closed)
+            pending.append(qi)
+
+        # Dedup identical pending triples: read-hot batches repeat whole
+        # queries, not just boundary probes, so one planned/executed slot
+        # answers every duplicate position (the answer fans out after the
+        # sweeps; a representative's error is every duplicate's error,
+        # exactly as re-running the same bad rectangle would be).
+        dup_of: dict = {}
+        rep_for: dict = {}
+        survivors: List[int] = []
+        for qi in pending:
+            key_range, interval, aggregate = queries[qi]
+            tkey = (key_range, interval,
+                    aggregate.name if aggregate is not None else None)
+            rep = rep_for.get(tkey)
+            if rep is None:
+                rep_for[tkey] = qi
+                survivors.append(qi)
+            else:
+                dup_of[qi] = rep
+        pending = survivors
+
+        # Pass 2: plan.  One COUNT sweep yields every pending query's
+        # cardinality estimate (exact, so decisions match explain()).
+        estimable: List[int] = []
+        sweep: List[int] = []
+        for qi in pending:
+            key_range, interval, aggregate = queries[qi]
+            try:
+                if aggregate is None:
+                    # aggregate_all slot: no plan, straight to the sweep.
+                    self.aggregates._validate_rectangle(key_range, interval)
+                    sweep.append(qi)
+                    continue
+                if aggregate.name not in _ADDITIVE \
+                        and aggregate.name not in _ORDER:
+                    raise QueryError(
+                        f"unknown aggregate {aggregate.name!r}")
+                self.aggregates._validate_rectangle(key_range, interval)
+            except Exception as exc:
+                results[qi] = exc
+                errored[qi] = True
+                continue
+            estimable.append(qi)
+        estimates: dict = {}
+        if estimable:
+            try:
+                counts = self.aggregates.query_batch(
+                    [(queries[qi][0], queries[qi][1], COUNT)
+                     for qi in estimable], stats)
+                for qi, value in zip(estimable, counts):
+                    estimates[qi] = float(value)
+            except Exception:
+                estimates = {}  # explain() below recomputes per query
+
+        plans: dict = {}
+        for qi in estimable:
+            key_range, interval, aggregate = queries[qi]
+            try:
+                plan = self.explain(key_range, interval, aggregate,
+                                    tuples=estimates.get(qi))
+            except Exception as exc:
+                results[qi] = exc
+                errored[qi] = True
+                continue
+            plans[qi] = plan
+            if plan.plan == "mvsbt":
+                sweep.append(qi)
+            else:
+                try:
+                    results[qi] = self.run_plan(plan, key_range, interval,
+                                                aggregate)
+                except Exception as exc:
+                    results[qi] = exc
+                    errored[qi] = True
+
+        # Pass 3: one frontier-ordered sweep answers every mvsbt-planned
+        # query; a sweep-level failure degrades to per-query execution so
+        # one bad query cannot take the batch down.
+        if sweep:
+            try:
+                answers = self.aggregates.query_batch(
+                    [queries[qi] for qi in sweep], stats)
+                for qi, value in zip(sweep, answers):
+                    results[qi] = value
+            except Exception:
+                for qi in sweep:
+                    key_range, interval, aggregate = queries[qi]
+                    try:
+                        if aggregate is None:
+                            results[qi] = self.aggregates.aggregate_all(
+                                key_range, interval)
+                        else:
+                            results[qi] = self.run_plan(
+                                plans[qi], key_range, interval, aggregate)
+                    except Exception as exc:
+                        results[qi] = exc
+                        errored[qi] = True
+
+        for qi, rep in dup_of.items():
+            results[qi] = results[rep]
+            errored[qi] = errored[rep]
+
         if cache is not None:
-            cache.store(cache_key, result, closed=closed, epoch=epoch)
-            if metrics is not None:
-                metrics.result_cache_misses.inc()
+            for qi in pending:
+                if errored[qi] or qi not in meta:
+                    continue
+                cache_key, epoch, closed = meta[qi]
+                cache.store(cache_key, results[qi], closed=closed,
+                            epoch=epoch)
+                if metrics is not None:
+                    metrics.result_cache_misses.inc()
         if metrics is not None:
             ios_after = (self.tuples.pool.stats.total_ios
                          + self.aggregates.pool.stats.total_ios)
             metrics.query_ios.observe(ios_after - ios_before)
-            if plan.plan == "mvsbt":
-                metrics.plan_mvsbt.inc()
-            else:
-                metrics.plan_mvbt_scan.inc()
-        return result
+            for qi, plan in plans.items():
+                if errored[qi]:
+                    continue
+                if plan.plan == "mvsbt":
+                    metrics.plan_mvsbt.inc()
+                else:
+                    metrics.plan_mvbt_scan.inc()
+        return results
 
     def run_plan(self, plan: QueryPlan, key_range: KeyRange,
                  interval: Interval,
@@ -436,6 +652,11 @@ class TemporalWarehouse:
         key = ResultCache.key(aggregate.name, key_range, interval)
         return "hit" if cache.peek(key, self.write_epoch) else "miss"
 
+    def batch_snapshot(self) -> dict:
+        """Counters of :attr:`batch_stats` (empty when unaccounted)."""
+        return self.batch_stats.as_dict() if self.batch_stats is not None \
+            else {}
+
     def cache_snapshot(self) -> CacheSnapshot:
         """Current counters of every cache layer behind this warehouse."""
         snapshot = CacheSnapshot()
@@ -506,6 +727,7 @@ class TemporalWarehouse:
         warehouse._page_capacity = warehouse.tuples.config.capacity
         warehouse._wal = None
         warehouse._durable_dir = None
+        warehouse.batch_stats = BatchScanStats()
         return warehouse
 
     # -- durability (checkpoint + write-ahead log) ---------------------------------------

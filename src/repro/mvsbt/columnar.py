@@ -223,6 +223,33 @@ class ColumnarBlock:
                         containing = r
         return acc, containing
 
+    def scan_many(self, probes: List[Tuple[int, int]]
+                  ) -> Tuple[List[float], List[Optional[int]]]:
+        """Vectorized :meth:`scan`: many probes in one pass over the rows.
+
+        ``probes`` is a list of ``(key, t)`` pairs.  Returns the parallel
+        lists of per-probe contributions and containing-row indices.  The
+        rows are walked once in record order and every probe accumulates
+        its matches in that same order, so each probe's float sum is
+        bit-identical to calling :meth:`scan` for it alone — the batch
+        sweep's byte-identity guarantee rests on this.
+        """
+        n = len(probes)
+        accs = [0.0] * n
+        rows: List[Optional[int]] = [None] * n
+        lows, highs = self.lows, self.highs
+        starts, ends, values = self.starts, self.ends, self.values
+        for r in range(len(lows)):
+            start, end = starts[r], ends[r]
+            low, high, value = lows[r], highs[r], values[r]
+            for p in range(n):
+                key, t = probes[p]
+                if start <= t < end and low <= key:
+                    accs[p] += value
+                    if key < high:
+                        rows[p] = r
+        return accs, rows
+
 
 def seal_page(page: Page) -> ColumnarBlock:
     """Convert ``page`` to columnar representation (idempotent).

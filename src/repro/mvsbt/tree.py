@@ -362,6 +362,189 @@ class MVSBT:
                       closed=t < self.now, epoch=epoch)
         return value
 
+    def query_batch(self, probes, stats=None) -> List[float]:
+        """Answer many point queries in one frontier-ordered sweep.
+
+        ``probes`` is a sequence of ``(key, t)`` pairs; the result list is
+        byte-identical to ``[self.query(key, t) for key, t in probes]``.
+        Identical probes are deduplicated per batch, the survivors are
+        sorted into frontier order (key, then version), grouped by the
+        root* entry owning their instant, and walked level by level so
+        every page on any probe's descent path is fetched and decoded
+        exactly once per batch.  Columnar pages are scanned through
+        :meth:`~repro.mvsbt.columnar.ColumnarBlock.scan_many`; object
+        pages through the matching multi-probe record walk.  Per-probe
+        accumulation follows descent order with per-page contributions
+        computed in record order, which makes each float sum bit-identical
+        to the serial descent.
+
+        With a :meth:`enable_memo` memo attached, hits are served from it
+        and every value the sweep computes is put back with its descent
+        path — the batch prefills the memo exactly as serial misses would.
+        ``stats`` (a :class:`repro.core.batch.BatchScanStats`) receives
+        the probe/page accounting when provided.
+        """
+        probes = list(probes)
+        if self._buffer is not None:
+            return [self._buffer.query(key, t) for key, t in probes]
+        lo, hi = self.key_space
+        for key, t in probes:
+            if not (lo <= key < hi):
+                raise QueryError(
+                    f"key {key} outside key space {self.key_space}")
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            with tracer.span("mvsbt.query_batch", probes=len(probes)):
+                return self._sweep(probes, stats)
+        return self._sweep(probes, stats)
+
+    def _sweep(self, probes: List[Tuple[int, int]], stats) -> List[float]:
+        """The batch traversal behind :meth:`query_batch` (validated input)."""
+        n = len(probes)
+        results: List[Optional[float]] = [None] * n
+        memo = self.memo
+        epoch = self._memo_epoch
+        # Dedup identical (key, t) probes and resolve memo hits up front;
+        # `fanout[slot]` lists every original probe index the slot answers.
+        slots: dict = {}
+        skeys: List[int] = []
+        stimes: List[int] = []
+        fanout: List[List[int]] = []
+        for i, (key, t) in enumerate(probes):
+            if t < self.start_time:
+                results[i] = 0.0
+                continue
+            if memo is not None:
+                hit = memo.get(key, t, epoch)
+                if hit is not None:
+                    results[i] = hit[0]
+                    continue
+            slot = slots.get((key, t))
+            if slot is None:
+                slot = len(skeys)
+                slots[(key, t)] = slot
+                skeys.append(key)
+                stimes.append(t)
+                fanout.append([i])
+            else:
+                fanout[slot].append(i)
+
+        # Frontier order: key, then version — then bucket by the root*
+        # entry owning each probe's instant, preserving that order.
+        order = sorted(range(len(skeys)),
+                       key=lambda s: (skeys[s], stimes[s]))
+        frontiers: dict = {}
+        for s in order:
+            root_id = self.roots.find(stimes[s]).root_id
+            frontiers.setdefault(root_id, []).append(s)
+
+        values = [0.0] * len(skeys)
+        depths = [0] * len(skeys)
+        paths: Optional[List[List[int]]] = (
+            [[] for _ in range(len(skeys))] if memo is not None else None)
+        fetched = 0
+        logical = self.config.logical_split
+        for root_id, root_slots in frontiers.items():
+            frontier = [(root_id, s) for s in root_slots]
+            while frontier:
+                # Group this level's probes by page, preserving frontier
+                # order, so each page is fetched and decoded once.
+                groups: dict = {}
+                page_seq: List[int] = []
+                for pid, s in frontier:
+                    bucket = groups.get(pid)
+                    if bucket is None:
+                        groups[pid] = bucket = []
+                        page_seq.append(pid)
+                    bucket.append(s)
+                frontier = []
+                for pid in page_seq:
+                    here = groups[pid]
+                    page = self.pool.fetch(pid)
+                    fetched += 1
+                    if paths is not None:
+                        for s in here:
+                            paths[s].append(pid)
+                    page_probes = [(skeys[s], stimes[s]) for s in here]
+                    if page.records is None:
+                        accs, rows = page.cache.scan_many(page_probes)
+                        childs = page.cache.childs
+                        leaf = page.kind == LEAF_KIND
+                        for j, s in enumerate(here):
+                            values[s] += accs[j]
+                            depths[s] += 1
+                            row = rows[j]
+                            if row is None:
+                                raise InvariantViolation(
+                                    f"page {page.page_id} does not cover "
+                                    f"key {skeys[s]} at t={stimes[s]}")
+                            if not leaf:
+                                frontier.append((childs[row], s))
+                        continue
+                    accs, conts = self._scan_page_many(page, page_probes,
+                                                       logical)
+                    leaf = page.kind == LEAF_KIND
+                    for j, s in enumerate(here):
+                        values[s] += accs[j]
+                        depths[s] += 1
+                        containing = conts[j]
+                        if containing is None:
+                            raise InvariantViolation(
+                                f"page {page.page_id} does not cover key "
+                                f"{skeys[s]} at t={stimes[s]}")
+                        if not leaf:
+                            frontier.append((containing.child, s))
+
+        now = self.now
+        for s in range(len(skeys)):
+            if self.metrics is not None:
+                self.metrics.descent_pages.observe(depths[s])
+            if memo is not None:
+                memo.put(skeys[s], stimes[s], values[s], tuple(paths[s]),
+                         closed=stimes[s] < now, epoch=epoch)
+            value = values[s]
+            for i in fanout[s]:
+                results[i] = value
+        if stats is not None:
+            swept = sum(len(f) for f in fanout)
+            serial = sum(depths[s] * len(fanout[s])
+                         for s in range(len(skeys)))
+            stats.note_probes(n, swept - len(skeys), fetched,
+                              serial - fetched)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _scan_page_many(page: Page, probes: List[Tuple[int, int]],
+                        logical: bool
+                        ) -> Tuple[List[float], List[Optional[object]]]:
+        """Vectorized :meth:`_scan_page`: one record walk, many probes.
+
+        The records are walked once in page order and every probe
+        accumulates its matches in that order, keeping each probe's float
+        sum bit-identical to its solo :meth:`_scan_page`.
+        """
+        n = len(probes)
+        accs = [0.0] * n
+        conts: List[Optional[object]] = [None] * n
+        for rec in page.records:
+            low, high = rec.low, rec.high
+            start, end = rec.start, rec.end
+            value = rec.value
+            for p in range(n):
+                key, t = probes[p]
+                if not start <= t < end:
+                    continue
+                if logical:
+                    if low <= key:
+                        accs[p] += value
+                if low <= key < high:
+                    conts[p] = rec
+        if not logical:
+            for p in range(n):
+                if conts[p] is not None:
+                    accs[p] = conts[p].value
+        return accs, conts
+
     def _descend(self, key: int, t: int, tracer,
                  path: Optional[List[int]] = None) -> float:
         """Root-to-leaf descent summing per-page contributions at ``t``.

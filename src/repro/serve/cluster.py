@@ -559,6 +559,20 @@ class ClusterWarehouse(ShardRouter):
                 f"group {group.gid} has no serving worker")
         return group.primary.call(method, *wired)
 
+    def _shard_query_batch(self, gid: int,
+                           requests: List[Tuple[Any, Any, Any]]
+                           ) -> List[Any]:
+        # One failover-aware RPC per group instead of the base class's
+        # per-query loop: the whole batch rides a single worker sweep.
+        # Aggregate descriptors are wired to name tokens here because
+        # :meth:`_wire` only sees top-level args, not the nested triples.
+        wired = [
+            (kr, iv, _AggRef(agg.name) if isinstance(agg, Aggregate)
+             else agg)
+            for kr, iv, agg in requests
+        ]
+        return self._shard_query(gid, "aggregate_batch", wired)
+
     # -- backend hooks (writes) --------------------------------------------------------
 
     def _shard_write(self, gid: int, method: str, *args: Any) -> Any:
@@ -889,6 +903,17 @@ class ClusterWarehouse(ShardRouter):
         for gid, _lo, _hi in self._topology.entries:
             snapshot.merge(self._shard_query(gid, "cache_snapshot"))
         return snapshot
+
+    def batch_snapshot(self) -> Dict[str, int]:
+        """Batch-sweep counters merged across every group primary."""
+        from repro.core.batch import BatchScanStats
+
+        totals = BatchScanStats()
+        for gid, _lo, _hi in self._topology.entries:
+            snapshot = self._shard_query(gid, "batch_snapshot")
+            if snapshot:
+                totals.merge(snapshot)
+        return totals.as_dict()
 
     def page_count(self) -> int:
         return sum(self._shard_query(gid, "page_count")

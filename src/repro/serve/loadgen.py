@@ -105,6 +105,13 @@ class _Worker(threading.Thread):
     slower send rate (no coordinated omission).  An arrival the loop is
     already more than ``drop_after`` seconds late for is counted in
     :attr:`dropped` instead of being sent.
+
+    ``burst`` batches the Poisson schedule: each arrival *event* carries
+    ``burst`` co-arriving statements (all scheduled, measured, and — when
+    late — dropped at the event instant), while the event rate shrinks to
+    ``rate / burst`` so the total offered request rate stays ``rate``.
+    Bursty schedules are what make the server's shared-scan drain see
+    multi-query batches instead of a smooth trickle.
     """
 
     def __init__(self, host: str, port: int, key_space: int,
@@ -112,7 +119,7 @@ class _Worker(threading.Thread):
                  mix: str = "uniform", run_seed: int = 0,
                  hot_count: int = 16, hot_fraction: float = 0.9,
                  arrivals: str = "closed", rate: float = 0.0,
-                 drop_after: float = 1.0) -> None:
+                 drop_after: float = 1.0, burst: int = 1) -> None:
         super().__init__(daemon=True)
         self._host = host
         self._port = port
@@ -126,7 +133,11 @@ class _Worker(threading.Thread):
         self._arrivals = arrivals
         self._rate = rate
         self._drop_after = drop_after
+        self._burst = max(1, burst)
         self.latencies_ms: List[float] = []
+        #: Measured-window arrival events issued with all ``burst``
+        #: statements sent (open loop; equals sent arrivals when burst=1).
+        self.bursts = 0
         self.errors: Dict[str, int] = {}
         #: Measured-window arrivals the schedule generated (open loop) or
         #: statements attempted (closed loop).
@@ -184,34 +195,43 @@ class _Worker(threading.Thread):
     def _run_open(self, client: Client) -> None:
         # The schedule is anchored at this worker's start and never
         # consults the server: arrival k happens at start + sum of k
-        # exponential gaps whether or not reply k-1 has landed.
+        # exponential gaps whether or not reply k-1 has landed.  With
+        # burst > 1, events arrive at rate/burst and each carries burst
+        # co-scheduled statements, so the offered request rate is still
+        # self._rate.
+        event_rate = self._rate / self._burst
         next_at = time.perf_counter()
         while True:
-            next_at += self._rng.expovariate(self._rate)
+            next_at += self._rng.expovariate(event_rate)
             if next_at >= self._deadline:
                 break
             measured = next_at >= self._measure_start
             if measured:
-                self.offered += 1
+                self.offered += self._burst
             now = time.perf_counter()
             if now < next_at:
                 time.sleep(next_at - now)
             elif now - next_at > self._drop_after:
+                # The whole event is late: every statement it carries
+                # shares the scheduled instant, so all of them drop.
                 if measured:
-                    self.dropped += 1
-                continue
-            try:
-                client.execute(self._statement())
-            except ServerReplyError as exc:
-                if measured:
-                    self.errors[exc.code] = \
-                        self.errors.get(exc.code, 0) + 1
+                    self.dropped += self._burst
                 continue
             if measured:
-                # From the *scheduled* arrival, not the send: waiting in
-                # this loop's virtual queue is part of the latency.
-                self.latencies_ms.append(
-                    (time.perf_counter() - next_at) * 1000.0)
+                self.bursts += 1
+            for _ in range(self._burst):
+                try:
+                    client.execute(self._statement())
+                except ServerReplyError as exc:
+                    if measured:
+                        self.errors[exc.code] = \
+                            self.errors.get(exc.code, 0) + 1
+                    continue
+                if measured:
+                    # From the *scheduled* arrival, not the send: waiting
+                    # in this loop's virtual queue is part of the latency.
+                    self.latencies_ms.append(
+                        (time.perf_counter() - next_at) * 1000.0)
 
 
 def slo_summary(latencies_ms: List[float], offered: int,
@@ -247,7 +267,8 @@ def run_load(host: str, port: int, workers: int, duration: float,
              seed_keys: int, seed: int, warmup: float = 0.0,
              mix: str = "uniform", skip_seed: bool = False,
              arrivals: str = "closed", rate: float = 0.0,
-             drop_after: float = 1.0, slo_ms: Optional[float] = None,
+             drop_after: float = 1.0, burst: int = 1,
+             slo_ms: Optional[float] = None,
              slo_target: float = 0.99) -> Dict[str, Any]:
     """Seed, drive the load, and gather the report payload.
 
@@ -266,6 +287,11 @@ def run_load(host: str, port: int, workers: int, duration: float,
     than ``drop_after`` seconds are counted in ``totals["dropped"]``
     rather than sent.
 
+    ``burst`` batches the Poisson schedule into arrival events of that
+    many co-scheduled statements (event rate ``rate / burst``, offered
+    request rate unchanged); ``totals["bursts"]`` counts the events
+    actually sent.
+
     ``slo_ms`` (with ``slo_target``) adds an ``"slo"`` section to the
     report — see :func:`slo_summary`.
     """
@@ -273,6 +299,10 @@ def run_load(host: str, port: int, workers: int, duration: float,
         raise ValueError(f"unknown arrival discipline {arrivals!r}")
     if arrivals == "poisson" and rate <= 0:
         raise ValueError("open-loop arrivals need a positive --rate")
+    if burst < 1:
+        raise ValueError(f"--burst must be >= 1, got {burst}")
+    if burst > 1 and arrivals != "poisson":
+        raise ValueError("--burst needs --arrivals poisson")
     if not skip_seed:
         seed_population(host, port, seed_keys, seed)
     start = time.perf_counter()
@@ -282,7 +312,7 @@ def run_load(host: str, port: int, workers: int, duration: float,
         _Worker(host, port, seed_keys, deadline, seed + 1000 + i,
                 measure_start=measure_start, mix=mix, run_seed=seed,
                 arrivals=arrivals, rate=rate / workers,
-                drop_after=drop_after)
+                drop_after=drop_after, burst=burst)
         for i in range(workers)
     ]
     for worker in pool:
@@ -308,11 +338,12 @@ def run_load(host: str, port: int, workers: int, duration: float,
                    "duration_s": duration, "seed_keys": seed_keys,
                    "seed": seed, "warmup_s": warmup, "mix": mix,
                    "arrivals": arrivals, "rate": rate,
-                   "drop_after_s": drop_after},
+                   "drop_after_s": drop_after, "burst": burst},
         "totals": {
             "requests": requests,
             "offered": offered,
             "dropped": dropped,
+            "bursts": sum(worker.bursts for worker in pool),
             "errors": errors,
             "retries": sum(worker.retries for worker in pool),
             "retried_ok": sum(worker.retried_ok for worker in pool),
@@ -361,6 +392,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="open loop: drop an arrival the loop is this "
                              "many seconds late for instead of sending it "
                              "(default 1.0)")
+    parser.add_argument("--burst", type=int, default=1,
+                        help="open loop: statements co-arriving per "
+                             "Poisson event (events at --rate/B, offered "
+                             "request rate unchanged; default 1)")
     parser.add_argument("--warmup", type=float, default=0.0,
                         help="seconds of identical load excluded from QPS "
                              "and latency percentiles (default 0)")
@@ -407,7 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                           args.seed_keys, args.seed, warmup=args.warmup,
                           mix=args.mix, arrivals=args.arrivals,
                           rate=args.rate, drop_after=args.drop_after,
-                          slo_ms=args.slo_ms, slo_target=args.slo_target)
+                          burst=args.burst, slo_ms=args.slo_ms,
+                          slo_target=args.slo_target)
     finally:
         if handle is not None:
             handle.stop()
@@ -424,7 +460,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     totals = report["totals"]
     latency = report["latency_ms"]
     loop_desc = ("closed loop" if args.arrivals == "closed"
-                 else f"open loop, {args.rate:.0f}/s offered")
+                 else f"open loop, {args.rate:.0f}/s offered"
+                 + (f" in bursts of {args.burst}" if args.burst > 1
+                    else ""))
     print(f"{totals['requests']} requests in {totals['elapsed_s']:.2f}s "
           f"-> {totals['qps']:.0f} QPS "
           f"({args.workers} workers, {loop_desc})")
@@ -436,6 +474,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         share = (dropped / offered * 100.0) if offered else 0.0
         print(f"offered {offered}, dropped {dropped} ({share:.1f}%) "
               f"after {args.drop_after:.2f}s behind schedule")
+        if args.burst > 1:
+            print(f"burst events sent: {totals['bursts']} "
+                  f"x {args.burst} statements")
     if totals["errors"]:
         print(f"errors: {totals['errors']}")
     if totals["retries"]:

@@ -87,7 +87,8 @@ _AGGREGATES: Dict[str, Aggregate] = {
 _READ_METHODS = frozenset({
     "aggregate", "aggregate_all", "sum", "count", "avg", "min", "max",
     "snapshot", "tuples_in", "history", "explain", "cache_snapshot",
-    "page_count", "check_invariants", "wal_seq",
+    "page_count", "check_invariants", "wal_seq", "aggregate_batch",
+    "batch_snapshot",
 })
 
 #: Worker-level control methods (handled by the loop, not the warehouse).
@@ -276,6 +277,25 @@ def _resolve_args(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
     )
 
 
+def _resolve_method_args(method: str,
+                         args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """:func:`_resolve_args` plus the nested tokens of a batch request.
+
+    ``aggregate_batch`` ships its queries as one list argument whose
+    triples carry :class:`_AggRef` tokens (or ``None`` for
+    ``aggregate_all`` slots) — those never surface to the top-level
+    resolver, so they are swapped here.
+    """
+    args = _resolve_args(args)
+    if method == "aggregate_batch" and args:
+        queries = [
+            (kr, iv, _AGGREGATES[a.name] if isinstance(a, _AggRef) else a)
+            for kr, iv, a in args[0]
+        ]
+        args = (queries,) + args[1:]
+    return args
+
+
 def rate_since(state: Dict[Any, Tuple[float, int]], key: Any,
                counter: int, now: float) -> float:
     """Requests/second since the last observation of ``key``.
@@ -315,6 +335,7 @@ def _worker_main(conn, spec: ShardSpec) -> None:
     stats = {
         "requests": 0, "reads": 0, "writes": 0, "errors": 0,
         "shared_batches": 0, "batched_reads": 0, "load_bytes": 0,
+        "batch_sweeps": 0, "batch_queries": 0,
     }
     memoized = spec.cache_config is not None and spec.cache_config.memo_entries > 0
     pending: deque = deque()
@@ -396,14 +417,59 @@ def _batchable_read(method: str, args) -> bool:
             and not args[2].get("detail"))
 
 
+#: ``sum``/``count``/… wrapper methods answerable by the batch sweep.
+_AGG_WRAPPERS = {name.lower(): agg for name, agg in _AGGREGATES.items()}
+
+
+def _as_batch_query(method: str, args) -> Optional[Tuple]:
+    """The ``(key_range, interval, aggregate)`` sweep query of one
+    request, or ``None`` when it is not aggregate-shaped.
+
+    ``aggregate_all`` maps to aggregate ``None`` — the
+    :class:`~repro.core.rta.RTAResult` slot of the batch kernel.  Odd
+    shapes (wrong arity, unknown descriptor) fall back to individual
+    execution rather than failing classification.
+    """
+    if method == "aggregate" and len(args) == 3:
+        key_range, interval, agg = args
+        if isinstance(agg, _AggRef):
+            agg = _AGGREGATES.get(agg.name)
+        if isinstance(agg, Aggregate) and type(key_range) is KeyRange \
+                and type(interval) is Interval:
+            return key_range, interval, agg
+        return None
+    if method == "aggregate_all" and len(args) == 2:
+        key_range, interval = args
+        if type(key_range) is KeyRange and type(interval) is Interval:
+            return key_range, interval, None
+        return None
+    agg = _AGG_WRAPPERS.get(method)
+    if agg is not None and len(args) == 2:
+        key_range, interval = args
+        if type(key_range) is KeyRange and type(interval) is Interval:
+            return key_range, interval, agg
+    return None
+
+
 def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool,
                       shard: int) -> None:
     """Answer a run of read requests in one shared pass.
 
+    Aggregate-shaped reads (``aggregate``, the ``sum``/…/``max``
+    wrappers, ``aggregate_all``) are peeled off and answered by a single
+    :meth:`~repro.core.warehouse.TemporalWarehouse.aggregate_batch`
+    sweep — one frontier-ordered MVSBT traversal for the whole run, each
+    page fetched and decoded once; a failing query fails only its own
+    response.  Everything else (snapshots, histories, light-traced
+    reads) executes individually, and every response still ships in
+    arrival order.
+
     With no persistent memo attached (caching off), a temporary
-    :class:`~repro.core.cache.PointMemo` is installed for the batch so
-    repeated MVSBT boundary descents are shared, then detached — leaving
-    the uncached single-request path byte-identical to before.
+    :class:`~repro.core.cache.PointMemo` is installed for the batch: the
+    sweep prefills it with every boundary value it computed, so
+    non-sweep stragglers reuse those descents; it is detached at the
+    end, leaving the uncached single-request path byte-identical to
+    before.
     """
     shared = len(batch) > 1
     temp_memo = shared and not memoized
@@ -411,7 +477,25 @@ def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool,
         warehouse.aggregates.enable_memo(_BATCH_MEMO_ENTRIES,
                                          thread_safe=False)
     try:
-        for rid, method, args in batch:
+        answers: Dict[int, Any] = {}
+        if shared:
+            positions: List[int] = []
+            queries: List[Tuple] = []
+            for pos, (_rid, method, args) in enumerate(batch):
+                query = _as_batch_query(method, args)
+                if query is not None:
+                    positions.append(pos)
+                    queries.append(query)
+            if len(queries) > 1:
+                try:
+                    results = warehouse.aggregate_batch(queries)
+                except Exception:
+                    answers = {}  # degrade to per-request execution
+                else:
+                    answers = dict(zip(positions, results))
+                    stats["batch_sweeps"] += 1
+                    stats["batch_queries"] += len(queries)
+        for pos, (rid, method, args) in enumerate(batch):
             if method == _TRACED:
                 # Light-traced read riding the batch: does its own
                 # request/read accounting and span bookkeeping.
@@ -419,6 +503,15 @@ def _serve_read_batch(conn, warehouse, batch, stats, memoized: bool,
                 continue
             stats["requests"] += 1
             stats["reads"] += 1
+            if pos in answers:
+                result = answers[pos]
+                if isinstance(result, BaseException):
+                    stats["errors"] += 1
+                    _respond(conn, rid, False, error_payload(result),
+                             warehouse.now)
+                else:
+                    _respond(conn, rid, True, result, warehouse.now)
+                continue
             _serve_one(conn, warehouse, rid, method, args, stats)
     finally:
         if temp_memo:
@@ -433,7 +526,8 @@ def _serve_one(conn, warehouse, rid, method: str, args, stats) -> None:
     try:
         if method.startswith("_"):
             raise AttributeError(f"method {method!r} is not exposed")
-        result = getattr(warehouse, method)(*_resolve_args(args))
+        result = getattr(warehouse, method)(*_resolve_method_args(method,
+                                                                  args))
     except BaseException as exc:  # noqa: BLE001 — boundary: all -> payload
         stats["errors"] += 1
         _respond(conn, rid, False, error_payload(exc), warehouse.now)
@@ -522,14 +616,15 @@ def _serve_traced(conn, warehouse, rid, args, stats, shard: int) -> None:
 
             with traced(warehouse) as tracer:
                 with tracer.span(f"worker.{inner_method}", **lineage):
-                    result = fn(*_resolve_args(inner_args))
+                    result = fn(*_resolve_method_args(inner_method,
+                                                      inner_args))
             record = span_to_record(tracer.last_root)
         else:
             pools = _worker_pools(warehouse)
             before = [(p.stats.reads, p.stats.writes, p.stats.logical_reads)
                       for _, p in pools]
             cpu_started = time.process_time()
-            result = fn(*_resolve_args(inner_args))
+            result = fn(*_resolve_method_args(inner_method, inner_args))
             cpu_s = time.process_time() - cpu_started
             reads = writes = logical = 0
             for (r0, w0, l0), (_, pool) in zip(before, pools):
@@ -822,6 +917,22 @@ class ProcessShardedWarehouse(ShardRouter):
         # The worker is single-threaded and its pipe is FIFO — exclusive
         # access is structural, no parent-side lock required.
         return self._shard_call(index, method, args)
+
+    def _shard_query_batch(self, index: int, requests: List[Tuple]
+                           ) -> List[Any]:
+        """One shard's sub-batch as a single ``aggregate_batch`` RPC.
+
+        Descriptors are tokenized per triple (their lambdas never cross
+        the pipe); ``None`` aggregates (the ``aggregate_all`` slots of an
+        AVG gather) pass through as-is.  Per-query failures come back as
+        exception instances in-band, exactly like the thread backend.
+        """
+        wired = [
+            (key_range, interval,
+             _AggRef(agg.name) if isinstance(agg, Aggregate) else agg)
+            for key_range, interval, agg in requests
+        ]
+        return self._shard_call(index, "aggregate_batch", (wired,))
 
     def _shard_call(self, index: int, method: str,
                     args: Tuple[Any, ...]) -> Any:

@@ -78,7 +78,8 @@ _PROMOTE = "__promote__"
 #: Read methods a replica serves; everything else is routed primary-only
 #: by the cluster router (cache snapshots, invariant audits, ...).
 REPLICA_READS = frozenset({
-    "aggregate", "aggregate_all", "sum", "count", "avg", "min", "max",
+    "aggregate", "aggregate_all", "aggregate_batch",
+    "sum", "count", "avg", "min", "max",
     "snapshot", "tuples_in", "history", "explain",
 })
 

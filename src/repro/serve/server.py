@@ -163,6 +163,16 @@ class TQLServer:
         self._commit_groups = 0
         self._commit_records = 0
         self._commit_max_group = 0
+        # The shared-scan queue (scan_batch > 1): queued ``(statement,
+        # as_of, future)`` triples of plain SELECT aggregates plus the
+        # inline-leader flag — the read-side mirror of the commit
+        # groups.  Each drained group is answered by one vectorized
+        # ``aggregate_batch`` sweep instead of a serial loop.
+        self._scan_queue: list = []
+        self._scan_leader_active = False
+        self._scan_groups = 0
+        self._scan_group_queries = 0
+        self._scan_max_group = 0
         self._admission = asyncio.Condition()
         self._inflight = 0
         self._queued = 0
@@ -571,6 +581,7 @@ class TQLServer:
         self._publish_procpool_gauges()
         self._publish_cluster_gauges()
         self._publish_mvcc_gauges()
+        self._publish_batchscan_gauges()
         self._publish_worker_registries()
         return self.registry.render_prometheus()
 
@@ -587,6 +598,7 @@ class TQLServer:
             self._publish_procpool_gauges()
             self._publish_cluster_gauges()
             self._publish_mvcc_gauges()
+            self._publish_batchscan_gauges()
             return self.registry.to_json(), None
         if op == "metrics_text":
             return self._render_metrics_text(), None
@@ -674,9 +686,15 @@ class TQLServer:
         if not isinstance(as_of, int) or as_of < 0:
             raise ProtocolError('"as_of" must be a non-negative integer')
         self._note_explainable(statement, as_of, ctx)
-        result = await self._admitted(
-            lambda: tql_executor.execute(self.warehouse, statement,
-                                         as_of=as_of), ctx)
+        if (isinstance(statement, SelectStatement)
+                and statement.agg.timeline_buckets is None
+                and self.config.scan_batch > 1
+                and hasattr(self.warehouse, "aggregate_batch")):
+            result = await self._group_scan(statement, as_of, ctx)
+        else:
+            result = await self._admitted(
+                lambda: tql_executor.execute(self.warehouse, statement,
+                                             as_of=as_of), ctx)
         for shard in self._touched_shards(statement):
             self.metrics.shard_queries(shard).inc()
         return result, as_of
@@ -780,6 +798,83 @@ class TQLServer:
             else:
                 future.set_exception(error_from_payload(payload))
         await self._maybe_checkpoint()
+
+    # -- shared-scan groups (scan_batch > 1) ---------------------------------------------
+
+    async def _group_scan(self, statement: Any, as_of: int,
+                          ctx: RequestContext) -> Any:
+        """Admit one plain SELECT aggregate through the shared-scan queue.
+
+        The read-side mirror of :meth:`_group_commit`: enqueue
+        ``(statement, as_of, future)``; if no leader is draining, become
+        the inline leader and flush groups of up to ``scan_batch``
+        queries until the queue is empty.  Each group is answered with
+        *one* executor hop and one
+        :meth:`~repro.core.warehouse.TemporalWarehouse.aggregate_batch`
+        sweep — every MVSBT page the group touches is fetched and
+        decoded once, and (MVCC) the shard epoch is validated once for
+        the whole group.  Queries that pile up while a flush is in
+        flight form the next group; answers are byte-identical to serial
+        execution and a failing query fails only its own future.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._scan_queue.append((statement, as_of, future))
+        if not self._scan_leader_active:
+            self._scan_leader_active = True
+            try:
+                while self._scan_queue:
+                    batch = self.config.scan_batch
+                    group = self._scan_queue[:batch]
+                    del self._scan_queue[:batch]
+                    await self._flush_scan_group(group, ctx)
+            finally:
+                self._scan_leader_active = False
+        return await future
+
+    async def _flush_scan_group(self, group: list,
+                                ctx: RequestContext) -> None:
+        """Answer one drained scan group and publish each member's result.
+
+        A single query skips the batch machinery entirely (the serial
+        path is the batch path for N=1, minus overhead).  A failed
+        *admission* fails the whole group; inside an admitted batch the
+        executor returns per-query exceptions in-band, so one bad
+        rectangle fails only its own future.
+        """
+        if len(group) == 1:
+            statement, as_of, future = group[0]
+            try:
+                result = await self._admitted(
+                    lambda: tql_executor.execute(self.warehouse, statement,
+                                                 as_of=as_of), ctx)
+            except Exception as exc:  # noqa: BLE001 — fanned to the future
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(result)
+            return
+        requests = [(stmt, as_of) for stmt, as_of, _ in group]
+        try:
+            results = await self._admitted(
+                lambda: tql_executor.execute_select_batch(self.warehouse,
+                                                          requests), ctx)
+        except Exception as exc:  # noqa: BLE001 — fanned out per member
+            for _, _, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._scan_groups += 1
+        self._scan_group_queries += len(group)
+        self._scan_max_group = max(self._scan_max_group, len(group))
+        for (_, _, future), result in zip(group, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
 
     async def _load(self, message: Dict[str, Any],
                     ctx: RequestContext) -> Any:
@@ -896,6 +991,7 @@ class TQLServer:
                 labels["replica"] = str(row.get("replica", ""))
             for counter in ("requests", "reads", "writes", "errors",
                             "shared_batches", "batched_reads",
+                            "batch_sweeps", "batch_queries",
                             "load_bytes"):
                 if counter in row:
                     self.registry.gauge(
@@ -1000,6 +1096,41 @@ class TQLServer:
             "repro_commit_group_max_size",
             "largest commit group flushed", {}).set(
                 self._commit_max_group)
+
+    def _publish_batchscan_gauges(self) -> None:
+        """Vectorized batch-read counters as ``repro_batchscan_<name>``.
+
+        The snapshot merges every shard's :class:`BatchScanStats` (over
+        RPC for the process backend), so one scrape shows batch sizes,
+        probe/page dedup savings, and the once-per-batch MVCC epoch
+        accounting for the whole warehouse.  No-op until the first batch
+        sweep runs (the merged snapshot is empty).
+        """
+        snapshot_fn = getattr(self.warehouse, "batch_snapshot", None)
+        if snapshot_fn is None:
+            return
+        try:
+            snapshot = snapshot_fn()
+        except ShardDownError:
+            # A worker died mid-scrape; keep the last published values
+            # (same serviceability contract as the cache gauges).
+            return
+        for name, value in snapshot.items():
+            self.registry.gauge(
+                f"repro_batchscan_{name}",
+                f"batch read-path counter {name}", {}).set(value)
+        self.registry.gauge(
+            "repro_batchscan_server_groups",
+            "shared-scan groups flushed by the server (queries > 1)",
+            {}).set(self._scan_groups)
+        self.registry.gauge(
+            "repro_batchscan_server_group_queries",
+            "SELECT aggregates answered through shared-scan groups",
+            {}).set(self._scan_group_queries)
+        self.registry.gauge(
+            "repro_batchscan_server_max_group",
+            "largest shared-scan group flushed", {}).set(
+                self._scan_max_group)
 
     def _publish_cache_gauges(self) -> None:
         """Mirror merged cache counters into the exported registry.

@@ -279,6 +279,110 @@ class ShardRouter:
             total_count += partial.count
         return RTAResult(sum=total_sum, count=total_count)
 
+    def aggregate_batch(self, queries) -> List[Any]:
+        """Scatter-gather many aggregate queries with one batch per shard.
+
+        ``queries`` is a sequence of ``(key_range, interval, aggregate)``
+        triples.  Each query's rectangle is split over the shards it
+        touches exactly as :meth:`aggregate` does, but all sub-queries
+        landing on one shard travel together through
+        :meth:`_shard_query_batch` — one shard acquisition, one MVSBT
+        sweep — and the gather arithmetic (iteration order included) is
+        the same code shape as the serial path, so answers are
+        byte-identical.  AVG queries ship per-part ``aggregate_all``
+        sub-queries (aggregate ``None``) and recombine SUM/COUNT totals,
+        never per-shard averages.  A failing query yields its exception
+        instance in its slot; the rest of the batch is unaffected.
+        """
+        queries = list(queries)
+        shard_requests: Dict[int, List[Tuple]] = {}
+        recipes: List[Tuple] = []
+        for key_range, interval, aggregate in queries:
+            name = getattr(aggregate, "name", None)
+            if name == AVG.name:
+                kind, sub = "avg", None  # per-part aggregate_all
+            elif name in (MIN.name, MAX.name):
+                kind, sub = name, aggregate
+            elif name in (SUM.name, COUNT.name):
+                kind, sub = "sum", aggregate
+            else:
+                recipes.append(("error",
+                                QueryError(f"unknown aggregate {name!r}")))
+                continue
+            slots: List[Tuple[int, int]] = []
+            for i, part in self.parts_for(key_range):
+                requests = shard_requests.setdefault(i, [])
+                slots.append((i, len(requests)))
+                requests.append((part, interval, sub))
+            recipes.append((kind, slots))
+        shard_results: Dict[int, List[Any]] = {
+            i: self._shard_query_batch(i, requests)
+            for i, requests in sorted(shard_requests.items())
+        }
+        out: List[Any] = []
+        for recipe in recipes:
+            kind = recipe[0]
+            if kind == "error":
+                out.append(recipe[1])
+                continue
+            partials = [shard_results[i][slot] for i, slot in recipe[1]]
+            failed = next((p for p in partials
+                           if isinstance(p, BaseException)), None)
+            if failed is not None:
+                out.append(failed)
+                continue
+            if kind == "avg":
+                total_sum = 0.0
+                total_count = 0.0
+                for partial in partials:
+                    total_sum += partial.sum
+                    total_count += partial.count
+                out.append(RTAResult(sum=total_sum, count=total_count).avg)
+            elif kind in (MIN.name, MAX.name):
+                extrema = [x for x in partials if x is not None]
+                if not extrema:
+                    out.append(None)
+                else:
+                    out.append(min(extrema) if kind == MIN.name
+                               else max(extrema))
+            else:
+                out.append(sum(partials))
+        return out
+
+    def _shard_query_batch(self, index: int, requests: List[Tuple]
+                           ) -> List[Any]:
+        """Answer one shard's batched sub-queries, errors in-band.
+
+        Base implementation degrades to serial :meth:`_shard_query`
+        calls so every backend supports :meth:`aggregate_batch`;
+        backends with a real batch kernel override it.  An aggregate of
+        ``None`` requests ``aggregate_all`` for that sub-query.
+        """
+        out: List[Any] = []
+        for key_range, interval, aggregate in requests:
+            try:
+                if aggregate is None:
+                    out.append(self._shard_query(index, "aggregate_all",
+                                                 key_range, interval))
+                else:
+                    out.append(self._shard_query(index, "aggregate",
+                                                 key_range, interval,
+                                                 aggregate))
+            except Exception as exc:
+                out.append(exc)
+        return out
+
+    def batch_snapshot(self) -> Dict[str, int]:
+        """Batch-sweep counters merged across every shard."""
+        from repro.core.batch import BatchScanStats
+
+        totals = BatchScanStats()
+        for index in range(self.shard_count):
+            snapshot = self._shard_query(index, "batch_snapshot")
+            if snapshot:
+                totals.merge(snapshot)
+        return totals.as_dict()
+
     def sum(self, key_range: KeyRange, interval: Interval) -> float:
         """Scatter-gather SUM."""
         return self.aggregate(key_range, interval, SUM)
@@ -462,6 +566,83 @@ class ShardedWarehouse(ShardRouter):
         if ctx is None:
             return run()
         return self._shard_telemetered(ctx, index, method, run)
+
+    def _shard_query_batch(self, index: int, requests: List[Tuple]
+                           ) -> List[Any]:
+        """One shard's sub-batch through the warehouse batch kernel."""
+        shard = self.shards[index]
+        if self.mvcc:
+            def run():
+                return self._optimistic_query_batch(index, requests)
+        elif self.thread_safe:
+            def run():
+                with self.locks[index].read_locked():
+                    return shard.aggregate_batch(requests)
+        else:
+            def run():
+                return shard.aggregate_batch(requests)
+        ctx = current_context()
+        if ctx is None:
+            return run()
+        return self._shard_telemetered(ctx, index, "aggregate_batch", run)
+
+    def _optimistic_query_batch(self, index: int,
+                                requests: List[Tuple]) -> List[Any]:
+        """One seqlock hop for a whole batch, per-query fallback isolation.
+
+        The shard epoch is captured once, the entire batch sweep runs
+        with no lock held, and a single validation covers every answer —
+        N queries, one epoch check.  A torn read does *not* retry the
+        batch wholesale: each query re-runs through its own
+        :meth:`_optimistic_query` (own retry budget, own read-lock
+        fallback), so one conflicting writer costs re-execution, never a
+        batch-wide retry storm.  Cache stores made during the sweep are
+        parked in the calling thread's deferred section and committed
+        only after the batch validates, exactly as the serial path does.
+        """
+        from repro.core.cache import (begin_deferred_stores,
+                                      commit_deferred_stores,
+                                      discard_deferred_stores)
+
+        shard = self.shards[index]
+        epoch = self.epochs[index]
+        bstats = shard.batch_stats
+        started = epoch.read_begin()
+        if started % 2 == 0:
+            begin_deferred_stores()
+            try:
+                results = shard.aggregate_batch(requests)
+            except Exception:
+                discard_deferred_stores()
+                if bstats is not None:
+                    bstats.note_epoch_validation()
+                if epoch.read_validate(started):
+                    raise  # deterministic failure, not a torn read
+            else:
+                if bstats is not None:
+                    bstats.note_epoch_validation()
+                if epoch.read_validate(started):
+                    commit_deferred_stores()
+                    self.mvcc_stats.note_optimistic()
+                    return results
+                discard_deferred_stores()
+        # Torn (or a write was mid-bracket at capture): isolate the
+        # fallback per query so one conflict cannot fail its batchmates.
+        if bstats is not None:
+            bstats.note_epoch_fallback(len(requests))
+        out: List[Any] = []
+        for key_range, interval, aggregate in requests:
+            try:
+                if aggregate is None:
+                    out.append(self._optimistic_query(
+                        index, shard.aggregate_all, (key_range, interval)))
+                else:
+                    out.append(self._optimistic_query(
+                        index, shard.aggregate,
+                        (key_range, interval, aggregate)))
+            except Exception as exc:
+                out.append(exc)
+        return out
 
     def _optimistic_query(self, index: int, fn, args) -> Any:
         """One read with **no lock held**, validated by the shard epoch.

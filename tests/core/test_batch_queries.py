@@ -1,0 +1,147 @@
+"""``aggregate_batch``: the vectorized read path must be invisible.
+
+The contract under test is byte-identity with the serial ``aggregate``
+loop — across all five aggregates, with the result cache on or off,
+with duplicate queries in the batch, and with failing queries isolated
+to their own slot.
+"""
+
+import random
+from types import SimpleNamespace
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.model import Interval, KeyRange
+from repro.core.rta import RTAResult
+from repro.core.warehouse import TemporalWarehouse
+from repro.errors import QueryError
+
+KEYS = 200
+KEY_SPACE = (1, KEYS + 1)
+AGGREGATES = (SUM, COUNT, AVG, MIN, MAX)
+
+
+def make_warehouse(**kwargs):
+    kwargs.setdefault("key_space", KEY_SPACE)
+    kwargs.setdefault("page_capacity", 8)
+    return TemporalWarehouse(**kwargs)
+
+
+def _loaded(**kwargs):
+    warehouse = make_warehouse(**kwargs)
+    rng = random.Random(11)
+    t = 1
+    for key in rng.sample(range(1, KEYS + 1), KEYS):
+        warehouse.insert(key, float(rng.randint(1, 50)), t)
+        if rng.random() < 0.2:
+            t += 1
+    return warehouse, t
+
+
+def _mixed_queries(now, count, seed=12):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        lo = rng.randint(1, KEYS - 10)
+        hi = rng.randint(lo + 1, KEYS + 1)
+        t0 = rng.randint(1, now)
+        t1 = rng.randint(t0 + 1, now + 2)
+        agg = AGGREGATES[rng.randrange(len(AGGREGATES))]
+        queries.append((KeyRange(lo, hi), Interval(t0, t1), agg))
+    return queries
+
+
+class TestTwinIdentity:
+    def test_five_aggregates_match_serial(self):
+        warehouse, now = _loaded()
+        queries = _mixed_queries(now, 64)
+        serial = [repr(warehouse.aggregate(*q)) for q in queries]
+        batched = [repr(x) for x in warehouse.aggregate_batch(queries)]
+        assert batched == serial
+
+    def test_cache_on_matches_uncached_twin(self):
+        cached, now = _loaded()
+        cached.enable_cache()
+        plain, _ = _loaded()
+        queries = _mixed_queries(now, 48)
+        # Two rounds: the second exercises the pass-1 cache-hit slots.
+        for _ in range(2):
+            batched = [repr(x) for x in cached.aggregate_batch(queries)]
+            serial = [repr(plain.aggregate(*q)) for q in queries]
+            assert batched == serial
+        assert cached.result_cache.stats.hits > 0
+
+    def test_duplicate_queries_collapse_to_identical_answers(self):
+        warehouse, now = _loaded()
+        base = _mixed_queries(now, 8)
+        queries = [base[i % len(base)] for i in range(40)]
+        serial = [repr(warehouse.aggregate(*q)) for q in queries]
+        before = warehouse.batch_stats.as_dict()
+        batched = [repr(x) for x in warehouse.aggregate_batch(queries)]
+        after = warehouse.batch_stats.as_dict()
+        assert batched == serial
+        assert after["batches"] == before["batches"] + 1
+        assert after["batched_queries"] == before["batched_queries"] + 40
+
+    def test_memo_prefilled_by_batch(self):
+        warehouse, now = _loaded()
+        warehouse.enable_cache()
+        queries = _mixed_queries(now, 32)
+        warehouse.result_cache.clear()
+        warehouse.aggregate_batch(queries)
+        memo_before = warehouse.cache_snapshot().memo.get("hits", 0)
+        warehouse.result_cache.clear()  # force replanning, keep the memo
+        for q in queries:
+            warehouse.aggregate(*q)
+        memo_after = warehouse.cache_snapshot().memo.get("hits", 0)
+        assert memo_after > memo_before
+
+
+class TestErrorIsolation:
+    def test_failing_query_fails_only_itself(self):
+        warehouse, now = _loaded()
+        good = _mixed_queries(now, 6)
+        bad = (KeyRange(KEYS + 50, KEYS + 90), Interval(1, now + 1), SUM)
+        queries = good[:3] + [bad] + good[3:]
+        results = warehouse.aggregate_batch(queries)
+        assert isinstance(results[3], QueryError)
+        survivors = results[:3] + results[4:]
+        serial = [repr(warehouse.aggregate(*q)) for q in good]
+        assert [repr(x) for x in survivors] == serial
+
+    def test_unknown_aggregate_is_in_band(self):
+        warehouse, now = _loaded()
+        fake = SimpleNamespace(name="MEDIAN")
+        queries = [(KeyRange(*KEY_SPACE), Interval(1, now + 1), SUM),
+                   (KeyRange(*KEY_SPACE), Interval(1, now + 1), fake)]
+        results = warehouse.aggregate_batch(queries)
+        assert repr(results[0]) == repr(
+            warehouse.aggregate(KeyRange(*KEY_SPACE), Interval(1, now + 1),
+                                SUM))
+        assert isinstance(results[1], QueryError)
+
+    def test_duplicate_of_failing_query_shares_the_error(self):
+        warehouse, now = _loaded()
+        bad = (KeyRange(KEYS + 50, KEYS + 90), Interval(1, now + 1), SUM)
+        results = warehouse.aggregate_batch([bad, bad])
+        assert isinstance(results[0], QueryError)
+        assert isinstance(results[1], QueryError)
+
+
+class TestAggregateAllSlots:
+    def test_none_aggregate_returns_rta_partials(self):
+        warehouse, now = _loaded()
+        rectangle = (KeyRange(1, KEYS + 1), Interval(1, now + 1))
+        expected = warehouse.aggregates.aggregate_all(*rectangle)
+        [result] = warehouse.aggregate_batch([rectangle + (None,)])
+        assert isinstance(result, RTAResult)
+        assert repr(result) == repr(expected)
+
+    def test_none_slots_mix_with_planned_slots(self):
+        warehouse, now = _loaded()
+        rectangle = (KeyRange(1, KEYS + 1), Interval(1, now + 1))
+        results = warehouse.aggregate_batch(
+            [rectangle + (SUM,), rectangle + (None,), rectangle + (MAX,)])
+        assert repr(results[0]) == repr(warehouse.aggregate(*rectangle, SUM))
+        assert repr(results[1]) == repr(
+            warehouse.aggregates.aggregate_all(*rectangle))
+        assert repr(results[2]) == repr(warehouse.aggregate(*rectangle, MAX))

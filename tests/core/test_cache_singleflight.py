@@ -1,0 +1,94 @@
+"""Single-flight coalescing in the :class:`ResultCache`.
+
+One leader computes per identical ``(key, epoch)`` miss; followers wait
+and re-read the cache, consuming only *committed* entries.  Inside a
+deferred-store (optimistic MVCC) section coalescing must disable itself:
+the leader's store would not land until validation, so a flight could
+hand followers an unvalidated value.
+"""
+
+import threading
+
+from repro.core.cache import (ResultCache, begin_deferred_stores,
+                              discard_deferred_stores)
+from repro.core.model import Interval, KeyRange
+
+KEY = ResultCache.key("SUM", KeyRange(1, 10), Interval(1, 5))
+
+
+class TestSingleFlight:
+    def test_leader_then_follower_roles(self):
+        cache = ResultCache(thread_safe=True)
+        role, flight = cache.begin_flight(KEY, epoch=0)
+        assert role == "leader"
+        follower_role, follower_flight = cache.begin_flight(KEY, epoch=0)
+        assert follower_role == "follower"
+        assert follower_flight is flight
+        cache.end_flight(KEY, 0, flight)
+        # The flight is gone: the next miss leads again.
+        role, flight = cache.begin_flight(KEY, epoch=0)
+        assert role == "leader"
+        cache.end_flight(KEY, 0, flight)
+
+    def test_follower_shares_the_leaders_committed_store(self):
+        cache = ResultCache(thread_safe=True)
+        computed = threading.Event()
+        shared = []
+
+        role, flight = cache.begin_flight(KEY, epoch=3)
+        assert role == "leader"
+
+        def follow():
+            follower_role, event = cache.begin_flight(KEY, epoch=3)
+            assert follower_role == "follower"
+            computed.set()
+            shared.append(cache.wait_flight(event, KEY, epoch=3))
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        computed.wait(2.0)
+        cache.store(KEY, 42.0, closed=True, epoch=3)
+        cache.end_flight(KEY, 3, flight)
+        thread.join(2.0)
+        assert shared == [(42.0, None)]
+        assert cache.coalesced == 1
+
+    def test_failed_leader_leaves_follower_computing(self):
+        cache = ResultCache(thread_safe=True)
+        role, flight = cache.begin_flight(KEY, epoch=0)
+        follower_role, event = cache.begin_flight(KEY, epoch=0)
+        assert (role, follower_role) == ("leader", "follower")
+        # Leader exits without storing (its query raised): the follower
+        # wakes to a miss and computes itself — no poisoned sharing.
+        cache.end_flight(KEY, 0, flight)
+        assert cache.wait_flight(event, KEY, epoch=0) is None
+        assert cache.coalesced == 0
+
+    def test_distinct_epochs_do_not_coalesce(self):
+        cache = ResultCache(thread_safe=True)
+        role_a, flight_a = cache.begin_flight(KEY, epoch=1)
+        role_b, flight_b = cache.begin_flight(KEY, epoch=2)
+        assert (role_a, role_b) == ("leader", "leader")
+        assert flight_a is not flight_b
+        cache.end_flight(KEY, 1, flight_a)
+        cache.end_flight(KEY, 2, flight_b)
+
+    def test_deferred_section_goes_solo(self):
+        cache = ResultCache(thread_safe=True)
+        begin_deferred_stores()
+        try:
+            role, flight = cache.begin_flight(KEY, epoch=0)
+            assert (role, flight) == ("solo", None)
+        finally:
+            discard_deferred_stores()
+        # An existing flight is still joinable from a deferred section:
+        # waiting only ever reads committed entries.
+        role, flight = cache.begin_flight(KEY, epoch=0)
+        assert role == "leader"
+        begin_deferred_stores()
+        try:
+            follower_role, event = cache.begin_flight(KEY, epoch=0)
+            assert follower_role == "follower"
+        finally:
+            discard_deferred_stores()
+        cache.end_flight(KEY, 0, flight)

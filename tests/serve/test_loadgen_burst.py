@@ -1,0 +1,58 @@
+"""Bursty Poisson arrivals: ``--burst`` co-schedules statements per
+arrival event without changing the offered request rate, and the
+accounting identity still balances to the statement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServerConfig, serve_in_thread
+
+KEYS = 40
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = serve_in_thread(ServerConfig(shards=2, key_space=(1, KEYS + 1),
+                                          scan_batch=8, readers=4))
+    yield handle
+    handle.stop()
+
+
+def _identity(report):
+    totals = report["totals"]
+    return (totals["requests"] + totals["dropped"]
+            + sum(totals["errors"].values()))
+
+
+class TestBurstArrivals:
+    def test_burst_accounting(self, server):
+        report = run_load(server.host, server.port, workers=2,
+                          duration=1.0, seed_keys=KEYS, seed=17,
+                          arrivals="poisson", rate=200.0, burst=4)
+        totals = report["totals"]
+        assert report["config"]["burst"] == 4
+        assert totals["bursts"] > 0
+        assert totals["offered"] > 0
+        # Arrivals are whole events of 4 statements each.
+        assert totals["offered"] % 4 == 0
+        assert totals["offered"] == _identity(report)
+        # Sent events account exactly for the non-dropped offer.
+        assert totals["bursts"] * 4 == totals["offered"] - totals["dropped"]
+
+    def test_burst_of_one_matches_plain_poisson_schema(self, server):
+        report = run_load(server.host, server.port, workers=1,
+                          duration=0.5, seed_keys=KEYS, seed=18,
+                          skip_seed=True, arrivals="poisson", rate=100.0)
+        assert report["config"]["burst"] == 1
+        assert report["totals"]["offered"] == _identity(report)
+
+    def test_validation(self, server):
+        with pytest.raises(ValueError):
+            run_load(server.host, server.port, workers=1, duration=0.1,
+                     seed_keys=KEYS, seed=1, arrivals="poisson",
+                     rate=50.0, burst=0)
+        with pytest.raises(ValueError):
+            run_load(server.host, server.port, workers=1, duration=0.1,
+                     seed_keys=KEYS, seed=1, burst=4)

@@ -1,0 +1,112 @@
+"""``execute_select_batch``: one batched sweep, per-statement AS OF
+resolution, and exception-in-band slots that mirror serial ``execute``."""
+
+import random
+
+import pytest
+
+from repro.core.warehouse import TemporalWarehouse
+from repro.errors import QueryError
+from repro.tql import executor
+from repro.tql.parser import parse
+
+KEYS = 120
+KEY_SPACE = (1, KEYS + 1)
+
+
+@pytest.fixture()
+def warehouse():
+    warehouse = TemporalWarehouse(key_space=KEY_SPACE, page_capacity=8)
+    rng = random.Random(31)
+    t = 1
+    for key in range(1, KEYS + 1):
+        warehouse.insert(key, float(rng.randint(1, 30)), t)
+        if rng.random() < 0.25:
+            t += 1
+    return warehouse
+
+
+def _statements(now, count, seed=32):
+    rng = random.Random(seed)
+    aggs = ("SUM(value)", "COUNT(*)", "AVG(value)", "MIN(value)",
+            "MAX(value)")
+    out = []
+    for _ in range(count):
+        lo = rng.randint(1, KEYS - 5)
+        hi = rng.randint(lo + 1, KEYS + 1)
+        t0 = rng.randint(1, now)
+        t1 = rng.randint(t0 + 1, now + 2)
+        out.append(parse(
+            f"SELECT {rng.choice(aggs)} WHERE key IN [{lo}, {hi}) "
+            f"AND TIME DURING [{t0}, {t1})"))
+    return out
+
+
+class TestBatchExecution:
+    def test_matches_serial_execute_with_mixed_as_of(self, warehouse):
+        now = warehouse.now
+        statements = _statements(now, 40)
+        rng = random.Random(33)
+        requests = [(stmt, rng.choice((None, now, max(1, now // 2))))
+                    for stmt in statements]
+
+        def shape(outcome):
+            if isinstance(outcome, BaseException):
+                return f"{type(outcome).__name__}: {outcome}"
+            return repr(outcome)
+
+        serial = []
+        for stmt, as_of in requests:
+            try:
+                serial.append(shape(executor.execute(warehouse, stmt,
+                                                     as_of=as_of)))
+            except Exception as exc:  # noqa: BLE001 — twin captures all
+                serial.append(shape(exc))
+        batched = [shape(x)
+                   for x in executor.execute_select_batch(warehouse,
+                                                          requests)]
+        assert batched == serial
+
+    def test_as_of_clips_intervals_per_statement(self, warehouse):
+        now = warehouse.now
+        stmt = parse(f"SELECT SUM(value) WHERE TIME DURING [1, {now + 100})")
+        pinned = max(1, now // 2)
+        [clipped] = executor.execute_select_batch(warehouse,
+                                                  [(stmt, pinned)])
+        assert clipped == executor.execute(warehouse, stmt, as_of=pinned)
+        [open_now] = executor.execute_select_batch(warehouse,
+                                                   [(stmt, None)])
+        assert open_now == executor.execute(warehouse, stmt)
+
+    def test_timeline_rejected_in_band(self, warehouse):
+        good = parse("SELECT SUM(value)")
+        timeline = parse(f"SELECT TIMELINE(SUM, 4) "
+                         f"WHERE TIME DURING [1, {warehouse.now + 1})")
+        results = executor.execute_select_batch(
+            warehouse, [(good, None), (timeline, None)])
+        assert results[0] == executor.execute(warehouse, good)
+        assert isinstance(results[1], QueryError)
+
+    def test_empty_interval_at_snapshot_fails_only_itself(self, warehouse):
+        now = warehouse.now
+        good = parse("SELECT COUNT(*)")
+        # Clipping to as_of empties this interval: serial raises, the
+        # batch slot carries the same error in-band.
+        late = parse(f"SELECT SUM(value) WHERE TIME DURING "
+                     f"[{now}, {now + 5})")
+        as_of = max(1, now - 1)
+        with pytest.raises(QueryError):
+            executor.execute(warehouse, late, as_of=as_of)
+        results = executor.execute_select_batch(
+            warehouse, [(late, as_of), (good, as_of)])
+        assert isinstance(results[0], QueryError)
+        assert results[1] == executor.execute(warehouse, good, as_of=as_of)
+
+    def test_non_select_rejected_in_band(self, warehouse):
+        insert = parse("INSERT key 5 VALUE 1.0 AT 9999")
+        [result] = executor.execute_select_batch(warehouse,
+                                                 [(insert, None)])
+        assert isinstance(result, QueryError)
+
+    def test_empty_request_list(self, warehouse):
+        assert executor.execute_select_batch(warehouse, []) == []
